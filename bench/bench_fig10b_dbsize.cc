@@ -1,0 +1,33 @@
+/// \file bench_fig10b_dbsize.cc
+/// Figure 10(b): basic vs e-basic vs e-MQO on the default query (Q4,
+/// Excel) as the database size grows. Paper shape: both enhanced
+/// methods beat basic; e-basic beats e-MQO (plan generation is
+/// expensive); all grow with |D|.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace urm;
+  bench::PrintHeader("Figure 10(b): simple solutions vs database size",
+                     "ICDE'12 Fig. 10(b)");
+  bench::EngineCache engines;
+  auto q = core::DefaultQuery();
+
+  double base = bench::BenchMb();
+  std::printf("\n%-10s %-12s %-12s %-12s\n", "MB", "basic(s)",
+              "e-basic(s)", "e-MQO(s)");
+  for (double factor : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double mb = base * factor;
+    core::Engine* engine = engines.Get(q.schema, mb, bench::BenchH());
+    double t_basic = 0.0, t_ebasic = 0.0, t_emqo = 0.0;
+    bench::TimedEvaluate(*engine, q.query, core::Method::kBasic,
+                         &t_basic);
+    bench::TimedEvaluate(*engine, q.query, core::Method::kEBasic,
+                         &t_ebasic);
+    bench::TimedEvaluate(*engine, q.query, core::Method::kEMqo, &t_emqo);
+    std::printf("%-10.2f %-12.4f %-12.4f %-12.4f\n", mb, t_basic,
+                t_ebasic, t_emqo);
+  }
+  std::printf("\n# paper shape: basic slowest; e-basic < e-MQO < basic\n");
+  return 0;
+}

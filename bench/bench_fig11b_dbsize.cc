@@ -1,0 +1,32 @@
+/// \file bench_fig11b_dbsize.cc
+/// Figure 11(b): e-basic vs q-sharing vs o-sharing on Q4 as |D| grows.
+/// Paper shape: all grow with |D|; o-sharing grows slowest.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace urm;
+  bench::PrintHeader("Figure 11(b): sharing methods vs database size",
+                     "ICDE'12 Fig. 11(b)");
+  bench::EngineCache engines;
+  auto q = core::DefaultQuery();
+
+  double base = bench::BenchMb();
+  std::printf("\n%-10s %-12s %-13s %-13s\n", "MB", "e-basic(s)",
+              "q-sharing(s)", "o-sharing(s)");
+  for (double factor : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double mb = base * factor;
+    core::Engine* engine = engines.Get(q.schema, mb, bench::BenchH());
+    double t_eb = 0.0, t_qs = 0.0, t_os = 0.0;
+    bench::TimedEvaluate(*engine, q.query, core::Method::kEBasic, &t_eb);
+    bench::TimedEvaluate(*engine, q.query, core::Method::kQSharing,
+                         &t_qs);
+    bench::TimedEvaluate(*engine, q.query, core::Method::kOSharing,
+                         &t_os);
+    std::printf("%-10.2f %-12.4f %-13.4f %-13.4f\n", mb, t_eb, t_qs,
+                t_os);
+  }
+  std::printf("\n# paper shape: o-sharing < q-sharing < e-basic; "
+              "o-sharing's growth rate the smallest\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+/// \file bench_fig11c_mappings.cc
+/// Figure 11(c): e-basic vs q-sharing vs o-sharing on Q4 over
+/// 100..500 mappings. Paper shape: e-basic and q-sharing rise steeply
+/// with |M| (more representative mappings -> more distinct source
+/// queries); o-sharing is least sensitive.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace urm;
+  bench::PrintHeader("Figure 11(c): sharing methods vs #mappings",
+                     "ICDE'12 Fig. 11(c)");
+  bench::EngineCache engines;
+  auto q = core::DefaultQuery();
+  int max_h = bench::EnvInt("URM_BENCH_MAX_H", 300);
+
+  core::Engine* engine = engines.Get(q.schema, bench::BenchMb(), max_h);
+  std::printf("\n%-10s %-12s %-13s %-13s %-12s\n", "h", "e-basic(s)",
+              "q-sharing(s)", "o-sharing(s)", "partitions");
+  for (int h = max_h / 5; h <= max_h; h += max_h / 5) {
+    engine->UseTopMappings(static_cast<size_t>(h));
+    double t_eb = 0.0, t_qs = 0.0, t_os = 0.0;
+    bench::TimedEvaluate(*engine, q.query, core::Method::kEBasic, &t_eb);
+    auto qs = bench::TimedEvaluate(*engine, q.query,
+                                   core::Method::kQSharing, &t_qs);
+    bench::TimedEvaluate(*engine, q.query, core::Method::kOSharing,
+                         &t_os);
+    std::printf("%-10d %-12.4f %-13.4f %-13.4f %-12zu\n", h, t_eb, t_qs,
+                t_os, qs.partitions);
+  }
+  std::printf("\n# paper shape: o-sharing least sensitive to |M|\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// \file bench_fig11d_selections.cc
+/// Figure 11(d): queries with 1..5 selection operators on different
+/// Excel PO attributes. Paper shape: o-sharing wins once a query has
+/// >= 2 operators; at exactly 1 operator it pays slight u-trace
+/// overhead over q-sharing (paper footnote 2).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace urm;
+  bench::PrintHeader("Figure 11(d): methods vs #selection operators",
+                     "ICDE'12 Fig. 11(d)");
+  bench::EngineCache engines;
+  core::Engine* engine = engines.Get(datagen::TargetSchemaId::kExcel,
+                                     bench::BenchMb(), bench::BenchH());
+
+  std::printf("\n%-12s %-12s %-13s %-13s\n", "#selections", "e-basic(s)",
+              "q-sharing(s)", "o-sharing(s)");
+  for (int n = 1; n <= 5; ++n) {
+    auto q = core::SelectionChainQuery(n);
+    double t_eb = 0.0, t_qs = 0.0, t_os = 0.0;
+    bench::TimedEvaluate(*engine, q, core::Method::kEBasic, &t_eb);
+    bench::TimedEvaluate(*engine, q, core::Method::kQSharing, &t_qs);
+    bench::TimedEvaluate(*engine, q, core::Method::kOSharing, &t_os);
+    std::printf("%-12d %-12.4f %-13.4f %-13.4f\n", n, t_eb, t_qs, t_os);
+  }
+  std::printf("\n# paper shape: o-sharing best for >= 2 selections; "
+              "slight overhead at 1\n");
+  return 0;
+}

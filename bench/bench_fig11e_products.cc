@@ -1,0 +1,28 @@
+/// \file bench_fig11e_products.cc
+/// Figure 11(e): self-join queries with 1..3 Cartesian products on the
+/// Excel PO schema. Paper shape: with >= 2 products, o-sharing (most
+/// sharing of operator work) is clearly best.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace urm;
+  bench::PrintHeader("Figure 11(e): methods vs #Cartesian products",
+                     "ICDE'12 Fig. 11(e)");
+  bench::EngineCache engines;
+  core::Engine* engine = engines.Get(datagen::TargetSchemaId::kExcel,
+                                     bench::BenchMb(), bench::BenchH());
+
+  std::printf("\n%-10s %-12s %-13s %-13s\n", "#products", "e-basic(s)",
+              "q-sharing(s)", "o-sharing(s)");
+  for (int n = 1; n <= 3; ++n) {
+    auto q = core::SelfJoinQuery(n);
+    double t_eb = 0.0, t_qs = 0.0, t_os = 0.0;
+    bench::TimedEvaluate(*engine, q, core::Method::kEBasic, &t_eb);
+    bench::TimedEvaluate(*engine, q, core::Method::kQSharing, &t_qs);
+    bench::TimedEvaluate(*engine, q, core::Method::kOSharing, &t_os);
+    std::printf("%-10d %-12.4f %-13.4f %-13.4f\n", n, t_eb, t_qs, t_os);
+  }
+  std::printf("\n# paper shape: o-sharing best from 2 products up\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+/// \file urm_cli.cpp
+/// Command-line driver: run any Table III query (or a top-k /
+/// threshold variant) against a generated instance with any method.
+///
+///   urm_cli [--query Q4] [--method osharing] [--schema excel]
+///           [--mb 1.0] [--h 100] [--topk K] [--threshold P]
+///           [--strategy sef|snf|random] [--seed N]
+///
+/// Examples:
+///   ./build/examples/urm_cli --query Q1 --method basic
+///   ./build/examples/urm_cli --query Q7 --topk 5 --mb 2
+///   ./build/examples/urm_cli --query Q8 --threshold 0.3
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/workload.h"
+
+namespace {
+
+using namespace urm;  // NOLINT
+
+struct CliArgs {
+  std::string query = "Q4";
+  std::string method = "osharing";
+  std::string schema;  // default: the query's schema
+  std::string strategy = "sef";
+  double mb = 1.0;
+  int h = 100;
+  int topk = 0;          // 0 = disabled
+  double threshold = 0;  // 0 = disabled
+  uint64_t seed = 42;
+};
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--query") == 0) {
+      const char* v = next("--query");
+      if (v == nullptr) return false;
+      args->query = v;
+    } else if (std::strcmp(argv[i], "--method") == 0) {
+      const char* v = next("--method");
+      if (v == nullptr) return false;
+      args->method = v;
+    } else if (std::strcmp(argv[i], "--strategy") == 0) {
+      const char* v = next("--strategy");
+      if (v == nullptr) return false;
+      args->strategy = v;
+    } else if (std::strcmp(argv[i], "--mb") == 0) {
+      const char* v = next("--mb");
+      if (v == nullptr) return false;
+      args->mb = std::atof(v);
+    } else if (std::strcmp(argv[i], "--h") == 0) {
+      const char* v = next("--h");
+      if (v == nullptr) return false;
+      args->h = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--topk") == 0) {
+      const char* v = next("--topk");
+      if (v == nullptr) return false;
+      args->topk = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--threshold") == 0) {
+      const char* v = next("--threshold");
+      if (v == nullptr) return false;
+      args->threshold = std::atof(v);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = next("--seed");
+      if (v == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MethodFromName(const std::string& name, core::Method* out) {
+  if (name == "basic") *out = core::Method::kBasic;
+  else if (name == "ebasic") *out = core::Method::kEBasic;
+  else if (name == "emqo") *out = core::Method::kEMqo;
+  else if (name == "qsharing") *out = core::Method::kQSharing;
+  else if (name == "osharing") *out = core::Method::kOSharing;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: urm_cli [--query Q1..Q10] [--method "
+        "basic|ebasic|emqo|qsharing|osharing]\n"
+        "               [--mb MB] [--h N] [--topk K] [--threshold P]\n"
+        "               [--strategy sef|snf|random] [--seed N]\n");
+    return 2;
+  }
+
+  auto wq = core::QueryById(args.query);
+  core::Engine::Options options;
+  options.target_mb = args.mb;
+  options.num_mappings = args.h;
+  options.target_schema = wq.schema;
+  options.seed = args.seed;
+  if (args.strategy == "snf") {
+    options.strategy = osharing::StrategyKind::kSNF;
+  } else if (args.strategy == "random") {
+    options.strategy = osharing::StrategyKind::kRandom;
+  }
+
+  auto engine = core::Engine::Create(options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "setup: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("instance: %zu tuples; mappings: %zu; query %s (%s)\n",
+              engine.ValueOrDie()->catalog().TotalRows(),
+              engine.ValueOrDie()->mappings().size(), wq.id.c_str(),
+              datagen::TargetSchemaName(wq.schema));
+
+  if (args.topk > 0) {
+    auto result = engine.ValueOrDie()->EvaluateTopK(
+        wq.query, static_cast<size_t>(args.topk));
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("top-%d in %.4fs (%zu leaves%s):\n", args.topk,
+                result.ValueOrDie().seconds,
+                result.ValueOrDie().leaves_visited,
+                result.ValueOrDie().early_terminated ? ", early" : "");
+    for (const auto& t : result.ValueOrDie().tuples) {
+      std::printf("  (");
+      for (size_t i = 0; i < t.values.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "",
+                    t.values[i].ToString().c_str());
+      }
+      std::printf(")  p in [%.4f, %.4f]\n", t.lower_bound, t.upper_bound);
+    }
+    return 0;
+  }
+
+  if (args.threshold > 0) {
+    auto result =
+        engine.ValueOrDie()->EvaluateThreshold(wq.query, args.threshold);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("threshold %.2f: %zu tuples in %.4fs (%zu leaves%s)\n",
+                args.threshold, result.ValueOrDie().tuples.size(),
+                result.ValueOrDie().seconds,
+                result.ValueOrDie().leaves_visited,
+                result.ValueOrDie().early_terminated ? ", early" : "");
+    return 0;
+  }
+
+  core::Method method;
+  if (!MethodFromName(args.method, &method)) {
+    std::fprintf(stderr, "unknown method: %s\n", args.method.c_str());
+    return 2;
+  }
+  auto result = engine.ValueOrDie()->Evaluate(wq.query, method);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& r = result.ValueOrDie();
+  std::printf("%s: %.4fs (rewrite %.4f, plan %.4f, eval %.4f, "
+              "aggregate %.4f)\n",
+              core::MethodName(method), r.TotalSeconds(),
+              r.rewrite_seconds, r.plan_seconds, r.eval_seconds,
+              r.aggregate_seconds);
+  std::printf("%zu source queries, %zu operators, %zu partitions\n",
+              r.source_queries, r.stats.operators_executed, r.partitions);
+  std::printf("%s", r.answers.ToString(15).c_str());
+  return 0;
+}

@@ -1,0 +1,383 @@
+#include "algebra/evaluate.h"
+
+#include "algebra/optimize.h"
+#include "common/logging.h"
+
+namespace urm {
+namespace algebra {
+
+using relational::ColumnDef;
+using relational::Relation;
+using relational::RelationPtr;
+using relational::RelationSchema;
+using relational::Row;
+using relational::Value;
+using relational::ValueType;
+
+namespace {
+
+Result<RelationPtr> EvaluateScan(const PlanNode& node,
+                                 const EvalContext& ctx) {
+  URM_CHECK(ctx.catalog != nullptr);
+  auto base = ctx.catalog->Get(node.table);
+  if (!base.ok()) return base.status();
+  RelationPtr rel = std::move(base).ValueOrDie();
+  if (ctx.stats != nullptr) ctx.stats->scans++;
+  if (node.alias.empty()) return rel;
+  // Re-qualify columns to the instance alias; row storage is shared.
+  RelationSchema renamed;
+  for (const auto& col : rel->schema().columns()) {
+    URM_RETURN_NOT_OK(renamed.AddColumn(
+        ColumnDef{node.alias + "." + relational::AttributePart(col.name),
+                  col.type}));
+  }
+  auto view = rel->WithSchema(std::move(renamed));
+  if (!view.ok()) return view.status();
+  return std::make_shared<const Relation>(std::move(view).ValueOrDie());
+}
+
+Result<RelationPtr> EvaluateSelect(const PlanNode& node, RelationPtr input,
+                                   const EvalContext& ctx) {
+  auto bound = BoundPredicate::Bind(node.predicate, input->schema());
+  if (!bound.ok()) return bound.status();
+  const BoundPredicate& pred = bound.ValueOrDie();
+  Relation out(input->schema());
+  for (const Row& row : input->rows()) {
+    if (pred.Matches(row)) {
+      URM_CHECK_OK(out.AddRow(row));
+    }
+  }
+  if (ctx.stats != nullptr) ctx.stats->tuples_produced += out.num_rows();
+  return std::make_shared<const Relation>(std::move(out));
+}
+
+/// Cardinality of a plan's result. Products are counted as the product
+/// of their sides' cardinalities without materializing rows; this keeps
+/// COUNT over Cartesian covers (the paper's Q10 shape) tractable.
+Result<double> CountRows(const PlanPtr& plan, const EvalContext& ctx) {
+  if (plan->kind == PlanKind::kProduct) {
+    auto left = CountRows(plan->child, ctx);
+    if (!left.ok()) return left.status();
+    auto right = CountRows(plan->right, ctx);
+    if (!right.ok()) return right.status();
+    return left.ValueOrDie() * right.ValueOrDie();
+  }
+  auto rel = Evaluate(plan, ctx);
+  if (!rel.ok()) return rel.status();
+  return static_cast<double>(rel.ValueOrDie()->num_rows());
+}
+
+struct ColumnSum {
+  double sum = 0.0;
+  bool all_int = true;
+};
+
+Result<ColumnSum> SumOverRelation(const RelationPtr& rel,
+                                  const std::string& attr) {
+  auto idx = rel->schema().IndexOf(attr);
+  if (!idx.has_value()) {
+    return Status::NotFound("SUM attribute not found: " + attr);
+  }
+  ColumnSum out;
+  for (const Row& row : rel->rows()) {
+    const Value& v = row[*idx];
+    // NULLs and non-numeric values contribute nothing: a mapping can
+    // plausibly (if wrongly) match a SUM attribute to a string column,
+    // and the query must still evaluate under every possible mapping.
+    if (v.is_null() || !v.is_numeric()) continue;
+    if (v.type() != ValueType::kInt64) out.all_int = false;
+    out.sum += v.NumericValue();
+  }
+  return out;
+}
+
+/// SUM(attr) over a plan. For a Product, the side owning `attr` is
+/// summed and scaled by the other side's cardinality (exact under
+/// Cartesian semantics), avoiding materialization.
+Result<ColumnSum> SumColumn(const PlanPtr& plan, const std::string& attr,
+                            const EvalContext& ctx) {
+  if (plan->kind == PlanKind::kProduct) {
+    URM_CHECK(ctx.catalog != nullptr);
+    auto left_schema = StaticSchema(plan->child, *ctx.catalog);
+    if (!left_schema.ok()) return left_schema.status();
+    bool in_left = left_schema.ValueOrDie().IndexOf(attr).has_value();
+    const PlanPtr& owner = in_left ? plan->child : plan->right;
+    const PlanPtr& other = in_left ? plan->right : plan->child;
+    auto part = SumColumn(owner, attr, ctx);
+    if (!part.ok()) return part.status();
+    auto scale = CountRows(other, ctx);
+    if (!scale.ok()) return scale.status();
+    ColumnSum out = part.ValueOrDie();
+    out.sum *= scale.ValueOrDie();
+    return out;
+  }
+  auto rel = Evaluate(plan, ctx);
+  if (!rel.ok()) return rel.status();
+  return SumOverRelation(rel.ValueOrDie(), attr);
+}
+
+Result<RelationPtr> EvaluateAggregate(const PlanNode& node,
+                                      const EvalContext& ctx) {
+  Row out_row;
+  RelationSchema out_schema;
+  if (node.agg == AggKind::kCount) {
+    auto count = CountRows(node.child, ctx);
+    if (!count.ok()) return count.status();
+    URM_RETURN_NOT_OK(
+        out_schema.AddColumn(ColumnDef{"count", ValueType::kInt64}));
+    out_row.push_back(Value(static_cast<int64_t>(count.ValueOrDie())));
+  } else {
+    auto sum = SumColumn(node.child, node.agg_attr, ctx);
+    if (!sum.ok()) return sum.status();
+    const ColumnSum& s = sum.ValueOrDie();
+    URM_RETURN_NOT_OK(out_schema.AddColumn(ColumnDef{
+        "sum", s.all_int ? ValueType::kInt64 : ValueType::kDouble}));
+    if (s.all_int) {
+      out_row.push_back(Value(static_cast<int64_t>(s.sum)));
+    } else {
+      out_row.push_back(Value(s.sum));
+    }
+  }
+  Relation out(std::move(out_schema));
+  URM_CHECK_OK(out.AddRow(std::move(out_row)));
+  if (ctx.stats != nullptr) ctx.stats->tuples_produced += 1;
+  return std::make_shared<const Relation>(std::move(out));
+}
+
+/// Evaluates Distinct(Project(...)) by *splitting* the projection across
+/// Cartesian products: distinct(π(A × B)) = distinct(π_A(A)) ×
+/// distinct(π_B(B)) when every projected column comes from one side.
+/// A side contributing no projected columns reduces to an existence
+/// check (one zero-column row when non-empty). This keeps set-semantics
+/// answers over Cartesian covers small without changing their content.
+Result<RelationPtr> EvalDistinctProject(const std::vector<std::string>& attrs,
+                                        const PlanPtr& node,
+                                        const EvalContext& ctx) {
+  if (node->kind == PlanKind::kProduct && ctx.catalog != nullptr) {
+    auto left_schema = StaticSchema(node->child, *ctx.catalog);
+    if (left_schema.ok()) {
+      std::vector<std::string> left_attrs, right_attrs;
+      bool clean_split = true;
+      for (const auto& a : attrs) {
+        bool in_left = left_schema.ValueOrDie().IndexOf(a).has_value();
+        (in_left ? left_attrs : right_attrs).push_back(a);
+        if (!in_left) {
+          // Must be resolvable on the right; verified when evaluated.
+        }
+        (void)clean_split;
+      }
+      auto left = EvalDistinctProject(left_attrs, node->child, ctx);
+      if (!left.ok()) return left.status();
+      auto right = EvalDistinctProject(right_attrs, node->right, ctx);
+      if (!right.ok()) return right.status();
+      auto prod = left.ValueOrDie()->Product(*right.ValueOrDie());
+      if (!prod.ok()) return prod.status();
+      return std::make_shared<const Relation>(std::move(prod).ValueOrDie());
+    }
+  }
+  auto rel = Evaluate(node, ctx);
+  if (!rel.ok()) return rel.status();
+  if (attrs.empty()) {
+    // Existence reduction: zero columns, one row iff non-empty.
+    Relation out{RelationSchema{}};
+    if (!rel.ValueOrDie()->empty()) {
+      URM_CHECK_OK(out.AddRow(Row{}));
+    }
+    return std::make_shared<const Relation>(std::move(out));
+  }
+  auto projected = rel.ValueOrDie()->Project(attrs);
+  if (!projected.ok()) return projected.status();
+  return std::make_shared<const Relation>(
+      projected.ValueOrDie().Distinct());
+}
+
+// Equi-join of left and right on one column each (hash build on the
+// smaller side). Result schema = left ++ right, as for Product+Select.
+Result<RelationPtr> HashJoin(RelationPtr left, size_t left_col,
+                             RelationPtr right, size_t right_col,
+                             const EvalContext& ctx) {
+  auto schema = left->schema().Concat(right->schema());
+  if (!schema.ok()) return schema.status();
+  Relation out(std::move(schema).ValueOrDie());
+
+  bool build_left = left->num_rows() <= right->num_rows();
+  const Relation& build = build_left ? *left : *right;
+  const Relation& probe = build_left ? *right : *left;
+  size_t build_col = build_left ? left_col : right_col;
+  size_t probe_col = build_left ? right_col : left_col;
+
+  std::unordered_multimap<size_t, size_t> table;
+  table.reserve(build.num_rows());
+  for (size_t i = 0; i < build.num_rows(); ++i) {
+    const Value& v = build.rows()[i][build_col];
+    if (v.is_null()) continue;  // NULL never joins
+    table.emplace(v.Hash(), i);
+  }
+  for (const Row& probe_row : probe.rows()) {
+    const Value& v = probe_row[probe_col];
+    if (v.is_null()) continue;
+    auto [begin, end] = table.equal_range(v.Hash());
+    for (auto it = begin; it != end; ++it) {
+      const Row& build_row = build.rows()[it->second];
+      if (!(build_row[build_col] == v)) continue;  // hash collision
+      const Row& l = build_left ? build_row : probe_row;
+      const Row& r = build_left ? probe_row : build_row;
+      Row combined = l;
+      combined.insert(combined.end(), r.begin(), r.end());
+      URM_CHECK_OK(out.AddRow(std::move(combined)));
+    }
+  }
+  if (ctx.stats != nullptr) ctx.stats->tuples_produced += out.num_rows();
+  return std::make_shared<const Relation>(std::move(out));
+}
+
+// Attempts to evaluate Select(Product(a, b)) with a cross-side equality
+// predicate as a hash join. Returns nullopt if the shape does not apply
+// (caller falls back to materializing the product).
+Result<RelationPtr> TryFusedJoin(const PlanNode& select_node,
+                                 const EvalContext& ctx, bool* applied) {
+  *applied = false;
+  const Predicate& pred = select_node.predicate;
+  if (!pred.is_join_predicate() || pred.op != CmpOp::kEq ||
+      select_node.child->kind != PlanKind::kProduct) {
+    return RelationPtr(nullptr);
+  }
+  auto left = Evaluate(select_node.child->child, ctx);
+  if (!left.ok()) return left.status();
+  auto right = Evaluate(select_node.child->right, ctx);
+  if (!right.ok()) return right.status();
+  RelationPtr l = std::move(left).ValueOrDie();
+  RelationPtr r = std::move(right).ValueOrDie();
+
+  auto ll = l->schema().IndexOf(pred.lhs);
+  auto rr = r->schema().IndexOf(*pred.rhs_attr);
+  size_t lcol, rcol;
+  if (ll.has_value() && rr.has_value()) {
+    lcol = *ll;
+    rcol = *rr;
+  } else {
+    auto lr = l->schema().IndexOf(*pred.rhs_attr);
+    auto rl = r->schema().IndexOf(pred.lhs);
+    if (!lr.has_value() || !rl.has_value()) return RelationPtr(nullptr);
+    lcol = *lr;
+    rcol = *rl;
+  }
+  *applied = true;
+  // The fused pair still counts as two executed operators (product and
+  // selection) so operator statistics match the unfused evaluation.
+  if (ctx.stats != nullptr) ctx.stats->operators_executed++;
+  return HashJoin(std::move(l), lcol, std::move(r), rcol, ctx);
+}
+
+}  // namespace
+
+Result<RelationPtr> Evaluate(const PlanPtr& plan, const EvalContext& ctx) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+
+  // Leaves are cheap; only consult the memo for operator nodes.
+  std::string key;
+  if (ctx.cache != nullptr && plan->kind != PlanKind::kScan &&
+      plan->kind != PlanKind::kRelationLeaf) {
+    key = Canonical(plan);
+    auto it = ctx.cache->find(key);
+    if (it != ctx.cache->end()) {
+      if (ctx.stats != nullptr) ctx.stats->cache_hits++;
+      return it->second;
+    }
+  }
+
+  Result<RelationPtr> result = Status::Internal("unreachable");
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      result = EvaluateScan(*plan, ctx);
+      break;
+    case PlanKind::kRelationLeaf:
+      result = plan->relation;
+      break;
+    case PlanKind::kSelect: {
+      bool fused = false;
+      auto join = TryFusedJoin(*plan, ctx, &fused);
+      if (!join.ok()) return join.status();
+      if (fused) {
+        result = std::move(join);
+        break;
+      }
+      auto child = Evaluate(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      result = EvaluateSelect(*plan, std::move(child).ValueOrDie(), ctx);
+      break;
+    }
+    case PlanKind::kProject: {
+      auto child = Evaluate(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      auto projected =
+          std::move(child).ValueOrDie()->Project(plan->attrs);
+      if (!projected.ok()) return projected.status();
+      if (ctx.stats != nullptr) {
+        ctx.stats->tuples_produced += projected.ValueOrDie().num_rows();
+      }
+      result = std::make_shared<const Relation>(
+          std::move(projected).ValueOrDie());
+      break;
+    }
+    case PlanKind::kProduct: {
+      auto left = Evaluate(plan->child, ctx);
+      if (!left.ok()) return left.status();
+      auto right = Evaluate(plan->right, ctx);
+      if (!right.ok()) return right.status();
+      auto prod = left.ValueOrDie()->Product(*right.ValueOrDie());
+      if (!prod.ok()) return prod.status();
+      if (ctx.stats != nullptr) {
+        ctx.stats->tuples_produced += prod.ValueOrDie().num_rows();
+      }
+      result =
+          std::make_shared<const Relation>(std::move(prod).ValueOrDie());
+      break;
+    }
+    case PlanKind::kAggregate: {
+      result = EvaluateAggregate(*plan, ctx);
+      break;
+    }
+    case PlanKind::kDistinct: {
+      if (plan->child->kind == PlanKind::kProject) {
+        result = EvalDistinctProject(plan->child->attrs,
+                                     plan->child->child, ctx);
+        // The split also executed the projection; account for it so the
+        // operator counter matches the plan shape.
+        if (result.ok() && ctx.stats != nullptr) {
+          ctx.stats->operators_executed++;
+        }
+      } else {
+        auto child = Evaluate(plan->child, ctx);
+        if (!child.ok()) return child.status();
+        result = std::make_shared<const Relation>(
+            child.ValueOrDie()->Distinct());
+      }
+      break;
+    }
+  }
+  if (!result.ok()) return result.status();
+
+  // kDistinct is an answer-semantics artifact, not a query operator; it
+  // is excluded from the operator count (see CountOperators).
+  if (ctx.stats != nullptr && plan->kind != PlanKind::kScan &&
+      plan->kind != PlanKind::kRelationLeaf &&
+      plan->kind != PlanKind::kDistinct) {
+    ctx.stats->operators_executed++;
+  }
+  if (!key.empty() && ctx.cache != nullptr &&
+      (ctx.cache_filter == nullptr || ctx.cache_filter->count(key) > 0)) {
+    ctx.cache->emplace(std::move(key), result.ValueOrDie());
+  }
+  return result;
+}
+
+Result<RelationPtr> Evaluate(const PlanPtr& plan,
+                             const relational::Catalog& catalog) {
+  EvalContext ctx;
+  ctx.catalog = &catalog;
+  return Evaluate(plan, ctx);
+}
+
+}  // namespace algebra
+}  // namespace urm

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "relational/catalog.h"
+
+/// \file evaluate.h
+/// Materializing recursive evaluator for algebra plans over a Catalog.
+/// Tracks operator/tuple statistics (used by the paper's Table IV) and
+/// optionally memoizes subexpression results by canonical form (used by
+/// the e-MQO baseline).
+
+namespace urm {
+namespace algebra {
+
+/// Counters accumulated during evaluation.
+struct EvalStats {
+  size_t operators_executed = 0;  ///< Select/Project/Product/Aggregate runs
+  size_t scans = 0;               ///< base-table scans
+  size_t tuples_produced = 0;     ///< rows emitted by all operators
+  size_t cache_hits = 0;          ///< memoized subplans reused (e-MQO)
+
+  EvalStats& operator+=(const EvalStats& other) {
+    operators_executed += other.operators_executed;
+    scans += other.scans;
+    tuples_produced += other.tuples_produced;
+    cache_hits += other.cache_hits;
+    return *this;
+  }
+};
+
+/// Shared-subexpression memo: canonical plan string -> result.
+using EvalCache = std::unordered_map<std::string, relational::RelationPtr>;
+
+/// Evaluation environment. `stats` and `cache` may be null.
+struct EvalContext {
+  const relational::Catalog* catalog = nullptr;
+  EvalStats* stats = nullptr;
+  EvalCache* cache = nullptr;
+  /// When set, only subplans whose canonical form is in this set are
+  /// *stored* in the cache (lookups always consult the cache). e-MQO
+  /// uses this to memoize exactly its chosen materialization set.
+  const std::unordered_set<std::string>* cache_filter = nullptr;
+};
+
+/// Evaluates `plan` bottom-up, materializing every operator.
+///
+/// Scan leaves fetch from the catalog and are re-qualified to the scan
+/// alias; RelationLeaf nodes return their payload. With a cache present,
+/// every subplan is looked up / stored by canonical form.
+Result<relational::RelationPtr> Evaluate(const PlanPtr& plan,
+                                         const EvalContext& ctx);
+
+/// Convenience: evaluate against a catalog without stats or cache.
+Result<relational::RelationPtr> Evaluate(
+    const PlanPtr& plan, const relational::Catalog& catalog);
+
+}  // namespace algebra
+}  // namespace urm

@@ -1,0 +1,121 @@
+#include "algebra/expr.h"
+
+#include "common/logging.h"
+
+namespace urm {
+namespace algebra {
+
+using relational::RelationSchema;
+using relational::Row;
+using relational::Value;
+
+const char* CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool CompareValues(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case CmpOp::kGt:
+      return rhs < lhs;
+    case CmpOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+std::vector<std::string> Predicate::ReferencedAttributes() const {
+  std::vector<std::string> attrs = {lhs};
+  if (rhs_attr.has_value()) attrs.push_back(*rhs_attr);
+  return attrs;
+}
+
+Predicate Predicate::RenameAttributes(
+    const std::vector<std::pair<std::string, std::string>>& rename) const {
+  auto lookup = [&](const std::string& name) -> std::string {
+    for (const auto& [from, to] : rename) {
+      if (from == name) return to;
+    }
+    URM_CHECK(false) << "no rename for attribute " << name;
+    return name;
+  };
+  Predicate out = *this;
+  out.lhs = lookup(lhs);
+  if (rhs_attr.has_value()) out.rhs_attr = lookup(*rhs_attr);
+  return out;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  return lhs == other.lhs && op == other.op && rhs_attr == other.rhs_attr &&
+         rhs_value == other.rhs_value &&
+         rhs_attr.has_value() == other.rhs_attr.has_value();
+}
+
+std::string Predicate::ToString() const {
+  std::string out = lhs;
+  out += " ";
+  out += CmpOpSymbol(op);
+  out += " ";
+  if (rhs_attr.has_value()) {
+    out += *rhs_attr;
+  } else {
+    out += "'" + rhs_value.ToString() + "'";
+  }
+  return out;
+}
+
+Result<BoundPredicate> BoundPredicate::Bind(const Predicate& predicate,
+                                            const RelationSchema& schema) {
+  BoundPredicate bound;
+  auto lhs_idx = schema.IndexOf(predicate.lhs);
+  if (!lhs_idx.has_value()) {
+    return Status::NotFound("predicate attribute not found: " +
+                            predicate.lhs + " in " + schema.ToString());
+  }
+  bound.lhs_index_ = *lhs_idx;
+  bound.op_ = predicate.op;
+  if (predicate.rhs_attr.has_value()) {
+    auto rhs_idx = schema.IndexOf(*predicate.rhs_attr);
+    if (!rhs_idx.has_value()) {
+      return Status::NotFound("predicate attribute not found: " +
+                              *predicate.rhs_attr + " in " +
+                              schema.ToString());
+    }
+    bound.rhs_index_ = *rhs_idx;
+  } else {
+    bound.rhs_value_ = predicate.rhs_value;
+  }
+  return bound;
+}
+
+bool BoundPredicate::Matches(const Row& row) const {
+  const Value& lhs = row[lhs_index_];
+  const Value& rhs =
+      rhs_index_.has_value() ? row[*rhs_index_] : rhs_value_;
+  return CompareValues(lhs, op_, rhs);
+}
+
+}  // namespace algebra
+}  // namespace urm

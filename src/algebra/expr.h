@@ -1,0 +1,106 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+/// \file expr.h
+/// Selection predicates. A predicate is a single comparison between an
+/// attribute reference and either a constant or another attribute (the
+/// paper's queries use conjunctions of such comparisons, expressed as
+/// stacked selection operators).
+
+namespace urm {
+namespace algebra {
+
+/// Comparison operators supported in selection predicates.
+enum class CmpOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CmpOpSymbol(CmpOp op);
+
+/// Applies `op` to two values. Comparisons involving NULL are false
+/// (SQL-style), except kNe which is also false on NULL (three-valued
+/// logic collapsed to boolean: unknown -> false).
+bool CompareValues(const relational::Value& lhs, CmpOp op,
+                   const relational::Value& rhs);
+
+/// \brief `lhs op rhs` where lhs is an attribute reference and rhs is
+/// either a constant or a second attribute reference.
+///
+/// Attribute references are (possibly qualified) column names; at the
+/// target level they refer to target-table-instance attributes (e.g.
+/// "po1.orderNum"), after reformulation to source columns (e.g.
+/// "po1$orders.o_orderkey").
+struct Predicate {
+  std::string lhs;
+  CmpOp op = CmpOp::kEq;
+  /// Exactly one of rhs_attr / rhs_value is used.
+  std::optional<std::string> rhs_attr;
+  relational::Value rhs_value;
+
+  static Predicate AttrCmpValue(std::string lhs, CmpOp op,
+                                relational::Value value) {
+    Predicate p;
+    p.lhs = std::move(lhs);
+    p.op = op;
+    p.rhs_value = std::move(value);
+    return p;
+  }
+
+  static Predicate AttrCmpAttr(std::string lhs, CmpOp op, std::string rhs) {
+    Predicate p;
+    p.lhs = std::move(lhs);
+    p.op = op;
+    p.rhs_attr = std::move(rhs);
+    return p;
+  }
+
+  bool is_join_predicate() const { return rhs_attr.has_value(); }
+
+  /// All attribute names referenced (1 or 2).
+  std::vector<std::string> ReferencedAttributes() const;
+
+  /// Copy with attribute names rewritten through `rename` (must be
+  /// defined for every referenced attribute).
+  Predicate RenameAttributes(
+      const std::vector<std::pair<std::string, std::string>>& rename) const;
+
+  bool operator==(const Predicate& other) const;
+
+  /// e.g. "po1.orderNum = '00001'" or "po1.orderNum = po2.orderNum".
+  std::string ToString() const;
+};
+
+/// \brief A predicate resolved to column indexes of a concrete schema.
+/// Bind once per relation, then evaluate per row.
+class BoundPredicate {
+ public:
+  /// Fails if a referenced attribute is absent or ambiguous.
+  static Result<BoundPredicate> Bind(const Predicate& predicate,
+                                     const relational::RelationSchema& schema);
+
+  bool Matches(const relational::Row& row) const;
+
+ private:
+  BoundPredicate() = default;
+
+  size_t lhs_index_ = 0;
+  CmpOp op_ = CmpOp::kEq;
+  std::optional<size_t> rhs_index_;
+  relational::Value rhs_value_;
+};
+
+}  // namespace algebra
+}  // namespace urm

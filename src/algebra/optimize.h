@@ -1,0 +1,33 @@
+#pragma once
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "relational/catalog.h"
+
+/// \file optimize.h
+/// Minimal logical optimization applied to *source* plans before
+/// execution: selection pushdown below Cartesian products. Together with
+/// the evaluator's select-over-product hash-join fusion this makes the
+/// paper's reformulated queries (covers are Cartesian products of source
+/// relations) tractable; it does not change results, only evaluation
+/// order, so operator-count statistics are reported from the optimized
+/// plan consistently for every method.
+
+namespace urm {
+namespace algebra {
+
+/// Static output schema of a plan (column names/types), resolving Scan
+/// leaves against `catalog`.
+Result<relational::RelationSchema> StaticSchema(
+    const PlanPtr& plan, const relational::Catalog& catalog);
+
+/// Pushes each Select as far down as its referenced attributes allow
+/// (below Products toward the side that contains them). Selections whose
+/// attributes span both product sides remain just above that product
+/// (where the evaluator fuses them into a hash join). Projections and
+/// aggregates are barriers.
+Result<PlanPtr> PushDownSelections(const PlanPtr& plan,
+                                   const relational::Catalog& catalog);
+
+}  // namespace algebra
+}  // namespace urm

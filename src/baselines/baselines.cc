@@ -1,0 +1,166 @@
+#include "baselines/baselines.h"
+
+#include <map>
+#include <string>
+
+#include "algebra/optimize.h"
+#include "baselines/mqo.h"
+#include "common/timer.h"
+
+namespace urm {
+namespace baselines {
+
+using algebra::EvalContext;
+using algebra::PlanPtr;
+using reformulation::AnswerSet;
+using reformulation::SourceQuery;
+using reformulation::TargetQueryInfo;
+
+std::vector<WeightedMapping> AsWeighted(
+    const std::vector<mapping::Mapping>& mappings) {
+  std::vector<WeightedMapping> out;
+  out.reserve(mappings.size());
+  for (const auto& m : mappings) {
+    out.push_back(WeightedMapping{&m, m.probability()});
+  }
+  return out;
+}
+
+namespace {
+
+/// A reformulated query group: one executable source query standing for
+/// `probability` worth of mappings.
+struct QueryGroup {
+  SourceQuery query;
+  double probability = 0.0;
+};
+
+/// Reformulates every weighted mapping; when `deduplicate` is set,
+/// mappings with the identical source query are merged into one group
+/// (e-basic / e-MQO); otherwise one group per mapping (basic).
+Result<std::vector<QueryGroup>> BuildGroups(
+    const TargetQueryInfo& info,
+    const std::vector<WeightedMapping>& mappings,
+    const relational::Catalog& catalog,
+    const reformulation::Reformulator& reformulator, bool deduplicate) {
+  std::vector<QueryGroup> groups;
+  std::map<std::string, size_t> by_canonical;
+  for (const auto& wm : mappings) {
+    auto reformed = reformulator.Reformulate(info, *wm.mapping);
+    if (!reformed.ok()) return reformed.status();
+    SourceQuery sq = std::move(reformed).ValueOrDie();
+    if (sq.answerable) {
+      auto optimized = algebra::PushDownSelections(sq.plan, catalog);
+      if (!optimized.ok()) return optimized.status();
+      sq.plan = std::move(optimized).ValueOrDie();
+    }
+    if (deduplicate) {
+      std::string key =
+          sq.answerable ? algebra::Canonical(sq.plan) : "<unanswerable>";
+      auto it = by_canonical.find(key);
+      if (it != by_canonical.end()) {
+        groups[it->second].probability += wm.probability;
+        continue;
+      }
+      by_canonical.emplace(std::move(key), groups.size());
+    }
+    groups.push_back(QueryGroup{std::move(sq), wm.probability});
+  }
+  return groups;
+}
+
+/// Executes the groups and aggregates answers. `cache`/`filter` wire up
+/// e-MQO's shared-subexpression memoization.
+Result<MethodResult> ExecuteGroups(
+    const TargetQueryInfo& info, std::vector<QueryGroup> groups,
+    const relational::Catalog& catalog, MethodResult result,
+    algebra::EvalCache* cache,
+    const std::unordered_set<std::string>* filter) {
+  result.answers = AnswerSet(info.output_refs);
+  Timer timer;
+  for (const auto& group : groups) {
+    if (!group.query.answerable) {
+      timer.Reset();
+      result.answers.AddNull(group.probability);
+      result.aggregate_seconds += timer.Lap();
+      continue;
+    }
+    timer.Reset();
+    EvalContext ctx;
+    ctx.catalog = &catalog;
+    ctx.stats = &result.stats;
+    ctx.cache = cache;
+    ctx.cache_filter = filter;
+    auto rel = algebra::Evaluate(group.query.plan, ctx);
+    if (!rel.ok()) return rel.status();
+    result.source_queries++;
+    result.eval_seconds += timer.Lap();
+    URM_RETURN_NOT_OK(reformulation::AssembleAnswers(
+        *rel.ValueOrDie(), group.query.layout, group.probability,
+        &result.answers));
+    result.aggregate_seconds += timer.Lap();
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<MethodResult> RunBasic(
+    const TargetQueryInfo& info,
+    const std::vector<WeightedMapping>& mappings,
+    const relational::Catalog& catalog,
+    const reformulation::Reformulator& reformulator) {
+  MethodResult result;
+  Timer timer;
+  auto groups =
+      BuildGroups(info, mappings, catalog, reformulator, false);
+  if (!groups.ok()) return groups.status();
+  result.rewrite_seconds = timer.Lap();
+  return ExecuteGroups(info, std::move(groups).ValueOrDie(), catalog,
+                       std::move(result), nullptr, nullptr);
+}
+
+Result<MethodResult> RunEBasic(
+    const TargetQueryInfo& info,
+    const std::vector<WeightedMapping>& mappings,
+    const relational::Catalog& catalog,
+    const reformulation::Reformulator& reformulator) {
+  MethodResult result;
+  Timer timer;
+  auto groups = BuildGroups(info, mappings, catalog, reformulator, true);
+  if (!groups.ok()) return groups.status();
+  result.rewrite_seconds = timer.Lap();
+  result.partitions = groups.ValueOrDie().size();
+  return ExecuteGroups(info, std::move(groups).ValueOrDie(), catalog,
+                       std::move(result), nullptr, nullptr);
+}
+
+Result<MethodResult> RunEMqo(
+    const TargetQueryInfo& info,
+    const std::vector<WeightedMapping>& mappings,
+    const relational::Catalog& catalog,
+    const reformulation::Reformulator& reformulator) {
+  MethodResult result;
+  Timer timer;
+  auto groups = BuildGroups(info, mappings, catalog, reformulator, true);
+  if (!groups.ok()) return groups.status();
+  result.rewrite_seconds = timer.Lap();
+  result.partitions = groups.ValueOrDie().size();
+
+  std::vector<PlanPtr> plans;
+  for (const auto& g : groups.ValueOrDie()) {
+    if (g.query.answerable) plans.push_back(g.query.plan);
+  }
+  timer.Reset();
+  auto mqo = GenerateGlobalPlan(plans, catalog);
+  if (!mqo.ok()) return mqo.status();
+  result.plan_seconds = timer.Lap();
+
+  algebra::EvalCache cache;
+  return ExecuteGroups(info, std::move(groups).ValueOrDie(), catalog,
+                       std::move(result), &cache,
+                       &mqo.ValueOrDie().materialized);
+}
+
+}  // namespace baselines
+}  // namespace urm

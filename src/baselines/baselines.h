@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/method_result.h"
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "reformulation/reformulator.h"
+#include "relational/catalog.h"
+
+/// \file baselines.h
+/// The paper's three simple solutions (§III-B):
+///  * basic  — reformulate and execute one source query per mapping;
+///  * e-basic — cluster identical source queries, execute each once;
+///  * e-MQO  — e-basic plus a multi-query-optimized global plan.
+
+namespace urm {
+namespace baselines {
+
+/// A (representative mapping, probability) pair: q-sharing feeds basic
+/// with representatives whose probability is the partition total
+/// (paper Algorithm 1, step 2).
+struct WeightedMapping {
+  const mapping::Mapping* mapping = nullptr;
+  double probability = 0.0;
+};
+
+/// Wraps a mapping set as weighted mappings with their own
+/// probabilities.
+std::vector<WeightedMapping> AsWeighted(
+    const std::vector<mapping::Mapping>& mappings);
+
+/// basic (paper §III-B.1). Evaluates one source query per (weighted)
+/// mapping and aggregates duplicate answers.
+Result<MethodResult> RunBasic(const reformulation::TargetQueryInfo& info,
+                              const std::vector<WeightedMapping>& mappings,
+                              const relational::Catalog& catalog,
+                              const reformulation::Reformulator& reformulator);
+
+/// e-basic (§III-B.2): like basic, but identical source queries
+/// (detected by canonical form after all h reformulations) are
+/// evaluated once.
+Result<MethodResult> RunEBasic(
+    const reformulation::TargetQueryInfo& info,
+    const std::vector<WeightedMapping>& mappings,
+    const relational::Catalog& catalog,
+    const reformulation::Reformulator& reformulator);
+
+/// e-MQO (§III-B.3): e-basic plus global plan generation (mqo.h) and
+/// shared-subexpression memoization during execution.
+Result<MethodResult> RunEMqo(const reformulation::TargetQueryInfo& info,
+                             const std::vector<WeightedMapping>& mappings,
+                             const relational::Catalog& catalog,
+                             const reformulation::Reformulator& reformulator);
+
+}  // namespace baselines
+}  // namespace urm

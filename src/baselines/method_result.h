@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+#include "algebra/evaluate.h"
+#include "reformulation/answer.h"
+
+/// \file method_result.h
+/// Common result record for all evaluation methods (basic, e-basic,
+/// e-MQO, q-sharing, o-sharing, top-k). Phase timings mirror the
+/// breakdowns reported in the paper's Figures 10-12 and Table IV.
+
+namespace urm {
+namespace baselines {
+
+/// \brief Answers plus per-phase costs of one evaluation.
+struct MethodResult {
+  reformulation::AnswerSet answers;
+  algebra::EvalStats stats;
+
+  double rewrite_seconds = 0.0;    ///< reformulation / partitioning
+  double plan_seconds = 0.0;       ///< global plan generation (e-MQO)
+  double eval_seconds = 0.0;       ///< source operator execution
+  double aggregate_seconds = 0.0;  ///< answer aggregation
+
+  /// Distinct source queries actually executed.
+  size_t source_queries = 0;
+  /// Mapping partitions/representatives used (q-sharing, o-sharing).
+  size_t partitions = 0;
+
+  double TotalSeconds() const {
+    return rewrite_seconds + plan_seconds + eval_seconds +
+           aggregate_seconds;
+  }
+};
+
+}  // namespace baselines
+}  // namespace urm

@@ -1,0 +1,170 @@
+#include "baselines/mqo.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace urm {
+namespace baselines {
+
+using algebra::Canonical;
+using algebra::PlanKind;
+using algebra::PlanPtr;
+
+namespace {
+
+constexpr double kSelectSelectivity = 0.1;
+constexpr double kJoinSelectivity = 0.01;
+
+struct CostEstimate {
+  double rows = 0.0;
+  double cost = 0.0;  // cumulative work including children
+};
+
+/// Estimated rows/cost, treating `materialized` subtrees as free.
+CostEstimate Estimate(const PlanPtr& plan,
+                      const relational::Catalog& catalog,
+                      const std::unordered_set<std::string>& materialized,
+                      std::map<std::string, CostEstimate>* memo) {
+  std::string key = Canonical(plan);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+
+  CostEstimate est;
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      auto rel = catalog.Get(plan->table);
+      est.rows = rel.ok()
+                     ? static_cast<double>(rel.ValueOrDie()->num_rows())
+                     : 1000.0;
+      est.cost = est.rows;
+      break;
+    }
+    case PlanKind::kRelationLeaf:
+      est.rows = static_cast<double>(plan->relation->num_rows());
+      est.cost = 0.0;
+      break;
+    case PlanKind::kSelect: {
+      CostEstimate child = Estimate(plan->child, catalog, materialized, memo);
+      bool join = plan->predicate.is_join_predicate();
+      est.rows = child.rows * (join ? kJoinSelectivity : kSelectSelectivity);
+      est.cost = child.cost + child.rows;
+      break;
+    }
+    case PlanKind::kProject:
+    case PlanKind::kDistinct: {
+      CostEstimate child = Estimate(plan->child, catalog, materialized, memo);
+      est.rows = child.rows;
+      est.cost = child.cost + child.rows;
+      break;
+    }
+    case PlanKind::kProduct: {
+      CostEstimate l = Estimate(plan->child, catalog, materialized, memo);
+      CostEstimate r = Estimate(plan->right, catalog, materialized, memo);
+      est.rows = l.rows * r.rows;
+      est.cost = l.cost + r.cost + est.rows;
+      break;
+    }
+    case PlanKind::kAggregate: {
+      CostEstimate child = Estimate(plan->child, catalog, materialized, memo);
+      est.rows = 1.0;
+      est.cost = child.cost + child.rows;
+      break;
+    }
+  }
+  if (materialized.count(key) > 0) {
+    // Reading a materialized result costs its cardinality only.
+    est.cost = est.rows;
+  }
+  it = memo->emplace(key, est).first;
+  return it->second;
+}
+
+void CollectSubplans(const PlanPtr& plan,
+                     std::map<std::string, std::pair<PlanPtr, int>>* out) {
+  if (plan == nullptr) return;
+  if (plan->kind != PlanKind::kScan &&
+      plan->kind != PlanKind::kRelationLeaf) {
+    auto [it, inserted] =
+        out->emplace(Canonical(plan), std::make_pair(plan, 0));
+    it->second.second++;
+  }
+  CollectSubplans(plan->child, out);
+  CollectSubplans(plan->right, out);
+}
+
+}  // namespace
+
+double EstimatePlanCost(
+    const PlanPtr& plan, const relational::Catalog& catalog,
+    const std::unordered_set<std::string>& materialized) {
+  std::map<std::string, CostEstimate> memo;
+  return Estimate(plan, catalog, materialized, &memo).cost;
+}
+
+Result<MqoPlan> GenerateGlobalPlan(const std::vector<PlanPtr>& queries,
+                                   const relational::Catalog& catalog) {
+  MqoPlan plan;
+
+  // Candidate pool: every operator subexpression occurring in >= 2
+  // queries (occurrences within one query also count — self-joins).
+  std::map<std::string, std::pair<PlanPtr, int>> subplans;
+  for (const auto& q : queries) {
+    CollectSubplans(q, &subplans);
+  }
+  std::vector<std::pair<std::string, PlanPtr>> candidates;
+  for (const auto& [key, entry] : subplans) {
+    if (entry.second >= 2) candidates.emplace_back(key, entry.first);
+  }
+  plan.candidates_considered = candidates.size();
+
+  auto total_cost = [&](const std::unordered_set<std::string>& mat) {
+    double total = 0.0;
+    // Materialization itself is paid once per chosen subexpression.
+    for (const auto& key : mat) {
+      auto it = subplans.find(key);
+      if (it != subplans.end()) {
+        std::unordered_set<std::string> others = mat;
+        others.erase(key);
+        total += EstimatePlanCost(it->second.first, catalog, others);
+      }
+    }
+    for (const auto& q : queries) {
+      total += EstimatePlanCost(q, catalog, mat);
+    }
+    return total;
+  };
+
+  // Greedy with full re-costing: each round evaluates the global cost of
+  // adding every remaining candidate and keeps the best improvement.
+  double current = total_cost(plan.materialized);
+  bool improved = true;
+  std::vector<bool> taken(candidates.size(), false);
+  while (improved) {
+    improved = false;
+    double best_cost = current;
+    size_t best_idx = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      std::unordered_set<std::string> trial = plan.materialized;
+      trial.insert(candidates[i].first);
+      double c = total_cost(trial);
+      if (c < best_cost - 1e-9) {
+        best_cost = c;
+        best_idx = i;
+      }
+    }
+    if (best_idx < candidates.size()) {
+      plan.materialized.insert(candidates[best_idx].first);
+      taken[best_idx] = true;
+      current = best_cost;
+      improved = true;
+    }
+  }
+  plan.estimated_cost = current;
+  return plan;
+}
+
+}  // namespace baselines
+}  // namespace urm

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "relational/catalog.h"
+
+/// \file mqo.h
+/// Multi-query optimization for the e-MQO baseline, in the style of Roy
+/// et al. / Zhou et al. ([12],[20]): enumerate common subexpressions
+/// across the distinct source queries, then greedily select a
+/// materialization set by estimated benefit, *re-costing every query
+/// after each pick* (materialized subexpressions change the marginal
+/// benefit of the remaining candidates). The re-costing loop is what
+/// makes plan generation expensive as the number of distinct queries
+/// grows — the effect the paper reports in Figure 10(c).
+
+namespace urm {
+namespace baselines {
+
+/// Output of global plan generation.
+struct MqoPlan {
+  /// Canonical forms of the subexpressions chosen for materialization,
+  /// in selection order. Execution memoizes exactly these (plus nothing
+  /// else), yielding the near-minimal operator count of a global plan.
+  std::unordered_set<std::string> materialized;
+  /// Estimated total cost of the global plan (arbitrary units).
+  double estimated_cost = 0.0;
+  /// Candidates examined (for reporting).
+  size_t candidates_considered = 0;
+};
+
+/// Builds the global plan for a set of distinct source queries.
+/// Cardinalities are estimated from catalog row counts with fixed
+/// selectivities (no execution happens here).
+Result<MqoPlan> GenerateGlobalPlan(
+    const std::vector<algebra::PlanPtr>& queries,
+    const relational::Catalog& catalog);
+
+/// Estimated cost of evaluating `plan` given already-materialized
+/// subexpressions (their cost is zero). Exposed for tests.
+double EstimatePlanCost(const algebra::PlanPtr& plan,
+                        const relational::Catalog& catalog,
+                        const std::unordered_set<std::string>& materialized);
+
+}  // namespace baselines
+}  // namespace urm

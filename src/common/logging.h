@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// CHECK macros for internal invariants (Arrow/glog style). A failed check
+/// indicates a bug in this library, not a user error; user errors are
+/// reported through Status.
+
+namespace urm {
+namespace internal {
+
+/// Accumulates a message and aborts on destruction. Used by URM_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace urm
+
+#define URM_CHECK(cond)                                         \
+  if (!(cond))                                                  \
+  ::urm::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << #cond << " "
+
+#define URM_CHECK_EQ(a, b) URM_CHECK((a) == (b))
+#define URM_CHECK_NE(a, b) URM_CHECK((a) != (b))
+#define URM_CHECK_LT(a, b) URM_CHECK((a) < (b))
+#define URM_CHECK_LE(a, b) URM_CHECK((a) <= (b))
+#define URM_CHECK_GT(a, b) URM_CHECK((a) > (b))
+#define URM_CHECK_GE(a, b) URM_CHECK((a) >= (b))
+
+/// Check-fails if `expr` (a Status) is not OK.
+#define URM_CHECK_OK(expr)                                  \
+  do {                                                      \
+    ::urm::Status _st = (expr);                             \
+    URM_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (false)

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+/// \file random.h
+/// Deterministic PRNG used by the data generator and the benchmarks.
+/// We avoid std::mt19937 so that generated instances are bit-identical
+/// across standard-library implementations (reproducibility of the
+/// experiment tables depends on it).
+
+namespace urm {
+
+/// \brief SplitMix64 generator (Steele et al., "Fast splittable
+/// pseudorandom number generators").
+///
+/// Passes BigCrush when used as a 64-bit stream; more than adequate for
+/// workload synthesis. Deterministic for a given seed on all platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    URM_CHECK_LE(lo, hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next64());  // full range
+    return lo + static_cast<int64_t>(Next64() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& pool) {
+    URM_CHECK(!pool.empty());
+    return pool[static_cast<size_t>(Next64() % pool.size())];
+  }
+
+  /// Random lowercase string of `len` characters.
+  std::string String(int len) {
+    std::string s;
+    s.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + Next64() % 26));
+    }
+    return s;
+  }
+
+  /// Zipf-ish skewed index in [0, n): smaller indexes are more likely.
+  /// Used to make selection predicates return non-uniform result sizes,
+  /// matching the skew of real purchase-order data.
+  size_t SkewedIndex(size_t n) {
+    URM_CHECK_GT(n, 0u);
+    double u = NextDouble();
+    double v = u * u;  // quadratic skew toward 0
+    size_t idx = static_cast<size_t>(v * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace urm

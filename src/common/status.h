@@ -1,0 +1,118 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Arrow/RocksDB-style Status and Result types used across the library.
+/// Public APIs return Status (or Result<T>) instead of throwing; internal
+/// invariant violations use URM_CHECK (see logging.h).
+
+namespace urm {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Cheap to copy in the OK case (empty message). Use the static factory
+/// functions to construct errors:
+/// \code
+///   if (h == 0) return Status::InvalidArgument("h must be positive");
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: h must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Modeled after arrow::Result. Accessors check-fail on misuse so that
+/// errors surface at the point of the bug.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Must hold a value.
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(repr_)); }
+
+  /// The contained value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace urm
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define URM_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::urm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)

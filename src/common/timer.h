@@ -1,0 +1,34 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.h
+/// Wall-clock stopwatch for the experiment harness.
+
+namespace urm {
+
+/// \brief Monotonic stopwatch; starts at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds, then restart — for timing consecutive phases.
+  double Lap() {
+    double s = Seconds();
+    Reset();
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace urm

@@ -1,0 +1,163 @@
+#include "core/engine.h"
+
+#include "matching/matcher.h"
+#include "qsharing/qsharing.h"
+#include "reformulation/reformulator.h"
+
+namespace urm {
+namespace core {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kBasic:
+      return "basic";
+    case Method::kEBasic:
+      return "e-basic";
+    case Method::kEMqo:
+      return "e-MQO";
+    case Method::kQSharing:
+      return "q-sharing";
+    case Method::kOSharing:
+      return "o-sharing";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  engine->options_ = options;
+
+  datagen::TpchOptions tpch;
+  tpch.target_mb = options.target_mb;
+  tpch.seed = options.seed;
+  auto catalog = datagen::GenerateTpch(tpch);
+  if (!catalog.ok()) return catalog.status();
+  engine->catalog_ = std::move(catalog).ValueOrDie();
+  engine->source_schema_ = datagen::TpchSchema();
+
+  datagen::TargetSchemaBundle bundle =
+      datagen::GetTargetSchema(options.target_schema);
+  engine->target_schema_ = std::move(bundle.schema);
+
+  matching::MatcherOptions matcher_options;
+  matcher_options.threshold = options.matcher_threshold;
+  matching::NameMatcher matcher(matching::SynonymDictionary::Default(),
+                                matcher_options);
+  engine->correspondences_ = matcher.Match(
+      engine->source_schema_, engine->target_schema_, bundle.seeds);
+  if (engine->correspondences_.empty()) {
+    return Status::Internal("matcher produced no correspondences");
+  }
+
+  mapping::MappingGenOptions gen;
+  gen.h = options.num_mappings;
+  auto mappings =
+      mapping::GenerateMappings(engine->correspondences_, gen);
+  if (!mappings.ok()) return mappings.status();
+  engine->all_mappings_ = std::move(mappings).ValueOrDie();
+  engine->mappings_ = engine->all_mappings_;
+  return engine;
+}
+
+std::unique_ptr<Engine> Engine::FromParts(
+    relational::Catalog catalog, matching::SchemaDef source_schema,
+    matching::SchemaDef target_schema,
+    std::vector<mapping::Mapping> mappings, Options options) {
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  engine->catalog_ = std::move(catalog);
+  engine->source_schema_ = std::move(source_schema);
+  engine->target_schema_ = std::move(target_schema);
+  engine->all_mappings_ = std::move(mappings);
+  engine->mappings_ = engine->all_mappings_;
+  engine->options_ = options;
+  return engine;
+}
+
+void Engine::UseTopMappings(size_t h) {
+  mappings_ = mapping::TakeTopMappings(all_mappings_, h);
+}
+
+Result<reformulation::TargetQueryInfo> Engine::Analyze(
+    const algebra::PlanPtr& query) const {
+  return reformulation::AnalyzeTargetQuery(query, target_schema_);
+}
+
+Result<baselines::MethodResult> Engine::Evaluate(
+    const algebra::PlanPtr& query, Method method) const {
+  auto info = Analyze(query);
+  if (!info.ok()) return info.status();
+  reformulation::Reformulator reformulator(source_schema_);
+  switch (method) {
+    case Method::kBasic:
+      return baselines::RunBasic(info.ValueOrDie(),
+                                 baselines::AsWeighted(mappings_),
+                                 catalog_, reformulator);
+    case Method::kEBasic:
+      return baselines::RunEBasic(info.ValueOrDie(),
+                                  baselines::AsWeighted(mappings_),
+                                  catalog_, reformulator);
+    case Method::kEMqo:
+      return baselines::RunEMqo(info.ValueOrDie(),
+                                baselines::AsWeighted(mappings_),
+                                catalog_, reformulator);
+    case Method::kQSharing:
+      return qsharing::RunQSharing(info.ValueOrDie(), mappings_, catalog_,
+                                   reformulator);
+    case Method::kOSharing: {
+      osharing::OSharingOptions options;
+      options.strategy = options_.strategy;
+      options.random_seed = options_.seed;
+      return osharing::RunOSharing(info.ValueOrDie(), mappings_, catalog_,
+                                   options);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<baselines::MethodResult> Engine::EvaluateOSharing(
+    const algebra::PlanPtr& query, osharing::StrategyKind strategy) const {
+  auto info = Analyze(query);
+  if (!info.ok()) return info.status();
+  osharing::OSharingOptions options;
+  options.strategy = strategy;
+  options.random_seed = options_.seed;
+  return osharing::RunOSharing(info.ValueOrDie(), mappings_, catalog_,
+                               options);
+}
+
+Result<baselines::MethodResult> Engine::EvaluateSetOp(
+    const algebra::PlanPtr& left, const algebra::PlanPtr& right,
+    SetOpKind kind) const {
+  auto left_info = Analyze(left);
+  if (!left_info.ok()) return left_info.status();
+  auto right_info = Analyze(right);
+  if (!right_info.ok()) return right_info.status();
+  reformulation::Reformulator reformulator(source_schema_);
+  return core::EvaluateSetOp(left_info.ValueOrDie(),
+                             right_info.ValueOrDie(), kind, mappings_,
+                             catalog_, reformulator);
+}
+
+Result<topk::TopKResult> Engine::EvaluateTopK(const algebra::PlanPtr& query,
+                                              size_t k) const {
+  auto info = Analyze(query);
+  if (!info.ok()) return info.status();
+  topk::TopKOptions options;
+  options.osharing.strategy = options_.strategy;
+  options.osharing.random_seed = options_.seed;
+  return topk::RunTopK(info.ValueOrDie(), mappings_, catalog_, k, options);
+}
+
+Result<topk::ThresholdResult> Engine::EvaluateThreshold(
+    const algebra::PlanPtr& query, double threshold) const {
+  auto info = Analyze(query);
+  if (!info.ok()) return info.status();
+  osharing::OSharingOptions options;
+  options.strategy = options_.strategy;
+  options.random_seed = options_.seed;
+  return topk::RunThreshold(info.ValueOrDie(), mappings_, catalog_,
+                            threshold, options);
+}
+
+}  // namespace core
+}  // namespace urm

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/status.h"
+#include "core/setops.h"
+#include "datagen/target_schemas.h"
+#include "datagen/tpch.h"
+#include "mapping/generator.h"
+#include "osharing/osharing.h"
+#include "topk/threshold.h"
+#include "topk/topk.h"
+
+/// \file engine.h
+/// The library's public facade. An Engine bundles everything the paper's
+/// setup (§VIII-A) prepares once per configuration:
+///   * a TPC-H-style source instance `D` (datagen),
+///   * the scored correspondences between TPC-H and a target schema
+///     (matching),
+///   * the h best possible mappings with probabilities (mapping),
+/// and evaluates probabilistic queries with any of the five methods plus
+/// the top-k algorithm.
+///
+/// Quickstart:
+/// \code
+///   urm::core::Engine::Options opts;
+///   opts.target_schema = urm::datagen::TargetSchemaId::kExcel;
+///   auto engine = urm::core::Engine::Create(opts);
+///   auto q = urm::core::QueryById("Q1");
+///   auto result = engine.ValueOrDie()->Evaluate(
+///       q.query, urm::core::Method::kOSharing);
+/// \endcode
+
+namespace urm {
+namespace core {
+
+/// Evaluation methods compared in the paper.
+enum class Method {
+  kBasic,
+  kEBasic,
+  kEMqo,
+  kQSharing,
+  kOSharing,
+};
+
+const char* MethodName(Method method);
+
+/// \brief One fully-prepared experiment configuration.
+class Engine {
+ public:
+  struct Options {
+    /// Source instance size; row counts scale linearly (§VIII-A uses
+    /// 100 MB; benchmarks default lower so suites finish in minutes).
+    double target_mb = 5.0;
+    uint64_t seed = 42;
+    datagen::TargetSchemaId target_schema =
+        datagen::TargetSchemaId::kExcel;
+    /// Number of possible mappings (the paper's h).
+    int num_mappings = 100;
+    /// Name-score threshold for the matcher (seeded pairs always kept).
+    double matcher_threshold = 0.74;
+    /// Operator selection strategy for o-sharing / top-k.
+    osharing::StrategyKind strategy = osharing::StrategyKind::kSEF;
+  };
+
+  /// Generates the instance, runs the matcher, and enumerates the h
+  /// best mappings.
+  static Result<std::unique_ptr<Engine>> Create(const Options& options);
+
+  /// Builds an Engine from pre-made parts (tests use this to craft
+  /// small controlled scenarios).
+  static std::unique_ptr<Engine> FromParts(
+      relational::Catalog catalog, matching::SchemaDef source_schema,
+      matching::SchemaDef target_schema,
+      std::vector<mapping::Mapping> mappings, Options options);
+
+  const relational::Catalog& catalog() const { return catalog_; }
+  const matching::SchemaDef& source_schema() const { return source_schema_; }
+  const matching::SchemaDef& target_schema() const { return target_schema_; }
+  const std::vector<mapping::Mapping>& mappings() const { return mappings_; }
+  const std::vector<matching::Correspondence>& correspondences() const {
+    return correspondences_;
+  }
+  const Options& options() const { return options_; }
+
+  /// Restricts the mapping set to the top h (renormalized); used by the
+  /// |M| sweeps.
+  void UseTopMappings(size_t h);
+
+  /// Analyzes a target query against the target schema.
+  Result<reformulation::TargetQueryInfo> Analyze(
+      const algebra::PlanPtr& query) const;
+
+  /// Evaluates a probabilistic query with the chosen method.
+  Result<baselines::MethodResult> Evaluate(const algebra::PlanPtr& query,
+                                           Method method) const;
+
+  /// o-sharing with an explicit operator-selection strategy (used by
+  /// the strategy-comparison experiments, Fig. 11(f) / Table IV).
+  Result<baselines::MethodResult> EvaluateOSharing(
+      const algebra::PlanPtr& query, osharing::StrategyKind strategy) const;
+
+  /// Evaluates a probabilistic top-k query (§VII).
+  Result<topk::TopKResult> EvaluateTopK(const algebra::PlanPtr& query,
+                                        size_t k) const;
+
+  /// Evaluates `left OP right` (probabilistic set operations — the
+  /// paper's future-work extension; see setops.h).
+  Result<baselines::MethodResult> EvaluateSetOp(
+      const algebra::PlanPtr& left, const algebra::PlanPtr& right,
+      SetOpKind kind) const;
+
+  /// Evaluates a probability-threshold query: all tuples with
+  /// Pr >= threshold (extension; see threshold.h).
+  Result<topk::ThresholdResult> EvaluateThreshold(
+      const algebra::PlanPtr& query, double threshold) const;
+
+  /// Average pairwise overlap of the current mapping set (Fig. 9).
+  double MappingOverlapRatio() const {
+    return mapping::MappingSetOverlapRatio(mappings_);
+  }
+
+ private:
+  Engine() = default;
+
+  relational::Catalog catalog_;
+  matching::SchemaDef source_schema_;
+  matching::SchemaDef target_schema_;
+  std::vector<matching::Correspondence> correspondences_;
+  std::vector<mapping::Mapping> all_mappings_;  ///< full enumerated set
+  std::vector<mapping::Mapping> mappings_;      ///< active (top-h) set
+  Options options_;
+};
+
+}  // namespace core
+}  // namespace urm

@@ -1,0 +1,240 @@
+#include "datagen/target_schemas.h"
+
+#include "common/logging.h"
+
+namespace urm {
+namespace datagen {
+
+using matching::SchemaDef;
+using matching::SeedScores;
+using matching::TableDef;
+
+const char* TargetSchemaName(TargetSchemaId id) {
+  switch (id) {
+    case TargetSchemaId::kExcel:
+      return "Excel";
+    case TargetSchemaId::kNoris:
+      return "Noris";
+    case TargetSchemaId::kParagon:
+      return "Paragon";
+  }
+  return "?";
+}
+
+std::vector<TargetSchemaId> AllTargetSchemas() {
+  return {TargetSchemaId::kExcel, TargetSchemaId::kNoris,
+          TargetSchemaId::kParagon};
+}
+
+namespace {
+
+/// Seeds shared by all three schemas for the attribute names that appear
+/// in more than one of them. Scores mimic COMA++ composite similarities:
+/// every queried attribute has >= 2 candidate source attributes so the
+/// k-best mappings genuinely disagree (the paper's uncertainty source).
+/// Entries whose target attribute a schema does not define are skipped.
+void AddCommonPoSeeds(const SchemaDef& schema, SeedScores* seeds) {
+  auto put = [&](const std::string& attr, const std::string& src,
+                 double score) {
+    std::string qualified = "PO." + attr;
+    if (!schema.HasAttribute(qualified)) return;
+    (*seeds)[{qualified, src}] = score;
+  };
+  put("orderNum", "orders.o_orderkey", 0.85);
+  put("orderNum", "lineitem.l_orderkey", 0.845);
+  put("orderNum", "orders.o_custkey", 0.84);
+  put("telephone", "customer.c_phone", 0.85);
+  put("telephone", "supplier.s_phone", 0.845);
+  put("invoiceTo", "customer.c_name", 0.66);
+  put("invoiceTo", "orders.o_clerk", 0.655);
+  put("invoiceTo", "supplier.s_name", 0.65);
+  put("priority", "orders.o_orderpriority", 0.88);
+  put("company", "customer.c_name", 0.60);
+  put("company", "supplier.s_name", 0.595);
+  put("company", "customer.c_mktsegment", 0.59);
+  put("deliverToStreet", "customer.c_address", 0.70);
+  put("deliverToStreet", "supplier.s_address", 0.695);
+  put("deliverTo", "customer.c_name", 0.64);
+  put("deliverTo", "orders.o_clerk", 0.635);
+  put("deliverTo", "supplier.s_name", 0.63);
+  put("billTo", "customer.c_name", 0.65);
+  put("billTo", "orders.o_clerk", 0.645);
+  put("billTo", "supplier.s_name", 0.64);
+  put("shipToAddress", "customer.c_address", 0.72);
+  put("shipToAddress", "supplier.s_address", 0.715);
+  put("shipToPhone", "customer.c_phone", 0.82);
+  put("shipToPhone", "supplier.s_phone", 0.815);
+  put("billToAddress", "customer.c_address", 0.71);
+  put("billToAddress", "supplier.s_address", 0.705);
+  put("customerNum", "customer.c_custkey", 0.80);
+  put("customerNum", "orders.o_custkey", 0.75);
+  put("poDate", "orders.o_orderdate", 0.80);
+  put("status", "orders.o_orderstatus", 0.82);
+  put("status", "lineitem.l_linestatus", 0.70);
+  put("grandTotal", "orders.o_totalprice", 0.75);
+  put("salesRep", "orders.o_clerk", 0.62);
+}
+
+void AddCommonItemSeeds(const SchemaDef& schema, SeedScores* seeds) {
+  auto put = [&](const std::string& attr, const std::string& src,
+                 double score) {
+    std::string qualified = "Item." + attr;
+    if (!schema.HasAttribute(qualified)) return;
+    (*seeds)[{qualified, src}] = score;
+  };
+  put("itemNum", "lineitem.l_partkey", 0.80);
+  put("itemNum", "part.p_partkey", 0.795);
+  put("itemNum", "partsupp.ps_partkey", 0.79);
+  put("itemNum", "lineitem.l_suppkey", 0.785);
+  put("orderNum", "lineitem.l_orderkey", 0.82);
+  put("orderNum", "orders.o_orderkey", 0.815);
+  put("orderNum", "orders.o_custkey", 0.81);
+  put("quantity", "lineitem.l_quantity", 0.88);
+  put("quantity", "partsupp.ps_availqty", 0.875);
+  put("unitPrice", "part.p_retailprice", 0.72);
+  put("unitPrice", "partsupp.ps_supplycost", 0.715);
+  put("unitPrice", "lineitem.l_extendedprice", 0.71);
+  put("price", "lineitem.l_extendedprice", 0.74);
+  put("price", "part.p_retailprice", 0.735);
+  put("price", "partsupp.ps_supplycost", 0.73);
+  put("lineNumber", "lineitem.l_linenumber", 0.85);
+  put("shipDate", "lineitem.l_shipdate", 0.85);
+  put("discountPct", "lineitem.l_discount", 0.80);
+}
+
+TargetSchemaBundle MakeExcel() {
+  // 28 PO attributes + 20 Item attributes = 48 (paper: Excel has 48).
+  SchemaDef schema("Excel", {});
+  URM_CHECK_OK(schema.AddTable(TableDef{
+      "PO",
+      {"orderNum",        "poDate",         "status",
+       "telephone",       "invoiceTo",      "priority",
+       "company",         "contactName",    "deliverToStreet",
+       "deliverToCity",   "deliverToZip",   "deliverToCountry",
+       "billingStreet",   "billingCity",    "billingZip",
+       "billingCountry",  "currency",       "paymentTerms",
+       "shipVia",         "freightCharge",  "taxRate",
+       "subtotal",        "grandTotal",     "customerNum",
+       "salesRep",        "departmentCode", "projectCode",
+       "remarks"}}));
+  URM_CHECK_OK(schema.AddTable(TableDef{
+      "Item",
+      {"itemNum",       "orderNum",       "partDescription",
+       "quantity",      "unit",           "unitPrice",
+       "extendedPrice", "discountPct",    "taxAmount",
+       "lineNumber",    "shipDate",       "promiseDate",
+       "warehouseCode", "backorderedQty", "uomCode",
+       "catalogNum",    "manufacturer",   "weight",
+       "color",         "notes"}}));
+  URM_CHECK_EQ(schema.NumAttributes(), 48u);
+
+  SeedScores seeds;
+  AddCommonPoSeeds(schema, &seeds);
+  AddCommonItemSeeds(schema, &seeds);
+  seeds[{"PO.taxRate", "lineitem.l_tax"}] = 0.60;
+  seeds[{"Item.extendedPrice", "lineitem.l_extendedprice"}] = 0.82;
+  return TargetSchemaBundle{std::move(schema), std::move(seeds)};
+}
+
+TargetSchemaBundle MakeNoris() {
+  // 38 PO attributes + 28 Item attributes = 66 (paper: Noris has 66).
+  SchemaDef schema("Noris", {});
+  URM_CHECK_OK(schema.AddTable(TableDef{
+      "PO",
+      {"orderNum",         "orderDate",       "orderType",
+       "telephone",        "faxNumber",       "invoiceTo",
+       "deliverTo",        "deliverToStreet", "deliverToCity",
+       "deliverToRegion",  "deliverToPostal", "deliverToNation",
+       "invoiceStreet",    "invoiceCity",     "invoiceRegion",
+       "invoicePostal",    "invoiceNation",   "contactPerson",
+       "contactEmail",     "customerNum",     "customerRef",
+       "departmentName",   "costCenter",      "currencyCode",
+       "exchangeRate",     "paymentMethod",   "paymentDays",
+       "shippingMethod",   "shippingTerms",   "insuranceFlag",
+       "priorityClass",    "approvalStatus",  "approvedBy",
+       "totalBeforeTax",   "totalTax",        "grandTotal",
+       "revisionNumber",   "remarks"}}));
+  URM_CHECK_OK(schema.AddTable(TableDef{
+      "Item",
+      {"itemNum",        "orderNum",       "position",
+       "materialNumber", "materialGroup",  "shortText",
+       "quantity",       "quantityUnit",   "unitPrice",
+       "priceUnit",      "netValue",       "grossValue",
+       "discountPct",    "surcharge",      "taxCode",
+       "plant",          "storageBin",     "requestedDate",
+       "confirmedDate",  "shipDate",       "vendorNumber",
+       "vendorName",     "trackingNumber", "batchNumber",
+       "serialNumber",   "inspectionFlag", "returnFlag",
+       "notes"}}));
+  URM_CHECK_EQ(schema.NumAttributes(), 66u);
+
+  SeedScores seeds;
+  AddCommonPoSeeds(schema, &seeds);
+  AddCommonItemSeeds(schema, &seeds);
+  seeds[{"PO.priorityClass", "orders.o_orderpriority"}] = 0.74;
+  seeds[{"Item.vendorNumber", "supplier.s_suppkey"}] = 0.70;
+  seeds[{"Item.vendorName", "supplier.s_name"}] = 0.72;
+  seeds[{"Item.returnFlag", "lineitem.l_returnflag"}] = 0.84;
+  return TargetSchemaBundle{std::move(schema), std::move(seeds)};
+}
+
+TargetSchemaBundle MakeParagon() {
+  // 40 PO attributes + 29 Item attributes = 69 (paper: Paragon has 69).
+  SchemaDef schema("Paragon", {});
+  URM_CHECK_OK(schema.AddTable(TableDef{
+      "PO",
+      {"orderNum",        "orderDate",       "orderStatus",
+       "telephone",       "invoiceTo",       "billTo",
+       "billToAddress",   "billToCity",      "billToState",
+       "billToZip",       "billToCountry",   "billToPhone",
+       "shipTo",          "shipToAddress",   "shipToCity",
+       "shipToState",     "shipToZip",       "shipToCountry",
+       "shipToPhone",     "customerNum",     "customerPO",
+       "accountNumber",   "creditTerms",     "creditLimit",
+       "salesPerson",     "salesRegion",     "commissionPct",
+       "freightTerms",    "carrierCode",     "priority",
+       "promiseDate",     "cancelDate",      "taxExemptFlag",
+       "taxRate",         "subtotal",        "freightCharge",
+       "totalDiscount",   "grandTotal",      "enteredBy",
+       "remarks"}}));
+  URM_CHECK_OK(schema.AddTable(TableDef{
+      "Item",
+      {"itemNum",        "orderNum",      "lineNumber",
+       "price",          "quantity",      "quantityShipped",
+       "quantityOpen",   "unitOfMeasure", "description",
+       "productClass",   "productLine",   "warehouse",
+       "binLocation",    "leadTime",      "shipDate",
+       "requestDate",    "discountPct",   "listPrice",
+       "netPrice",       "extendedValue", "costAmount",
+       "marginPct",      "taxableFlag",   "commodityCode",
+       "revisionLevel",  "drawingNumber", "vendorItemNum",
+       "backorderFlag",  "notes"}}));
+  URM_CHECK_EQ(schema.NumAttributes(), 69u);
+
+  SeedScores seeds;
+  AddCommonPoSeeds(schema, &seeds);
+  AddCommonItemSeeds(schema, &seeds);
+  seeds[{"PO.billToPhone", "customer.c_phone"}] = 0.80;
+  seeds[{"PO.billToPhone", "supplier.s_phone"}] = 0.74;
+  seeds[{"Item.listPrice", "part.p_retailprice"}] = 0.76;
+  seeds[{"Item.costAmount", "partsupp.ps_supplycost"}] = 0.72;
+  return TargetSchemaBundle{std::move(schema), std::move(seeds)};
+}
+
+}  // namespace
+
+TargetSchemaBundle GetTargetSchema(TargetSchemaId id) {
+  switch (id) {
+    case TargetSchemaId::kExcel:
+      return MakeExcel();
+    case TargetSchemaId::kNoris:
+      return MakeNoris();
+    case TargetSchemaId::kParagon:
+      return MakeParagon();
+  }
+  URM_CHECK(false) << "unknown target schema";
+  return {};
+}
+
+}  // namespace datagen
+}  // namespace urm

@@ -1,0 +1,332 @@
+#include "datagen/tpch.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "relational/relation.h"
+
+namespace urm {
+namespace datagen {
+
+using relational::Catalog;
+using relational::ColumnDef;
+using relational::Relation;
+using relational::RelationSchema;
+using relational::Row;
+using relational::Value;
+using relational::ValueType;
+
+namespace {
+
+/// Zero-padded numeric key, e.g. 1 -> "00001". Keys are strings so that
+/// target-query constants like itemNum = '00001' are type-compatible.
+std::string Key(size_t n, int width = 5) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*zu", width, n);
+  return buf;
+}
+
+// Value pools. Each pool includes the constants the workload queries
+// select on, so every query has non-trivial matches.
+const std::vector<std::string>& PhonePool() {
+  static const std::vector<std::string> pool = [] {
+    std::vector<std::string> p = {"335-1736"};
+    Rng rng(7001);
+    for (int i = 0; i < 199; ++i) {
+      p.push_back(std::to_string(rng.Uniform(100, 999)) + "-" +
+                  std::to_string(rng.Uniform(1000, 9999)));
+    }
+    return p;
+  }();
+  return pool;
+}
+
+const std::vector<std::string>& NamePool() {
+  static const std::vector<std::string> pool = {
+      "Mary",  "Alice",  "Bob",   "Cindy",  "David", "Erin",
+      "Frank", "Grace",  "Henry", "Irene",  "Jack",  "Karen",
+      "Liam",  "Nina",   "Oscar", "Paula",  "Quinn", "Rita",
+      "Steve", "Teresa", "Uma",   "Victor", "Wendy", "Xavier"};
+  return pool;
+}
+
+const std::vector<std::string>& AddressPool() {
+  static const std::vector<std::string> pool = {
+      "Central",   "ABC",        "Pokfulam",  "Queensway", "Nathan",
+      "Hennessy",  "Connaught",  "Des Voeux", "Gloucester", "Harcourt",
+      "Jaffe",     "Lockhart",   "Johnston",  "Hollywood",  "Stanley",
+      "Caine",     "Bonham",     "Robinson",  "Kennedy",    "Aberdeen"};
+  return pool;
+}
+
+const std::vector<std::string>& CompanyPool() {
+  static const std::vector<std::string> pool = {
+      "ABC",      "Acme",     "Globex", "Initech", "Umbrella",
+      "Stark",    "Wayne",    "Wonka",  "Tyrell",  "Cyberdyne",
+      "Hooli",    "Vandelay", "Oscorp", "Gringotts", "Monarch"};
+  return pool;
+}
+
+const std::vector<std::string>& SegmentPool() {
+  static const std::vector<std::string> pool = {
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+  return pool;
+}
+
+const std::vector<std::string>& NationPool() {
+  static const std::vector<std::string> pool = {
+      "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA",
+      "EGYPT",   "FRANCE",    "GERMANY", "INDIA", "JAPAN",
+      "KENYA",   "MOROCCO",   "PERU",   "ROMANIA", "RUSSIA",
+      "UK",      "US",        "VIETNAM", "IRAN",  "IRAQ",
+      "JORDAN",  "KOREA",     "SPAIN",  "MALTA",  "CUBA"};
+  return pool;
+}
+
+std::string Date(Rng& rng) {
+  int y = static_cast<int>(rng.Uniform(1992, 1998));
+  int m = static_cast<int>(rng.Uniform(1, 12));
+  int d = static_cast<int>(rng.Uniform(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+RelationSchema MakeSchema(
+    const std::string& rel,
+    const std::vector<std::pair<std::string, ValueType>>& cols) {
+  RelationSchema schema;
+  for (const auto& [name, type] : cols) {
+    URM_CHECK_OK(schema.AddColumn(ColumnDef{rel + "." + name, type}));
+  }
+  return schema;
+}
+
+}  // namespace
+
+matching::SchemaDef TpchSchema() {
+  matching::SchemaDef schema("TPC-H", {});
+  URM_CHECK_OK(schema.AddTable(
+      {"region", {"r_regionkey", "r_name", "r_comment"}}));
+  URM_CHECK_OK(schema.AddTable(
+      {"nation", {"n_nationkey", "n_name", "n_regionkey"}}));
+  URM_CHECK_OK(schema.AddTable(
+      {"supplier",
+       {"s_suppkey", "s_name", "s_address", "s_phone", "s_acctbal"}}));
+  URM_CHECK_OK(schema.AddTable(
+      {"customer",
+       {"c_custkey", "c_name", "c_address", "c_phone", "c_acctbal",
+        "c_nationkey", "c_mktsegment"}}));
+  URM_CHECK_OK(schema.AddTable(
+      {"part",
+       {"p_partkey", "p_name", "p_brand", "p_type", "p_size",
+        "p_retailprice"}}));
+  URM_CHECK_OK(schema.AddTable(
+      {"partsupp",
+       {"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"}}));
+  URM_CHECK_OK(schema.AddTable(
+      {"orders",
+       {"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+        "o_orderdate", "o_orderpriority", "o_clerk"}}));
+  URM_CHECK_OK(schema.AddTable(
+      {"lineitem",
+       {"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+        "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+        "l_returnflag", "l_linestatus", "l_shipdate"}}));
+  URM_CHECK_EQ(schema.NumAttributes(), 46u);
+  return schema;
+}
+
+TpchRowCounts RowCountsFor(double target_mb) {
+  // TPC-H SF1 is roughly 1 GB; scale row counts linearly, with small
+  // relations floored so the schema is never degenerate.
+  double sf = target_mb / 1000.0;
+  auto scaled = [sf](double base, size_t floor_n) {
+    size_t n = static_cast<size_t>(base * sf);
+    return n < floor_n ? floor_n : n;
+  };
+  TpchRowCounts counts{};
+  counts.region = 5;
+  counts.nation = 25;
+  counts.supplier = scaled(10000, 20);
+  counts.customer = scaled(150000, 100);
+  counts.part = scaled(200000, 100);
+  counts.partsupp = scaled(800000, 200);
+  counts.orders = scaled(1500000, 300);
+  counts.lineitem = scaled(6000000, 1200);
+  return counts;
+}
+
+Result<Catalog> GenerateTpch(const TpchOptions& options) {
+  if (options.target_mb <= 0.0) {
+    return Status::InvalidArgument("target_mb must be positive");
+  }
+  TpchRowCounts counts = RowCountsFor(options.target_mb);
+  Rng rng(options.seed);
+  Catalog catalog;
+
+  {  // region
+    Relation rel(MakeSchema("region", {{"r_regionkey", ValueType::kString},
+                                       {"r_name", ValueType::kString},
+                                       {"r_comment", ValueType::kString}}));
+    const char* names[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+    for (size_t i = 0; i < counts.region; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(i + 1, 2), names[i % 5], rng.String(12)}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "region", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  {  // nation
+    Relation rel(MakeSchema("nation", {{"n_nationkey", ValueType::kString},
+                                       {"n_name", ValueType::kString},
+                                       {"n_regionkey", ValueType::kString}}));
+    for (size_t i = 0; i < counts.nation; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(i + 1, 2), NationPool()[i % NationPool().size()],
+           Key(rng.Uniform(1, static_cast<int64_t>(counts.region)), 2)}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "nation", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  {  // supplier
+    Relation rel(MakeSchema("supplier", {{"s_suppkey", ValueType::kString},
+                                         {"s_name", ValueType::kString},
+                                         {"s_address", ValueType::kString},
+                                         {"s_phone", ValueType::kString},
+                                         {"s_acctbal", ValueType::kDouble}}));
+    rel.Reserve(counts.supplier);
+    for (size_t i = 0; i < counts.supplier; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(i + 1), rng.Choice(CompanyPool()),
+           rng.Choice(AddressPool()),
+           PhonePool()[rng.SkewedIndex(PhonePool().size())],
+           rng.NextDouble() * 10000.0}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "supplier", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  {  // customer
+    Relation rel(MakeSchema("customer",
+                            {{"c_custkey", ValueType::kString},
+                             {"c_name", ValueType::kString},
+                             {"c_address", ValueType::kString},
+                             {"c_phone", ValueType::kString},
+                             {"c_acctbal", ValueType::kDouble},
+                             {"c_nationkey", ValueType::kString},
+                             {"c_mktsegment", ValueType::kString}}));
+    rel.Reserve(counts.customer);
+    for (size_t i = 0; i < counts.customer; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(i + 1), NamePool()[rng.SkewedIndex(NamePool().size())],
+           AddressPool()[rng.SkewedIndex(AddressPool().size())],
+           PhonePool()[rng.SkewedIndex(PhonePool().size())],
+           rng.NextDouble() * 10000.0,
+           Key(rng.Uniform(1, static_cast<int64_t>(counts.nation)), 2),
+           rng.Choice(SegmentPool())}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "customer", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  {  // part
+    Relation rel(MakeSchema("part", {{"p_partkey", ValueType::kString},
+                                     {"p_name", ValueType::kString},
+                                     {"p_brand", ValueType::kString},
+                                     {"p_type", ValueType::kString},
+                                     {"p_size", ValueType::kInt64},
+                                     {"p_retailprice", ValueType::kDouble}}));
+    rel.Reserve(counts.part);
+    const std::vector<std::string> types = {"STANDARD", "SMALL", "MEDIUM",
+                                            "LARGE", "ECONOMY", "PROMO"};
+    for (size_t i = 0; i < counts.part; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(i + 1), rng.String(10),
+           "Brand#" + std::to_string(rng.Uniform(1, 5)) +
+               std::to_string(rng.Uniform(1, 5)),
+           rng.Choice(types), rng.Uniform(1, 50),
+           900.0 + rng.NextDouble() * 1100.0}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "part", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  {  // partsupp
+    Relation rel(MakeSchema("partsupp",
+                            {{"ps_partkey", ValueType::kString},
+                             {"ps_suppkey", ValueType::kString},
+                             {"ps_availqty", ValueType::kInt64},
+                             {"ps_supplycost", ValueType::kDouble}}));
+    rel.Reserve(counts.partsupp);
+    for (size_t i = 0; i < counts.partsupp; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(rng.Uniform(1, static_cast<int64_t>(counts.part))),
+           Key(rng.Uniform(1, static_cast<int64_t>(counts.supplier))),
+           rng.Uniform(1, 9999), rng.NextDouble() * 1000.0}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "partsupp", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  {  // orders
+    Relation rel(MakeSchema("orders",
+                            {{"o_orderkey", ValueType::kString},
+                             {"o_custkey", ValueType::kString},
+                             {"o_orderstatus", ValueType::kString},
+                             {"o_totalprice", ValueType::kDouble},
+                             {"o_orderdate", ValueType::kString},
+                             {"o_orderpriority", ValueType::kInt64},
+                             {"o_clerk", ValueType::kString}}));
+    rel.Reserve(counts.orders);
+    const std::vector<std::string> statuses = {"O", "F", "P"};
+    for (size_t i = 0; i < counts.orders; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(i + 1),
+           Key(rng.Uniform(1, static_cast<int64_t>(counts.customer))),
+           rng.Choice(statuses), rng.NextDouble() * 500000.0, Date(rng),
+           rng.Uniform(1, 5),
+           NamePool()[rng.SkewedIndex(NamePool().size())]}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "orders", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  {  // lineitem
+    Relation rel(MakeSchema("lineitem",
+                            {{"l_orderkey", ValueType::kString},
+                             {"l_partkey", ValueType::kString},
+                             {"l_suppkey", ValueType::kString},
+                             {"l_linenumber", ValueType::kInt64},
+                             {"l_quantity", ValueType::kInt64},
+                             {"l_extendedprice", ValueType::kDouble},
+                             {"l_discount", ValueType::kDouble},
+                             {"l_tax", ValueType::kDouble},
+                             {"l_returnflag", ValueType::kString},
+                             {"l_linestatus", ValueType::kString},
+                             {"l_shipdate", ValueType::kString}}));
+    rel.Reserve(counts.lineitem);
+    const std::vector<std::string> flags = {"A", "N", "R"};
+    for (size_t i = 0; i < counts.lineitem; ++i) {
+      URM_CHECK_OK(rel.AddRow(
+          {Key(rng.Uniform(1, static_cast<int64_t>(counts.orders))),
+           Key(rng.Uniform(1, static_cast<int64_t>(counts.part))),
+           Key(rng.Uniform(1, static_cast<int64_t>(counts.supplier))),
+           rng.Uniform(1, 7), rng.Uniform(1, 50),
+           rng.NextDouble() * 100000.0, rng.NextDouble() * 0.1,
+           rng.NextDouble() * 0.08, rng.Choice(flags),
+           rng.Choice(flags), Date(rng)}));
+    }
+    URM_RETURN_NOT_OK(catalog.Register(
+        "lineitem", std::make_shared<const Relation>(std::move(rel))));
+  }
+
+  return catalog;
+}
+
+}  // namespace datagen
+}  // namespace urm

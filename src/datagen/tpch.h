@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "matching/schema_def.h"
+#include "relational/catalog.h"
+
+/// \file tpch.h
+/// Deterministic TPC-H-style source instance generator. The paper uses
+/// dbgen to produce a 100 MB instance (~1M tuples) over the 8-relation,
+/// 46-attribute TPC-H schema; we synthesize an equivalent instance
+/// in-process so experiments are reproducible without external tools.
+/// Value pools deliberately contain the constants used by the workload
+/// queries ('335-1736', 'Mary', 'ABC', 'Central', '00001', ...).
+
+namespace urm {
+namespace datagen {
+
+/// Knobs for instance generation.
+struct TpchOptions {
+  /// Approximate target size in MB; row counts scale linearly
+  /// (100 MB ~ 866k tuples, mirroring TPC-H SF 0.1).
+  double target_mb = 10.0;
+  uint64_t seed = 42;
+};
+
+/// The logical TPC-H schema (8 relations, 46 attributes) as seen by the
+/// matcher.
+matching::SchemaDef TpchSchema();
+
+/// Generates the source instance `D`. Relations are registered under
+/// their schema names with columns qualified "<relation>.<attribute>".
+Result<relational::Catalog> GenerateTpch(const TpchOptions& options);
+
+/// Row counts used for a given target size (exposed for tests).
+struct TpchRowCounts {
+  size_t region, nation, supplier, customer, part, partsupp, orders,
+      lineitem;
+  size_t Total() const {
+    return region + nation + supplier + customer + part + partsupp +
+           orders + lineitem;
+  }
+};
+TpchRowCounts RowCountsFor(double target_mb);
+
+}  // namespace datagen
+}  // namespace urm

@@ -1,0 +1,80 @@
+#include "mapping/generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "mapping/murty.h"
+
+namespace urm {
+namespace mapping {
+
+Result<std::vector<Mapping>> GenerateMappings(
+    const std::vector<matching::Correspondence>& correspondences,
+    const MappingGenOptions& options) {
+  if (options.h <= 0) {
+    return Status::InvalidArgument("h must be positive");
+  }
+  // Index the attributes that actually occur in correspondences; the
+  // assignment problem stays small even for wide schemas.
+  std::map<std::string, int> target_ids, source_ids;
+  std::vector<std::string> targets, sources;
+  for (const auto& c : correspondences) {
+    if (target_ids.emplace(c.target_attr, targets.size()).second) {
+      targets.push_back(c.target_attr);
+    }
+    if (source_ids.emplace(c.source_attr, sources.size()).second) {
+      sources.push_back(c.source_attr);
+    }
+  }
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(correspondences.size());
+  for (const auto& c : correspondences) {
+    if (c.score <= 0.0) {
+      return Status::InvalidArgument("correspondence score must be > 0: " +
+                                     c.ToString());
+    }
+    edges.push_back(WeightedEdge{target_ids[c.target_attr],
+                                 source_ids[c.source_attr], c.score});
+  }
+
+  auto solutions =
+      KBestMatchings(static_cast<int>(targets.size()),
+                     static_cast<int>(sources.size()), edges, options.h);
+  if (!solutions.ok()) return solutions.status();
+
+  std::vector<Mapping> mappings;
+  double total_score = 0.0;
+  for (const auto& sol : solutions.ValueOrDie()) {
+    if (sol.edges.empty()) continue;  // the empty mapping is not useful
+    Mapping m;
+    for (const auto& [row, col] : sol.edges) {
+      URM_RETURN_NOT_OK(m.Add(targets[static_cast<size_t>(row)],
+                              sources[static_cast<size_t>(col)]));
+    }
+    m.set_score(sol.weight);
+    total_score += sol.weight;
+    mappings.push_back(std::move(m));
+  }
+  for (auto& m : mappings) {
+    m.set_probability(total_score > 0.0 ? m.score() / total_score : 0.0);
+  }
+  return mappings;
+}
+
+std::vector<Mapping> TakeTopMappings(const std::vector<Mapping>& mappings,
+                                     size_t h) {
+  std::vector<Mapping> out(
+      mappings.begin(),
+      mappings.begin() + std::min(h, mappings.size()));
+  double total = 0.0;
+  for (const auto& m : out) total += m.score();
+  for (auto& m : out) {
+    m.set_probability(total > 0.0 ? m.score() / total : 0.0);
+  }
+  return out;
+}
+
+}  // namespace mapping
+}  // namespace urm

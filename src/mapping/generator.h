@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "matching/matcher.h"
+
+/// \file generator.h
+/// Derives the paper's uncertain-matching model from a matcher output:
+/// the h maximum-score one-to-one partial mappings, with probabilities
+/// normalized over the set (§II: "The probability of each mapping is
+/// derived by normalizing the mapping's similarity score over the total
+/// scores of the h mappings").
+
+namespace urm {
+namespace mapping {
+
+struct MappingGenOptions {
+  /// Number of possible mappings to enumerate (the paper's h).
+  int h = 100;
+};
+
+/// Generates the h best mappings from a scored correspondence list.
+/// The result is sorted by score (descending); probabilities sum to 1.
+/// Mappings with an empty correspondence set are dropped, so fewer than
+/// h mappings can be returned when the correspondence graph is small.
+Result<std::vector<Mapping>> GenerateMappings(
+    const std::vector<matching::Correspondence>& correspondences,
+    const MappingGenOptions& options);
+
+/// Restricts a mapping set to its first h mappings (they are sorted by
+/// score), renormalizing probabilities — how the paper varies |M| in
+/// the experiments without re-running the matcher.
+std::vector<Mapping> TakeTopMappings(const std::vector<Mapping>& mappings,
+                                     size_t h);
+
+}  // namespace mapping
+}  // namespace urm

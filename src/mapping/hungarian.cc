@@ -1,0 +1,79 @@
+#include "mapping/hungarian.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace urm {
+namespace mapping {
+
+AssignmentResult SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  AssignmentResult result;
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+  for (const auto& row : cost) {
+    URM_CHECK_EQ(static_cast<int>(row.size()), n) << "matrix not square";
+  }
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  // 1-based potentials/arrays; p[j] = row matched to column j.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      int i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.row_to_col.assign(n, -1);
+  result.cost = 0.0;
+  result.feasible = true;
+  for (int j = 1; j <= n; ++j) {
+    int i = p[j];
+    result.row_to_col[i - 1] = j - 1;
+    double c = cost[i - 1][j - 1];
+    result.cost += c;
+    if (c >= kForbiddenCost) result.feasible = false;
+  }
+  return result;
+}
+
+}  // namespace mapping
+}  // namespace urm

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+/// \file hungarian.h
+/// Minimum-cost perfect assignment on a square matrix (Hungarian
+/// algorithm with potentials, O(n^3)). Substrate for Murty's k-best
+/// matching enumeration, which the paper cites ([9],[10]) as the way
+/// possible mappings are generated from a similarity matrix.
+
+namespace urm {
+namespace mapping {
+
+/// Cost treated as "edge absent". Solutions using such edges are
+/// reported infeasible.
+constexpr double kForbiddenCost = 1e9;
+
+struct AssignmentResult {
+  /// row_to_col[i] = column assigned to row i.
+  std::vector<int> row_to_col;
+  /// Total cost of the assignment (sum of chosen entries).
+  double cost = 0.0;
+  /// False when no assignment avoiding kForbiddenCost edges exists.
+  bool feasible = false;
+};
+
+/// Solves min-cost perfect assignment for an n x n cost matrix.
+/// All costs must be >= 0 (kForbiddenCost marks missing edges).
+AssignmentResult SolveAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace mapping
+}  // namespace urm

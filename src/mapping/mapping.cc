@@ -1,0 +1,89 @@
+#include "mapping/mapping.h"
+
+#include <algorithm>
+
+namespace urm {
+namespace mapping {
+
+Status Mapping::Add(const std::string& target_attr,
+                    const std::string& source_attr) {
+  for (const auto& [tgt, src] : pairs_) {
+    if (tgt == target_attr) {
+      return Status::AlreadyExists("target already mapped: " + target_attr);
+    }
+    if (src == source_attr) {
+      return Status::AlreadyExists("source already used: " + source_attr);
+    }
+  }
+  auto entry = std::make_pair(target_attr, source_attr);
+  pairs_.insert(
+      std::upper_bound(pairs_.begin(), pairs_.end(), entry), entry);
+  return Status::OK();
+}
+
+std::optional<std::string> Mapping::SourceFor(
+    const std::string& target_attr) const {
+  auto it = std::lower_bound(
+      pairs_.begin(), pairs_.end(), target_attr,
+      [](const auto& pair, const std::string& key) {
+        return pair.first < key;
+      });
+  if (it != pairs_.end() && it->first == target_attr) return it->second;
+  return std::nullopt;
+}
+
+size_t Mapping::IntersectionSize(const Mapping& other) const {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < pairs_.size() && j < other.pairs_.size()) {
+    if (pairs_[i] == other.pairs_[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (pairs_[i] < other.pairs_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::string Mapping::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(" + pairs_[i].second + " -> " + pairs_[i].first + ")";
+  }
+  out += "} p=" + std::to_string(probability_);
+  return out;
+}
+
+double OverlapRatio(const Mapping& a, const Mapping& b) {
+  size_t common = a.IntersectionSize(b);
+  size_t total = a.size() + b.size() - common;
+  if (total == 0) return 1.0;
+  return static_cast<double>(common) / static_cast<double>(total);
+}
+
+double MappingSetOverlapRatio(const std::vector<Mapping>& mappings) {
+  if (mappings.size() < 2) return 1.0;
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < mappings.size(); ++i) {
+    for (size_t j = i + 1; j < mappings.size(); ++j) {
+      sum += OverlapRatio(mappings[i], mappings[j]);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double TotalProbability(const std::vector<Mapping>& mappings) {
+  double total = 0.0;
+  for (const auto& m : mappings) total += m.probability();
+  return total;
+}
+
+}  // namespace mapping
+}  // namespace urm

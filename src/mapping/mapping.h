@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file mapping.h
+/// Possible mappings (the paper's m_i): one-to-one partial sets of
+/// attribute correspondences between a source and a target schema, each
+/// carrying a probability of being the correct mapping. Probabilities of
+/// a mapping set are mutually exclusive and sum to 1.
+
+namespace urm {
+namespace mapping {
+
+/// \brief One possible mapping: sorted (target_attr -> source_attr)
+/// pairs plus a similarity score and a probability.
+///
+/// Attribute names are qualified "<table>.<attr>" in their respective
+/// schemas. The correspondence list is kept sorted by target attribute
+/// for O(log n) lookup and cheap set operations.
+class Mapping {
+ public:
+  Mapping() = default;
+
+  /// Adds a correspondence. Fails if the target attribute is already
+  /// mapped or the source attribute already used (one-to-one).
+  Status Add(const std::string& target_attr,
+             const std::string& source_attr);
+
+  /// Source attribute matched to `target_attr`, or nullopt (partial
+  /// mappings leave attributes unmatched).
+  std::optional<std::string> SourceFor(
+      const std::string& target_attr) const;
+
+  /// Correspondences as (target_attr, source_attr), sorted by target.
+  const std::vector<std::pair<std::string, std::string>>& pairs() const {
+    return pairs_;
+  }
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  double score() const { return score_; }
+  void set_score(double s) { score_ = s; }
+  double probability() const { return probability_; }
+  void set_probability(double p) { probability_ = p; }
+
+  /// Number of correspondences shared with `other` (|m_i ∩ m_j|).
+  size_t IntersectionSize(const Mapping& other) const;
+
+  /// Correspondence-set equality (scores/probabilities ignored).
+  bool SamePairs(const Mapping& other) const {
+    return pairs_ == other.pairs_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+  double score_ = 0.0;
+  double probability_ = 0.0;
+};
+
+/// The paper's o-ratio of two mappings: |m_i ∩ m_j| / |m_i ∪ m_j|.
+/// Two empty mappings have o-ratio 1.
+double OverlapRatio(const Mapping& a, const Mapping& b);
+
+/// Average pairwise o-ratio over a mapping set (paper §VIII-B.1).
+/// Returns 1 for sets with fewer than two mappings.
+double MappingSetOverlapRatio(const std::vector<Mapping>& mappings);
+
+/// Sum of probabilities (should be ~1 for a well-formed set).
+double TotalProbability(const std::vector<Mapping>& mappings);
+
+}  // namespace mapping
+}  // namespace urm

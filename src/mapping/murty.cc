@@ -1,0 +1,141 @@
+#include "mapping/murty.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "mapping/hungarian.h"
+
+namespace urm {
+namespace mapping {
+
+namespace {
+
+/// A Murty search node: a cell of the solution space described by
+/// forced and forbidden (row, col) pairs, plus the best solution within
+/// the cell.
+struct Node {
+  std::vector<std::pair<int, int>> forced;
+  std::vector<std::pair<int, int>> forbidden;
+  std::vector<int> row_to_col;  // best assignment within the cell
+  double cost = 0.0;            // its (min) cost
+};
+
+struct NodeCostGreater {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.cost > b.cost;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<MatchingSolution>> KBestMatchings(
+    int num_rows, int num_cols, const std::vector<WeightedEdge>& edges,
+    int k) {
+  if (num_rows < 0 || num_cols < 0) {
+    return Status::InvalidArgument("negative dimensions");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+
+  double max_weight = 0.0;
+  for (const auto& e : edges) {
+    if (e.row < 0 || e.row >= num_rows || e.col < 0 || e.col >= num_cols) {
+      return Status::OutOfRange("edge endpoint out of range");
+    }
+    if (e.weight <= 0.0) {
+      return Status::InvalidArgument("edge weights must be positive");
+    }
+    max_weight = std::max(max_weight, e.weight);
+  }
+
+  // Square embedding: N = R + C. Entry base cost W ensures minimizing
+  // cost maximizes total weight (cost = N*W - sum of chosen weights).
+  const int R = num_rows, C = num_cols, N = R + C;
+  const double W = max_weight + 1.0;
+  std::vector<std::vector<double>> base(
+      static_cast<size_t>(N),
+      std::vector<double>(static_cast<size_t>(N), kForbiddenCost));
+  for (const auto& e : edges) {
+    base[e.row][e.col] = W - e.weight;
+  }
+  for (int i = 0; i < R; ++i) base[i][C + i] = W;      // row skip
+  for (int j = 0; j < C; ++j) base[R + j][j] = W;      // col skip
+  for (int i = R; i < N; ++i) {
+    for (int j = C; j < N; ++j) base[i][j] = W;        // dummy-dummy
+  }
+
+  auto solve = [&](const Node& node) -> AssignmentResult {
+    std::vector<std::vector<double>> cost = base;
+    for (const auto& [i, j] : node.forbidden) {
+      cost[i][j] = kForbiddenCost;
+    }
+    for (const auto& [i, j] : node.forced) {
+      for (int jj = 0; jj < N; ++jj) {
+        if (jj != j) cost[i][jj] = kForbiddenCost;
+      }
+    }
+    return SolveAssignment(cost);
+  };
+
+  auto to_solution = [&](const std::vector<int>& row_to_col) {
+    MatchingSolution sol;
+    for (int i = 0; i < R; ++i) {
+      int j = row_to_col[i];
+      if (j < C) {
+        sol.edges.emplace_back(i, j);
+        sol.weight += W - base[i][j];
+      }
+    }
+    return sol;
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeCostGreater> queue;
+  {
+    Node root;
+    AssignmentResult best = solve(root);
+    if (best.feasible) {
+      root.row_to_col = std::move(best.row_to_col);
+      root.cost = best.cost;
+      queue.push(std::move(root));
+    }
+  }
+
+  std::vector<MatchingSolution> out;
+  while (!queue.empty() && static_cast<int>(out.size()) < k) {
+    Node node = queue.top();
+    queue.pop();
+    out.push_back(to_solution(node.row_to_col));
+
+    // Partition the cell on the real rows' assignments only; matchings
+    // differing in dummy-row bookkeeping share a real signature and
+    // must not be enumerated again.
+    Node child;
+    child.forced = node.forced;
+    child.forbidden = node.forbidden;
+    for (int i = 0; i < R; ++i) {
+      // Skip rows already forced by an ancestor cell.
+      bool already_forced = false;
+      for (const auto& [fi, fj] : node.forced) {
+        if (fi == i) {
+          already_forced = true;
+          break;
+        }
+      }
+      if (!already_forced) {
+        Node branch = child;
+        branch.forbidden.emplace_back(i, node.row_to_col[i]);
+        AssignmentResult sub = solve(branch);
+        if (sub.feasible) {
+          branch.row_to_col = std::move(sub.row_to_col);
+          branch.cost = sub.cost;
+          queue.push(std::move(branch));
+        }
+      }
+      child.forced.emplace_back(i, node.row_to_col[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mapping
+}  // namespace urm

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file murty.h
+/// Murty's algorithm for enumerating the k best (maximum-weight)
+/// bipartite matchings, allowing nodes to stay unmatched (partial
+/// matchings). This is the "bipartite matching algorithm" the paper
+/// cites ([9],[10]) for deriving the h possible mappings with the
+/// highest similarity scores from a matcher's similarity matrix.
+///
+/// Duplicate suppression: the assignment problem is embedded in a square
+/// matrix with per-row skip columns and per-column skip rows; Murty
+/// partitioning branches only on *real-row* assignments, so matchings
+/// that differ solely in dummy bookkeeping are never enumerated twice.
+
+namespace urm {
+namespace mapping {
+
+/// A scored candidate pair (row = target attribute index, col = source
+/// attribute index).
+struct WeightedEdge {
+  int row = 0;
+  int col = 0;
+  double weight = 0.0;
+};
+
+/// One enumerated matching: chosen (row, col) pairs and total weight.
+struct MatchingSolution {
+  std::vector<std::pair<int, int>> edges;  ///< sorted by row
+  double weight = 0.0;
+};
+
+/// Returns up to `k` distinct partial matchings in non-increasing weight
+/// order. Weights must be positive (a zero-weight edge is never
+/// preferable to leaving both nodes unmatched).
+Result<std::vector<MatchingSolution>> KBestMatchings(
+    int num_rows, int num_cols, const std::vector<WeightedEdge>& edges,
+    int k);
+
+}  // namespace mapping
+}  // namespace urm

@@ -1,0 +1,87 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "matching/similarity.h"
+#include "relational/schema.h"
+
+namespace urm {
+namespace matching {
+
+std::string Correspondence::ToString() const {
+  return "(" + source_attr + ", " + target_attr + ", " +
+         std::to_string(score) + ")";
+}
+
+NameMatcher::NameMatcher(SynonymDictionary dictionary,
+                         MatcherOptions options)
+    : dictionary_(std::move(dictionary)), options_(options) {}
+
+double NameMatcher::TokenSetSimilarity(
+    const std::vector<std::string>& a,
+    const std::vector<std::string>& b) const {
+  if (a.empty() || b.empty()) return 0.0;
+  // Directed score: every token of `from` finds its best counterpart in
+  // `to`, weighted down for filler tokens. Symmetrized by averaging.
+  auto directed = [&](const std::vector<std::string>& from,
+                      const std::vector<std::string>& to) {
+    double total = 0.0, weight_sum = 0.0;
+    for (const auto& ft : from) {
+      double w = IsFillerToken(ft) ? options_.filler_weight : 1.0;
+      double best = 0.0;
+      for (const auto& tt : to) {
+        best = std::max(best, dictionary_.TokenScore(ft, tt));
+      }
+      total += w * best;
+      weight_sum += w;
+    }
+    return weight_sum > 0.0 ? total / weight_sum : 0.0;
+  };
+  return (directed(a, b) + directed(b, a)) / 2.0;
+}
+
+double NameMatcher::AttributeSimilarity(
+    const std::string& source_qualified,
+    const std::string& target_qualified) const {
+  std::string src_table = relational::InstancePart(source_qualified);
+  std::string src_attr = relational::AttributePart(source_qualified);
+  std::string tgt_table = relational::InstancePart(target_qualified);
+  std::string tgt_attr = relational::AttributePart(target_qualified);
+
+  double attr_sim = TokenSetSimilarity(TokenizeIdentifier(src_attr),
+                                       TokenizeIdentifier(tgt_attr));
+  double table_sim = TokenSetSimilarity(TokenizeIdentifier(src_table),
+                                        TokenizeIdentifier(tgt_table));
+  return (1.0 - options_.table_weight) * attr_sim +
+         options_.table_weight * table_sim;
+}
+
+std::vector<Correspondence> NameMatcher::Match(
+    const SchemaDef& source, const SchemaDef& target,
+    const SeedScores& seeds) const {
+  std::vector<Correspondence> out;
+  const auto source_attrs = source.AllAttributes();
+  const auto target_attrs = target.AllAttributes();
+  for (const auto& tgt : target_attrs) {
+    for (const auto& src : source_attrs) {
+      double score = AttributeSimilarity(src, tgt);
+      auto seed = seeds.find({tgt, src});
+      if (seed != seeds.end()) {
+        // Seeds are curated evidence (COMA++'s instance/terminology
+        // matchers); they are kept regardless of the name threshold.
+        out.push_back(Correspondence{src, tgt,
+                                     std::max(score, seed->second)});
+        continue;
+      }
+      if (score >= options_.threshold) {
+        out.push_back(Correspondence{src, tgt, score});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace matching
+}  // namespace urm

@@ -1,0 +1,60 @@
+#include "matching/schema_def.h"
+
+namespace urm {
+namespace matching {
+
+Status SchemaDef::AddTable(TableDef table) {
+  if (HasTable(table.name)) {
+    return Status::AlreadyExists("duplicate table: " + table.name);
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Result<TableDef> SchemaDef::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return t;
+  }
+  return Status::NotFound("table not found: " + name + " in schema " +
+                          name_);
+}
+
+bool SchemaDef::HasTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SchemaDef::AllAttributes() const {
+  std::vector<std::string> out;
+  for (const auto& t : tables_) {
+    for (const auto& a : t.attributes) {
+      out.push_back(t.name + "." + a);
+    }
+  }
+  return out;
+}
+
+size_t SchemaDef::NumAttributes() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.attributes.size();
+  return n;
+}
+
+bool SchemaDef::HasAttribute(const std::string& qualified) const {
+  size_t pos = qualified.rfind('.');
+  if (pos == std::string::npos) return false;
+  std::string table = qualified.substr(0, pos);
+  std::string attr = qualified.substr(pos + 1);
+  for (const auto& t : tables_) {
+    if (t.name != table) continue;
+    for (const auto& a : t.attributes) {
+      if (a == attr) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace matching
+}  // namespace urm

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file schema_def.h
+/// Logical schema descriptions used by the matcher and the mapping
+/// model. A SchemaDef knows names only — the physical side (types, rows)
+/// lives in relational::Catalog.
+
+namespace urm {
+namespace matching {
+
+/// A table (relation) of a schema: name plus attribute names.
+struct TableDef {
+  std::string name;
+  std::vector<std::string> attributes;
+};
+
+/// \brief A named schema: an ordered list of tables.
+///
+/// Attributes are identified by their qualified name "<table>.<attr>".
+class SchemaDef {
+ public:
+  SchemaDef() = default;
+  SchemaDef(std::string name, std::vector<TableDef> tables)
+      : name_(std::move(name)), tables_(std::move(tables)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  /// Adds a table; fails on duplicate table name.
+  Status AddTable(TableDef table);
+
+  /// Table by name.
+  Result<TableDef> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// All attributes as qualified names "<table>.<attr>", schema order.
+  std::vector<std::string> AllAttributes() const;
+
+  /// Total attribute count across tables (the paper reports 46/48/66/69).
+  size_t NumAttributes() const;
+
+  /// True if the qualified attribute exists.
+  bool HasAttribute(const std::string& qualified) const;
+
+ private:
+  std::string name_;
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace matching
+}  // namespace urm

@@ -1,0 +1,106 @@
+#include "matching/similarity.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace urm {
+namespace matching {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  size_t window = std::max(a.size(), b.size()) / 2;
+  window = window > 0 ? window - 1 : 0;
+
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double TrigramSimilarity(std::string_view a, std::string_view b) {
+  auto trigrams = [](std::string_view s) {
+    std::set<std::string> grams;
+    std::string padded = "##" + std::string(s) + "##";
+    for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+      grams.insert(padded.substr(i, 3));
+    }
+    return grams;
+  };
+  std::set<std::string> ga = trigrams(a), gb = trigrams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  size_t common = 0;
+  for (const auto& g : ga) {
+    if (gb.count(g) > 0) ++common;
+  }
+  size_t total = ga.size() + gb.size() - common;
+  if (total == 0) return 1.0;
+  return static_cast<double>(common) / static_cast<double>(total);
+}
+
+double CompositeStringSimilarity(std::string_view a, std::string_view b) {
+  double best = JaroWinklerSimilarity(a, b);
+  best = std::max(best, NormalizedLevenshtein(a, b));
+  best = std::max(best, TrigramSimilarity(a, b));
+  return best;
+}
+
+}  // namespace matching
+}  // namespace urm

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file similarity.h
+/// String similarity measures used by the name-based schema matcher.
+/// All measures return values in [0, 1], 1 meaning identical.
+
+namespace urm {
+namespace matching {
+
+/// Levenshtein edit distance (unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(len); 1.0 for two empty strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+/// Jaro similarity (transposition-aware).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by common prefix (p = 0.1, max 4 chars).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of character trigram sets; strings are padded with
+/// '#' so that short identifiers still produce trigrams.
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// Composite character-level similarity: the maximum of Jaro-Winkler,
+/// normalized Levenshtein, and trigram similarity. The max (rather than
+/// a blend) reflects COMA++'s composite strategy of combining matchers
+/// optimistically.
+double CompositeStringSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace matching
+}  // namespace urm

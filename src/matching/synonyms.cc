@@ -1,0 +1,77 @@
+#include "matching/synonyms.h"
+
+#include <algorithm>
+
+#include "matching/similarity.h"
+
+namespace urm {
+namespace matching {
+
+SynonymDictionary SynonymDictionary::Empty() { return SynonymDictionary(); }
+
+SynonymDictionary SynonymDictionary::Default() {
+  SynonymDictionary dict;
+  dict.AddGroup({"phone", "telephone", "tel", "mobile", "fax"});
+  dict.AddGroup({"addr", "address", "street", "road", "location"});
+  dict.AddGroup({"num", "number", "no", "id", "key", "code"});
+  dict.AddGroup({"order", "orders", "po", "purchase"});
+  dict.AddGroup({"item", "line", "lineitem", "product", "part", "article"});
+  dict.AddGroup({"price", "cost", "amount", "charge"});
+  dict.AddGroup({"total", "sum", "grand"});
+  dict.AddGroup({"qty", "quantity", "availqty", "count"});
+  dict.AddGroup({"bill", "invoice", "payment"});
+  dict.AddGroup({"ship", "deliver", "delivery", "send", "dispatch"});
+  dict.AddGroup({"cust", "customer", "client", "buyer", "account"});
+  dict.AddGroup({"company", "organization", "firm", "name"});
+  dict.AddGroup({"date", "day", "time"});
+  dict.AddGroup({"status", "state", "flag", "linestatus"});
+  dict.AddGroup({"priority", "urgency", "orderpriority"});
+  dict.AddGroup({"clerk", "contact", "person", "rep", "agent"});
+  dict.AddGroup({"nation", "country", "region"});
+  dict.AddGroup({"segment", "market", "mktsegment", "category", "type"});
+  dict.AddGroup({"balance", "acctbal", "credit"});
+  dict.AddGroup({"discount", "rebate", "reduction"});
+  dict.AddGroup({"tax", "duty", "vat"});
+  dict.AddGroup({"size", "volume", "dimension"});
+  dict.AddGroup({"supplier", "supp", "vendor", "seller"});
+  dict.AddGroup({"comment", "note", "remark", "description", "desc"});
+  dict.AddGroup({"unit", "each", "single"});
+  dict.AddGroup({"retailprice", "unitprice", "price"});
+  dict.AddGroup({"extendedprice", "subtotal", "linetotal"});
+  return dict;
+}
+
+void SynonymDictionary::AddGroup(const std::vector<std::string>& tokens) {
+  int group = next_group_++;
+  for (const auto& t : tokens) {
+    group_of_[t].push_back(group);
+  }
+}
+
+bool SynonymDictionary::AreSynonyms(const std::string& a,
+                                    const std::string& b) const {
+  auto ia = group_of_.find(a);
+  auto ib = group_of_.find(b);
+  if (ia == group_of_.end() || ib == group_of_.end()) return false;
+  for (int ga : ia->second) {
+    if (std::find(ib->second.begin(), ib->second.end(), ga) !=
+        ib->second.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double SynonymDictionary::TokenScore(const std::string& a,
+                                     const std::string& b) const {
+  if (a == b) return 1.0;
+  if (AreSynonyms(a, b)) return 0.9;
+  return CompositeStringSimilarity(a, b);
+}
+
+bool IsFillerToken(const std::string& token) {
+  return token.size() <= 2;
+}
+
+}  // namespace matching
+}  // namespace urm

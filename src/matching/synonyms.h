@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file synonyms.h
+/// Token synonym dictionary standing in for COMA++'s auxiliary
+/// terminology dictionaries. Identifier tokens ("phone", "telephone")
+/// that belong to the same group score 0.9; this is what lets purely
+/// name-based matching recover semantic correspondences like
+/// telephone -> c_phone.
+
+namespace urm {
+namespace matching {
+
+/// \brief Groups of interchangeable identifier tokens.
+class SynonymDictionary {
+ public:
+  /// Dictionary with the built-in purchase-order/ERP groups used in the
+  /// experiments (phone/telephone, addr/street, num/key/id, ...).
+  static SynonymDictionary Default();
+
+  /// Empty dictionary (token score falls back to string similarity).
+  static SynonymDictionary Empty();
+
+  /// Registers a group of mutually synonymous tokens (lowercase).
+  void AddGroup(const std::vector<std::string>& tokens);
+
+  /// True if `a` and `b` (lowercase) share a group.
+  bool AreSynonyms(const std::string& a, const std::string& b) const;
+
+  /// Token-level similarity: 1.0 exact, 0.9 synonyms, else character
+  /// similarity (CompositeStringSimilarity).
+  double TokenScore(const std::string& a, const std::string& b) const;
+
+  size_t num_groups() const { return next_group_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<int>> group_of_;
+  int next_group_ = 0;
+};
+
+/// True for short glue tokens ("to", "of") and the one-letter TPC-H
+/// relation prefixes ("c", "o", "l", ...). These carry little meaning
+/// and are down-weighted by the matcher.
+bool IsFillerToken(const std::string& token);
+
+}  // namespace matching
+}  // namespace urm

@@ -1,0 +1,640 @@
+#include "osharing/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "algebra/plan.h"
+#include "common/logging.h"
+#include "relational/schema.h"
+
+namespace urm {
+namespace osharing {
+
+using algebra::MakeProduct;
+using algebra::MakeRelationLeaf;
+using algebra::MakeSelect;
+using baselines::WeightedMapping;
+using reformulation::kUnanswerableSignature;
+using reformulation::SignatureSlot;
+using relational::AttributePart;
+using relational::InstancePart;
+using relational::Relation;
+using relational::RelationPtr;
+using relational::Row;
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return "Random";
+    case StrategyKind::kSNF:
+      return "SNF";
+    case StrategyKind::kSEF:
+      return "SEF";
+  }
+  return "?";
+}
+
+namespace {
+
+bool InstanceTouched(const EUnit& u, const std::string& alias) {
+  const Group* g = u.GroupOfInstance(alias);
+  if (g == nullptr) return false;
+  std::string prefix = alias + "$";
+  for (const auto& f : g->factors) {
+    for (const auto& a : f.scan_aliases) {
+      if (a.rfind(prefix, 0) == 0) return true;
+    }
+  }
+  return false;
+}
+
+/// Factor index inside `group` whose relation contains `column`.
+int FactorOfColumn(const Group& group, const std::string& column) {
+  for (size_t i = 0; i < group.factors.size(); ++i) {
+    if (group.factors[i].rel->schema().IndexOf(column).has_value()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+OSharingEngine::OSharingEngine(const reformulation::TargetQueryInfo& info,
+                               const relational::Catalog& catalog,
+                               OSharingOptions options)
+    : info_(info),
+      catalog_(catalog),
+      options_(options),
+      rng_(options.random_seed) {}
+
+Status OSharingEngine::Init() {
+  auto shape = DecomposeQuery(info_);
+  if (!shape.ok()) return shape.status();
+  shape_ = std::move(shape).ValueOrDie();
+  return Status::OK();
+}
+
+EUnit OSharingEngine::MakeRoot(
+    const std::vector<WeightedMapping>& reps) const {
+  EUnit root;
+  for (size_t i = 0; i < shape_.selections.size(); ++i) {
+    root.pending_selections.push_back(i);
+  }
+  for (size_t i = 0; i < shape_.products.size(); ++i) {
+    root.pending_products.push_back(i);
+  }
+  root.next_top = 0;
+  for (const auto& inst : info_.instances) {
+    Group g;
+    g.instances.push_back(inst.alias);
+    root.groups.push_back(std::move(g));
+  }
+  for (const auto& wm : reps) {
+    root.mappings.push_back(&wm);
+    root.probability += wm.probability;
+  }
+  return root;
+}
+
+Status OSharingEngine::Run(const std::vector<WeightedMapping>& reps,
+                           LeafVisitor* visitor) {
+  URM_CHECK(visitor != nullptr);
+  selection_cache_.clear();
+  scan_cache_.clear();
+  if (reps.empty()) return Status::OK();
+  EUnit root = MakeRoot(reps);
+  auto done = RunEUnit(root, visitor);
+  if (!done.ok()) return done.status();
+  return Status::OK();
+}
+
+Result<relational::RelationPtr> OSharingEngine::RunSelection(
+    const RelationPtr& input, const algebra::Predicate& pred) {
+  std::pair<const void*, std::string> key;
+  if (options_.enable_operator_cache) {
+    key = {static_cast<const void*>(input.get()), pred.ToString()};
+    auto it = selection_cache_.find(key);
+    if (it != selection_cache_.end()) {
+      stats_.cache_hits++;
+      return it->second;
+    }
+  }
+  algebra::EvalContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.stats = &stats_;
+  auto rel =
+      algebra::Evaluate(MakeSelect(MakeRelationLeaf(input, "f"), pred), ctx);
+  if (!rel.ok()) return rel.status();
+  if (options_.enable_operator_cache) {
+    selection_cache_.emplace(std::move(key), rel.ValueOrDie());
+  }
+  return rel;
+}
+
+Result<RelationPtr> OSharingEngine::MaterializeScan(
+    const std::string& relation, const std::string& scan_alias) {
+  auto it = scan_cache_.find(scan_alias);
+  if (it != scan_cache_.end()) return it->second;
+  algebra::EvalContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.stats = &stats_;
+  auto rel = algebra::Evaluate(algebra::MakeScan(relation, scan_alias), ctx);
+  if (!rel.ok()) return rel.status();
+  scan_cache_.emplace(scan_alias, rel.ValueOrDie());
+  return rel;
+}
+
+std::vector<OSharingEngine::Candidate> OSharingEngine::ComputeCandidates(
+    const EUnit& u) const {
+  std::vector<Candidate> out;
+  // Selections whose referenced instances live in one group.
+  for (size_t idx : u.pending_selections) {
+    const algebra::Predicate& pred = shape_.selections[idx];
+    const auto refs = pred.ReferencedAttributes();
+    size_t group = u.GroupIndexOfInstance(InstancePart(refs[0]));
+    bool same_group = group != static_cast<size_t>(-1);
+    for (const auto& r : refs) {
+      if (u.GroupIndexOfInstance(InstancePart(r)) != group) {
+        same_group = false;
+      }
+    }
+    if (!same_group) continue;
+    Candidate c;
+    c.kind = Candidate::kSelection;
+    c.index = idx;
+    for (const auto& r : refs) {
+      if (u.resolved.count(r) == 0) {
+        c.slots.push_back(SignatureSlot{r, true});
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  // Products whose sides are in different groups.
+  for (size_t idx : u.pending_products) {
+    const ProductOp& prod = shape_.products[idx];
+    size_t gl = u.GroupIndexOfInstance(prod.left_instances[0]);
+    size_t gr = u.GroupIndexOfInstance(prod.right_instances[0]);
+    if (gl == gr) continue;  // already merged through another product
+    Candidate c;
+    c.kind = Candidate::kProduct;
+    c.index = idx;
+    // Reformulating the product materializes the covers of *bare*
+    // untouched instances (binary Case 3); their cover attributes are
+    // what the reformulation depends on.
+    auto add_bare_slots = [&](const std::vector<std::string>& aliases) {
+      for (const auto& alias : aliases) {
+        auto inst = info_.InstanceForRef(alias + ".x");
+        URM_CHECK(inst.ok());
+        if (!inst.ValueOrDie()->bare || InstanceTouched(u, alias)) continue;
+        for (const auto& attr : inst.ValueOrDie()->needed) {
+          c.slots.push_back(SignatureSlot{alias + "." + attr, false});
+        }
+      }
+    };
+    add_bare_slots(prod.left_instances);
+    add_bare_slots(prod.right_instances);
+    out.push_back(std::move(c));
+  }
+  // The next top op once the body is finished.
+  if (u.pending_selections.empty() && u.pending_products.empty() &&
+      u.next_top < shape_.tops.size()) {
+    const TopOp& top = shape_.tops[u.next_top];
+    Candidate c;
+    c.kind = Candidate::kTop;
+    c.index = u.next_top;
+    if (top.is_aggregate) {
+      if (!top.agg_ref.empty() && u.resolved.count(top.agg_ref) == 0) {
+        c.slots.push_back(SignatureSlot{top.agg_ref, true});
+      }
+    } else {
+      for (const auto& r : top.project_refs) {
+        if (u.resolved.count(r) == 0) {
+          c.slots.push_back(SignatureSlot{r, true});
+        }
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<OSharingEngine::OpPartition> OSharingEngine::PartitionMappings(
+    const EUnit& u, const std::vector<SignatureSlot>& slots) const {
+  std::vector<OpPartition> partitions;
+  std::map<std::string, size_t> by_signature;
+  for (const WeightedMapping* wm : u.mappings) {
+    std::string sig;
+    for (const auto& slot : slots) {
+      auto target_attr = info_.TargetAttrForRef(slot.ref);
+      URM_CHECK(target_attr.ok()) << target_attr.status().ToString();
+      auto src = wm->mapping->SourceFor(target_attr.ValueOrDie());
+      if (!src.has_value()) {
+        if (slot.required) {
+          sig = kUnanswerableSignature;
+          break;
+        }
+        sig += "-|";
+        continue;
+      }
+      sig += *src;
+      sig += "|";
+    }
+    auto [it, inserted] = by_signature.emplace(sig, partitions.size());
+    if (inserted) {
+      OpPartition p;
+      p.signature = sig;
+      p.unanswerable = (sig == kUnanswerableSignature);
+      partitions.push_back(std::move(p));
+    }
+    partitions[it->second].members.push_back(wm);
+    partitions[it->second].probability += wm->probability;
+  }
+  return partitions;
+}
+
+Result<OSharingEngine::Candidate> OSharingEngine::ChooseOperator(
+    const EUnit& u, std::vector<Candidate> candidates,
+    std::vector<OpPartition>* partitions) {
+  URM_CHECK(!candidates.empty());
+  if (options_.strategy == StrategyKind::kRandom) {
+    size_t pick = static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(candidates.size()) - 1));
+    *partitions = PartitionMappings(u, candidates[pick].slots);
+    return candidates[pick];
+  }
+
+  size_t best = 0;
+  double best_score = 0.0;
+  std::vector<OpPartition> best_parts;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<OpPartition> parts = PartitionMappings(u, candidates[i].slots);
+    double score;
+    if (options_.strategy == StrategyKind::kSNF) {
+      score = static_cast<double>(parts.size());
+    } else {  // SEF: entropy over mapping-count fractions (Definition 1)
+      double total = static_cast<double>(u.mappings.size());
+      score = 0.0;
+      for (const auto& p : parts) {
+        double frac = static_cast<double>(p.members.size()) / total;
+        if (frac > 0.0) score -= frac * std::log2(frac);
+      }
+    }
+    if (i == 0 || score < best_score) {
+      best = i;
+      best_score = score;
+      best_parts = std::move(parts);
+    }
+  }
+  *partitions = std::move(best_parts);
+  return candidates[best];
+}
+
+Result<std::string> OSharingEngine::ResolveRef(EUnit* u,
+                                               const std::string& ref,
+                                               const mapping::Mapping& rep) {
+  auto it = u->resolved.find(ref);
+  if (it != u->resolved.end()) return it->second;
+
+  auto target_attr = info_.TargetAttrForRef(ref);
+  if (!target_attr.ok()) return target_attr.status();
+  auto src = rep.SourceFor(target_attr.ValueOrDie());
+  if (!src.has_value()) {
+    return Status::Internal("unmapped required ref in partition: " + ref);
+  }
+  std::string instance = InstancePart(ref);
+  std::string scan_alias = instance + "$" + InstancePart(*src);
+  std::string column = scan_alias + "." + AttributePart(*src);
+
+  size_t gi = u->GroupIndexOfInstance(instance);
+  URM_CHECK_NE(gi, static_cast<size_t>(-1));
+  Group& group = u->groups[gi];
+  bool present = false;
+  for (const auto& f : group.factors) {
+    if (f.ContainsScan(scan_alias)) {
+      present = true;
+      break;
+    }
+  }
+  if (!present) {
+    // Case 2/3 of §VI-B: extend the intermediate state with the scan
+    // covering the needed source attribute.
+    auto rel = MaterializeScan(InstancePart(*src), scan_alias);
+    if (!rel.ok()) return rel.status();
+    group.factors.push_back(
+        Factor{std::move(rel).ValueOrDie(), {scan_alias}});
+  }
+  u->resolved[ref] = column;
+  return column;
+}
+
+Result<EUnit> OSharingEngine::Execute(const EUnit& u, const Candidate& op,
+                                      const OpPartition& partition) {
+  EUnit next = u;
+  next.mappings = partition.members;
+  next.probability = partition.probability;
+  const mapping::Mapping& rep = *partition.members.front()->mapping;
+
+  algebra::EvalContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.stats = &stats_;
+
+  switch (op.kind) {
+    case Candidate::kSelection: {
+      const algebra::Predicate& pred = shape_.selections[op.index];
+      auto lhs = ResolveRef(&next, pred.lhs, rep);
+      if (!lhs.ok()) return lhs.status();
+      algebra::Predicate bound = pred;
+      bound.lhs = lhs.ValueOrDie();
+      if (pred.rhs_attr.has_value()) {
+        auto rhs = ResolveRef(&next, *pred.rhs_attr, rep);
+        if (!rhs.ok()) return rhs.status();
+        bound.rhs_attr = rhs.ValueOrDie();
+      }
+      size_t gi = next.GroupIndexOfInstance(InstancePart(pred.lhs));
+      Group& group = next.groups[gi];
+      int fl = FactorOfColumn(group, bound.lhs);
+      int fr = bound.rhs_attr.has_value()
+                   ? FactorOfColumn(group, *bound.rhs_attr)
+                   : fl;
+      if (fl < 0 || fr < 0) {
+        return Status::Internal("resolved column missing from factors");
+      }
+      if (fl == fr) {
+        Factor& f = group.factors[static_cast<size_t>(fl)];
+        auto rel = RunSelection(f.rel, bound);
+        if (!rel.ok()) return rel.status();
+        f.rel = std::move(rel).ValueOrDie();
+      } else {
+        // The predicate spans two factors: fuse them (hash join for
+        // equality, product+filter otherwise).
+        Factor& a = group.factors[static_cast<size_t>(fl)];
+        Factor& b = group.factors[static_cast<size_t>(fr)];
+        auto rel = algebra::Evaluate(
+            MakeSelect(MakeProduct(MakeRelationLeaf(a.rel, "l"),
+                                   MakeRelationLeaf(b.rel, "r")),
+                       bound),
+            ctx);
+        if (!rel.ok()) return rel.status();
+        Factor merged;
+        merged.rel = std::move(rel).ValueOrDie();
+        merged.scan_aliases = a.scan_aliases;
+        merged.scan_aliases.insert(merged.scan_aliases.end(),
+                                   b.scan_aliases.begin(),
+                                   b.scan_aliases.end());
+        size_t lo = static_cast<size_t>(std::min(fl, fr));
+        size_t hi = static_cast<size_t>(std::max(fl, fr));
+        group.factors.erase(group.factors.begin() + hi);
+        group.factors.erase(group.factors.begin() + lo);
+        group.factors.push_back(std::move(merged));
+      }
+      next.pending_selections.erase(
+          std::find(next.pending_selections.begin(),
+                    next.pending_selections.end(), op.index));
+      return next;
+    }
+
+    case Candidate::kProduct: {
+      const ProductOp& prod = shape_.products[op.index];
+      // Materialize covers of bare untouched instances (binary Case 3).
+      auto materialize_bare = [&](const std::vector<std::string>& aliases)
+          -> Status {
+        for (const auto& alias : aliases) {
+          auto inst = info_.InstanceForRef(alias + ".x");
+          if (!inst.ok()) return inst.status();
+          if (!inst.ValueOrDie()->bare || InstanceTouched(next, alias)) {
+            continue;
+          }
+          std::set<std::string> cover;
+          for (const auto& attr : inst.ValueOrDie()->needed) {
+            auto src = rep.SourceFor(inst.ValueOrDie()->table + "." + attr);
+            if (src.has_value()) cover.insert(InstancePart(*src));
+          }
+          if (cover.empty()) {
+            return Status::Internal("bare instance has no mapped cover: " +
+                                    alias);
+          }
+          size_t gi = next.GroupIndexOfInstance(alias);
+          for (const auto& rel_name : cover) {
+            std::string scan_alias = alias + "$" + rel_name;
+            auto rel = MaterializeScan(rel_name, scan_alias);
+            if (!rel.ok()) return rel.status();
+            next.groups[gi].factors.push_back(
+                Factor{std::move(rel).ValueOrDie(), {scan_alias}});
+          }
+        }
+        return Status::OK();
+      };
+      URM_RETURN_NOT_OK(materialize_bare(prod.left_instances));
+      URM_RETURN_NOT_OK(materialize_bare(prod.right_instances));
+
+      size_t gl = next.GroupIndexOfInstance(prod.left_instances[0]);
+      size_t gr = next.GroupIndexOfInstance(prod.right_instances[0]);
+      URM_CHECK_NE(gl, gr);
+      Group& keep = next.groups[std::min(gl, gr)];
+      Group& drop = next.groups[std::max(gl, gr)];
+      keep.instances.insert(keep.instances.end(), drop.instances.begin(),
+                            drop.instances.end());
+      for (auto& f : drop.factors) keep.factors.push_back(std::move(f));
+      next.groups.erase(next.groups.begin() +
+                        static_cast<long>(std::max(gl, gr)));
+      stats_.operators_executed++;  // the Cartesian product itself
+      next.pending_products.erase(std::find(next.pending_products.begin(),
+                                            next.pending_products.end(),
+                                            op.index));
+      return next;
+    }
+
+    case Candidate::kTop: {
+      const TopOp& top = shape_.tops[op.index];
+      if (!top.is_aggregate) {
+        for (const auto& r : top.project_refs) {
+          auto col = ResolveRef(&next, r, rep);
+          if (!col.ok()) return col.status();
+        }
+        stats_.operators_executed++;  // the projection (assembly defers)
+      } else {
+        URM_CHECK_EQ(next.groups.size(), 1u);
+        Group& group = next.groups[0];
+        double count = 1.0;
+        for (const auto& f : group.factors) {
+          count *= static_cast<double>(f.rel->num_rows());
+        }
+        relational::RelationSchema schema;
+        Row row;
+        if (top.agg == algebra::AggKind::kCount) {
+          URM_CHECK_OK(schema.AddColumn(relational::ColumnDef{
+              "count", relational::ValueType::kInt64}));
+          row.push_back(
+              relational::Value(static_cast<int64_t>(count)));
+        } else {
+          auto col = ResolveRef(&next, top.agg_ref, rep);
+          if (!col.ok()) return col.status();
+          int fi = FactorOfColumn(group, col.ValueOrDie());
+          if (fi < 0) {
+            return Status::Internal("aggregate column missing");
+          }
+          const Factor& f = group.factors[static_cast<size_t>(fi)];
+          auto idx = f.rel->schema().IndexOf(col.ValueOrDie());
+          double sum = 0.0;
+          bool all_int = true;
+          for (const Row& r : f.rel->rows()) {
+            const relational::Value& v = r[*idx];
+            // Same tolerance as the evaluator: NULL / non-numeric cells
+            // contribute nothing (a mapping may match SUM's attribute
+            // to a string column).
+            if (v.is_null() || !v.is_numeric()) continue;
+            if (v.type() != relational::ValueType::kInt64) all_int = false;
+            sum += v.NumericValue();
+          }
+          double scale =
+              f.rel->num_rows() > 0
+                  ? count / static_cast<double>(f.rel->num_rows())
+                  : 0.0;
+          sum *= scale;
+          if (all_int) {
+            URM_CHECK_OK(schema.AddColumn(relational::ColumnDef{
+                "sum", relational::ValueType::kInt64}));
+            row.push_back(relational::Value(static_cast<int64_t>(sum)));
+          } else {
+            URM_CHECK_OK(schema.AddColumn(relational::ColumnDef{
+                "sum", relational::ValueType::kDouble}));
+            row.push_back(relational::Value(sum));
+          }
+        }
+        Relation result(schema);
+        URM_CHECK_OK(result.AddRow(std::move(row)));
+        Factor agg_factor;
+        agg_factor.rel = std::make_shared<const Relation>(std::move(result));
+        for (const auto& f : group.factors) {
+          agg_factor.scan_aliases.insert(agg_factor.scan_aliases.end(),
+                                         f.scan_aliases.begin(),
+                                         f.scan_aliases.end());
+        }
+        group.factors = {std::move(agg_factor)};
+        next.aggregated = true;
+        stats_.operators_executed++;  // the aggregate
+      }
+      next.next_top++;
+      return next;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::vector<Row>> OSharingEngine::AssembleLeafRows(const EUnit& u) {
+  URM_CHECK_EQ(u.groups.size(), 1u);
+  const Group& group = u.groups[0];
+  if (u.aggregated) {
+    URM_CHECK_EQ(group.factors.size(), 1u);
+    return group.factors[0].rel->rows();
+  }
+
+  // Resolve output columns; project each factor to its share, distinct,
+  // then combine (distinct(π(A×B)) = distinct(π_A(A)) × distinct(π_B(B))).
+  std::vector<std::string> out_cols;
+  for (const auto& ref : info_.output_refs) {
+    auto it = u.resolved.find(ref);
+    if (it == u.resolved.end()) {
+      return Status::Internal("output ref unresolved at leaf: " + ref);
+    }
+    out_cols.push_back(it->second);
+  }
+
+  Relation combined{relational::RelationSchema{}};
+  URM_CHECK_OK(combined.AddRow(Row{}));
+  for (const auto& f : group.factors) {
+    std::vector<std::string> cols;
+    for (const auto& c : out_cols) {
+      if (f.rel->schema().IndexOf(c).has_value()) cols.push_back(c);
+    }
+    if (cols.empty()) {
+      if (f.rel->empty()) return std::vector<Row>{};  // θ
+      continue;
+    }
+    auto projected = f.rel->Project(cols);
+    if (!projected.ok()) return projected.status();
+    Relation distinct = projected.ValueOrDie().Distinct();
+    auto product = combined.Product(distinct);
+    if (!product.ok()) return product.status();
+    combined = std::move(product).ValueOrDie();
+  }
+
+  // Order the columns per output_refs.
+  std::vector<size_t> indices;
+  for (const auto& c : out_cols) {
+    auto idx = combined.schema().IndexOf(c);
+    if (!idx.has_value()) {
+      return Status::Internal("assembled column missing: " + c);
+    }
+    indices.push_back(*idx);
+  }
+  std::vector<Row> rows;
+  rows.reserve(combined.num_rows());
+  for (const Row& r : combined.rows()) {
+    Row out;
+    out.reserve(indices.size());
+    for (size_t idx : indices) out.push_back(r[idx]);
+    rows.push_back(std::move(out));
+  }
+  return rows;
+}
+
+Result<bool> OSharingEngine::RunEUnit(const EUnit& u, LeafVisitor* visitor) {
+  // Case 2: an empty intermediate relation makes the whole answer θ —
+  // except for aggregate queries, where the aggregate of an empty input
+  // is still a value (COUNT = 0), matching the basic methods.
+  bool has_aggregate_top = false;
+  for (const auto& top : shape_.tops) {
+    if (top.is_aggregate) has_aggregate_top = true;
+  }
+  if (!has_aggregate_top) {
+    for (const auto& g : u.groups) {
+      if (g.HasEmptyFactor()) {
+        leaves_++;
+        return visitor->OnLeaf({}, u.probability);
+      }
+    }
+  }
+  // Case 1: fully executed.
+  if (u.pending_selections.empty() && u.pending_products.empty() &&
+      u.next_top >= shape_.tops.size()) {
+    auto rows = AssembleLeafRows(u);
+    if (!rows.ok()) return rows.status();
+    leaves_++;
+    return visitor->OnLeaf(rows.ValueOrDie(), u.probability);
+  }
+  // Case 3: pick, partition, execute, recurse.
+  std::vector<Candidate> candidates = ComputeCandidates(u);
+  if (candidates.empty()) {
+    return Status::Internal("no valid operator for pending query state");
+  }
+  std::vector<OpPartition> partitions;
+  auto op = ChooseOperator(u, std::move(candidates), &partitions);
+  if (!op.ok()) return op.status();
+
+  if (options_.visit_partitions_by_probability) {
+    std::stable_sort(partitions.begin(), partitions.end(),
+                     [](const OpPartition& a, const OpPartition& b) {
+                       return a.probability > b.probability;
+                     });
+  }
+  for (const auto& p : partitions) {
+    if (p.unanswerable) {
+      leaves_++;
+      if (!visitor->OnLeaf({}, p.probability)) return false;
+      continue;
+    }
+    auto child = Execute(u, op.ValueOrDie(), p);
+    if (!child.ok()) return child.status();
+    auto cont = RunEUnit(child.ValueOrDie(), visitor);
+    if (!cont.ok()) return cont.status();
+    if (!cont.ValueOrDie()) return false;
+  }
+  return true;
+}
+
+}  // namespace osharing
+}  // namespace urm

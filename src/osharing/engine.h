@@ -1,0 +1,140 @@
+#pragma once
+
+#include <vector>
+
+#include "algebra/evaluate.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "osharing/eunit.h"
+#include "osharing/query_shape.h"
+#include "reformulation/target_query.h"
+#include "relational/catalog.h"
+
+/// \file engine.h
+/// The o-sharing u-trace executor (paper Algorithm 2 / run_qt) with the
+/// three operator-selection strategies of §VI-A. The same engine drives
+/// both full evaluation (o-sharing) and the top-k algorithm (§VII) via
+/// the LeafVisitor hook.
+
+namespace urm {
+namespace osharing {
+
+/// Operator selection strategies (§VI-A).
+enum class StrategyKind {
+  kRandom,  ///< arbitrary valid operator
+  kSNF,     ///< smallest number of mapping partitions first
+  kSEF,     ///< smallest entropy first
+};
+
+const char* StrategyName(StrategyKind kind);
+
+struct OSharingOptions {
+  StrategyKind strategy = StrategyKind::kSEF;
+  uint64_t random_seed = 17;  ///< used by the Random strategy
+  /// Visit the partitions of each executed operator in descending
+  /// probability-mass order; the top-k algorithm relies on this to
+  /// tighten its bounds early. Plain o-sharing is order-insensitive.
+  bool visit_partitions_by_probability = false;
+  /// Memoize per-(input relation, reformulated predicate) selection
+  /// results across u-trace branches. Sibling branches re-execute the
+  /// same source operator when the splitting operator did not touch
+  /// its input — the paper's §IX "data structures to facilitate
+  /// o-sharing evaluation". See bench_ablation for the effect.
+  bool enable_operator_cache = true;
+};
+
+/// \brief Receives each u-trace leaf's answers.
+class LeafVisitor {
+ public:
+  virtual ~LeafVisitor() = default;
+  /// `rows` are the distinct target-level answer rows of one leaf
+  /// e-unit (layout = TargetQueryInfo::output_refs; empty = the θ
+  /// outcome), `probability` the leaf's mapping-partition mass.
+  /// Returning false aborts the traversal (top-k early termination).
+  virtual bool OnLeaf(const std::vector<relational::Row>& rows,
+                      double probability) = 0;
+};
+
+/// \brief Executes the u-trace for one query over one source instance.
+class OSharingEngine {
+ public:
+  OSharingEngine(const reformulation::TargetQueryInfo& info,
+                 const relational::Catalog& catalog,
+                 OSharingOptions options);
+
+  /// Decomposes the query; must be called (and succeed) before Run.
+  Status Init();
+
+  /// Runs the u-trace over the representative mappings. The visitor
+  /// sees every leaf unless it aborts.
+  Status Run(const std::vector<baselines::WeightedMapping>& reps,
+             LeafVisitor* visitor);
+
+  const algebra::EvalStats& stats() const { return stats_; }
+  size_t leaves_visited() const { return leaves_; }
+  const QueryShape& shape() const { return shape_; }
+
+ private:
+  struct Candidate {
+    enum Kind { kSelection, kProduct, kTop } kind = kSelection;
+    size_t index = 0;
+    /// Unresolved target refs this operator's reformulation depends on.
+    std::vector<reformulation::SignatureSlot> slots;
+  };
+
+  struct OpPartition {
+    std::string signature;
+    std::vector<const baselines::WeightedMapping*> members;
+    double probability = 0.0;
+    bool unanswerable = false;
+  };
+
+  EUnit MakeRoot(const std::vector<baselines::WeightedMapping>& reps) const;
+
+  std::vector<Candidate> ComputeCandidates(const EUnit& u) const;
+  std::vector<OpPartition> PartitionMappings(
+      const EUnit& u, const std::vector<reformulation::SignatureSlot>& slots)
+      const;
+  /// Picks the next operator per the configured strategy; fills
+  /// `partitions` with the chosen operator's mapping partitions.
+  Result<Candidate> ChooseOperator(const EUnit& u,
+                                   std::vector<Candidate> candidates,
+                                   std::vector<OpPartition>* partitions);
+
+  /// Executes `op` for one partition, deriving the child e-unit.
+  Result<EUnit> Execute(const EUnit& u, const Candidate& op,
+                        const OpPartition& partition);
+
+  /// Ensures `ref`'s source column is materialized in `u` (Case 2/3
+  /// extension with new covering scans as needed); returns the column.
+  Result<std::string> ResolveRef(EUnit* u, const std::string& ref,
+                                 const mapping::Mapping& rep);
+
+  Result<bool> RunEUnit(const EUnit& u, LeafVisitor* visitor);
+  Result<std::vector<relational::Row>> AssembleLeafRows(const EUnit& u);
+
+  /// Memoized selection execution (see
+  /// OSharingOptions::enable_operator_cache).
+  Result<relational::RelationPtr> RunSelection(
+      const relational::RelationPtr& input, const algebra::Predicate& pred);
+
+  /// Memoized aliased base-relation scan.
+  Result<relational::RelationPtr> MaterializeScan(
+      const std::string& relation, const std::string& scan_alias);
+
+  const reformulation::TargetQueryInfo& info_;
+  const relational::Catalog& catalog_;
+  OSharingOptions options_;
+  QueryShape shape_;
+  algebra::EvalStats stats_;
+  size_t leaves_ = 0;
+  Rng rng_;
+  /// (input relation identity, predicate rendering) -> result.
+  std::map<std::pair<const void*, std::string>, relational::RelationPtr>
+      selection_cache_;
+  /// scan alias -> materialized (renamed) base relation.
+  std::map<std::string, relational::RelationPtr> scan_cache_;
+};
+
+}  // namespace osharing
+}  // namespace urm

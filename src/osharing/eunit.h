@@ -1,0 +1,97 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "relational/relation.h"
+
+/// \file eunit.h
+/// The o-sharing execution state (paper §V): an e-unit is a partially
+/// executed target query — some operators already evaluated into
+/// materialized intermediate relations — together with the set of
+/// mappings that share all correspondences used so far.
+///
+/// Representation note: the paper's intermediate relations R_i are kept
+/// *factored*. A Group collects the target-table instances merged by
+/// executed Cartesian products; its state is a set of independent
+/// `Factor` relations whose (implicit) Cartesian product is the paper's
+/// intermediate relation. Row multiplication is deferred to the point
+/// where a join predicate, an aggregate, or final answer assembly needs
+/// it — the results are identical, but Cartesian covers never blow up.
+
+namespace urm {
+namespace osharing {
+
+/// One materialized independent piece of a group.
+struct Factor {
+  relational::RelationPtr rel;
+  /// Source scan instances folded into this factor ("po1$orders", ...).
+  std::vector<std::string> scan_aliases;
+
+  bool ContainsScan(const std::string& alias) const {
+    for (const auto& a : scan_aliases) {
+      if (a == alias) return true;
+    }
+    return false;
+  }
+};
+
+/// A set of target instances whose executed products merged them, plus
+/// the materialized factors.
+struct Group {
+  std::vector<std::string> instances;  ///< target aliases in this group
+  std::vector<Factor> factors;
+
+  bool ContainsInstance(const std::string& alias) const {
+    for (const auto& a : instances) {
+      if (a == alias) return true;
+    }
+    return false;
+  }
+  bool HasEmptyFactor() const {
+    for (const auto& f : factors) {
+      if (f.rel->empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief One node of the u-trace.
+struct EUnit {
+  /// Remaining operators, as indexes into the QueryShape lists.
+  std::vector<size_t> pending_selections;
+  std::vector<size_t> pending_products;
+  size_t next_top = 0;  ///< index of the next top op (tops run in order)
+
+  std::vector<Group> groups;
+
+  /// Mappings sharing this branch (representatives from the initial
+  /// partition, carrying their partitions' total probability).
+  std::vector<const baselines::WeightedMapping*> mappings;
+  double probability = 0.0;
+
+  /// Target refs whose source column is already fixed on this branch
+  /// ("po1.orderNum" -> "po1$orders.o_orderkey").
+  std::map<std::string, std::string> resolved;
+
+  /// Set when an aggregate top has produced its single-row factor.
+  bool aggregated = false;
+
+  const Group* GroupOfInstance(const std::string& alias) const {
+    for (const auto& g : groups) {
+      if (g.ContainsInstance(alias)) return &g;
+    }
+    return nullptr;
+  }
+  size_t GroupIndexOfInstance(const std::string& alias) const {
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].ContainsInstance(alias)) return i;
+    }
+    return static_cast<size_t>(-1);
+  }
+};
+
+}  // namespace osharing
+}  // namespace urm

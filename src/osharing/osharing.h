@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/method_result.h"
+#include "common/status.h"
+#include "osharing/engine.h"
+#include "qsharing/partition_tree.h"
+
+/// \file osharing.h
+/// o-sharing (paper Algorithm 2): partition + represent like q-sharing,
+/// then execute the target query operator-by-operator over the u-trace,
+/// sharing every operator evaluation among all mappings that agree on
+/// the correspondences it needs.
+
+namespace urm {
+namespace osharing {
+
+/// Runs Algorithm 2 end to end and aggregates all leaf answers.
+Result<baselines::MethodResult> RunOSharing(
+    const reformulation::TargetQueryInfo& info,
+    const std::vector<mapping::Mapping>& mappings,
+    const relational::Catalog& catalog,
+    const OSharingOptions& options = OSharingOptions());
+
+}  // namespace osharing
+}  // namespace urm

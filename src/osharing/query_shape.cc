@@ -1,0 +1,101 @@
+#include "osharing/query_shape.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace urm {
+namespace osharing {
+
+using algebra::PlanKind;
+using algebra::PlanNode;
+using algebra::PlanPtr;
+
+namespace {
+
+/// Collects selections/products below the top chain; returns the
+/// instance aliases of the subtree.
+Status WalkBody(const PlanPtr& node, QueryShape* shape,
+                std::vector<std::string>* aliases) {
+  switch (node->kind) {
+    case PlanKind::kScan:
+      aliases->push_back(node->alias);
+      return Status::OK();
+    case PlanKind::kSelect: {
+      shape->selections.push_back(node->predicate);
+      return WalkBody(node->child, shape, aliases);
+    }
+    case PlanKind::kProduct: {
+      std::vector<std::string> left, right;
+      URM_RETURN_NOT_OK(WalkBody(node->child, shape, &left));
+      URM_RETURN_NOT_OK(WalkBody(node->right, shape, &right));
+      shape->products.push_back(ProductOp{left, right});
+      aliases->insert(aliases->end(), left.begin(), left.end());
+      aliases->insert(aliases->end(), right.begin(), right.end());
+      return Status::OK();
+    }
+    case PlanKind::kProject:
+    case PlanKind::kAggregate:
+      return Status::NotImplemented(
+          "o-sharing requires projections/aggregates on top of the plan");
+    case PlanKind::kDistinct:
+      return WalkBody(node->child, shape, aliases);
+    case PlanKind::kRelationLeaf:
+      return Status::InvalidArgument(
+          "target queries must not contain materialized leaves");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<QueryShape> DecomposeQuery(
+    const reformulation::TargetQueryInfo& info) {
+  QueryShape shape;
+  const PlanNode* node = info.query.get();
+  // Top chain: Distinct / Project / Aggregate, outermost first.
+  std::vector<TopOp> tops_outer_first;
+  while (true) {
+    if (node->kind == PlanKind::kDistinct) {
+      node = node->child.get();
+      continue;
+    }
+    if (node->kind == PlanKind::kAggregate) {
+      TopOp top;
+      top.is_aggregate = true;
+      top.agg = node->agg;
+      top.agg_ref = node->agg_attr;
+      tops_outer_first.push_back(std::move(top));
+      node = node->child.get();
+      continue;
+    }
+    if (node->kind == PlanKind::kProject) {
+      TopOp top;
+      top.project_refs = node->attrs;
+      tops_outer_first.push_back(std::move(top));
+      node = node->child.get();
+      continue;
+    }
+    break;
+  }
+  shape.tops.assign(tops_outer_first.rbegin(), tops_outer_first.rend());
+
+  // Body: selections and products over scans.
+  std::vector<std::string> aliases;
+  // Re-wrap the remaining subtree; find it in the original plan by
+  // walking the same chain again (node is a raw pointer into it).
+  PlanPtr body;
+  {
+    const PlanPtr* cur = &info.query;
+    while (cur->get() != node) {
+      cur = &(*cur)->child;
+    }
+    body = *cur;
+  }
+  URM_RETURN_NOT_OK(WalkBody(body, &shape, &aliases));
+  URM_CHECK_EQ(aliases.size(), info.instances.size());
+  return shape;
+}
+
+}  // namespace osharing
+}  // namespace urm

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "reformulation/target_query.h"
+
+/// \file query_shape.h
+/// Normal form of a target query for o-sharing: the operator inventory
+/// (selections, products, top projections/aggregates) with the
+/// commutativity the paper's reorder_op exploits made explicit —
+/// selections and products can run in any valid order; tops run last.
+
+namespace urm {
+namespace osharing {
+
+/// A Cartesian product operator: which instance sets it merges.
+struct ProductOp {
+  std::vector<std::string> left_instances;
+  std::vector<std::string> right_instances;
+};
+
+/// A top-of-plan unary operator (projection or aggregate), innermost
+/// first.
+struct TopOp {
+  bool is_aggregate = false;
+  std::vector<std::string> project_refs;  ///< projection attributes
+  algebra::AggKind agg = algebra::AggKind::kCount;
+  std::string agg_ref;  ///< SUM attribute ("" for COUNT)
+};
+
+/// \brief Decomposed target query.
+struct QueryShape {
+  std::vector<algebra::Predicate> selections;
+  std::vector<ProductOp> products;  ///< bottom-up order
+  std::vector<TopOp> tops;          ///< innermost first
+
+  /// Total operator count (= CountOperators of the original plan).
+  size_t NumOperators() const {
+    return selections.size() + products.size() + tops.size();
+  }
+};
+
+/// Decomposes an analyzed query. Fails (NotImplemented) when a
+/// projection or aggregate occurs below a product/selection — the
+/// paper's workload keeps them on top.
+Result<QueryShape> DecomposeQuery(const reformulation::TargetQueryInfo& info);
+
+}  // namespace osharing
+}  // namespace urm

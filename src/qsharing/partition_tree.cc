@@ -1,0 +1,73 @@
+#include "qsharing/partition_tree.h"
+
+#include "common/logging.h"
+
+namespace urm {
+namespace qsharing {
+
+using reformulation::SignatureSlot;
+using reformulation::TargetQueryInfo;
+
+Result<PartitionTree> PartitionTree::Build(
+    const TargetQueryInfo& info,
+    const std::vector<mapping::Mapping>& mappings) {
+  PartitionTree tree;
+  tree.root_ = std::make_unique<Node>();
+  tree.num_levels_ = info.slots.size() + 1;
+
+  for (const auto& m : mappings) {
+    // Walk the slots top-down (Algorithm 3's put), creating edges and
+    // nodes as needed. A required slot left unmapped sends the mapping
+    // to the unanswerable bucket.
+    Node* node = tree.root_.get();
+    bool unanswerable = false;
+    for (const SignatureSlot& slot : info.slots) {
+      auto target_attr = info.TargetAttrForRef(slot.ref);
+      if (!target_attr.ok()) return target_attr.status();
+      auto src = m.SourceFor(target_attr.ValueOrDie());
+      std::string label;
+      if (src.has_value()) {
+        label = *src;
+      } else if (slot.required) {
+        unanswerable = true;
+        break;
+      } else {
+        label = "-";  // cover-only attribute absent from this mapping
+      }
+      Node* child = nullptr;
+      for (auto& [edge_label, edge_child] : node->edges) {
+        if (edge_label == label) {
+          child = edge_child.get();
+          break;
+        }
+      }
+      if (child == nullptr) {
+        node->edges.emplace_back(label, std::make_unique<Node>());
+        child = node->edges.back().second.get();
+        tree.num_nodes_++;
+      }
+      node = child;
+    }
+
+    size_t bucket;
+    if (unanswerable) {
+      if (tree.unanswerable_index_ == npos) {
+        tree.unanswerable_index_ = tree.partitions_.size();
+        tree.partitions_.emplace_back();
+      }
+      bucket = tree.unanswerable_index_;
+    } else {
+      if (node->bucket == npos) {
+        node->bucket = tree.partitions_.size();
+        tree.partitions_.emplace_back();
+      }
+      bucket = node->bucket;
+    }
+    tree.partitions_[bucket].members.push_back(&m);
+    tree.partitions_[bucket].total_probability += m.probability();
+  }
+  return tree;
+}
+
+}  // namespace qsharing
+}  // namespace urm

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "reformulation/target_query.h"
+
+/// \file partition_tree.h
+/// The paper's partition tree (§IV-A, Algorithm 3): an (l+1)-level trie
+/// whose k-th level corresponds to the k-th target attribute of the
+/// query. Each edge is labeled with the source attribute a mapping
+/// matches that target attribute to; each leaf bucket collects a
+/// partition of mappings that reformulate the query identically.
+
+namespace urm {
+namespace qsharing {
+
+/// A leaf bucket: mappings inducing the same source query.
+struct MappingPartition {
+  std::vector<const mapping::Mapping*> members;
+  double total_probability = 0.0;
+
+  /// The representative mapping (paper: "an arbitrary mapping in P_j";
+  /// we pick the first inserted, deterministically).
+  const mapping::Mapping* representative() const { return members.front(); }
+};
+
+/// \brief Trie over the query's signature slots.
+class PartitionTree {
+ public:
+  /// Builds the tree by inserting every mapping (Algorithm 3's
+  /// partition routine). Levels follow `info.slots`; mappings that
+  /// cannot answer the query collect in a dedicated unanswerable
+  /// bucket.
+  static Result<PartitionTree> Build(
+      const reformulation::TargetQueryInfo& info,
+      const std::vector<mapping::Mapping>& mappings);
+
+  /// Leaf buckets, in insertion order. The unanswerable bucket (if
+  /// any) is last and flagged via `unanswerable_index()`.
+  const std::vector<MappingPartition>& partitions() const {
+    return partitions_;
+  }
+
+  /// Index of the unanswerable bucket, or npos.
+  size_t unanswerable_index() const { return unanswerable_index_; }
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// Number of internal trie nodes (exposed for tests/ablations).
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_levels() const { return num_levels_; }
+
+ private:
+  struct Node {
+    /// Outgoing edges: source-attribute label -> child. A leaf instead
+    /// carries a bucket index.
+    std::vector<std::pair<std::string, std::unique_ptr<Node>>> edges;
+    size_t bucket = npos;
+  };
+
+  PartitionTree() = default;
+
+  std::unique_ptr<Node> root_;
+  std::vector<MappingPartition> partitions_;
+  size_t unanswerable_index_ = npos;
+  size_t num_nodes_ = 1;
+  size_t num_levels_ = 0;
+};
+
+}  // namespace qsharing
+}  // namespace urm

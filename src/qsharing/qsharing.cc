@@ -1,0 +1,52 @@
+#include "qsharing/qsharing.h"
+
+#include "common/timer.h"
+
+namespace urm {
+namespace qsharing {
+
+using baselines::MethodResult;
+using baselines::WeightedMapping;
+
+std::vector<WeightedMapping> Represent(const PartitionTree& tree,
+                                       double* unanswerable_probability) {
+  std::vector<WeightedMapping> reps;
+  if (unanswerable_probability != nullptr) *unanswerable_probability = 0.0;
+  for (size_t i = 0; i < tree.partitions().size(); ++i) {
+    const MappingPartition& p = tree.partitions()[i];
+    if (i == tree.unanswerable_index()) {
+      if (unanswerable_probability != nullptr) {
+        *unanswerable_probability = p.total_probability;
+      }
+      continue;
+    }
+    reps.push_back(
+        WeightedMapping{p.representative(), p.total_probability});
+  }
+  return reps;
+}
+
+Result<MethodResult> RunQSharing(
+    const reformulation::TargetQueryInfo& info,
+    const std::vector<mapping::Mapping>& mappings,
+    const relational::Catalog& catalog,
+    const reformulation::Reformulator& reformulator) {
+  Timer timer;
+  auto tree = PartitionTree::Build(info, mappings);
+  if (!tree.ok()) return tree.status();
+  double unanswerable = 0.0;
+  std::vector<WeightedMapping> reps =
+      Represent(tree.ValueOrDie(), &unanswerable);
+  double partition_seconds = timer.Lap();
+
+  auto result = baselines::RunBasic(info, reps, catalog, reformulator);
+  if (!result.ok()) return result.status();
+  MethodResult out = std::move(result).ValueOrDie();
+  out.rewrite_seconds += partition_seconds;
+  out.partitions = tree.ValueOrDie().partitions().size();
+  if (unanswerable > 0.0) out.answers.AddNull(unanswerable);
+  return out;
+}
+
+}  // namespace qsharing
+}  // namespace urm

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/status.h"
+#include "qsharing/partition_tree.h"
+
+/// \file qsharing.h
+/// q-sharing (paper §IV, Algorithm 1): partition the mapping set with
+/// the partition tree, pick one representative mapping per partition
+/// (probability = the partition's total), then run basic over the
+/// representatives. Reformulation happens f times instead of h times,
+/// and each distinct source query executes once.
+
+namespace urm {
+namespace qsharing {
+
+/// Runs Algorithm 1. The unanswerable partition contributes the θ
+/// outcome directly.
+Result<baselines::MethodResult> RunQSharing(
+    const reformulation::TargetQueryInfo& info,
+    const std::vector<mapping::Mapping>& mappings,
+    const relational::Catalog& catalog,
+    const reformulation::Reformulator& reformulator);
+
+/// The represent routine (Algorithm 1, step 2), exposed for reuse by
+/// o-sharing and tests: one weighted representative per partition.
+/// The unanswerable partition (if present) is skipped; its probability
+/// is returned through `unanswerable_probability`.
+std::vector<baselines::WeightedMapping> Represent(
+    const PartitionTree& tree, double* unanswerable_probability);
+
+}  // namespace qsharing
+}  // namespace urm

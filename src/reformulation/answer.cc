@@ -1,0 +1,94 @@
+#include "reformulation/answer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace urm {
+namespace reformulation {
+
+using relational::HashRow;
+using relational::Row;
+using relational::RowLess;
+using relational::RowsEqual;
+
+void AnswerSet::Add(const Row& row, double prob) {
+  size_t h = HashRow(row);
+  auto it = index_.find(h);
+  if (it != index_.end()) {
+    for (size_t idx : it->second) {
+      if (RowsEqual(tuples_[idx].values, row)) {
+        tuples_[idx].probability += prob;
+        return;
+      }
+    }
+  }
+  index_[h].push_back(tuples_.size());
+  tuples_.push_back(AnswerTuple{row, prob});
+}
+
+double AnswerSet::TotalProbability() const {
+  double total = null_probability_;
+  for (const auto& t : tuples_) total += t.probability;
+  return total;
+}
+
+std::vector<AnswerTuple> AnswerSet::Sorted() const {
+  std::vector<AnswerTuple> out = tuples_;
+  std::sort(out.begin(), out.end(),
+            [](const AnswerTuple& a, const AnswerTuple& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return RowLess(a.values, b.values);
+            });
+  return out;
+}
+
+std::vector<AnswerTuple> AnswerSet::TopK(size_t k) const {
+  std::vector<AnswerTuple> out = Sorted();
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+bool AnswerSet::ApproxEquals(const AnswerSet& other, double eps) const {
+  if (std::fabs(null_probability_ - other.null_probability_) > eps) {
+    return false;
+  }
+  if (tuples_.size() != other.tuples_.size()) return false;
+  std::vector<AnswerTuple> a = Sorted(), b = other.Sorted();
+  // Sort by row (total order) to align tuples regardless of probability
+  // ties.
+  auto by_row = [](const AnswerTuple& x, const AnswerTuple& y) {
+    return RowLess(x.values, y.values);
+  };
+  std::sort(a.begin(), a.end(), by_row);
+  std::sort(b.begin(), b.end(), by_row);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowsEqual(a[i].values, b[i].values)) return false;
+    if (std::fabs(a[i].probability - b[i].probability) > eps) return false;
+  }
+  return true;
+}
+
+std::string AnswerSet::ToString(size_t max_rows) const {
+  std::string out = "(" + Join(column_names_, ", ") + ") [" +
+                    std::to_string(tuples_.size()) + " tuples, P(θ)=" +
+                    std::to_string(null_probability_) + "]\n";
+  auto sorted = Sorted();
+  size_t shown = std::min(max_rows, sorted.size());
+  for (size_t i = 0; i < shown; ++i) {
+    out += "  (";
+    for (size_t j = 0; j < sorted[i].values.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += sorted[i].values[j].ToString();
+    }
+    out += ") p=" + std::to_string(sorted[i].probability) + "\n";
+  }
+  if (shown < sorted.size()) out += "  ...\n";
+  return out;
+}
+
+}  // namespace reformulation
+}  // namespace urm

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+
+/// \file answer.h
+/// Probabilistic query answers: a set of (tuple, probability) pairs as
+/// defined in the paper's §III. Tuples produced under several mutually
+/// exclusive mappings accumulate their mappings' probabilities; the
+/// "no answer" outcome (the paper's null tuple θ) is tracked separately.
+
+namespace urm {
+namespace reformulation {
+
+/// One answer tuple with its accumulated probability.
+struct AnswerTuple {
+  relational::Row values;
+  double probability = 0.0;
+};
+
+/// \brief Accumulator and container for probabilistic answers.
+///
+/// Rows are compared by value (Value::operator==); answers are keyed on
+/// the target-level output layout, so rows produced through different
+/// mappings (different source attributes) merge when their values agree.
+class AnswerSet {
+ public:
+  AnswerSet() = default;
+  explicit AnswerSet(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  /// Accumulates `prob` onto the tuple equal to `row` (inserting it if
+  /// new).
+  void Add(const relational::Row& row, double prob);
+
+  /// Accumulates onto the θ (empty result) outcome.
+  void AddNull(double prob) { null_probability_ += prob; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  double null_probability() const { return null_probability_; }
+
+  /// Sum over tuples plus θ; ~1 for a complete evaluation.
+  double TotalProbability() const;
+
+  /// Tuples sorted by probability (descending), ties broken by row
+  /// order — a deterministic presentation.
+  std::vector<AnswerTuple> Sorted() const;
+
+  /// The k highest-probability tuples (ties broken deterministically).
+  std::vector<AnswerTuple> TopK(size_t k) const;
+
+  /// Value-equality within `eps` on probabilities, order-insensitive.
+  /// Used by tests to assert all evaluation methods agree.
+  bool ApproxEquals(const AnswerSet& other, double eps = 1e-9) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<AnswerTuple> tuples_;
+  std::unordered_map<size_t, std::vector<size_t>> index_;  // hash -> idx
+  double null_probability_ = 0.0;
+};
+
+}  // namespace reformulation
+}  // namespace urm

@@ -1,0 +1,153 @@
+#include "reformulation/target_query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "relational/schema.h"
+
+namespace urm {
+namespace reformulation {
+
+const char kUnanswerableSignature[] = "<unanswerable>";
+
+Result<const InstanceInfo*> TargetQueryInfo::InstanceForRef(
+    const std::string& ref) const {
+  std::string alias = relational::InstancePart(ref);
+  for (const auto& inst : instances) {
+    if (inst.alias == alias) return &inst;
+  }
+  return Status::NotFound("no instance for ref: " + ref);
+}
+
+Result<std::string> TargetQueryInfo::TargetAttrForRef(
+    const std::string& ref) const {
+  auto inst = InstanceForRef(ref);
+  if (!inst.ok()) return inst.status();
+  return inst.ValueOrDie()->table + "." + relational::AttributePart(ref);
+}
+
+Result<TargetQueryInfo> AnalyzeTargetQuery(
+    const algebra::PlanPtr& query,
+    const matching::SchemaDef& target_schema) {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  TargetQueryInfo info;
+  info.query = query;
+
+  // Instances from scans.
+  for (const algebra::PlanNode* scan : algebra::CollectScans(query)) {
+    if (scan->alias.empty()) {
+      return Status::InvalidArgument(
+          "target scans must carry an instance alias: " + scan->table);
+    }
+    if (info.alias_to_table.count(scan->alias) > 0) {
+      return Status::InvalidArgument("duplicate scan alias: " + scan->alias);
+    }
+    auto table = target_schema.GetTable(scan->table);
+    if (!table.ok()) return table.status();
+    info.alias_to_table[scan->alias] = scan->table;
+    InstanceInfo inst;
+    inst.alias = scan->alias;
+    inst.table = scan->table;
+    info.instances.push_back(std::move(inst));
+  }
+  if (info.instances.empty()) {
+    return Status::InvalidArgument("query scans no target table");
+  }
+
+  // Referenced attributes, validated and attributed to instances.
+  const auto refs = algebra::ReferencedAttributes(query);
+  for (const auto& ref : refs) {
+    std::string alias = relational::InstancePart(ref);
+    std::string attr = relational::AttributePart(ref);
+    if (alias.empty()) {
+      return Status::InvalidArgument(
+          "attribute references must be alias-qualified: " + ref);
+    }
+    bool found = false;
+    for (auto& inst : info.instances) {
+      if (inst.alias != alias) continue;
+      found = true;
+      auto table = target_schema.GetTable(inst.table).ValueOrDie();
+      if (std::find(table.attributes.begin(), table.attributes.end(),
+                    attr) == table.attributes.end()) {
+        return Status::NotFound("attribute " + attr + " not in table " +
+                                inst.table);
+      }
+      if (std::find(inst.referenced.begin(), inst.referenced.end(), attr) ==
+          inst.referenced.end()) {
+        inst.referenced.push_back(attr);
+      }
+    }
+    if (!found) {
+      return Status::NotFound("reference to unknown alias: " + ref);
+    }
+  }
+
+  // Needed attributes (covers): referenced, or the whole table for bare
+  // instances.
+  for (auto& inst : info.instances) {
+    if (inst.referenced.empty()) {
+      inst.bare = true;
+      inst.needed =
+          target_schema.GetTable(inst.table).ValueOrDie().attributes;
+    } else {
+      inst.needed = inst.referenced;
+    }
+  }
+
+  // Output layout.
+  const algebra::PlanNode* root = query.get();
+  while (root->kind == algebra::PlanKind::kDistinct) {
+    root = root->child.get();
+  }
+  if (root->kind == algebra::PlanKind::kAggregate) {
+    info.is_aggregate = true;
+    info.output_refs = {root->agg == algebra::AggKind::kCount ? "count"
+                                                              : "sum"};
+  } else if (root->kind == algebra::PlanKind::kProject) {
+    info.output_refs = root->attrs;
+  } else {
+    info.output_refs = refs;  // select-only: the interesting attributes
+  }
+  if (info.output_refs.empty()) {
+    return Status::InvalidArgument(
+        "query has no output attributes (no projection, aggregation, or "
+        "referenced attribute)");
+  }
+
+  // Signature slots: referenced refs first (required), then the
+  // cover-only attributes of bare instances (optional).
+  for (const auto& inst : info.instances) {
+    for (const auto& attr : inst.referenced) {
+      info.slots.push_back(SignatureSlot{inst.alias + "." + attr, true});
+    }
+  }
+  for (const auto& inst : info.instances) {
+    if (!inst.bare) continue;
+    for (const auto& attr : inst.needed) {
+      info.slots.push_back(SignatureSlot{inst.alias + "." + attr, false});
+    }
+  }
+  return info;
+}
+
+std::string MappingSignature(const TargetQueryInfo& info,
+                             const mapping::Mapping& m) {
+  std::string sig;
+  for (const auto& slot : info.slots) {
+    auto target_attr = info.TargetAttrForRef(slot.ref);
+    URM_CHECK(target_attr.ok()) << target_attr.status().ToString();
+    auto src = m.SourceFor(target_attr.ValueOrDie());
+    if (!src.has_value()) {
+      if (slot.required) return kUnanswerableSignature;
+      sig += "-|";
+      continue;
+    }
+    sig += *src;
+    sig += "|";
+  }
+  return sig;
+}
+
+}  // namespace reformulation
+}  // namespace urm

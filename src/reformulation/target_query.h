@@ -1,0 +1,85 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "matching/schema_def.h"
+
+/// \file target_query.h
+/// Static analysis of a target query: which target-table *instances* it
+/// scans (self-joins give a table several aliased instances), which
+/// target attributes each instance needs, what the answer layout is,
+/// and the ordered "signature slots" that determine when two mappings
+/// reformulate the query identically (the backbone of q-sharing's
+/// partition tree and o-sharing's operator partitioning).
+
+namespace urm {
+namespace reformulation {
+
+/// One aliased occurrence of a target table in the query.
+struct InstanceInfo {
+  std::string alias;  ///< e.g. "po1" (scan alias; qualifies attr refs)
+  std::string table;  ///< target table, e.g. "PO"
+  /// Unqualified target attributes referenced through this alias, in
+  /// first-occurrence order.
+  std::vector<std::string> referenced;
+  /// Attributes whose source covers must be materialized: `referenced`,
+  /// or — for a *bare* instance that no operator touches — all the
+  /// table's attributes (paper §VI-B binary Case 3).
+  std::vector<std::string> needed;
+  bool bare = false;
+};
+
+/// One entry of the reformulation signature: a qualified target ref and
+/// whether the query *requires* it to be mapped (predicate/projection
+/// attributes do; cover-only attributes of bare instances do not).
+struct SignatureSlot {
+  std::string ref;  ///< "alias.attr"
+  bool required = true;
+};
+
+/// \brief The analysis result; immutable once built.
+struct TargetQueryInfo {
+  algebra::PlanPtr query;
+  std::vector<InstanceInfo> instances;
+  std::map<std::string, std::string> alias_to_table;
+  /// Answer columns, target-level: the root projection's attributes, or
+  /// a single aggregate column, or (select-only queries) the referenced
+  /// attributes in first-occurrence order.
+  std::vector<std::string> output_refs;
+  bool is_aggregate = false;
+  std::vector<SignatureSlot> slots;
+
+  /// The instance owning a qualified ref; Status if the alias is
+  /// unknown.
+  Result<const InstanceInfo*> InstanceForRef(const std::string& ref) const;
+
+  /// Target schema attribute ("Table.attr") for a query ref
+  /// ("alias.attr").
+  Result<std::string> TargetAttrForRef(const std::string& ref) const;
+};
+
+/// Analyzes `query` against `target_schema`. Fails when a scan names an
+/// unknown table, aliases collide, a referenced attribute does not
+/// exist, or an attribute reference is not alias-qualified.
+Result<TargetQueryInfo> AnalyzeTargetQuery(
+    const algebra::PlanPtr& query,
+    const matching::SchemaDef& target_schema);
+
+/// Signature of `m` over `slots`: the concatenated source attributes
+/// that `m` assigns to each slot. Two mappings with equal signatures
+/// reformulate the query to the identical source query. A required slot
+/// left unmapped collapses the signature to the distinguished
+/// "unanswerable" value (such mappings yield the empty answer).
+std::string MappingSignature(const TargetQueryInfo& info,
+                             const mapping::Mapping& m);
+
+/// The distinguished signature of mappings that cannot answer the query.
+extern const char kUnanswerableSignature[];
+
+}  // namespace reformulation
+}  // namespace urm

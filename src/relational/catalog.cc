@@ -1,0 +1,52 @@
+#include "relational/catalog.h"
+
+namespace urm {
+namespace relational {
+
+Status Catalog::Register(const std::string& name, RelationPtr relation) {
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation already registered: " + name);
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::OK();
+}
+
+void Catalog::Put(const std::string& name, RelationPtr relation) {
+  relations_[name] = std::move(relation);
+}
+
+Result<RelationPtr> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t Catalog::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, rel] : relations_) {
+    bytes += rel->ApproxBytes();
+  }
+  return bytes;
+}
+
+size_t Catalog::TotalRows() const {
+  size_t rows = 0;
+  for (const auto& [name, rel] : relations_) {
+    rows += rel->num_rows();
+  }
+  return rows;
+}
+
+}  // namespace relational
+}  // namespace urm

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+/// \file catalog.h
+/// The source instance `D`: a named collection of materialized relations.
+
+namespace urm {
+namespace relational {
+
+/// \brief Named relation store; the paper's source instance `D`.
+///
+/// Relation names are the *source relation* names ("customer", "orders",
+/// ...). Instanced/aliased access (e.g. two copies for a self-join) is
+/// handled above this layer by renaming columns, not here.
+class Catalog {
+ public:
+  /// Registers a relation. Fails if the name is taken.
+  Status Register(const std::string& name, RelationPtr relation);
+
+  /// Replaces or inserts a relation.
+  void Put(const std::string& name, RelationPtr relation);
+
+  /// Looks up a relation by name.
+  Result<RelationPtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Sorted list of registered relation names.
+  std::vector<std::string> Names() const;
+
+  /// Total approximate size of all relations in bytes.
+  size_t ApproxBytes() const;
+
+  /// Total number of tuples across relations.
+  size_t TotalRows() const;
+
+ private:
+  std::map<std::string, RelationPtr> relations_;
+};
+
+}  // namespace relational
+}  // namespace urm

@@ -1,0 +1,163 @@
+#include "relational/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace urm {
+namespace relational {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char separator) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) {
+        return Status::InvalidArgument(
+            "quote inside unquoted field: " + line);
+      }
+      in_quotes = true;
+    } else if (c == separator) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
+
+std::string QuoteField(const std::string& field, char separator) {
+  bool needs_quotes =
+      field.find(separator) != std::string::npos ||
+      field.find('"') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Value ConvertField(const std::string& field, ValueType type) {
+  if (type == ValueType::kString) return Value(field);
+  if (field.empty()) return Value::Null();
+  char* end = nullptr;
+  if (type == ValueType::kInt64) {
+    long long v = std::strtoll(field.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return Value::Null();
+    return Value(static_cast<int64_t>(v));
+  }
+  double d = std::strtod(field.c_str(), &end);
+  if (end == nullptr || *end != '\0') return Value::Null();
+  return Value(d);
+}
+
+}  // namespace
+
+std::string FormatCsvLine(const Row& row, char separator) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(separator);
+    if (!row[i].is_null()) {
+      out += QuoteField(row[i].ToString(), separator);
+    }
+  }
+  return out;
+}
+
+Result<Relation> ReadCsv(std::istream& in, const RelationSchema& schema,
+                         const CsvOptions& options) {
+  Relation out(schema);
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first && options.header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line, options.separator);
+    if (!fields.ok()) return fields.status();
+    if (fields.ValueOrDie().size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": " +
+          std::to_string(fields.ValueOrDie().size()) + " fields, schema "
+          "expects " + std::to_string(schema.num_columns()));
+    }
+    Row row;
+    row.reserve(schema.num_columns());
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      row.push_back(
+          ConvertField(fields.ValueOrDie()[i], schema.column(i).type));
+    }
+    URM_RETURN_NOT_OK(out.AddRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const RelationSchema& schema,
+                             const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  return ReadCsv(in, schema, options);
+}
+
+Status WriteCsv(const Relation& relation, std::ostream& out,
+                const CsvOptions& options) {
+  if (options.header) {
+    std::string header;
+    for (size_t i = 0; i < relation.schema().num_columns(); ++i) {
+      if (i > 0) header.push_back(options.separator);
+      header += QuoteField(relation.schema().column(i).name,
+                           options.separator);
+    }
+    out << header << "\n";
+  }
+  for (const Row& row : relation.rows()) {
+    out << FormatCsvLine(row, options.separator) << "\n";
+  }
+  if (!out.good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot create file: " + path);
+  }
+  return WriteCsv(relation, out, options);
+}
+
+}  // namespace relational
+}  // namespace urm

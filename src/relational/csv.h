@@ -1,0 +1,54 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+/// \file csv.h
+/// CSV import/export for relations, so users can run the probabilistic
+/// query engine over their own source instances instead of the built-in
+/// generator. Dialect: comma separator, double-quote quoting with ""
+/// escapes, one record per line, no embedded newlines.
+
+namespace urm {
+namespace relational {
+
+struct CsvOptions {
+  char separator = ',';
+  /// When reading: skip the first line (column headers). When writing:
+  /// emit a header line with the qualified column names.
+  bool header = true;
+};
+
+/// Parses one CSV line into raw fields (quoting handled; no type
+/// conversion). Exposed for tests.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char separator);
+
+/// Renders one row as a CSV line (NULL -> empty field; fields
+/// containing the separator or quotes are quoted).
+std::string FormatCsvLine(const Row& row, char separator);
+
+/// Reads a relation from a stream. Fields are converted per the schema
+/// column types (kInt64/kDouble parsed; unparseable or empty fields
+/// become NULL; kString taken verbatim). Fails on arity mismatches.
+Result<Relation> ReadCsv(std::istream& in, const RelationSchema& schema,
+                         const CsvOptions& options = CsvOptions());
+
+/// Reads a relation from a file.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const RelationSchema& schema,
+                             const CsvOptions& options = CsvOptions());
+
+/// Writes a relation to a stream.
+Status WriteCsv(const Relation& relation, std::ostream& out,
+                const CsvOptions& options = CsvOptions());
+
+/// Writes a relation to a file.
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options = CsvOptions());
+
+}  // namespace relational
+}  // namespace urm

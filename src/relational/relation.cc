@@ -1,0 +1,155 @@
+#include "relational/relation.h"
+
+#include <unordered_set>
+
+#include "common/hash_util.h"
+#include "common/logging.h"
+
+namespace urm {
+namespace relational {
+
+size_t HashRow(const Row& row) {
+  size_t seed = 0x51ed270b;
+  for (const Value& v : row) {
+    HashCombine(seed, v.Hash());
+  }
+  return seed;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+std::vector<Row>* Relation::MutableRows() {
+  if (rows_.use_count() > 1) {
+    rows_ = std::make_shared<std::vector<Row>>(*rows_);
+  }
+  return rows_.get();
+}
+
+Status Relation::AddRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  MutableRows()->push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Relation> Relation::WithSchema(RelationSchema schema) const {
+  if (schema.num_columns() != schema_.num_columns()) {
+    return Status::InvalidArgument("WithSchema arity mismatch");
+  }
+  Relation out = *this;
+  out.schema_ = std::move(schema);
+  return out;
+}
+
+namespace {
+
+struct RowRefHash {
+  const std::vector<Row>* rows;
+  size_t operator()(size_t i) const { return HashRow((*rows)[i]); }
+};
+
+struct RowRefEq {
+  const std::vector<Row>* rows;
+  bool operator()(size_t a, size_t b) const {
+    return RowsEqual((*rows)[a], (*rows)[b]);
+  }
+};
+
+}  // namespace
+
+Relation Relation::Distinct() const {
+  Relation out(schema_);
+  const std::vector<Row>& in = rows();
+  std::unordered_set<size_t, RowRefHash, RowRefEq> seen(
+      16, RowRefHash{&in}, RowRefEq{&in});
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (seen.insert(i).second) {
+      URM_CHECK_OK(out.AddRow(in[i]));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Relation::Project(
+    const std::vector<std::string>& names) const {
+  auto sub = schema_.Select(names);
+  if (!sub.ok()) return sub.status();
+  std::vector<size_t> idx;
+  idx.reserve(names.size());
+  for (const auto& n : names) {
+    idx.push_back(*schema_.IndexOf(n));
+  }
+  Relation out(std::move(sub).ValueOrDie());
+  out.Reserve(num_rows());
+  for (const Row& r : rows()) {
+    Row proj;
+    proj.reserve(idx.size());
+    for (size_t i : idx) proj.push_back(r[i]);
+    URM_CHECK_OK(out.AddRow(std::move(proj)));
+  }
+  return out;
+}
+
+Result<Relation> Relation::Product(const Relation& other) const {
+  auto schema = schema_.Concat(other.schema_);
+  if (!schema.ok()) return schema.status();
+  Relation out(std::move(schema).ValueOrDie());
+  out.Reserve(num_rows() * other.num_rows());
+  for (const Row& a : rows()) {
+    for (const Row& b : other.rows()) {
+      Row combined = a;
+      combined.insert(combined.end(), b.begin(), b.end());
+      URM_CHECK_OK(out.AddRow(std::move(combined)));
+    }
+  }
+  return out;
+}
+
+size_t Relation::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Row& r : rows()) {
+    for (const Value& v : r) {
+      bytes += 8;
+      if (v.type() == ValueType::kString) bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += " [" + std::to_string(num_rows()) + " rows]\n";
+  size_t shown = std::min(max_rows, num_rows());
+  for (size_t i = 0; i < shown; ++i) {
+    out += "  ";
+    const Row& r = rows()[i];
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (j > 0) out += " | ";
+      out += r[j].ToString();
+    }
+    out += "\n";
+  }
+  if (shown < num_rows()) out += "  ...\n";
+  return out;
+}
+
+}  // namespace relational
+}  // namespace urm

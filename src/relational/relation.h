@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+/// \file relation.h
+/// Row-oriented in-memory relations. Relations are the unit of exchange
+/// between the algebra evaluator, the o-sharing e-units, and the answer
+/// aggregators. Row storage is shared copy-on-write so that renaming a
+/// relation's columns (aliased scans) is O(schema), not O(rows).
+
+namespace urm {
+namespace relational {
+
+using Row = std::vector<Value>;
+
+/// \brief A materialized relation: schema plus shared row storage.
+class Relation {
+ public:
+  Relation() : rows_(std::make_shared<std::vector<Row>>()) {}
+  explicit Relation(RelationSchema schema)
+      : schema_(std::move(schema)),
+        rows_(std::make_shared<std::vector<Row>>()) {}
+  Relation(RelationSchema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)),
+        rows_(std::make_shared<std::vector<Row>>(std::move(rows))) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return *rows_; }
+  size_t num_rows() const { return rows_->size(); }
+  bool empty() const { return rows_->empty(); }
+
+  /// Appends a row; fails if the arity does not match the schema.
+  /// Copies shared storage first if needed (copy-on-write).
+  Status AddRow(Row row);
+
+  /// Reserves row storage.
+  void Reserve(size_t n) { MutableRows()->reserve(n); }
+
+  /// Same rows under a different schema (column rename). O(1) in rows.
+  /// The new schema must have the same arity.
+  Result<Relation> WithSchema(RelationSchema schema) const;
+
+  /// Relation with duplicate rows removed (order of first occurrence).
+  Relation Distinct() const;
+
+  /// Rows projected to the given columns (resolvable names), duplicates
+  /// preserved.
+  Result<Relation> Project(const std::vector<std::string>& names) const;
+
+  /// Cartesian product with `other`.
+  Result<Relation> Product(const Relation& other) const;
+
+  /// Approximate in-memory footprint in bytes (used for |D| sizing).
+  size_t ApproxBytes() const;
+
+  /// Multi-line debug rendering, capped at `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<Row>* MutableRows();
+
+  RelationSchema schema_;
+  std::shared_ptr<std::vector<Row>> rows_;
+};
+
+using RelationPtr = std::shared_ptr<const Relation>;
+
+/// Hash of a full row, consistent with row equality via Value::operator==.
+size_t HashRow(const Row& row);
+
+/// Row equality via Value::operator==.
+bool RowsEqual(const Row& a, const Row& b);
+
+/// Deterministic total order over rows (for stable output).
+bool RowLess(const Row& a, const Row& b);
+
+}  // namespace relational
+}  // namespace urm

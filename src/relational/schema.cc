@@ -1,0 +1,92 @@
+#include "relational/schema.h"
+
+#include "common/logging.h"
+
+namespace urm {
+namespace relational {
+
+std::string AttributePart(const std::string& qualified) {
+  size_t pos = qualified.rfind('.');
+  if (pos == std::string::npos) return qualified;
+  return qualified.substr(pos + 1);
+}
+
+std::string InstancePart(const std::string& qualified) {
+  size_t pos = qualified.rfind('.');
+  if (pos == std::string::npos) return "";
+  return qualified.substr(0, pos);
+}
+
+std::optional<size_t> RelationSchema::IndexOf(const std::string& name) const {
+  // Exact qualified match first.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  // Unqualified match, required unique.
+  if (name.find('.') == std::string::npos) {
+    std::optional<size_t> found;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (AttributePart(columns_[i].name) == name) {
+        if (found.has_value()) return std::nullopt;  // ambiguous
+        found = i;
+      }
+    }
+    return found;
+  }
+  return std::nullopt;
+}
+
+bool RelationSchema::ContainsAll(
+    const std::vector<std::string>& names) const {
+  for (const auto& n : names) {
+    if (!IndexOf(n).has_value()) return false;
+  }
+  return true;
+}
+
+Status RelationSchema::AddColumn(ColumnDef column) {
+  for (const auto& c : columns_) {
+    if (c.name == column.name) {
+      return Status::AlreadyExists("duplicate column: " + column.name);
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<RelationSchema> RelationSchema::Concat(
+    const RelationSchema& other) const {
+  RelationSchema out = *this;
+  for (const auto& c : other.columns_) {
+    URM_RETURN_NOT_OK(out.AddColumn(c));
+  }
+  return out;
+}
+
+Result<RelationSchema> RelationSchema::Select(
+    const std::vector<std::string>& names) const {
+  RelationSchema out;
+  for (const auto& n : names) {
+    auto idx = IndexOf(n);
+    if (!idx.has_value()) {
+      return Status::NotFound("column not found or ambiguous: " + n);
+    }
+    URM_RETURN_NOT_OK(out.AddColumn(columns_[*idx]));
+  }
+  return out;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace relational
+}  // namespace urm

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+/// \file schema.h
+/// Relation schemas. Column names are *qualified* as
+/// "<instance>.<attribute>" (e.g. "customer.c_phone", or "po1.telephone"
+/// for an aliased self-join instance); unqualified lookup succeeds when
+/// the attribute part is unambiguous.
+
+namespace urm {
+namespace relational {
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;  ///< qualified "<instance>.<attribute>"
+  ValueType type = ValueType::kString;
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Returns the attribute part of a qualified name ("a.b" -> "b").
+std::string AttributePart(const std::string& qualified);
+/// Returns the instance part ("a.b" -> "a"; "" when unqualified).
+std::string InstancePart(const std::string& qualified);
+
+/// \brief Ordered list of columns describing a relation's shape.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  explicit RelationSchema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of a column. Accepts a fully-qualified name, or an
+  /// unqualified attribute name when exactly one column matches.
+  /// Returns nullopt when absent or ambiguous.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// True iff every name in `names` resolves.
+  bool ContainsAll(const std::vector<std::string>& names) const;
+
+  /// Appends a column; fails on duplicate qualified name.
+  Status AddColumn(ColumnDef column);
+
+  /// Schema of `this` concatenated with `other` (Cartesian product shape).
+  /// Fails on qualified-name collision.
+  Result<RelationSchema> Concat(const RelationSchema& other) const;
+
+  /// Schema restricted to the given (resolvable) columns, in order.
+  Result<RelationSchema> Select(const std::vector<std::string>& names) const;
+
+  bool operator==(const RelationSchema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// e.g. "(customer.c_name:STRING, customer.c_phone:STRING)"
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace relational
+}  // namespace urm

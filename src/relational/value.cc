@@ -1,0 +1,114 @@
+#include "relational/value.h"
+
+#include <cmath>
+
+#include "common/hash_util.h"
+#include "common/logging.h"
+
+namespace urm {
+namespace relational {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<std::monostate>(repr_)) return ValueType::kNull;
+  if (std::holds_alternative<int64_t>(repr_)) return ValueType::kInt64;
+  if (std::holds_alternative<double>(repr_)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+int64_t Value::AsInt64() const {
+  URM_CHECK(std::holds_alternative<int64_t>(repr_)) << "not an int64";
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  URM_CHECK(std::holds_alternative<double>(repr_)) << "not a double";
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  URM_CHECK(std::holds_alternative<std::string>(repr_)) << "not a string";
+  return std::get<std::string>(repr_);
+}
+
+double Value::NumericValue() const {
+  if (std::holds_alternative<int64_t>(repr_)) {
+    return static_cast<double>(std::get<int64_t>(repr_));
+  }
+  URM_CHECK(std::holds_alternative<double>(repr_)) << "not numeric";
+  return std::get<double>(repr_);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    return NumericValue() == other.NumericValue();
+  }
+  if (type() != other.type()) return false;
+  return std::get<std::string>(repr_) == std::get<std::string>(other.repr_);
+}
+
+bool Value::operator<(const Value& other) const {
+  // NULL < numeric < string; numerics compare numerically.
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb;
+  if (ra == 0) return false;  // NULL == NULL
+  if (ra == 1) return NumericValue() < other.NumericValue();
+  return std::get<std::string>(repr_) < std::get<std::string>(other.repr_);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kInt64:
+      // Hash via the numeric (double) view so 2 and 2.0 collide, matching
+      // operator==.
+      return std::hash<double>()(static_cast<double>(std::get<int64_t>(repr_)));
+    case ValueType::kDouble:
+      return std::hash<double>()(std::get<double>(repr_));
+    case ValueType::kString:
+      return static_cast<size_t>(Fnv1a(std::get<std::string>(repr_)));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(repr_));
+    case ValueType::kDouble: {
+      double d = std::get<double>(repr_);
+      if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        return std::to_string(static_cast<int64_t>(d)) + ".0";
+      }
+      return std::to_string(d);
+    }
+    case ValueType::kString:
+      return std::get<std::string>(repr_);
+  }
+  return "?";
+}
+
+}  // namespace relational
+}  // namespace urm

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+/// \file value.h
+/// Dynamically-typed cell values for the in-memory relational engine.
+
+namespace urm {
+namespace relational {
+
+/// Column/value type tags.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// \brief A single cell: NULL, 64-bit integer, double, or string.
+///
+/// Ordering is defined within numeric types (int64 and double compare
+/// numerically with each other) and within strings; NULL compares less
+/// than everything and equal to itself (total order, used for sorting
+/// and grouping — predicate evaluation treats NULL comparisons as false,
+/// see Predicate::Matches).
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  /// Implicit constructors keep call sites (tests, generators) readable.
+  Value(int64_t v) : repr_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : repr_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(double v) : repr_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(repr_);
+  }
+  ValueType type() const;
+
+  /// Typed accessors; check-fail on type mismatch.
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: int64 or double as double. Check-fails otherwise.
+  double NumericValue() const;
+
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt64 || t == ValueType::kDouble;
+  }
+
+  /// SQL-ish equality: numerics compare numerically across int/double;
+  /// NULL == NULL is true under this total order (grouping semantics).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order used for deterministic output sorting.
+  bool operator<(const Value& other) const;
+
+  /// Stable hash consistent with operator== (used for dedup/grouping).
+  size_t Hash() const;
+
+  /// Display form: NULL renders as "NULL"; strings unquoted.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace relational
+}  // namespace urm

@@ -1,0 +1,143 @@
+#include "topk/threshold.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "qsharing/qsharing.h"
+
+namespace urm {
+namespace topk {
+
+using baselines::WeightedMapping;
+using relational::HashRow;
+using relational::Row;
+using relational::RowsEqual;
+
+namespace {
+
+class ThresholdSink : public osharing::LeafVisitor {
+ public:
+  ThresholdSink(double threshold, double total_mass)
+      : threshold_(threshold), remaining_(total_mass) {}
+
+  bool OnLeaf(const std::vector<Row>& rows, double probability) override {
+    for (const Row& row : rows) {
+      AddMass(row, probability);
+    }
+    remaining_ -= probability;
+    if (remaining_ < 0.0) remaining_ = 0.0;
+    if (CanStop()) {
+      stopped_early_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  void DiscountUpfront(double probability) {
+    remaining_ -= probability;
+    if (remaining_ < 0.0) remaining_ = 0.0;
+  }
+
+  bool CanStop() const {
+    // New tuples could still qualify.
+    if (remaining_ + kEps >= threshold_) return false;
+    // Seen tuples that are neither confirmed nor pruned keep us going.
+    for (const auto& e : entries_) {
+      bool confirmed = e.lb + kEps >= threshold_;
+      bool pruned = e.lb + remaining_ + kEps < threshold_;
+      if (!confirmed && !pruned) return false;
+    }
+    return true;
+  }
+
+  bool stopped_early() const { return stopped_early_; }
+
+  std::vector<ThresholdEntry> Extract() const {
+    std::vector<ThresholdEntry> out;
+    for (const auto& e : entries_) {
+      if (e.lb + kEps >= threshold_) {
+        out.push_back(ThresholdEntry{e.values, e.lb, e.lb + remaining_});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ThresholdEntry& a, const ThresholdEntry& b) {
+                if (a.lower_bound != b.lower_bound) {
+                  return a.lower_bound > b.lower_bound;
+                }
+                return relational::RowLess(a.values, b.values);
+              });
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Row values;
+    double lb = 0.0;
+  };
+
+  static constexpr double kEps = 1e-12;
+
+  void AddMass(const Row& row, double probability) {
+    size_t h = HashRow(row);
+    auto it = index_.find(h);
+    if (it != index_.end()) {
+      for (size_t idx : it->second) {
+        if (RowsEqual(entries_[idx].values, row)) {
+          entries_[idx].lb += probability;
+          return;
+        }
+      }
+    }
+    index_[h].push_back(entries_.size());
+    entries_.push_back(Entry{row, probability});
+  }
+
+  double threshold_;
+  double remaining_;
+  bool stopped_early_ = false;
+  std::vector<Entry> entries_;
+  std::unordered_map<size_t, std::vector<size_t>> index_;
+};
+
+}  // namespace
+
+Result<ThresholdResult> RunThreshold(
+    const reformulation::TargetQueryInfo& info,
+    const std::vector<mapping::Mapping>& mappings,
+    const relational::Catalog& catalog, double threshold,
+    const osharing::OSharingOptions& options) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  Timer timer;
+  ThresholdResult result;
+
+  auto tree = qsharing::PartitionTree::Build(info, mappings);
+  if (!tree.ok()) return tree.status();
+  double unanswerable = 0.0;
+  std::vector<WeightedMapping> reps =
+      qsharing::Represent(tree.ValueOrDie(), &unanswerable);
+
+  double total = unanswerable;
+  for (const auto& r : reps) total += r.probability;
+
+  osharing::OSharingOptions engine_options = options;
+  engine_options.visit_partitions_by_probability = true;
+  osharing::OSharingEngine engine(info, catalog, engine_options);
+  URM_RETURN_NOT_OK(engine.Init());
+
+  ThresholdSink sink(threshold, total);
+  sink.DiscountUpfront(unanswerable);
+  URM_RETURN_NOT_OK(engine.Run(reps, &sink));
+
+  result.tuples = sink.Extract();
+  result.early_terminated = sink.stopped_early();
+  result.leaves_visited = engine.leaves_visited();
+  result.stats = engine.stats();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace topk
+}  // namespace urm

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "algebra/evaluate.h"
+#include "common/status.h"
+#include "osharing/engine.h"
+
+/// \file threshold.h
+/// Probability-threshold queries: return every answer tuple whose
+/// probability is at least `p`. The paper motivates top-k with "a user
+/// can require a query to only return answers with a high confidence";
+/// threshold queries are the other standard confidence filter in
+/// probabilistic databases (cited as [19] in the paper). The evaluation
+/// reuses the u-trace bounds: a tuple is *confirmed* once its lower
+/// bound reaches p, *pruned* once lower bound + unexplored mass falls
+/// below p, and the scan stops when the unexplored mass cannot qualify
+/// a new tuple and no seen tuple is undecided.
+
+namespace urm {
+namespace topk {
+
+struct ThresholdEntry {
+  relational::Row values;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+};
+
+struct ThresholdResult {
+  /// Tuples with Pr >= threshold, by lower bound descending.
+  std::vector<ThresholdEntry> tuples;
+  bool early_terminated = false;
+  size_t leaves_visited = 0;
+  algebra::EvalStats stats;
+  double seconds = 0.0;
+};
+
+/// Evaluates a probability-threshold query over the mapping set.
+/// `threshold` must lie in (0, 1].
+Result<ThresholdResult> RunThreshold(
+    const reformulation::TargetQueryInfo& info,
+    const std::vector<mapping::Mapping>& mappings,
+    const relational::Catalog& catalog, double threshold,
+    const osharing::OSharingOptions& options = osharing::OSharingOptions());
+
+}  // namespace topk
+}  // namespace urm

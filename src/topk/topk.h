@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "algebra/evaluate.h"
+#include "common/status.h"
+#include "osharing/engine.h"
+#include "qsharing/partition_tree.h"
+
+/// \file topk.h
+/// Probabilistic top-k queries (paper §VII, Algorithm 4): return the k
+/// tuples with the highest probabilities without computing exact
+/// probabilities. The u-trace is explored partition-by-partition in
+/// descending probability mass; every answer tuple carries a lower
+/// bound (probability mass seen so far) and an upper bound (lower bound
+/// plus unexplored mass). Traversal stops as soon as no tuple outside
+/// the current top k — nor any unseen tuple — can overtake the k-th
+/// lower bound.
+
+namespace urm {
+namespace topk {
+
+struct TopKOptions {
+  /// Operator selection strategy etc.
+  osharing::OSharingOptions osharing;
+  /// Visit partitions in descending probability-mass order (the default;
+  /// pruning fires earliest this way). Disabling it is an ablation knob:
+  /// the answers stay correct but far fewer e-units are skipped.
+  bool order_partitions_by_probability = true;
+};
+
+/// One reported tuple with its probability bounds. The exact
+/// probability lies in [lower_bound, upper_bound].
+struct TopKEntry {
+  relational::Row values;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+};
+
+struct TopKResult {
+  std::vector<TopKEntry> tuples;  ///< best k, by lower bound descending
+  bool early_terminated = false;  ///< true when pruning stopped the scan
+  size_t leaves_visited = 0;
+  algebra::EvalStats stats;
+  double seconds = 0.0;
+};
+
+/// Runs Algorithm 4.
+Result<TopKResult> RunTopK(const reformulation::TargetQueryInfo& info,
+                           const std::vector<mapping::Mapping>& mappings,
+                           const relational::Catalog& catalog, size_t k,
+                           const TopKOptions& options = TopKOptions());
+
+}  // namespace topk
+}  // namespace urm

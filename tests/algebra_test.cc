@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "algebra/evaluate.h"
+#include "algebra/optimize.h"
+#include "algebra/plan.h"
+#include "common/logging.h"
+#include "relational/catalog.h"
+
+namespace urm {
+namespace algebra {
+namespace {
+
+using relational::Catalog;
+using relational::ColumnDef;
+using relational::Relation;
+using relational::RelationSchema;
+using relational::Value;
+using relational::ValueType;
+
+Catalog SmallCatalog() {
+  Catalog catalog;
+  {
+    RelationSchema s;
+    URM_CHECK_OK(s.AddColumn({"r.id", ValueType::kString}));
+    URM_CHECK_OK(s.AddColumn({"r.v", ValueType::kInt64}));
+    Relation r(s);
+    URM_CHECK_OK(r.AddRow({"a", 1}));
+    URM_CHECK_OK(r.AddRow({"b", 2}));
+    URM_CHECK_OK(r.AddRow({"c", 2}));
+    URM_CHECK_OK(catalog.Register(
+        "r", std::make_shared<const Relation>(std::move(r))));
+  }
+  {
+    RelationSchema s;
+    URM_CHECK_OK(s.AddColumn({"s.id", ValueType::kString}));
+    URM_CHECK_OK(s.AddColumn({"s.w", ValueType::kDouble}));
+    Relation r(s);
+    URM_CHECK_OK(r.AddRow({"a", 0.5}));
+    URM_CHECK_OK(r.AddRow({"b", 1.5}));
+    URM_CHECK_OK(catalog.Register(
+        "s", std::make_shared<const Relation>(std::move(r))));
+  }
+  return catalog;
+}
+
+TEST(ExprTest, CompareValuesAllOps) {
+  EXPECT_TRUE(CompareValues(Value(2), CmpOp::kEq, Value(2.0)));
+  EXPECT_TRUE(CompareValues(Value(1), CmpOp::kNe, Value(2)));
+  EXPECT_TRUE(CompareValues(Value(1), CmpOp::kLt, Value(2)));
+  EXPECT_TRUE(CompareValues(Value(2), CmpOp::kLe, Value(2)));
+  EXPECT_TRUE(CompareValues(Value(3), CmpOp::kGt, Value(2)));
+  EXPECT_TRUE(CompareValues(Value(2), CmpOp::kGe, Value(2)));
+  EXPECT_FALSE(CompareValues(Value(2), CmpOp::kLt, Value(2)));
+}
+
+TEST(ExprTest, NullComparisonsAreFalse) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
+                   CmpOp::kGt, CmpOp::kGe}) {
+    EXPECT_FALSE(CompareValues(Value::Null(), op, Value(1)));
+    EXPECT_FALSE(CompareValues(Value(1), op, Value::Null()));
+  }
+}
+
+TEST(ExprTest, PredicateRename) {
+  Predicate p = Predicate::AttrCmpAttr("a.x", CmpOp::kEq, "b.y");
+  Predicate renamed = p.RenameAttributes({{"a.x", "s.x"}, {"b.y", "t.y"}});
+  EXPECT_EQ(renamed.lhs, "s.x");
+  EXPECT_EQ(*renamed.rhs_attr, "t.y");
+}
+
+TEST(ExprTest, PredicateToStringForms) {
+  EXPECT_EQ(
+      Predicate::AttrCmpValue("a.x", CmpOp::kEq, "v").ToString(),
+      "a.x = 'v'");
+  EXPECT_EQ(Predicate::AttrCmpAttr("a.x", CmpOp::kLt, "b.y").ToString(),
+            "a.x < b.y");
+}
+
+TEST(ExprTest, BindFailsOnMissingAttr) {
+  Catalog catalog = SmallCatalog();
+  auto rel = catalog.Get("r").ValueOrDie();
+  auto bound = BoundPredicate::Bind(
+      Predicate::AttrCmpValue("nope", CmpOp::kEq, 1), rel->schema());
+  EXPECT_FALSE(bound.ok());
+}
+
+TEST(PlanTest, CountOperatorsSkipsLeavesAndDistinct) {
+  PlanPtr p = MakeScan("r", "r1");
+  EXPECT_EQ(CountOperators(p), 0u);
+  p = MakeSelect(p, Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  p = MakeProject(p, {"r1.id"});
+  p = MakeDistinct(p);
+  EXPECT_EQ(CountOperators(p), 2u);
+  PlanPtr prod = MakeProduct(p, MakeScan("s", "s1"));
+  EXPECT_EQ(CountOperators(prod), 3u);
+}
+
+TEST(PlanTest, ReferencedAttributesFirstOccurrenceOrder) {
+  PlanPtr p = MakeScan("r", "r1");
+  p = MakeSelect(p, Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  p = MakeSelect(p, Predicate::AttrCmpAttr("r1.id", CmpOp::kEq, "r1.v"));
+  p = MakeProject(p, {"r1.id"});
+  auto attrs = ReferencedAttributes(p);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], "r1.id");  // outermost first
+  EXPECT_EQ(attrs[1], "r1.v");
+}
+
+TEST(PlanTest, CanonicalDistinguishesPlans) {
+  PlanPtr a = MakeSelect(MakeScan("r", "r1"),
+                         Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  PlanPtr b = MakeSelect(MakeScan("r", "r1"),
+                         Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 3));
+  PlanPtr a2 = MakeSelect(MakeScan("r", "r1"),
+                          Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  EXPECT_NE(Canonical(a), Canonical(b));
+  EXPECT_EQ(Canonical(a), Canonical(a2));
+}
+
+TEST(EvaluateTest, ScanRenamesColumnsToAlias) {
+  Catalog catalog = SmallCatalog();
+  auto rel = Evaluate(MakeScan("r", "x"), catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->schema().column(0).name, "x.id");
+}
+
+TEST(EvaluateTest, SelectFilters) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeSelect(MakeScan("r", "r1"),
+                         Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->num_rows(), 2u);
+}
+
+TEST(EvaluateTest, ProjectAndDistinct) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeDistinct(MakeProject(MakeScan("r", "r1"), {"r1.v"}));
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->num_rows(), 2u);  // values 1 and 2
+}
+
+TEST(EvaluateTest, ProductCardinality) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1"));
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->num_rows(), 6u);
+}
+
+TEST(EvaluateTest, FusedHashJoinMatchesProductFilter) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr join = MakeSelect(
+      MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1")),
+      Predicate::AttrCmpAttr("r1.id", CmpOp::kEq, "s1.id"));
+  EvalStats stats;
+  EvalContext ctx;
+  ctx.catalog = &catalog;
+  ctx.stats = &stats;
+  auto rel = Evaluate(join, ctx);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->num_rows(), 2u);  // a and b match
+  // Fused path still accounts for product + selection.
+  EXPECT_EQ(stats.operators_executed, 2u);
+}
+
+TEST(EvaluateTest, CountOverProductIsLazy) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeAggregate(
+      MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1")),
+      AggKind::kCount);
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->rows()[0][0], Value(6));
+}
+
+TEST(EvaluateTest, SumOverProductScalesByOtherSide) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeAggregate(
+      MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1")),
+      AggKind::kSum, "r1.v");
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  // sum(v) = 5, times |s| = 2.
+  EXPECT_EQ(rel.ValueOrDie()->rows()[0][0], Value(10));
+}
+
+TEST(EvaluateTest, SumOverDoublesKeepsDoubleType) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeAggregate(MakeScan("s", "s1"), AggKind::kSum, "s1.w");
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(rel.ValueOrDie()->rows()[0][0].AsDouble(), 2.0);
+}
+
+TEST(EvaluateTest, DistinctProjectSplitsAcrossProduct) {
+  Catalog catalog = SmallCatalog();
+  // distinct(π_{r1.v}(r × s)) = distinct values of v = {1, 2}.
+  PlanPtr p = MakeDistinct(MakeProject(
+      MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1")), {"r1.v"}));
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->num_rows(), 2u);
+}
+
+TEST(EvaluateTest, DistinctProjectEmptySideYieldsNothing) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr empty_side = MakeSelect(
+      MakeScan("s", "s1"),
+      Predicate::AttrCmpValue("s1.id", CmpOp::kEq, "zzz"));
+  PlanPtr p = MakeDistinct(MakeProject(
+      MakeProduct(MakeScan("r", "r1"), empty_side), {"r1.v"}));
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel.ValueOrDie()->empty());
+}
+
+TEST(EvaluateTest, CacheMemoizesSubplans) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr sub = MakeSelect(MakeScan("r", "r1"),
+                           Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  EvalCache cache;
+  EvalStats stats;
+  EvalContext ctx;
+  ctx.catalog = &catalog;
+  ctx.stats = &stats;
+  ctx.cache = &cache;
+  ASSERT_TRUE(Evaluate(sub, ctx).ok());
+  ASSERT_TRUE(Evaluate(sub, ctx).ok());
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.operators_executed, 1u);
+}
+
+TEST(EvaluateTest, CacheFilterRestrictsStorage) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr sub = MakeSelect(MakeScan("r", "r1"),
+                           Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  EvalCache cache;
+  std::unordered_set<std::string> filter;  // empty: nothing stored
+  EvalStats stats;
+  EvalContext ctx;
+  ctx.catalog = &catalog;
+  ctx.stats = &stats;
+  ctx.cache = &cache;
+  ctx.cache_filter = &filter;
+  ASSERT_TRUE(Evaluate(sub, ctx).ok());
+  ASSERT_TRUE(Evaluate(sub, ctx).ok());
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(OptimizeTest, StaticSchemaMatchesEvaluation) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeProject(
+      MakeSelect(MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1")),
+                 Predicate::AttrCmpAttr("r1.id", CmpOp::kEq, "s1.id")),
+      {"r1.id", "s1.w"});
+  auto schema = StaticSchema(p, catalog);
+  ASSERT_TRUE(schema.ok());
+  auto rel = Evaluate(p, catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(schema.ValueOrDie().ToString(),
+            rel.ValueOrDie()->schema().ToString());
+}
+
+TEST(OptimizeTest, PushdownMovesSelectionBelowProduct) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeSelect(
+      MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1")),
+      Predicate::AttrCmpValue("r1.v", CmpOp::kEq, 2));
+  auto optimized = PushDownSelections(p, catalog);
+  ASSERT_TRUE(optimized.ok());
+  const PlanNode* root = optimized.ValueOrDie().get();
+  ASSERT_EQ(root->kind, PlanKind::kProduct);
+  EXPECT_EQ(root->child->kind, PlanKind::kSelect);
+  // Results unchanged.
+  auto before = Evaluate(p, catalog);
+  auto after = Evaluate(optimized.ValueOrDie(), catalog);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(before.ValueOrDie()->num_rows(),
+            after.ValueOrDie()->num_rows());
+}
+
+TEST(OptimizeTest, JoinPredicateStaysAtProduct) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeSelect(
+      MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1")),
+      Predicate::AttrCmpAttr("r1.id", CmpOp::kEq, "s1.id"));
+  auto optimized = PushDownSelections(p, catalog);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(optimized.ValueOrDie()->kind, PlanKind::kSelect);
+  EXPECT_EQ(optimized.ValueOrDie()->child->kind, PlanKind::kProduct);
+}
+
+TEST(OptimizeTest, PushdownThroughSelectionStacks) {
+  Catalog catalog = SmallCatalog();
+  PlanPtr p = MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1"));
+  p = MakeSelect(p, Predicate::AttrCmpAttr("r1.id", CmpOp::kEq, "s1.id"));
+  p = MakeSelect(p, Predicate::AttrCmpValue("s1.w", CmpOp::kGt, 1.0));
+  auto optimized = PushDownSelections(p, catalog);
+  ASSERT_TRUE(optimized.ok());
+  auto before = Evaluate(p, catalog);
+  auto after = Evaluate(optimized.ValueOrDie(), catalog);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(before.ValueOrDie()->num_rows(),
+            after.ValueOrDie()->num_rows());
+  EXPECT_EQ(after.ValueOrDie()->num_rows(), 1u);  // only b matches both
+}
+
+}  // namespace
+}  // namespace algebra
+}  // namespace urm

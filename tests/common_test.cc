@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/hash_util.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace urm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad h");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad h");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad h");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto f = [](bool fail) -> Status {
+    URM_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(f(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(f(false).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(42), 42);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "abc");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SkewedIndexFavorsSmallIndexes) {
+  Rng rng(11);
+  size_t low = 0, total = 10000;
+  for (size_t i = 0; i < total; ++i) {
+    if (rng.SkewedIndex(100) < 25) ++low;
+  }
+  // Quadratic skew: P(idx < 25) = sqrt(0.25) = 0.5.
+  EXPECT_GT(low, total / 3);
+}
+
+TEST(RngTest, StringHasRequestedLength) {
+  Rng rng(1);
+  EXPECT_EQ(rng.String(12).size(), 12u);
+  EXPECT_EQ(rng.String(0).size(), 0u);
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TokenizeCamelCase) {
+  auto tokens = TokenizeIdentifier("deliverToStreet");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "deliver");
+  EXPECT_EQ(tokens[1], "to");
+  EXPECT_EQ(tokens[2], "street");
+}
+
+TEST(StringUtilTest, TokenizeSnakeCase) {
+  auto tokens = TokenizeIdentifier("l_shipdate");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "l");
+  EXPECT_EQ(tokens[1], "shipdate");
+}
+
+TEST(StringUtilTest, TokenizeUpperRuns) {
+  auto tokens = TokenizeIdentifier("PONumber");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "po");
+  EXPECT_EQ(tokens[1], "number");
+}
+
+TEST(StringUtilTest, TokenizeDigitBoundaries) {
+  auto tokens = TokenizeIdentifier("item2Num");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "item");
+  EXPECT_EQ(tokens[1], "2");
+  EXPECT_EQ(tokens[2], "num");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("po1$orders", "po1$"));
+  EXPECT_FALSE(StartsWith("po", "po1"));
+}
+
+TEST(HashUtilTest, Fnv1aStableKnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+}
+
+TEST(HashUtilTest, HashCombineChangesSeed) {
+  size_t seed = 0;
+  HashCombine(seed, 1234);
+  EXPECT_NE(seed, 0u);
+}
+
+TEST(TimerTest, MeasuresNonNegativeTime) {
+  Timer t;
+  EXPECT_GE(t.Seconds(), 0.0);
+  double lap = t.Lap();
+  EXPECT_GE(lap, 0.0);
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace urm

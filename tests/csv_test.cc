@@ -1,0 +1,143 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace urm {
+namespace relational {
+namespace {
+
+RelationSchema TestSchema() {
+  RelationSchema s;
+  EXPECT_TRUE(s.AddColumn({"t.name", ValueType::kString}).ok());
+  EXPECT_TRUE(s.AddColumn({"t.qty", ValueType::kInt64}).ok());
+  EXPECT_TRUE(s.AddColumn({"t.price", ValueType::kDouble}).ok());
+  return s;
+}
+
+TEST(CsvParseTest, PlainFields) {
+  auto fields = ParseCsvLine("a,b,c", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.ValueOrDie(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParseTest, EmptyFieldsPreserved) {
+  auto fields = ParseCsvLine(",x,", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.ValueOrDie(),
+            (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvParseTest, QuotedFieldsWithSeparatorsAndEscapes) {
+  auto fields = ParseCsvLine(R"("a,b","say ""hi""",c)", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.ValueOrDie(),
+            (std::vector<std::string>{"a,b", "say \"hi\"", "c"}));
+}
+
+TEST(CsvParseTest, MalformedQuotesRejected) {
+  EXPECT_FALSE(ParseCsvLine("\"unterminated", ',').ok());
+  EXPECT_FALSE(ParseCsvLine("ab\"cd", ',').ok());
+}
+
+TEST(CsvParseTest, AlternativeSeparator) {
+  auto fields = ParseCsvLine("a;b,c;d", ';');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.ValueOrDie(),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(CsvReadTest, TypedConversion) {
+  std::istringstream in(
+      "t.name,t.qty,t.price\n"
+      "widget,3,1.5\n"
+      "gadget,,\n"
+      "\"odd,name\",7,2\n");
+  auto rel = ReadCsv(in, TestSchema());
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  ASSERT_EQ(rel.ValueOrDie().num_rows(), 3u);
+  const auto& rows = rel.ValueOrDie().rows();
+  EXPECT_EQ(rows[0][0], Value("widget"));
+  EXPECT_EQ(rows[0][1], Value(3));
+  EXPECT_EQ(rows[0][2], Value(1.5));
+  EXPECT_TRUE(rows[1][1].is_null());  // empty numeric -> NULL
+  EXPECT_TRUE(rows[1][2].is_null());
+  EXPECT_EQ(rows[2][0], Value("odd,name"));
+  EXPECT_EQ(rows[2][2], Value(2.0));
+}
+
+TEST(CsvReadTest, UnparseableNumericBecomesNull) {
+  std::istringstream in("t.name,t.qty,t.price\nx,notanumber,1.0\n");
+  auto rel = ReadCsv(in, TestSchema());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel.ValueOrDie().rows()[0][1].is_null());
+}
+
+TEST(CsvReadTest, ArityMismatchFails) {
+  std::istringstream in("t.name,t.qty,t.price\nonly,two\n");
+  EXPECT_FALSE(ReadCsv(in, TestSchema()).ok());
+}
+
+TEST(CsvReadTest, NoHeaderMode) {
+  std::istringstream in("x,1,2.0\n");
+  CsvOptions options;
+  options.header = false;
+  auto rel = ReadCsv(in, TestSchema(), options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie().num_rows(), 1u);
+}
+
+TEST(CsvReadTest, CrlfAndBlankLinesTolerated) {
+  std::istringstream in("t.name,t.qty,t.price\r\nx,1,2.0\r\n\n");
+  auto rel = ReadCsv(in, TestSchema());
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel.ValueOrDie().num_rows(), 1u);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AddRow({"plain", 1, 0.5}).ok());
+  ASSERT_TRUE(rel.AddRow({"with,comma", 2, 1.25}).ok());
+  ASSERT_TRUE(
+      rel.AddRow({Value("quote\"inside"), Value::Null(), Value(3.0)}).ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(rel, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in, TestSchema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.ValueOrDie().num_rows(), rel.num_rows());
+  for (size_t i = 0; i < rel.num_rows(); ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      // Doubles round-trip through their decimal rendering.
+      if (rel.rows()[i][j].type() == ValueType::kDouble) {
+        EXPECT_NEAR(back.ValueOrDie().rows()[i][j].AsDouble(),
+                    rel.rows()[i][j].AsDouble(), 1e-6);
+      } else {
+        EXPECT_EQ(back.ValueOrDie().rows()[i][j], rel.rows()[i][j])
+            << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(CsvFileTest, MissingFileReported) {
+  EXPECT_EQ(ReadCsvFile("/no/such/file.csv", TestSchema()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvFileTest, FileRoundTrip) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AddRow({"a", 1, 2.0}).ok());
+  std::string path = ::testing::TempDir() + "/urm_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(rel, path).ok());
+  auto back = ReadCsvFile(path, TestSchema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueOrDie().num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace urm

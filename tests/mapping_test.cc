@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapping/generator.h"
+#include "mapping/hungarian.h"
+#include "mapping/mapping.h"
+#include "mapping/murty.h"
+
+namespace urm {
+namespace mapping {
+namespace {
+
+TEST(MappingTest, AddAndLookup) {
+  Mapping m;
+  ASSERT_TRUE(m.Add("T.a", "s.x").ok());
+  ASSERT_TRUE(m.Add("T.b", "s.y").ok());
+  EXPECT_EQ(m.SourceFor("T.a"), std::optional<std::string>("s.x"));
+  EXPECT_EQ(m.SourceFor("T.z"), std::nullopt);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(MappingTest, OneToOneEnforced) {
+  Mapping m;
+  ASSERT_TRUE(m.Add("T.a", "s.x").ok());
+  EXPECT_EQ(m.Add("T.a", "s.y").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(m.Add("T.b", "s.x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MappingTest, IntersectionAndOverlap) {
+  Mapping a, b;
+  ASSERT_TRUE(a.Add("T.a", "s.x").ok());
+  ASSERT_TRUE(a.Add("T.b", "s.y").ok());
+  ASSERT_TRUE(b.Add("T.a", "s.x").ok());
+  ASSERT_TRUE(b.Add("T.b", "s.z").ok());
+  EXPECT_EQ(a.IntersectionSize(b), 1u);
+  // |∩| = 1, |∪| = 3.
+  EXPECT_NEAR(OverlapRatio(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(OverlapRatio(a, a), 1.0);
+}
+
+TEST(MappingTest, EmptyMappingsOverlapFully) {
+  Mapping a, b;
+  EXPECT_DOUBLE_EQ(OverlapRatio(a, b), 1.0);
+}
+
+TEST(MappingTest, SetOverlapAveragesPairs) {
+  Mapping a, b, c;
+  ASSERT_TRUE(a.Add("T.a", "s.x").ok());
+  ASSERT_TRUE(b.Add("T.a", "s.x").ok());
+  ASSERT_TRUE(c.Add("T.a", "s.y").ok());
+  // pairs: (a,b)=1, (a,c)=0, (b,c)=0 -> 1/3.
+  EXPECT_NEAR(MappingSetOverlapRatio({a, b, c}), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MappingSetOverlapRatio({a}), 1.0);
+}
+
+TEST(HungarianTest, SolvesSmallKnownProblem) {
+  // Classic 3x3; optimal assignment cost = 5 (1+3+1? verify: rows pick
+  // (0,1)=1, (1,0)=2, (2,2)=2 -> 5).
+  std::vector<std::vector<double>> cost = {
+      {4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 5.0);
+  // Assignment is a permutation.
+  std::set<int> cols(result.row_to_col.begin(), result.row_to_col.end());
+  EXPECT_EQ(cols.size(), 3u);
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  auto result = SolveAssignment({});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(HungarianTest, ForbiddenEdgesMakeInfeasible) {
+  std::vector<std::vector<double>> cost = {
+      {1.0, kForbiddenCost}, {kForbiddenCost, kForbiddenCost}};
+  auto result = SolveAssignment(cost);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(MurtyTest, EnumeratesInWeightOrder) {
+  // rows {0,1}, cols {0,1}: weights favor (0,0)+(1,1).
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 5.0}, {0, 1, 3.0}, {1, 0, 2.0}, {1, 1, 4.0}};
+  auto result = KBestMatchings(2, 2, edges, 10);
+  ASSERT_TRUE(result.ok());
+  const auto& sols = result.ValueOrDie();
+  ASSERT_GE(sols.size(), 3u);
+  EXPECT_DOUBLE_EQ(sols[0].weight, 9.0);  // (0,0)+(1,1)
+  for (size_t i = 1; i < sols.size(); ++i) {
+    EXPECT_LE(sols[i].weight, sols[i - 1].weight + 1e-12);
+  }
+}
+
+TEST(MurtyTest, NoDuplicateSolutions) {
+  std::vector<WeightedEdge> edges = {
+      {0, 0, 5.0}, {0, 1, 3.0}, {1, 0, 2.0}, {1, 1, 4.0}, {2, 1, 1.0}};
+  auto result = KBestMatchings(3, 2, edges, 50);
+  ASSERT_TRUE(result.ok());
+  std::set<std::vector<std::pair<int, int>>> seen;
+  for (const auto& sol : result.ValueOrDie()) {
+    EXPECT_TRUE(seen.insert(sol.edges).second)
+        << "duplicate matching enumerated";
+  }
+}
+
+TEST(MurtyTest, PartialMatchingsIncluded) {
+  // A single conflicting column: second-best leaves one row unmatched.
+  std::vector<WeightedEdge> edges = {{0, 0, 5.0}, {1, 0, 4.0}};
+  auto result = KBestMatchings(2, 1, edges, 10);
+  ASSERT_TRUE(result.ok());
+  const auto& sols = result.ValueOrDie();
+  // {(0,0)}, {(1,0)}, {} — all valid partial matchings.
+  ASSERT_EQ(sols.size(), 3u);
+  EXPECT_DOUBLE_EQ(sols[0].weight, 5.0);
+  EXPECT_DOUBLE_EQ(sols[1].weight, 4.0);
+  EXPECT_DOUBLE_EQ(sols[2].weight, 0.0);
+}
+
+TEST(MurtyTest, RejectsBadInput) {
+  EXPECT_FALSE(KBestMatchings(1, 1, {{0, 0, -1.0}}, 5).ok());
+  EXPECT_FALSE(KBestMatchings(1, 1, {{0, 5, 1.0}}, 5).ok());
+  EXPECT_FALSE(KBestMatchings(1, 1, {{0, 0, 1.0}}, 0).ok());
+}
+
+std::vector<matching::Correspondence> SampleCorrespondences() {
+  return {
+      {"customer.c_phone", "PO.telephone", 0.85},
+      {"supplier.s_phone", "PO.telephone", 0.80},
+      {"orders.o_orderkey", "PO.orderNum", 0.85},
+      {"lineitem.l_orderkey", "PO.orderNum", 0.78},
+      {"customer.c_name", "PO.invoiceTo", 0.66},
+      {"orders.o_clerk", "PO.invoiceTo", 0.60},
+  };
+}
+
+TEST(GeneratorTest, ProbabilitiesNormalized) {
+  MappingGenOptions options;
+  options.h = 8;
+  auto mappings = GenerateMappings(SampleCorrespondences(), options);
+  ASSERT_TRUE(mappings.ok());
+  const auto& ms = mappings.ValueOrDie();
+  ASSERT_GE(ms.size(), 4u);
+  EXPECT_NEAR(TotalProbability(ms), 1.0, 1e-9);
+  // Sorted by score descending; best maps all three target attrs.
+  EXPECT_EQ(ms[0].size(), 3u);
+  for (size_t i = 1; i < ms.size(); ++i) {
+    EXPECT_LE(ms[i].score(), ms[i - 1].score() + 1e-12);
+  }
+}
+
+TEST(GeneratorTest, MappingsAreDistinct) {
+  MappingGenOptions options;
+  options.h = 20;
+  auto mappings = GenerateMappings(SampleCorrespondences(), options);
+  ASSERT_TRUE(mappings.ok());
+  const auto& ms = mappings.ValueOrDie();
+  for (size_t i = 0; i < ms.size(); ++i) {
+    for (size_t j = i + 1; j < ms.size(); ++j) {
+      EXPECT_FALSE(ms[i].SamePairs(ms[j]));
+    }
+  }
+}
+
+TEST(GeneratorTest, BestMappingUsesHighestScores) {
+  MappingGenOptions options;
+  options.h = 1;
+  auto mappings = GenerateMappings(SampleCorrespondences(), options);
+  ASSERT_TRUE(mappings.ok());
+  const Mapping& best = mappings.ValueOrDie()[0];
+  EXPECT_EQ(best.SourceFor("PO.telephone"),
+            std::optional<std::string>("customer.c_phone"));
+  EXPECT_EQ(best.SourceFor("PO.orderNum"),
+            std::optional<std::string>("orders.o_orderkey"));
+}
+
+TEST(GeneratorTest, TakeTopMappingsRenormalizes) {
+  MappingGenOptions options;
+  options.h = 8;
+  auto mappings = GenerateMappings(SampleCorrespondences(), options);
+  ASSERT_TRUE(mappings.ok());
+  auto top = TakeTopMappings(mappings.ValueOrDie(), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_NEAR(TotalProbability(top), 1.0, 1e-9);
+}
+
+TEST(GeneratorTest, HighOverlapForSimilarScores) {
+  // The paper observes 68-79% overlap between possible mappings. With
+  // near-tied candidate scores, consecutive k-best matchings flip one
+  // correspondence at a time, so overlap must be high.
+  MappingGenOptions options;
+  options.h = 10;
+  auto mappings = GenerateMappings(SampleCorrespondences(), options);
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_GT(MappingSetOverlapRatio(mappings.ValueOrDie()), 0.25);
+}
+
+}  // namespace
+}  // namespace mapping
+}  // namespace urm

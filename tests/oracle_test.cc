@@ -1,0 +1,156 @@
+/// \file oracle_test.cc
+/// Brute-force oracles: exhaustive enumeration checks for the k-best
+/// matching machinery, and strict-weak-ordering verification for the
+/// Value total order (sorting and grouping correctness hang off it).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/random.h"
+#include "mapping/murty.h"
+#include "relational/value.h"
+
+namespace urm {
+namespace {
+
+using mapping::KBestMatchings;
+using mapping::MatchingSolution;
+using mapping::WeightedEdge;
+using relational::Value;
+
+/// Enumerates *all* partial one-to-one matchings of a tiny bipartite
+/// graph by brute force.
+std::vector<MatchingSolution> AllMatchings(
+    int num_rows, const std::vector<WeightedEdge>& edges) {
+  std::vector<MatchingSolution> out;
+  std::vector<std::pair<int, int>> current;
+  std::set<int> used_cols;
+  double weight = 0.0;
+
+  std::function<void(int)> recurse = [&](int row) {
+    if (row == num_rows) {
+      MatchingSolution sol;
+      sol.edges = current;
+      sol.weight = weight;
+      out.push_back(std::move(sol));
+      return;
+    }
+    recurse(row + 1);  // leave this row unmatched
+    for (const auto& e : edges) {
+      if (e.row != row || used_cols.count(e.col) > 0) continue;
+      current.emplace_back(e.row, e.col);
+      used_cols.insert(e.col);
+      weight += e.weight;
+      recurse(row + 1);
+      weight -= e.weight;
+      used_cols.erase(e.col);
+      current.pop_back();
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+class MurtyOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(MurtyOracle, MatchesBruteForceEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 9);
+  int rows = static_cast<int>(rng.Uniform(1, 4));
+  int cols = static_cast<int>(rng.Uniform(1, 4));
+  std::vector<WeightedEdge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(0.7)) {
+        // Distinct weights so the expected order is unambiguous.
+        edges.push_back(WeightedEdge{
+            r, c, 1.0 + static_cast<double>(edges.size()) * 0.37 +
+                      rng.NextDouble() * 0.1});
+      }
+    }
+  }
+
+  std::vector<MatchingSolution> expected = AllMatchings(rows, edges);
+  std::sort(expected.begin(), expected.end(),
+            [](const MatchingSolution& a, const MatchingSolution& b) {
+              return a.weight > b.weight;
+            });
+
+  auto got = KBestMatchings(rows, cols, edges,
+                            static_cast<int>(expected.size()) + 5);
+  ASSERT_TRUE(got.ok());
+  const auto& sols = got.ValueOrDie();
+  ASSERT_EQ(sols.size(), expected.size())
+      << "Murty must enumerate every distinct partial matching";
+  for (size_t i = 0; i < sols.size(); ++i) {
+    EXPECT_NEAR(sols[i].weight, expected[i].weight, 1e-9) << "rank " << i;
+  }
+  // As sets of matchings they must coincide exactly.
+  std::set<std::vector<std::pair<int, int>>> exp_set, got_set;
+  for (const auto& s : expected) exp_set.insert(s.edges);
+  for (const auto& s : sols) got_set.insert(s.edges);
+  EXPECT_EQ(exp_set, got_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MurtyOracle, ::testing::Range(0, 25));
+
+std::vector<Value> ValuePool() {
+  return {Value::Null(), Value(0),    Value(1),   Value(-3),
+          Value(2.5),    Value(2.0),  Value(2),   Value(1e9),
+          Value(""),     Value("a"),  Value("b"), Value("aa"),
+          Value("123"),  Value(-0.5), Value(42)};
+}
+
+TEST(ValueOrderOracle, StrictWeakOrdering) {
+  auto pool = ValuePool();
+  // Irreflexivity over the equivalence classes.
+  for (const auto& a : pool) {
+    EXPECT_FALSE(a < a) << a.ToString();
+  }
+  // Asymmetry and transitivity, brute force over all triples.
+  for (const auto& a : pool) {
+    for (const auto& b : pool) {
+      if (a < b) EXPECT_FALSE(b < a) << a.ToString() << " " << b.ToString();
+      for (const auto& c : pool) {
+        if (a < b && b < c) {
+          EXPECT_TRUE(a < c) << a.ToString() << " " << b.ToString() << " "
+                             << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueOrderOracle, EquivalenceMatchesEquality) {
+  auto pool = ValuePool();
+  for (const auto& a : pool) {
+    for (const auto& b : pool) {
+      bool equivalent = !(a < b) && !(b < a);
+      EXPECT_EQ(equivalent, a == b)
+          << a.ToString() << " vs " << b.ToString();
+      if (a == b) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << "hash inconsistent with equality: " << a.ToString();
+      }
+    }
+  }
+}
+
+TEST(ValueOrderOracle, SortIsDeterministic) {
+  auto pool = ValuePool();
+  auto a = pool, b = pool;
+  std::sort(a.begin(), a.end(),
+            [](const Value& x, const Value& y) { return x < y; });
+  std::reverse(b.begin(), b.end());
+  std::sort(b.begin(), b.end(),
+            [](const Value& x, const Value& y) { return x < y; });
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i] || (!(a[i] < b[i]) && !(b[i] < a[i])));
+  }
+}
+
+}  // namespace
+}  // namespace urm

@@ -1,0 +1,118 @@
+#include "tests/paper_fixture.h"
+
+#include "common/logging.h"
+#include "relational/relation.h"
+
+namespace urm {
+namespace testing {
+
+using relational::ColumnDef;
+using relational::Relation;
+using relational::RelationSchema;
+using relational::ValueType;
+
+namespace {
+
+RelationSchema Schema(const std::string& rel,
+                      const std::vector<std::string>& attrs,
+                      ValueType type = ValueType::kString) {
+  RelationSchema schema;
+  for (const auto& a : attrs) {
+    URM_CHECK_OK(schema.AddColumn(ColumnDef{rel + "." + a, type}));
+  }
+  return schema;
+}
+
+}  // namespace
+
+PaperExample MakePaperExample() {
+  PaperExample ex;
+
+  // Source instance (Figure 2).
+  Relation customer(Schema("customer", {"cid", "cname", "ophone", "hphone",
+                                        "mobile", "oaddr", "haddr", "nid"}));
+  URM_CHECK_OK(customer.AddRow(
+      {"t1", "Alice", "123", "789", "555", "aaa", "hk", "n1"}));
+  URM_CHECK_OK(customer.AddRow(
+      {"t2", "Bob", "456", "123", "556", "bbb", "hk", "n1"}));
+  URM_CHECK_OK(customer.AddRow(
+      {"t3", "Cindy", "456", "789", "557", "aaa", "aaa", "n2"}));
+  URM_CHECK_OK(ex.catalog.Register(
+      "customer", std::make_shared<const Relation>(std::move(customer))));
+
+  Relation c_order(Schema("c_order", {"oid", "ocid", "amount"}));
+  URM_CHECK_OK(c_order.AddRow({"o1", "t1", "100"}));
+  URM_CHECK_OK(c_order.AddRow({"o2", "t3", "250"}));
+  URM_CHECK_OK(ex.catalog.Register(
+      "c_order", std::make_shared<const Relation>(std::move(c_order))));
+
+  Relation nation(Schema("nation", {"nid", "nname"}));
+  URM_CHECK_OK(nation.AddRow({"n1", "HongKong"}));
+  URM_CHECK_OK(nation.AddRow({"n2", "China"}));
+  URM_CHECK_OK(ex.catalog.Register(
+      "nation", std::make_shared<const Relation>(std::move(nation))));
+
+  // Schema definitions (Figure 1).
+  ex.source_schema = matching::SchemaDef(
+      "Source",
+      {{"customer",
+        {"cid", "cname", "ophone", "hphone", "mobile", "oaddr", "haddr",
+         "nid"}},
+       {"c_order", {"oid", "ocid", "amount"}},
+       {"nation", {"nid", "nname"}}});
+  ex.target_schema = matching::SchemaDef(
+      "Target", {{"Person", {"pname", "phone", "addr", "nation", "gender"}},
+                 {"Order", {"sname", "item", "status", "price", "total"}}});
+
+  // Possible mappings (Figure 3). Mapping::Add takes (target, source).
+  auto add = [](mapping::Mapping* m, const std::string& tgt,
+                const std::string& src) { URM_CHECK_OK(m->Add(tgt, src)); };
+
+  mapping::Mapping m1;  // p = 0.3
+  add(&m1, "Person.pname", "customer.cname");
+  add(&m1, "Person.phone", "customer.ophone");
+  add(&m1, "Person.addr", "customer.oaddr");
+  add(&m1, "Person.nation", "nation.nname");
+  add(&m1, "Order.total", "c_order.amount");
+  add(&m1, "Order.sname", "c_order.oid");
+  m1.set_probability(0.3);
+
+  mapping::Mapping m2;  // p = 0.2; differs from m1 only on gender
+  add(&m2, "Person.pname", "customer.cname");
+  add(&m2, "Person.phone", "customer.ophone");
+  add(&m2, "Person.addr", "customer.oaddr");
+  add(&m2, "Person.nation", "nation.nname");
+  add(&m2, "Person.gender", "customer.cid");
+  add(&m2, "Order.total", "c_order.amount");
+  add(&m2, "Order.sname", "c_order.oid");
+  m2.set_probability(0.2);
+
+  mapping::Mapping m3;  // p = 0.2; addr matches haddr
+  add(&m3, "Person.pname", "customer.cname");
+  add(&m3, "Person.phone", "customer.ophone");
+  add(&m3, "Person.addr", "customer.haddr");
+  add(&m3, "Person.nation", "nation.nname");
+  add(&m3, "Order.total", "c_order.amount");
+  m3.set_probability(0.2);
+
+  mapping::Mapping m4;  // p = 0.2; phone matches hphone
+  add(&m4, "Person.pname", "customer.cname");
+  add(&m4, "Person.phone", "customer.hphone");
+  add(&m4, "Person.addr", "customer.haddr");
+  add(&m4, "Person.nation", "nation.nname");
+  add(&m4, "Order.total", "c_order.amount");
+  m4.set_probability(0.2);
+
+  mapping::Mapping m5;  // p = 0.1; Order covered by nation, not c_order
+  add(&m5, "Person.pname", "c_order.oid");
+  add(&m5, "Person.phone", "customer.ophone");
+  add(&m5, "Person.addr", "customer.haddr");
+  add(&m5, "Order.item", "nation.nname");
+  m5.set_probability(0.1);
+
+  ex.mappings = {m1, m2, m3, m4, m5};
+  return ex;
+}
+
+}  // namespace testing
+}  // namespace urm

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "mapping/mapping.h"
+#include "matching/schema_def.h"
+#include "relational/catalog.h"
+
+/// \file paper_fixture.h
+/// The paper's running example (Figures 1-3): the Customer/C_Order/
+/// Nation source schema with the three-tuple Customer instance of
+/// Figure 2, the Person/Order target schema, and the five possible
+/// mappings of Figure 3 (probabilities .3/.2/.2/.2/.1). Expected
+/// answers for the worked queries are stated in §I and §III-B:
+///   q0 = π_addr σ_phone='123' Person  ->  {(aaa,.5), (hk,.5)}
+///   qa = π_phone σ_addr='aaa' Person  ->  {(123,.5), (456,.8), (789,.2)}
+
+namespace urm {
+namespace testing {
+
+struct PaperExample {
+  relational::Catalog catalog;
+  matching::SchemaDef source_schema;
+  matching::SchemaDef target_schema;
+  std::vector<mapping::Mapping> mappings;
+};
+
+/// Builds the fixture. Mappings m1 and m2 share every correspondence
+/// the worked queries touch but differ on Person.gender, so q-sharing
+/// must group them; m5 maps Person.addr like m3/m4 but covers Order
+/// from different source relations, exercising the bare-instance
+/// partitioning of o-sharing (paper Figures 5-6).
+PaperExample MakePaperExample();
+
+}  // namespace testing
+}  // namespace urm

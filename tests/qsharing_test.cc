@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "algebra/plan.h"
+#include "baselines/baselines.h"
+#include "qsharing/partition_tree.h"
+#include "qsharing/qsharing.h"
+#include "reformulation/reformulator.h"
+#include "tests/paper_fixture.h"
+
+namespace urm {
+namespace qsharing {
+namespace {
+
+using algebra::CmpOp;
+using algebra::MakeProject;
+using algebra::MakeScan;
+using algebra::MakeSelect;
+using algebra::PlanPtr;
+using algebra::Predicate;
+
+class QSharingTest : public ::testing::Test {
+ protected:
+  QSharingTest() : ex_(urm::testing::MakePaperExample()) {}
+
+  reformulation::TargetQueryInfo Analyze(const PlanPtr& q) {
+    auto info = reformulation::AnalyzeTargetQuery(q, ex_.target_schema);
+    EXPECT_TRUE(info.ok()) << info.status().ToString();
+    return info.ValueOrDie();
+  }
+
+  /// The paper's q1 = π_pname σ_addr='abc' Person (§IV example).
+  PlanPtr Q1Paper() {
+    PlanPtr p = MakeScan("Person", "person");
+    p = MakeSelect(p, Predicate::AttrCmpValue("person.addr", CmpOp::kEq,
+                                              "abc"));
+    return MakeProject(p, {"person.pname"});
+  }
+
+  urm::testing::PaperExample ex_;
+};
+
+TEST_F(QSharingTest, PartitionTreeReproducesPaperFigure4) {
+  // Paper: P1 = {m1, m2}, P2 = {m3, m4}, P3 = {m5}.
+  auto info = Analyze(Q1Paper());
+  auto tree = PartitionTree::Build(info, ex_.mappings);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const auto& parts = tree.ValueOrDie().partitions();
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].members.size(), 2u);  // m1, m2
+  EXPECT_NEAR(parts[0].total_probability, 0.5, 1e-12);
+  EXPECT_EQ(parts[1].members.size(), 2u);  // m3, m4
+  EXPECT_NEAR(parts[1].total_probability, 0.4, 1e-12);
+  EXPECT_EQ(parts[2].members.size(), 1u);  // m5
+  EXPECT_NEAR(parts[2].total_probability, 0.1, 1e-12);
+  EXPECT_EQ(tree.ValueOrDie().unanswerable_index(), PartitionTree::npos);
+}
+
+TEST_F(QSharingTest, PartitionTreeLevelsMatchQueryAttributes) {
+  auto info = Analyze(Q1Paper());
+  auto tree = PartitionTree::Build(info, ex_.mappings);
+  ASSERT_TRUE(tree.ok());
+  // Two slots (pname, addr) -> 3 levels (paper: l+1).
+  EXPECT_EQ(tree.ValueOrDie().num_levels(), 3u);
+  EXPECT_GT(tree.ValueOrDie().num_nodes(), 3u);
+}
+
+TEST_F(QSharingTest, UnanswerableBucketCollectsUnmappedMappings) {
+  PlanPtr p = MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.gender", CmpOp::kEq, "x")),
+      {"person.gender"});
+  auto info = Analyze(p);
+  auto tree = PartitionTree::Build(info, ex_.mappings);
+  ASSERT_TRUE(tree.ok());
+  const auto& t = tree.ValueOrDie();
+  ASSERT_NE(t.unanswerable_index(), PartitionTree::npos);
+  EXPECT_NEAR(t.partitions()[t.unanswerable_index()].total_probability, 0.8,
+              1e-12);
+}
+
+TEST_F(QSharingTest, RepresentSumsProbabilities) {
+  auto info = Analyze(Q1Paper());
+  auto tree = PartitionTree::Build(info, ex_.mappings);
+  ASSERT_TRUE(tree.ok());
+  double unanswerable = 1.0;
+  auto reps = Represent(tree.ValueOrDie(), &unanswerable);
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_DOUBLE_EQ(unanswerable, 0.0);
+  double total = 0.0;
+  for (const auto& r : reps) total += r.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Representative of the first partition is m1 (first inserted).
+  EXPECT_TRUE(reps[0].mapping->SamePairs(ex_.mappings[0]));
+}
+
+TEST_F(QSharingTest, MatchesBasicAnswers) {
+  auto info = Analyze(Q1Paper());
+  reformulation::Reformulator reformulator(ex_.source_schema);
+  auto basic = baselines::RunBasic(
+      info, baselines::AsWeighted(ex_.mappings), ex_.catalog, reformulator);
+  auto qshare = RunQSharing(info, ex_.mappings, ex_.catalog, reformulator);
+  ASSERT_TRUE(basic.ok() && qshare.ok()) << qshare.status().ToString();
+  EXPECT_TRUE(basic.ValueOrDie().answers.ApproxEquals(
+      qshare.ValueOrDie().answers));
+}
+
+TEST_F(QSharingTest, ExecutesOneQueryPerPartition) {
+  auto info = Analyze(Q1Paper());
+  reformulation::Reformulator reformulator(ex_.source_schema);
+  auto result = RunQSharing(info, ex_.mappings, ex_.catalog, reformulator);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().source_queries, 3u);
+  EXPECT_EQ(result.ValueOrDie().partitions, 3u);
+}
+
+TEST_F(QSharingTest, UnanswerableProbabilityFlowsToNull) {
+  PlanPtr p = MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.gender", CmpOp::kEq,
+                                         "t1")),
+      {"person.gender"});
+  auto info = Analyze(p);
+  reformulation::Reformulator reformulator(ex_.source_schema);
+  auto result = RunQSharing(info, ex_.mappings, ex_.catalog, reformulator);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.ValueOrDie().answers.null_probability(), 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace qsharing
+}  // namespace urm

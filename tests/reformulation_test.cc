@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "algebra/evaluate.h"
+#include "algebra/plan.h"
+#include "reformulation/answer.h"
+#include "reformulation/reformulator.h"
+#include "reformulation/target_query.h"
+#include "tests/paper_fixture.h"
+
+namespace urm {
+namespace reformulation {
+namespace {
+
+using algebra::CmpOp;
+using algebra::MakeAggregate;
+using algebra::MakeProduct;
+using algebra::MakeProject;
+using algebra::MakeScan;
+using algebra::MakeSelect;
+using algebra::PlanPtr;
+using algebra::Predicate;
+
+class ReformulationTest : public ::testing::Test {
+ protected:
+  ReformulationTest() : ex_(urm::testing::MakePaperExample()) {}
+
+  TargetQueryInfo Analyze(const PlanPtr& q) {
+    auto info = AnalyzeTargetQuery(q, ex_.target_schema);
+    EXPECT_TRUE(info.ok()) << info.status().ToString();
+    return info.ValueOrDie();
+  }
+
+  urm::testing::PaperExample ex_;
+};
+
+PlanPtr PhoneAddrQuery() {
+  PlanPtr p = MakeScan("Person", "person");
+  p = MakeSelect(p,
+                 Predicate::AttrCmpValue("person.phone", CmpOp::kEq, "123"));
+  return MakeProject(p, {"person.addr"});
+}
+
+TEST_F(ReformulationTest, AnalyzeExtractsInstancesAndRefs) {
+  auto info = Analyze(PhoneAddrQuery());
+  ASSERT_EQ(info.instances.size(), 1u);
+  EXPECT_EQ(info.instances[0].alias, "person");
+  EXPECT_EQ(info.instances[0].table, "Person");
+  EXPECT_FALSE(info.instances[0].bare);
+  ASSERT_EQ(info.instances[0].referenced.size(), 2u);
+  EXPECT_EQ(info.output_refs,
+            (std::vector<std::string>{"person.addr"}));
+  EXPECT_FALSE(info.is_aggregate);
+}
+
+TEST_F(ReformulationTest, AnalyzeBareInstanceNeedsWholeTable) {
+  PlanPtr p = MakeProduct(MakeScan("Person", "person"),
+                          MakeScan("Order", "order"));
+  p = MakeSelect(p,
+                 Predicate::AttrCmpValue("person.phone", CmpOp::kEq, "123"));
+  auto info = Analyze(p);
+  ASSERT_EQ(info.instances.size(), 2u);
+  EXPECT_TRUE(info.instances[1].bare);
+  EXPECT_EQ(info.instances[1].needed.size(), 5u);  // all Order attrs
+}
+
+TEST_F(ReformulationTest, AnalyzeRejectsBadQueries) {
+  // Unknown table.
+  EXPECT_FALSE(AnalyzeTargetQuery(MakeScan("Nope", "n"), ex_.target_schema)
+                   .ok());
+  // Missing alias.
+  EXPECT_FALSE(
+      AnalyzeTargetQuery(MakeScan("Person", ""), ex_.target_schema).ok());
+  // Duplicate alias.
+  EXPECT_FALSE(AnalyzeTargetQuery(
+                   MakeProduct(MakeScan("Person", "p"),
+                               MakeScan("Person", "p")),
+                   ex_.target_schema)
+                   .ok());
+  // Unknown attribute.
+  PlanPtr bad = MakeSelect(
+      MakeScan("Person", "p"),
+      Predicate::AttrCmpValue("p.nosuch", CmpOp::kEq, "x"));
+  EXPECT_FALSE(AnalyzeTargetQuery(bad, ex_.target_schema).ok());
+  // Unqualified reference.
+  PlanPtr unqual = MakeSelect(
+      MakeScan("Person", "p"),
+      Predicate::AttrCmpValue("phone", CmpOp::kEq, "x"));
+  EXPECT_FALSE(AnalyzeTargetQuery(unqual, ex_.target_schema).ok());
+}
+
+TEST_F(ReformulationTest, SignatureGroupsEquivalentMappings) {
+  auto info = Analyze(PhoneAddrQuery());
+  // m1 and m2 agree on phone and addr -> same signature; m3 differs.
+  EXPECT_EQ(MappingSignature(info, ex_.mappings[0]),
+            MappingSignature(info, ex_.mappings[1]));
+  EXPECT_NE(MappingSignature(info, ex_.mappings[0]),
+            MappingSignature(info, ex_.mappings[2]));
+}
+
+TEST_F(ReformulationTest, SignatureUnanswerableWhenRequiredUnmapped) {
+  PlanPtr p = MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.gender", CmpOp::kEq, "x")),
+      {"person.gender"});
+  auto info = Analyze(p);
+  // Only m2 maps gender.
+  EXPECT_EQ(MappingSignature(info, ex_.mappings[0]),
+            kUnanswerableSignature);
+  EXPECT_NE(MappingSignature(info, ex_.mappings[1]),
+            kUnanswerableSignature);
+}
+
+TEST_F(ReformulationTest, ReformulateRewritesAttributesAndTable) {
+  auto info = Analyze(PhoneAddrQuery());
+  Reformulator reformulator(ex_.source_schema);
+  auto sq = reformulator.Reformulate(info, ex_.mappings[0]);
+  ASSERT_TRUE(sq.ok()) << sq.status().ToString();
+  ASSERT_TRUE(sq.ValueOrDie().answerable);
+  std::string canonical = algebra::Canonical(sq.ValueOrDie().plan);
+  EXPECT_NE(canonical.find("customer"), std::string::npos);
+  EXPECT_NE(canonical.find("ophone"), std::string::npos);
+  EXPECT_NE(canonical.find("oaddr"), std::string::npos);
+  EXPECT_EQ(canonical.find("Person"), std::string::npos);
+}
+
+TEST_F(ReformulationTest, ReformulateIsUnanswerableOnMissingAttr) {
+  PlanPtr p = MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.gender", CmpOp::kEq, "x")),
+      {"person.gender"});
+  auto info = Analyze(p);
+  Reformulator reformulator(ex_.source_schema);
+  auto sq = reformulator.Reformulate(info, ex_.mappings[0]);
+  ASSERT_TRUE(sq.ok());
+  EXPECT_FALSE(sq.ValueOrDie().answerable);
+}
+
+TEST_F(ReformulationTest, IdenticalSignaturesGiveIdenticalPlans) {
+  auto info = Analyze(PhoneAddrQuery());
+  Reformulator reformulator(ex_.source_schema);
+  auto a = reformulator.Reformulate(info, ex_.mappings[0]);
+  auto b = reformulator.Reformulate(info, ex_.mappings[1]);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(algebra::Canonical(a.ValueOrDie().plan),
+            algebra::Canonical(b.ValueOrDie().plan));
+}
+
+TEST_F(ReformulationTest, EvaluatingReformulatedQueryGivesPaperRows) {
+  auto info = Analyze(PhoneAddrQuery());
+  Reformulator reformulator(ex_.source_schema);
+  auto sq = reformulator.Reformulate(info, ex_.mappings[0]);
+  ASSERT_TRUE(sq.ok());
+  auto rel = algebra::Evaluate(sq.ValueOrDie().plan, ex_.catalog);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  // σ ophone='123' -> t1; π oaddr -> "aaa".
+  ASSERT_EQ(rel.ValueOrDie()->num_rows(), 1u);
+  EXPECT_EQ(rel.ValueOrDie()->rows()[0][0].ToString(), "aaa");
+}
+
+TEST_F(ReformulationTest, AggregateQueryLayout) {
+  PlanPtr p = MakeAggregate(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.phone", CmpOp::kEq, "123")),
+      algebra::AggKind::kCount);
+  auto info = Analyze(p);
+  EXPECT_TRUE(info.is_aggregate);
+  Reformulator reformulator(ex_.source_schema);
+  auto sq = reformulator.Reformulate(info, ex_.mappings[0]);
+  ASSERT_TRUE(sq.ok());
+  ASSERT_EQ(sq.ValueOrDie().layout.size(), 1u);
+  EXPECT_EQ(*sq.ValueOrDie().layout[0], "count");
+  auto rel = algebra::Evaluate(sq.ValueOrDie().plan, ex_.catalog);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.ValueOrDie()->rows()[0][0], relational::Value(1));
+}
+
+TEST_F(ReformulationTest, SelectOnlyQueryOutputsReferencedAttrs) {
+  PlanPtr p = MakeSelect(
+      MakeScan("Person", "person"),
+      Predicate::AttrCmpValue("person.phone", CmpOp::kEq, "123"));
+  auto info = Analyze(p);
+  EXPECT_EQ(info.output_refs,
+            (std::vector<std::string>{"person.phone"}));
+  Reformulator reformulator(ex_.source_schema);
+  auto sq = reformulator.Reformulate(info, ex_.mappings[0]);
+  ASSERT_TRUE(sq.ok());
+  auto rel = algebra::Evaluate(sq.ValueOrDie().plan, ex_.catalog);
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel.ValueOrDie()->num_rows(), 1u);
+  EXPECT_EQ(rel.ValueOrDie()->rows()[0][0].ToString(), "123");
+}
+
+TEST(AnswerSetTest, AddAccumulatesByValue) {
+  AnswerSet answers({"x"});
+  answers.Add({relational::Value("a")}, 0.3);
+  answers.Add({relational::Value("a")}, 0.2);
+  answers.Add({relational::Value("b")}, 0.1);
+  EXPECT_EQ(answers.size(), 2u);
+  auto sorted = answers.Sorted();
+  EXPECT_EQ(sorted[0].values[0].ToString(), "a");
+  EXPECT_NEAR(sorted[0].probability, 0.5, 1e-12);
+}
+
+TEST(AnswerSetTest, NullProbabilityTracked) {
+  AnswerSet answers({"x"});
+  answers.AddNull(0.4);
+  answers.Add({relational::Value("a")}, 0.6);
+  EXPECT_NEAR(answers.null_probability(), 0.4, 1e-12);
+  EXPECT_NEAR(answers.TotalProbability(), 1.0, 1e-12);
+}
+
+TEST(AnswerSetTest, TopKAndApproxEquals) {
+  AnswerSet a({"x"}), b({"x"});
+  a.Add({relational::Value("p")}, 0.5);
+  a.Add({relational::Value("q")}, 0.3);
+  b.Add({relational::Value("q")}, 0.3);
+  b.Add({relational::Value("p")}, 0.5);
+  EXPECT_TRUE(a.ApproxEquals(b));
+  auto top = a.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].values[0].ToString(), "p");
+  b.Add({relational::Value("r")}, 0.1);
+  EXPECT_FALSE(a.ApproxEquals(b));
+}
+
+TEST(AssembleAnswersTest, InsertsNullsAndDeduplicates) {
+  relational::RelationSchema schema;
+  ASSERT_TRUE(schema.AddColumn({"c.x", relational::ValueType::kString}).ok());
+  relational::Relation rel(schema);
+  ASSERT_TRUE(rel.AddRow({"v"}).ok());
+  ASSERT_TRUE(rel.AddRow({"v"}).ok());  // duplicate collapses
+  AnswerSet answers({"a", "b"});
+  std::vector<std::optional<std::string>> layout = {std::nullopt, "c.x"};
+  ASSERT_TRUE(AssembleAnswers(rel, layout, 0.5, &answers).ok());
+  ASSERT_EQ(answers.size(), 1u);
+  auto t = answers.Sorted()[0];
+  EXPECT_TRUE(t.values[0].is_null());
+  EXPECT_EQ(t.values[1].ToString(), "v");
+  EXPECT_NEAR(t.probability, 0.5, 1e-12);
+}
+
+TEST(AssembleAnswersTest, EmptyResultBecomesTheta) {
+  relational::RelationSchema schema;
+  ASSERT_TRUE(schema.AddColumn({"c.x", relational::ValueType::kString}).ok());
+  relational::Relation rel(schema);
+  AnswerSet answers({"a"});
+  ASSERT_TRUE(AssembleAnswers(rel, {std::optional<std::string>("c.x")}, 0.3,
+                              &answers)
+                  .ok());
+  EXPECT_EQ(answers.size(), 0u);
+  EXPECT_NEAR(answers.null_probability(), 0.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace reformulation
+}  // namespace urm

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace urm {
+namespace relational {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(3).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3).AsInt64(), 3);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("x").type(), ValueType::kString);
+  EXPECT_EQ(Value("x").AsString(), "x");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_NE(Value(2), Value(2.5));
+  EXPECT_NE(Value(2), Value("2"));
+}
+
+TEST(ValueTest, NullSemantics) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(0));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+  EXPECT_TRUE(Value::Null() < Value(0));
+  EXPECT_TRUE(Value::Null() < Value("a"));
+}
+
+TEST(ValueTest, OrderingWithinAndAcrossTypes) {
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_TRUE(Value(1.5) < Value(2));
+  EXPECT_TRUE(Value("a") < Value("b"));
+  EXPECT_TRUE(Value(99) < Value("a"));  // numerics sort before strings
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value(5.0).ToString(), "5.0");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(SchemaTest, QualifiedNameParts) {
+  EXPECT_EQ(AttributePart("customer.c_phone"), "c_phone");
+  EXPECT_EQ(InstancePart("customer.c_phone"), "customer");
+  EXPECT_EQ(AttributePart("bare"), "bare");
+  EXPECT_EQ(InstancePart("bare"), "");
+}
+
+RelationSchema TwoColSchema() {
+  RelationSchema s;
+  EXPECT_TRUE(s.AddColumn({"t.a", ValueType::kString}).ok());
+  EXPECT_TRUE(s.AddColumn({"t.b", ValueType::kInt64}).ok());
+  return s;
+}
+
+TEST(SchemaTest, IndexOfQualifiedAndUnqualified) {
+  RelationSchema s = TwoColSchema();
+  EXPECT_EQ(s.IndexOf("t.a"), std::optional<size_t>(0));
+  EXPECT_EQ(s.IndexOf("b"), std::optional<size_t>(1));
+  EXPECT_EQ(s.IndexOf("t.c"), std::nullopt);
+}
+
+TEST(SchemaTest, UnqualifiedAmbiguityReturnsNullopt) {
+  RelationSchema s;
+  ASSERT_TRUE(s.AddColumn({"x.a", ValueType::kString}).ok());
+  ASSERT_TRUE(s.AddColumn({"y.a", ValueType::kString}).ok());
+  EXPECT_EQ(s.IndexOf("a"), std::nullopt);
+  EXPECT_EQ(s.IndexOf("x.a"), std::optional<size_t>(0));
+}
+
+TEST(SchemaTest, DuplicateColumnRejected) {
+  RelationSchema s = TwoColSchema();
+  EXPECT_EQ(s.AddColumn({"t.a", ValueType::kString}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ConcatAndSelect) {
+  RelationSchema s = TwoColSchema();
+  RelationSchema other;
+  ASSERT_TRUE(other.AddColumn({"u.c", ValueType::kDouble}).ok());
+  auto cat = s.Concat(other);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat.ValueOrDie().num_columns(), 3u);
+  auto sel = cat.ValueOrDie().Select({"u.c", "t.a"});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.ValueOrDie().column(0).name, "u.c");
+  EXPECT_EQ(sel.ValueOrDie().column(1).name, "t.a");
+}
+
+TEST(SchemaTest, ContainsAll) {
+  RelationSchema s = TwoColSchema();
+  EXPECT_TRUE(s.ContainsAll({"t.a", "b"}));
+  EXPECT_FALSE(s.ContainsAll({"t.a", "zz"}));
+}
+
+Relation MakeRelation() {
+  Relation r(TwoColSchema());
+  EXPECT_TRUE(r.AddRow({"x", 1}).ok());
+  EXPECT_TRUE(r.AddRow({"y", 2}).ok());
+  EXPECT_TRUE(r.AddRow({"x", 1}).ok());
+  return r;
+}
+
+TEST(RelationTest, AddRowArityChecked) {
+  Relation r(TwoColSchema());
+  EXPECT_EQ(r.AddRow({"only-one"}).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(r.AddRow({"a", 1}).ok());
+  EXPECT_EQ(r.num_rows(), 1u);
+}
+
+TEST(RelationTest, DistinctRemovesDuplicates) {
+  Relation r = MakeRelation();
+  Relation d = r.Distinct();
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(r.num_rows(), 3u);  // original untouched
+}
+
+TEST(RelationTest, ProjectReordersColumns) {
+  Relation r = MakeRelation();
+  auto p = r.Project({"b", "t.a"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.ValueOrDie().schema().column(0).name, "t.b");
+  EXPECT_EQ(p.ValueOrDie().rows()[0][0], Value(1));
+  EXPECT_EQ(p.ValueOrDie().rows()[0][1], Value("x"));
+}
+
+TEST(RelationTest, ProductCrossesRows) {
+  Relation r = MakeRelation();
+  RelationSchema other_schema;
+  ASSERT_TRUE(other_schema.AddColumn({"u.c", ValueType::kInt64}).ok());
+  Relation other(other_schema);
+  ASSERT_TRUE(other.AddRow({10}).ok());
+  ASSERT_TRUE(other.AddRow({20}).ok());
+  auto prod = r.Product(other);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(prod.ValueOrDie().num_rows(), 6u);
+  EXPECT_EQ(prod.ValueOrDie().schema().num_columns(), 3u);
+}
+
+TEST(RelationTest, WithSchemaSharesRows) {
+  Relation r = MakeRelation();
+  RelationSchema renamed;
+  ASSERT_TRUE(renamed.AddColumn({"z.a", ValueType::kString}).ok());
+  ASSERT_TRUE(renamed.AddColumn({"z.b", ValueType::kInt64}).ok());
+  auto view = r.WithSchema(renamed);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.ValueOrDie().num_rows(), 3u);
+  EXPECT_EQ(&view.ValueOrDie().rows(), &r.rows());  // shared storage
+}
+
+TEST(RelationTest, CopyOnWritePreservesOriginal) {
+  Relation r = MakeRelation();
+  Relation copy = r;
+  ASSERT_TRUE(copy.AddRow({"z", 9}).ok());
+  EXPECT_EQ(copy.num_rows(), 4u);
+  EXPECT_EQ(r.num_rows(), 3u);
+}
+
+TEST(RelationTest, WithSchemaArityMismatchFails) {
+  Relation r = MakeRelation();
+  RelationSchema wrong;
+  ASSERT_TRUE(wrong.AddColumn({"z.a", ValueType::kString}).ok());
+  EXPECT_FALSE(r.WithSchema(wrong).ok());
+}
+
+TEST(RowUtilTest, HashEqualOrderHelpers) {
+  Row a = {"x", 1}, b = {"x", 1}, c = {"x", 2};
+  EXPECT_TRUE(RowsEqual(a, b));
+  EXPECT_FALSE(RowsEqual(a, c));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_TRUE(RowLess(a, c));
+  EXPECT_FALSE(RowLess(c, a));
+  Row shorter = {"x"};
+  EXPECT_TRUE(RowLess(shorter, a));
+}
+
+TEST(CatalogTest, RegisterGetAndDuplicates) {
+  Catalog catalog;
+  auto rel = std::make_shared<const Relation>(MakeRelation());
+  ASSERT_TRUE(catalog.Register("t", rel).ok());
+  EXPECT_EQ(catalog.Register("t", rel).code(), StatusCode::kAlreadyExists);
+  auto got = catalog.Get("t");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie()->num_rows(), 3u);
+  EXPECT_FALSE(catalog.Get("missing").ok());
+  EXPECT_TRUE(catalog.Contains("t"));
+}
+
+TEST(CatalogTest, NamesSortedAndTotals) {
+  Catalog catalog;
+  auto rel = std::make_shared<const Relation>(MakeRelation());
+  ASSERT_TRUE(catalog.Register("zz", rel).ok());
+  ASSERT_TRUE(catalog.Register("aa", rel).ok());
+  auto names = catalog.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "aa");
+  EXPECT_EQ(names[1], "zz");
+  EXPECT_EQ(catalog.TotalRows(), 6u);
+  EXPECT_GT(catalog.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace urm

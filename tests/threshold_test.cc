@@ -1,0 +1,108 @@
+/// \file threshold_test.cc
+/// Probability-threshold queries (extension; see threshold.h). Oracle:
+/// exhaustive evaluation via basic, filtered by exact probability.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "reformulation/reformulator.h"
+#include "tests/paper_fixture.h"
+#include "topk/threshold.h"
+
+namespace urm {
+namespace topk {
+namespace {
+
+using algebra::CmpOp;
+using algebra::MakeProject;
+using algebra::MakeScan;
+using algebra::MakeSelect;
+using algebra::PlanPtr;
+using algebra::Predicate;
+
+class ThresholdTest : public ::testing::Test {
+ protected:
+  ThresholdTest() : ex_(testing::MakePaperExample()) {}
+
+  reformulation::TargetQueryInfo Analyze(const PlanPtr& q) {
+    auto info = reformulation::AnalyzeTargetQuery(q, ex_.target_schema);
+    EXPECT_TRUE(info.ok()) << info.status().ToString();
+    return info.ValueOrDie();
+  }
+
+  /// π_phone σ_addr='aaa' Person -> (123,.5), (456,.8), (789,.2).
+  PlanPtr Qa() {
+    PlanPtr p = MakeScan("Person", "person");
+    p = MakeSelect(p, Predicate::AttrCmpValue("person.addr", CmpOp::kEq,
+                                              "aaa"));
+    return MakeProject(p, {"person.phone"});
+  }
+
+  testing::PaperExample ex_;
+};
+
+TEST_F(ThresholdTest, ReturnsExactlyTuplesAboveThreshold) {
+  auto info = Analyze(Qa());
+  struct Case {
+    double threshold;
+    size_t expected;
+  };
+  for (const Case c : {Case{0.9, 0}, Case{0.7, 1}, Case{0.5, 2},
+                       Case{0.15, 3}, Case{0.01, 3}}) {
+    auto result = RunThreshold(info, ex_.mappings, ex_.catalog,
+                               c.threshold);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.ValueOrDie().tuples.size(), c.expected)
+        << "threshold " << c.threshold;
+  }
+}
+
+TEST_F(ThresholdTest, BoundsBracketExactProbabilities) {
+  auto info = Analyze(Qa());
+  reformulation::Reformulator reformulator(ex_.source_schema);
+  auto basic = baselines::RunBasic(info, baselines::AsWeighted(ex_.mappings),
+                                   ex_.catalog, reformulator);
+  ASSERT_TRUE(basic.ok());
+  auto result = RunThreshold(info, ex_.mappings, ex_.catalog, 0.4);
+  ASSERT_TRUE(result.ok());
+  for (const auto& t : result.ValueOrDie().tuples) {
+    double exact = -1.0;
+    for (const auto& e : basic.ValueOrDie().answers.Sorted()) {
+      if (relational::RowsEqual(e.values, t.values)) exact = e.probability;
+    }
+    ASSERT_GE(exact, 0.0);
+    EXPECT_GE(exact, 0.4 - 1e-9);
+    EXPECT_LE(t.lower_bound, exact + 1e-9);
+    EXPECT_GE(t.upper_bound, exact - 1e-9);
+  }
+}
+
+TEST_F(ThresholdTest, HighThresholdPrunesEarly) {
+  auto info = Analyze(Qa());
+  auto strict = RunThreshold(info, ex_.mappings, ex_.catalog, 0.95);
+  auto loose = RunThreshold(info, ex_.mappings, ex_.catalog, 0.05);
+  ASSERT_TRUE(strict.ok() && loose.ok());
+  EXPECT_LE(strict.ValueOrDie().leaves_visited,
+            loose.ValueOrDie().leaves_visited);
+}
+
+TEST_F(ThresholdTest, RejectsInvalidThreshold) {
+  auto info = Analyze(Qa());
+  EXPECT_FALSE(RunThreshold(info, ex_.mappings, ex_.catalog, 0.0).ok());
+  EXPECT_FALSE(RunThreshold(info, ex_.mappings, ex_.catalog, 1.5).ok());
+  EXPECT_TRUE(RunThreshold(info, ex_.mappings, ex_.catalog, 1.0).ok());
+}
+
+TEST_F(ThresholdTest, ThetaOnlyQueryReturnsNothing) {
+  PlanPtr q = MakeSelect(
+      MakeScan("Person", "person"),
+      Predicate::AttrCmpValue("person.phone", CmpOp::kEq, "no-such"));
+  auto info = Analyze(q);
+  auto result = RunThreshold(info, ex_.mappings, ex_.catalog, 0.3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.ValueOrDie().tuples.empty());
+}
+
+}  // namespace
+}  // namespace topk
+}  // namespace urm

@@ -1,0 +1,174 @@
+/// \file workload_test.cc
+/// Static validation of the Table III workload: every query analyzes
+/// against its target schema, with the operator inventory, output
+/// layout, and o-sharing decomposition the paper describes.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "core/workload.h"
+#include "osharing/query_shape.h"
+#include "reformulation/target_query.h"
+
+namespace urm {
+namespace core {
+namespace {
+
+reformulation::TargetQueryInfo Analyze(const WorkloadQuery& wq) {
+  auto bundle = datagen::GetTargetSchema(wq.schema);
+  auto info = reformulation::AnalyzeTargetQuery(wq.query, bundle.schema);
+  EXPECT_TRUE(info.ok()) << wq.id << ": " << info.status().ToString();
+  return info.ValueOrDie();
+}
+
+TEST(WorkloadStaticTest, AllQueriesAnalyzeAgainstTheirSchemas) {
+  for (const auto& wq : PaperWorkload()) {
+    auto info = Analyze(wq);
+    EXPECT_FALSE(info.output_refs.empty()) << wq.id;
+    EXPECT_FALSE(info.instances.empty()) << wq.id;
+  }
+}
+
+TEST(WorkloadStaticTest, OperatorCountsMatchTableIII) {
+  // Table III expressions: selections + products + projections +
+  // aggregates per query.
+  struct Expected {
+    const char* id;
+    size_t operators;
+  };
+  const Expected expected[] = {
+      {"Q1", 3},   // 3 selections
+      {"Q2", 3},   // 2 selections + 1 product
+      {"Q3", 6},   // 4 selections (2 joins) + 2 products
+      {"Q4", 6},   // 3 selections + 3 products
+      {"Q5", 5},   // 4 selections + COUNT
+      {"Q6", 3},   // 3 selections
+      {"Q7", 5},   // 3 selections + 1 product + 1 projection
+      {"Q8", 3},   // 3 selections
+      {"Q9", 6},   // 3 selections + 1 product + π + SUM
+      {"Q10", 4},  // 2 selections + 1 product + COUNT
+  };
+  for (const auto& e : expected) {
+    EXPECT_EQ(algebra::CountOperators(QueryById(e.id).query), e.operators)
+        << e.id;
+  }
+}
+
+TEST(WorkloadStaticTest, SchemaAssignmentsMatchPaper) {
+  for (const auto& wq : PaperWorkload()) {
+    int n = std::atoi(wq.id.c_str() + 1);
+    if (n <= 5) {
+      EXPECT_EQ(wq.schema, datagen::TargetSchemaId::kExcel) << wq.id;
+    } else if (n <= 7) {
+      EXPECT_EQ(wq.schema, datagen::TargetSchemaId::kNoris) << wq.id;
+    } else {
+      EXPECT_EQ(wq.schema, datagen::TargetSchemaId::kParagon) << wq.id;
+    }
+  }
+}
+
+TEST(WorkloadStaticTest, AggregateQueriesFlagged) {
+  EXPECT_TRUE(Analyze(QueryById("Q5")).is_aggregate);
+  EXPECT_TRUE(Analyze(QueryById("Q9")).is_aggregate);
+  EXPECT_TRUE(Analyze(QueryById("Q10")).is_aggregate);
+  EXPECT_FALSE(Analyze(QueryById("Q1")).is_aggregate);
+  EXPECT_FALSE(Analyze(QueryById("Q7")).is_aggregate);
+}
+
+TEST(WorkloadStaticTest, BareInstancesWhereThePaperHasThem) {
+  // Q2: PO is scanned but never referenced; Q10: Item likewise.
+  auto q2 = Analyze(QueryById("Q2"));
+  bool q2_po_bare = false;
+  for (const auto& inst : q2.instances) {
+    if (inst.table == "PO") q2_po_bare = inst.bare;
+  }
+  EXPECT_TRUE(q2_po_bare);
+
+  auto q10 = Analyze(QueryById("Q10"));
+  bool q10_item_bare = false;
+  for (const auto& inst : q10.instances) {
+    if (inst.table == "Item") q10_item_bare = inst.bare;
+  }
+  EXPECT_TRUE(q10_item_bare);
+
+  // Q4 has no bare instance: every alias is referenced.
+  for (const auto& inst : Analyze(QueryById("Q4")).instances) {
+    EXPECT_FALSE(inst.bare) << inst.alias;
+  }
+}
+
+TEST(WorkloadStaticTest, SelfJoinInstancesDistinct) {
+  auto q4 = Analyze(QueryById("Q4"));
+  EXPECT_EQ(q4.instances.size(), 4u);  // po1, po2, item1, item2
+  std::set<std::string> aliases;
+  for (const auto& inst : q4.instances) {
+    EXPECT_TRUE(aliases.insert(inst.alias).second);
+  }
+  EXPECT_TRUE(aliases.count("po1") && aliases.count("po2"));
+}
+
+TEST(WorkloadStaticTest, Q7ProjectsItemColumns) {
+  auto q7 = Analyze(QueryById("Q7"));
+  ASSERT_EQ(q7.output_refs.size(), 2u);
+  EXPECT_EQ(q7.output_refs[0], "item.itemNum");
+  EXPECT_EQ(q7.output_refs[1], "item.unitPrice");
+}
+
+TEST(WorkloadStaticTest, DecompositionMatchesOperatorCounts) {
+  for (const auto& wq : PaperWorkload()) {
+    auto info = Analyze(wq);
+    auto shape = osharing::DecomposeQuery(info);
+    ASSERT_TRUE(shape.ok()) << wq.id << ": " << shape.status().ToString();
+    EXPECT_EQ(shape.ValueOrDie().NumOperators(),
+              algebra::CountOperators(wq.query))
+        << wq.id;
+  }
+}
+
+TEST(WorkloadStaticTest, ParametricQueriesScaleOperators) {
+  for (int n = 1; n <= 5; ++n) {
+    EXPECT_EQ(algebra::CountOperators(SelectionChainQuery(n)),
+              static_cast<size_t>(n));
+  }
+  for (int n = 1; n <= 3; ++n) {
+    // n products + n join selections + 1 constant selection.
+    EXPECT_EQ(algebra::CountOperators(SelfJoinQuery(n)),
+              static_cast<size_t>(2 * n + 1));
+  }
+}
+
+TEST(WorkloadStaticTest, QueriedAttributesExistInSchemas) {
+  for (const auto& wq : PaperWorkload()) {
+    auto bundle = datagen::GetTargetSchema(wq.schema);
+    for (const auto& ref : algebra::ReferencedAttributes(wq.query)) {
+      auto info = Analyze(wq);
+      auto attr = info.TargetAttrForRef(ref);
+      ASSERT_TRUE(attr.ok()) << wq.id << " " << ref;
+      EXPECT_TRUE(bundle.schema.HasAttribute(attr.ValueOrDie()))
+          << wq.id << " " << ref;
+    }
+  }
+}
+
+TEST(WorkloadStaticTest, QueriedAttributesHaveSeededCandidates) {
+  // Every referenced attribute must have at least one seeded source
+  // candidate, otherwise all mappings leave the query unanswerable.
+  for (const auto& wq : PaperWorkload()) {
+    auto bundle = datagen::GetTargetSchema(wq.schema);
+    auto info = Analyze(wq);
+    for (const auto& ref : algebra::ReferencedAttributes(wq.query)) {
+      std::string attr = info.TargetAttrForRef(ref).ValueOrDie();
+      size_t candidates = 0;
+      for (const auto& [pair, score] : bundle.seeds) {
+        if (pair.first == attr) ++candidates;
+      }
+      EXPECT_GE(candidates, 1u) << wq.id << " " << attr;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace urm
