@@ -1,0 +1,141 @@
+/// \file bench_service_throughput.cc
+/// QueryService batch throughput: QPS and scaling vs. pool size, plus
+/// the answer-cache hit speedup. Not a paper figure — this measures the
+/// serving tier the reproduction adds on top of the paper's methods.
+///
+/// Defaults follow the paper-style configuration of the service PR
+/// (|D| = 5 MB, h = 100); override with URM_BENCH_MB / URM_BENCH_H /
+/// URM_BENCH_RUNS. Scaling beyond 1x requires real cores: the JSON
+/// lines record `hw_threads` so trajectories across machines stay
+/// interpretable.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "service/query_service.h"
+
+namespace {
+
+using namespace urm;  // NOLINT
+
+/// A batch of distinct (plan, method) work items over the Excel schema:
+/// Q1-Q5 plus the parametric families, crossed with the shareable
+/// methods.
+std::vector<service::QueryRequest> DistinctWorkload() {
+  std::vector<algebra::PlanPtr> plans;
+  for (const char* id : {"Q1", "Q2", "Q3", "Q4", "Q5"}) {
+    plans.push_back(core::QueryById(id).query);
+  }
+  for (int n = 1; n <= 5; ++n) {
+    plans.push_back(core::SelectionChainQuery(n));
+  }
+  plans.push_back(core::SelfJoinQuery(1));
+  plans.push_back(core::SelfJoinQuery(2));
+
+  std::vector<service::QueryRequest> requests;
+  for (const auto& plan : plans) {
+    for (core::Method method :
+         {core::Method::kEBasic, core::Method::kQSharing,
+          core::Method::kOSharing}) {
+      requests.push_back({plan, method});
+    }
+  }
+  return requests;
+}
+
+double MeasureBatchSeconds(service::QueryService* service,
+                           const std::vector<service::QueryRequest>& batch) {
+  Timer timer;
+  auto responses = service->Submit(batch);
+  double seconds = timer.Seconds();
+  for (const auto& r : responses) {
+    URM_CHECK(r.status.ok()) << r.status.ToString();
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  double mb = bench::EnvDouble("URM_BENCH_MB", 5.0);
+  int h = bench::EnvInt("URM_BENCH_H", 100);
+  int runs = bench::BenchRuns();
+  unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("# service throughput: batch QPS vs. pool size\n");
+  std::printf("# scale: |D|=%.1f MB, h=%d, runs=%d, hw_threads=%u\n", mb, h,
+              runs, hw);
+
+  core::Engine::Options options;
+  options.target_mb = mb;
+  options.num_mappings = h;
+  auto engine = core::Engine::Create(options);
+  URM_CHECK(engine.ok()) << engine.status().ToString();
+
+  std::vector<service::QueryRequest> batch = DistinctWorkload();
+  std::printf("# batch: %zu requests (all distinct plans/methods)\n\n",
+              batch.size());
+
+  // --- scaling: cache off, so every run evaluates the full batch.
+  std::printf("%-10s %10s %10s %10s\n", "threads", "ms", "QPS", "speedup");
+  double baseline_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    service::ServiceOptions service_options;
+    service_options.num_threads = threads;
+    service_options.cache_capacity = 0;
+    service::QueryService service(engine.ValueOrDie().get(),
+                                  service_options);
+    double best = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      double seconds = MeasureBatchSeconds(&service, batch);
+      if (r == 0 || seconds < best) best = seconds;
+    }
+    if (threads == 1) baseline_seconds = best;
+    double qps = static_cast<double>(batch.size()) / best;
+    double speedup = baseline_seconds / best;
+    std::printf("%-10d %10.1f %10.1f %9.2fx\n", threads, best * 1e3, qps,
+                speedup);
+    bench::JsonLine("service_throughput")
+        .Field("config", "scaling")
+        .Field("threads", threads)
+        .Field("hw_threads", static_cast<int>(hw))
+        .Field("mb", mb)
+        .Field("h", h)
+        .Field("batch", batch.size())
+        .Field("ms", best * 1e3)
+        .Field("qps", qps)
+        .Field("speedup", speedup)
+        .Emit();
+  }
+
+  // --- answer cache: warm once, then serve the same batch from cache.
+  service::ServiceOptions cached_options;
+  cached_options.num_threads = 4;
+  service::QueryService cached(engine.ValueOrDie().get(), cached_options);
+  double cold = MeasureBatchSeconds(&cached, batch);
+  double warm = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    double seconds = MeasureBatchSeconds(&cached, batch);
+    if (r == 0 || seconds < warm) warm = seconds;
+  }
+  service::CacheStats stats = cached.cache_stats();
+  std::printf("\ncache: cold %.1f ms, warm %.1f ms (%.0fx), "
+              "%zu hits / %zu misses\n",
+              cold * 1e3, warm * 1e3, cold / warm, stats.hits,
+              stats.misses);
+  bench::JsonLine("service_throughput")
+      .Field("config", "cache")
+      .Field("mb", mb)
+      .Field("h", h)
+      .Field("batch", batch.size())
+      .Field("cold_ms", cold * 1e3)
+      .Field("warm_ms", warm * 1e3)
+      .Field("hit_speedup", cold / warm)
+      .Field("hits", stats.hits)
+      .Field("misses", stats.misses)
+      .Emit();
+  return 0;
+}

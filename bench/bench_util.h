@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -85,6 +86,76 @@ inline baselines::MethodResult TimedEvaluate(const core::Engine& engine,
   *mean_seconds = total / runs;
   return last;
 }
+
+/// \brief Machine-readable perf record: one JSON object per line.
+///
+/// Benches print human-readable tables for eyeballing figures plus one
+/// JSON line per measurement (prefixed "JSONL ") so CI / future PRs can
+/// track the perf trajectory with `grep '^JSONL ' | cut -c7-`:
+///
+///   JsonLine("fig10a").Field("query", "Q4").Field("ms", 12.8).Emit();
+///   // -> JSONL {"bench":"fig10a","query":"Q4","ms":12.8}
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    line_ = "{\"bench\":\"" + Escape(bench) + "\"";
+  }
+
+  JsonLine& Field(const char* key, const std::string& value) {
+    line_ += ",\"" + std::string(key) + "\":\"" + Escape(value) + "\"";
+    return *this;
+  }
+  JsonLine& Field(const char* key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonLine& Field(const char* key, double value) {
+    char buf[64];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    } else {
+      // JSON has no inf/nan literal (e.g. a zero-time warm-cache run
+      // makes a speedup ratio infinite).
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    line_ += ",\"" + std::string(key) + "\":" + buf;
+    return *this;
+  }
+  JsonLine& Field(const char* key, int value) {
+    line_ += ",\"" + std::string(key) + "\":" + std::to_string(value);
+    return *this;
+  }
+  JsonLine& Field(const char* key, size_t value) {
+    line_ += ",\"" + std::string(key) + "\":" + std::to_string(value);
+    return *this;
+  }
+
+  void Emit() { std::printf("JSONL %s}\n", line_.c_str()); }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else if (c == '\t') {
+        out += "\\t";
+      } else if (u < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string line_;
+};
 
 /// Prints the standard bench header.
 inline void PrintHeader(const char* experiment, const char* paper_ref) {

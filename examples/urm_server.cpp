@@ -1,0 +1,255 @@
+/// \file urm_server.cpp
+/// REPL-style serving driver for the QueryService: accepts batches of
+/// Table III queries, deduplicates and evaluates them concurrently, and
+/// reports cache behavior — the interactive face of the serving tier.
+///
+///   urm_server [--mb 1.0] [--h 100] [--threads 4] [--cache 256]
+///              [--parallelism 1]
+///
+/// Commands (one per line):
+///   run Q4 [method]            evaluate one query (default osharing)
+///   batch Q1:osharing Q2:qsharing Q1:osharing ...
+///                              submit a batch; duplicates share work
+///   stats                      answer-cache counters per schema
+///   clear                      drop all cached answers
+///   help                       this text
+///   quit                       exit (EOF works too)
+///
+/// Engines are built lazily per target schema (Q1-Q5 Excel, Q6-Q7
+/// Noris, Q8-Q10 Paragon), each fronted by its own QueryService
+/// sharing the configured pool/cache sizes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "service/query_service.h"
+
+namespace {
+
+using namespace urm;  // NOLINT
+
+struct ServerArgs {
+  double mb = 1.0;
+  int h = 100;
+  int threads = 4;
+  size_t cache = 256;
+  int parallelism = 1;
+};
+
+bool ParseMethod(const std::string& name, core::Method* method) {
+  if (name == "basic") *method = core::Method::kBasic;
+  else if (name == "ebasic" || name == "e-basic") *method = core::Method::kEBasic;
+  else if (name == "emqo" || name == "e-mqo") *method = core::Method::kEMqo;
+  else if (name == "qsharing" || name == "q-sharing") *method = core::Method::kQSharing;
+  else if (name == "osharing" || name == "o-sharing") *method = core::Method::kOSharing;
+  else return false;
+  return true;
+}
+
+/// One engine + service per target schema, built on first use.
+class ServiceDirectory {
+ public:
+  explicit ServiceDirectory(const ServerArgs& args) : args_(args) {}
+
+  service::QueryService* ForSchema(datagen::TargetSchemaId schema) {
+    auto it = services_.find(schema);
+    if (it != services_.end()) return it->second.service.get();
+    std::printf("building %s engine (|D|=%.1f MB, h=%d)...\n",
+                datagen::TargetSchemaName(schema), args_.mb, args_.h);
+    core::Engine::Options options;
+    options.target_mb = args_.mb;
+    options.num_mappings = args_.h;
+    options.target_schema = schema;
+    auto engine = core::Engine::Create(options);
+    if (!engine.ok()) {
+      std::printf("error: %s\n", engine.status().ToString().c_str());
+      return nullptr;
+    }
+    Entry entry;
+    entry.engine = std::move(engine).ValueOrDie();
+    service::ServiceOptions service_options;
+    service_options.num_threads = args_.threads;
+    service_options.cache_capacity = args_.cache;
+    service_options.intra_query_parallelism = args_.parallelism;
+    entry.service = std::make_unique<service::QueryService>(
+        entry.engine.get(), service_options);
+    auto* result = entry.service.get();
+    services_.emplace(schema, std::move(entry));
+    return result;
+  }
+
+  void PrintStats() const {
+    if (services_.empty()) {
+      std::printf("no engines built yet\n");
+      return;
+    }
+    for (const auto& [schema, entry] : services_) {
+      service::CacheStats stats = entry.service->cache_stats();
+      std::printf("%-8s cache: %zu entries, %zu hits, %zu misses, "
+                  "%zu evictions\n",
+                  datagen::TargetSchemaName(schema), stats.entries,
+                  stats.hits, stats.misses, stats.evictions);
+    }
+  }
+
+  void ClearCaches() {
+    for (auto& [schema, entry] : services_) entry.service->ClearCache();
+    std::printf("caches cleared\n");
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<core::Engine> engine;
+    std::unique_ptr<service::QueryService> service;
+  };
+  ServerArgs args_;
+  std::map<datagen::TargetSchemaId, Entry> services_;
+};
+
+void PrintResponse(const std::string& label,
+                   const service::QueryResponse& response) {
+  if (!response.status.ok()) {
+    std::printf("%-14s error: %s\n", label.c_str(),
+                response.status.ToString().c_str());
+    return;
+  }
+  const auto& result = *response.result;
+  const char* source = response.cache_hit ? "cache"
+                       : response.shared_in_batch ? "shared"
+                                                  : "evaluated";
+  std::printf("%-14s %-9s %zu answers (P(θ)=%.3f) %zu partitions "
+              "%.1f ms\n",
+              label.c_str(), source, result.answers.size(),
+              result.answers.null_probability(), result.partitions,
+              result.TotalSeconds() * 1e3);
+}
+
+/// Parses "Q4" or "Q4:osharing" into a request; returns the label.
+bool ParseRequestToken(const std::string& token, std::string* query_id,
+                       core::Method* method) {
+  *method = core::Method::kOSharing;
+  auto colon = token.find(':');
+  *query_id = token.substr(0, colon);
+  if (colon != std::string::npos &&
+      !ParseMethod(token.substr(colon + 1), method)) {
+    std::printf("unknown method in '%s'\n", token.c_str());
+    return false;
+  }
+  for (const auto& wq : core::PaperWorkload()) {
+    if (wq.id == *query_id) return true;
+  }
+  std::printf("unknown query '%s' (expected Q1..Q10)\n", query_id->c_str());
+  return false;
+}
+
+void RunBatch(ServiceDirectory* directory,
+              const std::vector<std::string>& tokens) {
+  // Group requests per schema (each schema has its own service); keep
+  // the submission batched so dedup/cache behavior is visible.
+  std::map<datagen::TargetSchemaId,
+           std::pair<std::vector<std::string>,
+                     std::vector<service::QueryRequest>>>
+      by_schema;
+  for (const auto& token : tokens) {
+    std::string id;
+    core::Method method;
+    if (!ParseRequestToken(token, &id, &method)) return;
+    core::WorkloadQuery wq = core::QueryById(id);
+    auto& [labels, requests] = by_schema[wq.schema];
+    labels.push_back(token);
+    requests.push_back({wq.query, method});
+  }
+  for (auto& [schema, group] : by_schema) {
+    service::QueryService* service = directory->ForSchema(schema);
+    if (service == nullptr) return;
+    auto responses = service->Submit(group.second);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      PrintResponse(group.first[i], responses[i]);
+    }
+  }
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  run <Q1..Q10> [basic|ebasic|emqo|qsharing|osharing]\n"
+      "  batch <Qid>[:<method>] ...\n"
+      "  stats | clear | help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerArgs args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--mb") == 0) args.mb = std::atof(next("--mb"));
+    else if (std::strcmp(argv[i], "--h") == 0) args.h = std::atoi(next("--h"));
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      args.threads = std::atoi(next("--threads"));
+    else if (std::strcmp(argv[i], "--cache") == 0)
+      args.cache = static_cast<size_t>(std::atoll(next("--cache")));
+    else if (std::strcmp(argv[i], "--parallelism") == 0)
+      args.parallelism = std::atoi(next("--parallelism"));
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::printf("urm query service (threads=%d, cache=%zu, parallelism=%d); "
+              "'help' lists commands\n",
+              args.threads, args.cache, args.parallelism);
+  ServiceDirectory directory(args);
+
+  std::string line;
+  while (std::printf("urm> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream stream(line);
+    std::string command;
+    if (!(stream >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "stats") {
+      directory.PrintStats();
+    } else if (command == "clear") {
+      directory.ClearCaches();
+    } else if (command == "run") {
+      std::string id, method_name;
+      stream >> id >> method_name;
+      if (id.empty()) {
+        PrintHelp();
+        continue;
+      }
+      RunBatch(&directory,
+               {method_name.empty() ? id : id + ":" + method_name});
+    } else if (command == "batch") {
+      std::vector<std::string> tokens;
+      std::string token;
+      while (stream >> token) tokens.push_back(token);
+      if (tokens.empty()) {
+        PrintHelp();
+        continue;
+      }
+      RunBatch(&directory, tokens);
+    } else {
+      PrintHelp();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "algebra/fingerprint.h"
+
+#include <cstdio>
+
+#include "common/hash_util.h"
+
+namespace urm {
+namespace algebra {
+
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer): order-sensitive accumulation.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+uint64_t MixString(uint64_t h, const std::string& s) {
+  return Mix(h, Fnv1a(s));
+}
+
+uint64_t HashValue(uint64_t h, const relational::Value& v) {
+  h = Mix(h, static_cast<uint64_t>(v.type()));
+  return Mix(h, static_cast<uint64_t>(v.Hash()));
+}
+
+uint64_t HashPredicate(uint64_t h, const Predicate& p) {
+  h = MixString(h, p.lhs);
+  h = Mix(h, static_cast<uint64_t>(p.op));
+  if (p.rhs_attr.has_value()) {
+    h = Mix(h, 1);
+    h = MixString(h, *p.rhs_attr);
+  } else {
+    h = Mix(h, 2);
+    h = HashValue(h, p.rhs_value);
+  }
+  return h;
+}
+
+uint64_t HashNode(uint64_t h, const PlanPtr& plan) {
+  if (plan == nullptr) return Mix(h, 0);
+  h = Mix(h, static_cast<uint64_t>(plan->kind) + 1);
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      h = MixString(h, plan->table);
+      h = MixString(h, plan->alias);
+      return h;
+    case PlanKind::kRelationLeaf:
+      h = MixString(h, plan->label);
+      return h;
+    case PlanKind::kSelect:
+      h = HashPredicate(h, plan->predicate);
+      return HashNode(h, plan->child);
+    case PlanKind::kProject:
+      h = Mix(h, plan->attrs.size());
+      for (const auto& a : plan->attrs) h = MixString(h, a);
+      return HashNode(h, plan->child);
+    case PlanKind::kProduct:
+      h = HashNode(h, plan->child);
+      return HashNode(h, plan->right);
+    case PlanKind::kAggregate:
+      h = Mix(h, static_cast<uint64_t>(plan->agg));
+      h = MixString(h, plan->agg_attr);
+      return HashNode(h, plan->child);
+    case PlanKind::kDistinct:
+      return HashNode(h, plan->child);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string PlanFingerprint::ToString() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx:%016llx",
+                static_cast<unsigned long long>(plan_hash),
+                static_cast<unsigned long long>(context_hash));
+  return buf;
+}
+
+size_t PlanFingerprintHash::operator()(const PlanFingerprint& fp) const {
+  return static_cast<size_t>(Mix(fp.plan_hash, fp.context_hash));
+}
+
+uint64_t HashPlan(const PlanPtr& plan) {
+  return HashNode(0xcbf29ce484222325ULL, plan);
+}
+
+PlanFingerprint MakeFingerprint(const PlanPtr& plan,
+                                uint64_t context_hash) {
+  PlanFingerprint fp;
+  fp.plan_hash = HashPlan(plan);
+  fp.context_hash = context_hash;
+  return fp;
+}
+
+}  // namespace algebra
+}  // namespace urm

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "algebra/plan.h"
+
+/// \file fingerprint.h
+/// Structural plan fingerprints for the serving tier. Two plans built
+/// independently hash equal iff they are structurally identical — same
+/// operator tree, tables, aliases, predicates (including comparison
+/// operator and constant), projection lists, and aggregate specs; this
+/// is the hash companion of Canonical() without materializing the
+/// canonical string.
+///
+/// A full PlanFingerprint additionally carries a context hash (the
+/// evaluation method and the mapping-set hash at the service layer), so
+/// cached answers are invalidated by construction when the method or
+/// the active mapping set changes.
+
+namespace urm {
+namespace algebra {
+
+/// \brief Cache key: structural plan hash + evaluation-context hash.
+struct PlanFingerprint {
+  uint64_t plan_hash = 0;
+  uint64_t context_hash = 0;
+
+  bool operator==(const PlanFingerprint& other) const {
+    return plan_hash == other.plan_hash &&
+           context_hash == other.context_hash;
+  }
+  bool operator!=(const PlanFingerprint& other) const {
+    return !(*this == other);
+  }
+
+  /// Hex rendering, e.g. "4be2d1c09a330f77:00000000000000aa".
+  std::string ToString() const;
+};
+
+/// Hasher for unordered containers keyed by PlanFingerprint.
+struct PlanFingerprintHash {
+  size_t operator()(const PlanFingerprint& fp) const;
+};
+
+/// Canonical structural hash of the plan tree. RelationLeaf nodes hash
+/// by label (labels are unique per materialization by contract).
+uint64_t HashPlan(const PlanPtr& plan);
+
+/// Combines the plan hash with an evaluation-context hash.
+PlanFingerprint MakeFingerprint(const PlanPtr& plan,
+                                uint64_t context_hash = 0);
+
+}  // namespace algebra
+}  // namespace urm

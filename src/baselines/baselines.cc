@@ -70,19 +70,69 @@ Result<std::vector<QueryGroup>> BuildGroups(
 }
 
 /// Executes the groups and aggregates answers. `cache`/`filter` wire up
-/// e-MQO's shared-subexpression memoization.
+/// e-MQO's shared-subexpression memoization (mutually exclusive with
+/// parallel execution). With `exec.parallel()`, the independent group
+/// plans evaluate concurrently on the pool; answers are then merged in
+/// group order, replaying exactly the sequential accumulation sequence.
 Result<MethodResult> ExecuteGroups(
     const TargetQueryInfo& info, std::vector<QueryGroup> groups,
     const relational::Catalog& catalog, MethodResult result,
     algebra::EvalCache* cache,
-    const std::unordered_set<std::string>* filter) {
+    const std::unordered_set<std::string>* filter,
+    const ExecOptions& exec = ExecOptions()) {
   result.answers = AnswerSet(info.output_refs);
   Timer timer;
+  // Per-group merge shared by both paths, so sequential and parallel
+  // accounting cannot drift apart (the bit-identical-results guarantee
+  // rests on replaying exactly this sequence in group order).
+  auto merge_unanswerable = [&](const QueryGroup& group) {
+    timer.Reset();
+    result.answers.AddNull(group.probability);
+    result.aggregate_seconds += timer.Lap();
+  };
+  auto merge_answered = [&](const QueryGroup& group,
+                            const relational::Relation& rel,
+                            double eval_seconds) -> Status {
+    result.source_queries++;
+    result.eval_seconds += eval_seconds;
+    timer.Reset();
+    URM_RETURN_NOT_OK(reformulation::AssembleAnswers(
+        rel, group.query.layout, group.probability, &result.answers));
+    result.aggregate_seconds += timer.Lap();
+    return Status::OK();
+  };
+  if (exec.parallel() && cache == nullptr) {
+    struct GroupEval {
+      Result<relational::RelationPtr> rel =
+          Status::Internal("group not evaluated");
+      algebra::EvalStats stats;
+      double seconds = 0.0;
+    };
+    std::vector<GroupEval> evals(groups.size());
+    exec.pool->ParallelFor(groups.size(), [&](size_t i) {
+      if (!groups[i].query.answerable) return;
+      Timer eval_timer;
+      EvalContext ctx;
+      ctx.catalog = &catalog;
+      ctx.stats = &evals[i].stats;
+      evals[i].rel = algebra::Evaluate(groups[i].query.plan, ctx);
+      evals[i].seconds = eval_timer.Lap();
+    });
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (!groups[i].query.answerable) {
+        merge_unanswerable(groups[i]);
+        continue;
+      }
+      if (!evals[i].rel.ok()) return evals[i].rel.status();
+      result.stats += evals[i].stats;
+      URM_RETURN_NOT_OK(merge_answered(groups[i], *evals[i].rel.ValueOrDie(),
+                                       evals[i].seconds));
+    }
+    return result;
+  }
   for (const auto& group : groups) {
     if (!group.query.answerable) {
-      timer.Reset();
-      result.answers.AddNull(group.probability);
-      result.aggregate_seconds += timer.Lap();
+      merge_unanswerable(group);
       continue;
     }
     timer.Reset();
@@ -93,12 +143,7 @@ Result<MethodResult> ExecuteGroups(
     ctx.cache_filter = filter;
     auto rel = algebra::Evaluate(group.query.plan, ctx);
     if (!rel.ok()) return rel.status();
-    result.source_queries++;
-    result.eval_seconds += timer.Lap();
-    URM_RETURN_NOT_OK(reformulation::AssembleAnswers(
-        *rel.ValueOrDie(), group.query.layout, group.probability,
-        &result.answers));
-    result.aggregate_seconds += timer.Lap();
+    URM_RETURN_NOT_OK(merge_answered(group, *rel.ValueOrDie(), timer.Lap()));
   }
   return result;
 }
@@ -109,7 +154,8 @@ Result<MethodResult> RunBasic(
     const TargetQueryInfo& info,
     const std::vector<WeightedMapping>& mappings,
     const relational::Catalog& catalog,
-    const reformulation::Reformulator& reformulator) {
+    const reformulation::Reformulator& reformulator,
+    const ExecOptions& exec) {
   MethodResult result;
   Timer timer;
   auto groups =
@@ -117,14 +163,15 @@ Result<MethodResult> RunBasic(
   if (!groups.ok()) return groups.status();
   result.rewrite_seconds = timer.Lap();
   return ExecuteGroups(info, std::move(groups).ValueOrDie(), catalog,
-                       std::move(result), nullptr, nullptr);
+                       std::move(result), nullptr, nullptr, exec);
 }
 
 Result<MethodResult> RunEBasic(
     const TargetQueryInfo& info,
     const std::vector<WeightedMapping>& mappings,
     const relational::Catalog& catalog,
-    const reformulation::Reformulator& reformulator) {
+    const reformulation::Reformulator& reformulator,
+    const ExecOptions& exec) {
   MethodResult result;
   Timer timer;
   auto groups = BuildGroups(info, mappings, catalog, reformulator, true);
@@ -132,14 +179,16 @@ Result<MethodResult> RunEBasic(
   result.rewrite_seconds = timer.Lap();
   result.partitions = groups.ValueOrDie().size();
   return ExecuteGroups(info, std::move(groups).ValueOrDie(), catalog,
-                       std::move(result), nullptr, nullptr);
+                       std::move(result), nullptr, nullptr, exec);
 }
 
 Result<MethodResult> RunEMqo(
     const TargetQueryInfo& info,
     const std::vector<WeightedMapping>& mappings,
     const relational::Catalog& catalog,
-    const reformulation::Reformulator& reformulator) {
+    const reformulation::Reformulator& reformulator,
+    const ExecOptions& exec) {
+  (void)exec;  // see header: the shared memo forces sequential order
   MethodResult result;
   Timer timer;
   auto groups = BuildGroups(info, mappings, catalog, reformulator, true);

@@ -4,6 +4,7 @@
 
 #include "baselines/method_result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "mapping/mapping.h"
 #include "reformulation/reformulator.h"
 #include "relational/catalog.h"
@@ -30,12 +31,29 @@ struct WeightedMapping {
 std::vector<WeightedMapping> AsWeighted(
     const std::vector<mapping::Mapping>& mappings);
 
+/// Parallel-execution knobs shared by the per-mapping evaluation loops
+/// (basic, e-basic, and q-sharing's representative loop). With
+/// parallelism <= 1 or a null pool everything runs on the calling
+/// thread — exactly the paper's sequential algorithms. With a pool,
+/// the distinct source queries evaluate concurrently (mapping groups
+/// are independent by construction) and their answers are merged in
+/// group order, so the resulting AnswerSet is bit-identical to the
+/// sequential run. Timing fields then sum per-task time (~CPU time);
+/// wall clock is the caller's to measure.
+struct ExecOptions {
+  int parallelism = 1;
+  ThreadPool* pool = nullptr;
+
+  bool parallel() const { return parallelism > 1 && pool != nullptr; }
+};
+
 /// basic (paper §III-B.1). Evaluates one source query per (weighted)
 /// mapping and aggregates duplicate answers.
 Result<MethodResult> RunBasic(const reformulation::TargetQueryInfo& info,
                               const std::vector<WeightedMapping>& mappings,
                               const relational::Catalog& catalog,
-                              const reformulation::Reformulator& reformulator);
+                              const reformulation::Reformulator& reformulator,
+                              const ExecOptions& exec = ExecOptions());
 
 /// e-basic (§III-B.2): like basic, but identical source queries
 /// (detected by canonical form after all h reformulations) are
@@ -44,14 +62,19 @@ Result<MethodResult> RunEBasic(
     const reformulation::TargetQueryInfo& info,
     const std::vector<WeightedMapping>& mappings,
     const relational::Catalog& catalog,
-    const reformulation::Reformulator& reformulator);
+    const reformulation::Reformulator& reformulator,
+    const ExecOptions& exec = ExecOptions());
 
 /// e-MQO (§III-B.3): e-basic plus global plan generation (mqo.h) and
-/// shared-subexpression memoization during execution.
+/// shared-subexpression memoization during execution. Always runs
+/// sequentially — its shared-subexpression memo is an execution-order
+/// dependency (ExecOptions is accepted for interface symmetry and
+/// ignored).
 Result<MethodResult> RunEMqo(const reformulation::TargetQueryInfo& info,
                              const std::vector<WeightedMapping>& mappings,
                              const relational::Catalog& catalog,
-                             const reformulation::Reformulator& reformulator);
+                             const reformulation::Reformulator& reformulator,
+                             const ExecOptions& exec = ExecOptions());
 
 }  // namespace baselines
 }  // namespace urm

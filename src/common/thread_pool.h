@@ -1,0 +1,183 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+/// \file thread_pool.h
+/// A fixed-size thread pool with a single shared FIFO queue — no
+/// work stealing, no per-thread deques. Tasks are packaged_tasks, so
+/// exceptions thrown inside a task surface through the returned future.
+///
+/// Nested fan-out is safe: ParallelFor is claim-based — the calling
+/// thread keeps claiming its own group's indexes instead of sleeping,
+/// and only ever waits on claims already executing, so a saturated
+/// pool cannot deadlock on sub-tasks it queued itself. This is what
+/// lets intra-query partition parallelism run on the same pool that
+/// executes whole queries (service layer).
+///
+/// A pool with zero workers is legal: everything then runs on the
+/// threads that call ParallelFor / TryRunOne.
+
+namespace urm {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped at 0).
+  explicit ThreadPool(int num_threads) {
+    int n = num_threads > 0 ? num_threads : 0;
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Completes every queued task, then joins the workers.
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    // With zero workers the queue may still hold tasks; run them so
+    // futures never dangle.
+    while (TryRunOne()) {
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is rethrown by future.get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      URM_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Pops and runs one queued task on the calling thread. Returns false
+  /// when the queue is empty.
+  bool TryRunOne() {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    return true;
+  }
+
+  /// Runs fn(0) .. fn(n-1) as one task group: workers and the calling
+  /// thread greedily claim indexes until none remain, then the caller
+  /// waits only for claims still executing elsewhere. Because a waiting
+  /// thread never runs *unrelated* queued tasks inline, nesting
+  /// ParallelFor inside pool tasks is deadlock-free with inline
+  /// recursion bounded by the nesting depth (not the queue length).
+  /// The first exception (if any) is rethrown on the caller once every
+  /// index has finished.
+  template <typename F>
+  void ParallelFor(size_t n, const F& fn) {
+    if (n == 0) return;
+    if (n == 1 || workers_.empty()) {
+      // Same contract as the pooled path: every index runs, the first
+      // exception is rethrown at the end.
+      std::exception_ptr first_error;
+      for (size_t i = 0; i < n; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+      }
+      if (first_error != nullptr) std::rethrow_exception(first_error);
+      return;
+    }
+    struct Group {
+      const F* fn = nullptr;
+      size_t n = 0;
+      std::atomic<size_t> next{0};
+      std::mutex mu;
+      std::condition_variable done_cv;
+      size_t completed = 0;
+      std::exception_ptr first_error;
+    };
+    auto group = std::make_shared<Group>();
+    group->fn = &fn;
+    group->n = n;
+    auto run_claimed = [group] {
+      for (;;) {
+        size_t i = group->next.fetch_add(1);
+        if (i >= group->n) return;
+        // `fn` lives on the caller's stack; it is only dereferenced for
+        // claimed indexes, and the caller does not return before every
+        // claim completes.
+        try {
+          (*group->fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(group->mu);
+          if (group->first_error == nullptr) {
+            group->first_error = std::current_exception();
+          }
+        }
+        std::lock_guard<std::mutex> lock(group->mu);
+        if (++group->completed == group->n) group->done_cv.notify_all();
+      }
+    };
+    size_t helpers = std::min(workers_.size(), n - 1);
+    for (size_t k = 0; k < helpers; ++k) Submit(run_claimed);
+    run_claimed();
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->done_cv.wait(lock, [&] { return group->completed == group->n; });
+    if (group->first_error != nullptr) {
+      std::rethrow_exception(group->first_error);
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace urm

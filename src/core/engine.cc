@@ -84,29 +84,40 @@ Result<reformulation::TargetQueryInfo> Engine::Analyze(
 
 Result<baselines::MethodResult> Engine::Evaluate(
     const algebra::PlanPtr& query, Method method) const {
+  return Evaluate(query, method, EvalOptions());
+}
+
+Result<baselines::MethodResult> Engine::Evaluate(
+    const algebra::PlanPtr& query, Method method,
+    const EvalOptions& eval) const {
   auto info = Analyze(query);
   if (!info.ok()) return info.status();
   reformulation::Reformulator reformulator(source_schema_);
+  baselines::ExecOptions exec;
+  exec.parallelism = eval.parallelism;
+  exec.pool = eval.pool;
   switch (method) {
     case Method::kBasic:
       return baselines::RunBasic(info.ValueOrDie(),
                                  baselines::AsWeighted(mappings_),
-                                 catalog_, reformulator);
+                                 catalog_, reformulator, exec);
     case Method::kEBasic:
       return baselines::RunEBasic(info.ValueOrDie(),
                                   baselines::AsWeighted(mappings_),
-                                  catalog_, reformulator);
+                                  catalog_, reformulator, exec);
     case Method::kEMqo:
       return baselines::RunEMqo(info.ValueOrDie(),
                                 baselines::AsWeighted(mappings_),
-                                catalog_, reformulator);
+                                catalog_, reformulator, exec);
     case Method::kQSharing:
       return qsharing::RunQSharing(info.ValueOrDie(), mappings_, catalog_,
-                                   reformulator);
+                                   reformulator, exec);
     case Method::kOSharing: {
       osharing::OSharingOptions options;
       options.strategy = options_.strategy;
       options.random_seed = options_.seed;
+      options.parallelism = eval.parallelism;
+      options.pool = eval.pool;
       return osharing::RunOSharing(info.ValueOrDie(), mappings_, catalog_,
                                    options);
     }

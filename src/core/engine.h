@@ -49,6 +49,13 @@ enum class Method {
 const char* MethodName(Method method);
 
 /// \brief One fully-prepared experiment configuration.
+///
+/// Thread-safety: all const members (Analyze, Evaluate, EvaluateOSharing,
+/// EvaluateTopK, EvaluateSetOp, EvaluateThreshold, the accessors) are
+/// safe to call concurrently — every evaluation builds its own mutable
+/// state and only reads the catalog/mapping set. UseTopMappings mutates
+/// the active mapping set and must not race with evaluations; the
+/// service layer treats it as a stop-the-world reconfiguration.
 class Engine {
  public:
   struct Options {
@@ -94,9 +101,27 @@ class Engine {
   Result<reformulation::TargetQueryInfo> Analyze(
       const algebra::PlanPtr& query) const;
 
+  /// Intra-query parallelism knobs for Evaluate. With parallelism > 1
+  /// and a pool, the mapping-partition loops of the chosen method fan
+  /// out (q-sharing/basic/e-basic: one task per representative source
+  /// query; o-sharing: one task per root u-trace partition) and merge
+  /// deterministically in partition order. e-MQO stays sequential (its
+  /// shared-subexpression memo is an execution-order dependency).
+  struct EvalOptions {
+    int parallelism = 1;
+    ThreadPool* pool = nullptr;
+  };
+
   /// Evaluates a probabilistic query with the chosen method.
   Result<baselines::MethodResult> Evaluate(const algebra::PlanPtr& query,
                                            Method method) const;
+
+  /// Evaluate with explicit parallelism options; identical results to
+  /// the sequential overload (bit-identical for deterministic
+  /// strategies, see OSharingOptions::parallelism).
+  Result<baselines::MethodResult> Evaluate(const algebra::PlanPtr& query,
+                                           Method method,
+                                           const EvalOptions& eval) const;
 
   /// o-sharing with an explicit operator-selection strategy (used by
   /// the strategy-comparison experiments, Fig. 11(f) / Table IV).

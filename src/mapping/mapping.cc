@@ -1,6 +1,9 @@
 #include "mapping/mapping.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/hash_util.h"
 
 namespace urm {
 namespace mapping {
@@ -83,6 +86,22 @@ double TotalProbability(const std::vector<Mapping>& mappings) {
   double total = 0.0;
   for (const auto& m : mappings) total += m.probability();
   return total;
+}
+
+uint64_t MappingSetHash(const std::vector<Mapping>& mappings) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (const auto& m : mappings) {
+    for (const auto& [tgt, src] : m.pairs()) {
+      HashCombine(seed, static_cast<size_t>(Fnv1a(tgt)));
+      HashCombine(seed, static_cast<size_t>(Fnv1a(src)));
+    }
+    double p = m.probability();
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(p), "double must be 64-bit");
+    std::memcpy(&bits, &p, sizeof(bits));
+    HashCombine(seed, static_cast<size_t>(bits));
+  }
+  return static_cast<uint64_t>(seed);
 }
 
 }  // namespace mapping

@@ -75,5 +75,12 @@ double MappingSetOverlapRatio(const std::vector<Mapping>& mappings);
 /// Sum of probabilities (should be ~1 for a well-formed set).
 double TotalProbability(const std::vector<Mapping>& mappings);
 
+/// Order-sensitive structural hash of a mapping set: every
+/// correspondence pair plus the exact probability bits of each mapping.
+/// The serving tier folds this into answer-cache keys so cached results
+/// are invalidated when the active mapping set (or its renormalized
+/// probabilities) changes.
+uint64_t MappingSetHash(const std::vector<Mapping>& mappings);
+
 }  // namespace mapping
 }  // namespace urm

@@ -111,6 +111,108 @@ Status OSharingEngine::Run(const std::vector<WeightedMapping>& reps,
   return Status::OK();
 }
 
+namespace {
+
+/// Buffers leaf outcomes for deferred in-order replay (never aborts).
+class BufferingVisitor : public LeafVisitor {
+ public:
+  struct Leaf {
+    std::vector<Row> rows;
+    double probability = 0.0;
+  };
+
+  bool OnLeaf(const std::vector<Row>& rows, double probability) override {
+    leaves_.push_back(Leaf{rows, probability});
+    return true;
+  }
+
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+
+ private:
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace
+
+Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
+                                   LeafVisitor* visitor, ThreadPool* pool) {
+  URM_CHECK(visitor != nullptr);
+  URM_CHECK(pool != nullptr);
+  selection_cache_.clear();
+  scan_cache_.clear();
+  if (reps.empty()) return Status::OK();
+  EUnit root = MakeRoot(reps);
+
+  // Traces with no root fan-out (fully executed, or a single pending
+  // top) gain nothing from the pool; run them sequentially.
+  if (root.pending_selections.empty() && root.pending_products.empty() &&
+      root.next_top >= shape_.tops.size()) {
+    auto done = RunEUnit(root, visitor);
+    if (!done.ok()) return done.status();
+    return Status::OK();
+  }
+  std::vector<Candidate> candidates = ComputeCandidates(root);
+  if (candidates.empty()) {
+    return Status::Internal("no valid operator for pending query state");
+  }
+  std::vector<OpPartition> partitions;
+  auto op = ChooseOperator(root, std::move(candidates), &partitions);
+  if (!op.ok()) return op.status();
+  if (options_.visit_partitions_by_probability) {
+    std::stable_sort(partitions.begin(), partitions.end(),
+                     [](const OpPartition& a, const OpPartition& b) {
+                       return a.probability > b.probability;
+                     });
+  }
+
+  struct Branch {
+    Status status;
+    BufferingVisitor buffer;
+    algebra::EvalStats stats;
+  };
+  std::vector<Branch> branches(partitions.size());
+  pool->ParallelFor(partitions.size(), [&](size_t i) {
+    const OpPartition& p = partitions[i];
+    Branch& branch = branches[i];
+    if (p.unanswerable) {
+      branch.buffer.OnLeaf({}, p.probability);
+      return;
+    }
+    // Each branch runs in its own engine: private operator caches and
+    // stats, decorrelated rng for the Random strategy. The root e-unit
+    // and the representative mappings are shared read-only.
+    OSharingOptions sub_options = options_;
+    sub_options.parallelism = 1;
+    sub_options.pool = nullptr;
+    sub_options.random_seed = options_.random_seed + 0x9e3779b9ULL * (i + 1);
+    OSharingEngine sub(info_, catalog_, sub_options);
+    sub.shape_ = shape_;
+    auto child = sub.Execute(root, op.ValueOrDie(), p);
+    if (!child.ok()) {
+      branch.status = child.status();
+      return;
+    }
+    auto cont = sub.RunEUnit(child.ValueOrDie(), &branch.buffer);
+    if (!cont.ok()) {
+      branch.status = cont.status();
+      return;
+    }
+    branch.stats = sub.stats_;
+  });
+
+  for (const Branch& branch : branches) {
+    URM_RETURN_NOT_OK(branch.status);
+    stats_ += branch.stats;
+    for (const auto& leaf : branch.buffer.leaves()) {
+      leaves_++;
+      if (!visitor->OnLeaf(leaf.rows, leaf.probability)) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<relational::RelationPtr> OSharingEngine::RunSelection(
     const RelationPtr& input, const algebra::Predicate& pred) {
   std::pair<const void*, std::string> key;

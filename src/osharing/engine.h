@@ -5,6 +5,7 @@
 #include "algebra/evaluate.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "osharing/eunit.h"
 #include "osharing/query_shape.h"
 #include "reformulation/target_query.h"
@@ -41,6 +42,18 @@ struct OSharingOptions {
   /// its input — the paper's §IX "data structures to facilitate
   /// o-sharing evaluation". See bench_ablation for the effect.
   bool enable_operator_cache = true;
+  /// Fan the root-level mapping partitions out to `pool` when
+  /// parallelism > 1 (each u-trace subtree is independent by
+  /// construction — the partitions disagree on the chosen operator's
+  /// correspondences, so no state is shared between them). Leaf
+  /// answers are buffered per partition and replayed in partition
+  /// order, so deterministic strategies (SEF/SNF) produce bit-identical
+  /// results to the sequential trace; kRandom re-seeds per branch and
+  /// may take a different (equally valid) trace.
+  int parallelism = 1;
+  ThreadPool* pool = nullptr;
+
+  bool parallel() const { return parallelism > 1 && pool != nullptr; }
 };
 
 /// \brief Receives each u-trace leaf's answers.
@@ -69,6 +82,15 @@ class OSharingEngine {
   /// sees every leaf unless it aborts.
   Status Run(const std::vector<baselines::WeightedMapping>& reps,
              LeafVisitor* visitor);
+
+  /// Like Run, but distributes the root operator's mapping partitions
+  /// over `pool`: each partition's subtree executes in its own engine
+  /// clone (private caches), and the visitor replays the buffered
+  /// leaves in partition order — the exact sequential leaf sequence
+  /// for deterministic strategies. A visitor abort stops the replay
+  /// (already-computed sibling branches are discarded).
+  Status RunParallel(const std::vector<baselines::WeightedMapping>& reps,
+                     LeafVisitor* visitor, ThreadPool* pool);
 
   const algebra::EvalStats& stats() const { return stats_; }
   size_t leaves_visited() const { return leaves_; }

@@ -56,7 +56,11 @@ Result<MethodResult> RunOSharing(
   OSharingEngine engine(info, catalog, options);
   URM_RETURN_NOT_OK(engine.Init());
   AnswerSink sink(&result.answers);
-  URM_RETURN_NOT_OK(engine.Run(reps, &sink));
+  if (options.parallel()) {
+    URM_RETURN_NOT_OK(engine.RunParallel(reps, &sink, options.pool));
+  } else {
+    URM_RETURN_NOT_OK(engine.Run(reps, &sink));
+  }
   if (unanswerable > 0.0) result.answers.AddNull(unanswerable);
   result.eval_seconds = timer.Lap();
   result.stats = engine.stats();

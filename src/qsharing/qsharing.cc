@@ -30,7 +30,8 @@ Result<MethodResult> RunQSharing(
     const reformulation::TargetQueryInfo& info,
     const std::vector<mapping::Mapping>& mappings,
     const relational::Catalog& catalog,
-    const reformulation::Reformulator& reformulator) {
+    const reformulation::Reformulator& reformulator,
+    const baselines::ExecOptions& exec) {
   Timer timer;
   auto tree = PartitionTree::Build(info, mappings);
   if (!tree.ok()) return tree.status();
@@ -39,7 +40,7 @@ Result<MethodResult> RunQSharing(
       Represent(tree.ValueOrDie(), &unanswerable);
   double partition_seconds = timer.Lap();
 
-  auto result = baselines::RunBasic(info, reps, catalog, reformulator);
+  auto result = baselines::RunBasic(info, reps, catalog, reformulator, exec);
   if (!result.ok()) return result.status();
   MethodResult out = std::move(result).ValueOrDie();
   out.rewrite_seconds += partition_seconds;

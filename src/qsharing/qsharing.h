@@ -17,12 +17,17 @@ namespace urm {
 namespace qsharing {
 
 /// Runs Algorithm 1. The unanswerable partition contributes the θ
-/// outcome directly.
+/// outcome directly. Partitions are independent by construction
+/// (Algorithm 1 step 2 picks one representative each), so with
+/// `exec.parallel()` the representative source queries evaluate
+/// concurrently; answers merge in partition order, bit-identical to
+/// the sequential run.
 Result<baselines::MethodResult> RunQSharing(
     const reformulation::TargetQueryInfo& info,
     const std::vector<mapping::Mapping>& mappings,
     const relational::Catalog& catalog,
-    const reformulation::Reformulator& reformulator);
+    const reformulation::Reformulator& reformulator,
+    const baselines::ExecOptions& exec = baselines::ExecOptions());
 
 /// The represent routine (Algorithm 1, step 2), exposed for reuse by
 /// o-sharing and tests: one weighted representative per partition.

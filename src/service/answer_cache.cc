@@ -1,0 +1,50 @@
+#include "service/answer_cache.h"
+
+namespace urm {
+namespace service {
+
+AnswerCache::Value AnswerCache::Get(const algebra::PlanFingerprint& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    stats_.misses++;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  stats_.hits++;
+  return it->second->second;
+}
+
+void AnswerCache::Put(const algebra::PlanFingerprint& key, Value value) {
+  if (capacity_ == 0 || value == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+}
+
+void AnswerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+CacheStats AnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace service
+}  // namespace urm

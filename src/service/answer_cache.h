@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "algebra/fingerprint.h"
+#include "baselines/method_result.h"
+
+/// \file answer_cache.h
+/// Bounded LRU cache from plan fingerprints to evaluation results —
+/// the paper's MQO spirit (share work across identical queries) lifted
+/// to the serving tier: a repeated query over an unchanged mapping set
+/// is answered without touching the engine at all.
+
+namespace urm {
+namespace service {
+
+/// Cache counters (monotonic except `entries`).
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// \brief Thread-safe bounded LRU keyed by PlanFingerprint.
+///
+/// Values are shared_ptr<const MethodResult>, so hits are zero-copy and
+/// entries evicted while a caller still holds the result stay valid.
+/// Capacity 0 disables the cache (Get always misses, Put drops).
+class AnswerCache {
+ public:
+  using Value = std::shared_ptr<const baselines::MethodResult>;
+
+  explicit AnswerCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result (promoting it to most-recently-used),
+  /// or nullptr on miss.
+  Value Get(const algebra::PlanFingerprint& key);
+
+  /// Inserts or refreshes `value`, evicting the least-recently-used
+  /// entry when over capacity.
+  void Put(const algebra::PlanFingerprint& key, Value value);
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  CacheStats stats() const;
+
+ private:
+  using Entry = std::pair<algebra::PlanFingerprint, Value>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<algebra::PlanFingerprint, std::list<Entry>::iterator,
+                     algebra::PlanFingerprintHash>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace service
+}  // namespace urm

@@ -1,0 +1,135 @@
+#include "service/query_service.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash_util.h"
+
+namespace urm {
+namespace service {
+
+namespace {
+
+/// Folds the evaluation method and the engine's active mapping-set
+/// hash into the fingerprint context, so a cache entry can never
+/// survive a method switch or a mapping-set reconfiguration.
+uint64_t ContextHash(uint64_t mapping_set_hash, core::Method method) {
+  size_t seed = static_cast<size_t>(mapping_set_hash);
+  HashCombine(seed, static_cast<size_t>(method) + 1);
+  return static_cast<uint64_t>(seed);
+}
+
+}  // namespace
+
+QueryService::QueryService(const core::Engine* engine,
+                           ServiceOptions options)
+    : engine_(engine),
+      options_(options),
+      pool_(options.num_threads),
+      cache_(options.cache_capacity) {
+  URM_CHECK(engine != nullptr);
+}
+
+algebra::PlanFingerprint QueryService::Fingerprint(
+    const QueryRequest& request) const {
+  return algebra::MakeFingerprint(
+      request.query,
+      ContextHash(mapping::MappingSetHash(engine_->mappings()),
+                  request.method));
+}
+
+std::vector<QueryResponse> QueryService::Submit(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<QueryResponse> responses(batch.size());
+  if (batch.empty()) return responses;
+
+  // Fingerprint every request and group identical plans: the first
+  // occurrence of a fingerprint owns the work item, later occurrences
+  // share its result.
+  struct WorkItem {
+    size_t first_request = 0;
+    std::shared_ptr<const baselines::MethodResult> result;
+    Status status;
+    bool cache_hit = false;
+  };
+  std::vector<WorkItem> work;
+  std::unordered_map<algebra::PlanFingerprint, size_t,
+                     algebra::PlanFingerprintHash>
+      by_fingerprint;
+  std::vector<size_t> work_of_request(batch.size(), SIZE_MAX);
+  // The mapping set cannot change mid-Submit; hash it once per batch.
+  const uint64_t set_hash = mapping::MappingSetHash(engine_->mappings());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].query == nullptr) {
+      responses[i].status = Status::InvalidArgument("null query plan");
+      continue;
+    }
+    responses[i].fingerprint = algebra::MakeFingerprint(
+        batch[i].query, ContextHash(set_hash, batch[i].method));
+    auto [it, inserted] =
+        by_fingerprint.emplace(responses[i].fingerprint, work.size());
+    if (inserted) {
+      WorkItem item;
+      item.first_request = i;
+      work.push_back(std::move(item));
+    } else {
+      responses[i].shared_in_batch = true;
+    }
+    work_of_request[i] = it->second;
+  }
+
+  // Serve what the cache already has, then evaluate the distinct
+  // misses concurrently. Tasks may fan out further (intra-query
+  // parallelism) onto the same pool; ParallelFor's help-loop makes the
+  // nesting deadlock-free.
+  std::vector<size_t> misses;
+  for (size_t w = 0; w < work.size(); ++w) {
+    auto cached = cache_.Get(responses[work[w].first_request].fingerprint);
+    if (cached != nullptr) {
+      work[w].result = std::move(cached);
+      work[w].cache_hit = true;
+    } else {
+      misses.push_back(w);
+    }
+  }
+  core::Engine::EvalOptions eval;
+  eval.parallelism = options_.intra_query_parallelism;
+  eval.pool = &pool_;
+  pool_.ParallelFor(misses.size(), [&](size_t n) {
+    WorkItem& item = work[misses[n]];
+    const QueryRequest& request = batch[item.first_request];
+    auto result = engine_->Evaluate(request.query, request.method, eval);
+    if (!result.ok()) {
+      item.status = result.status();
+      return;
+    }
+    item.result = std::make_shared<const baselines::MethodResult>(
+        std::move(result).ValueOrDie());
+  });
+  for (size_t w : misses) {
+    if (work[w].status.ok()) {
+      cache_.Put(responses[work[w].first_request].fingerprint,
+                 work[w].result);
+    }
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (work_of_request[i] == SIZE_MAX) continue;  // null query
+    const WorkItem& item = work[work_of_request[i]];
+    responses[i].status = item.status;
+    responses[i].result = item.result;
+    responses[i].cache_hit = item.cache_hit;
+    // A duplicate of a cached plan was served by the cache, not by an
+    // in-batch evaluation.
+    if (item.cache_hit) responses[i].shared_in_batch = false;
+  }
+  return responses;
+}
+
+QueryResponse QueryService::SubmitOne(const QueryRequest& request) {
+  return Submit({request}).front();
+}
+
+}  // namespace service
+}  // namespace urm

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algebra/fingerprint.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "service/answer_cache.h"
+
+/// \file query_service.h
+/// The concurrent query-serving tier on top of core::Engine. The paper
+/// shares work across the h possible mappings of *one* query (q-sharing
+/// §IV, o-sharing §V); this layer shares across *concurrent queries and
+/// cores*:
+///   * a batch is deduplicated by structural plan fingerprint, so an
+///     identical (query, method) pair submitted twice evaluates once;
+///   * distinct plans evaluate concurrently on a fixed thread pool;
+///   * finished answers land in a bounded LRU cache keyed by
+///     (plan fingerprint, method, mapping-set hash), so repeated
+///     queries over an unchanged mapping set are served without
+///     touching the engine;
+///   * inside one evaluation, the mapping-partition loops can fan out
+///     to the same pool (EvalOptions::parallelism), with deterministic
+///     partition-order merges.
+///
+/// Quickstart:
+/// \code
+///   urm::service::QueryService svc(engine.get(), {});
+///   auto q = urm::core::QueryById("Q1");
+///   auto responses = svc.Submit({{q.query, urm::core::Method::kOSharing}});
+///   responses[0].result->answers.ToString();
+/// \endcode
+
+namespace urm {
+namespace service {
+
+struct ServiceOptions {
+  /// Worker threads in the shared pool (>= 0; 0 runs every request on
+  /// the submitting thread, preserving single-threaded semantics).
+  int num_threads = 4;
+  /// Answer-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 256;
+  /// Partition fan-out width inside one evaluation (see
+  /// core::Engine::EvalOptions). 1 keeps each evaluation sequential;
+  /// the pool is then used for inter-query concurrency only.
+  int intra_query_parallelism = 1;
+};
+
+/// One query of a batch.
+struct QueryRequest {
+  algebra::PlanPtr query;
+  core::Method method = core::Method::kOSharing;
+};
+
+/// Outcome for one request, in batch order.
+struct QueryResponse {
+  Status status;  ///< per-request; result is null unless ok
+  algebra::PlanFingerprint fingerprint;
+  std::shared_ptr<const baselines::MethodResult> result;
+  /// Served from the answer cache (previous Submit).
+  bool cache_hit = false;
+  /// Shared the evaluation of an identical plan earlier in this batch.
+  bool shared_in_batch = false;
+};
+
+/// \brief Concurrent batch-query service owning a pool and a cache.
+///
+/// Thread-safety: Submit may be called from multiple threads; the
+/// engine must not be reconfigured (UseTopMappings) while submissions
+/// are in flight. Reconfigurations between submissions are safe — the
+/// mapping-set hash in the fingerprint keys the cache, so stale
+/// entries can never be returned (they age out via LRU).
+class QueryService {
+ public:
+  /// `engine` must outlive the service.
+  QueryService(const core::Engine* engine, ServiceOptions options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Evaluates a batch: fingerprint, dedup, cache-check, then evaluate
+  /// the distinct misses concurrently. Responses are in request order;
+  /// per-request failures (e.g. a query over an unknown table) are
+  /// reported in QueryResponse::status without failing the batch.
+  std::vector<QueryResponse> Submit(const std::vector<QueryRequest>& batch);
+
+  /// Single-request convenience wrapper.
+  QueryResponse SubmitOne(const QueryRequest& request);
+
+  /// Fingerprint a request exactly as Submit would (method + current
+  /// mapping set folded into the context hash).
+  algebra::PlanFingerprint Fingerprint(const QueryRequest& request) const;
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void ClearCache() { cache_.Clear(); }
+
+  const core::Engine& engine() const { return *engine_; }
+  const ServiceOptions& options() const { return options_; }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  const core::Engine* engine_;
+  ServiceOptions options_;
+  ThreadPool pool_;
+  AnswerCache cache_;
+};
+
+}  // namespace service
+}  // namespace urm

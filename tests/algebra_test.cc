@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "algebra/evaluate.h"
+#include "algebra/fingerprint.h"
 #include "algebra/optimize.h"
 #include "algebra/plan.h"
 #include "common/logging.h"
@@ -291,6 +294,80 @@ TEST(OptimizeTest, JoinPredicateStaysAtProduct) {
   ASSERT_TRUE(optimized.ok());
   EXPECT_EQ(optimized.ValueOrDie()->kind, PlanKind::kSelect);
   EXPECT_EQ(optimized.ValueOrDie()->child->kind, PlanKind::kProduct);
+}
+
+/// A representative two-instance plan for fingerprint tests:
+/// π_attrs σ_{r1.id = s1.id} σ_{r1.v op k} (r × s).
+PlanPtr FingerprintExemplar(CmpOp op, Value constant,
+                            std::vector<std::string> attrs) {
+  PlanPtr p = MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1"));
+  p = MakeSelect(p, Predicate::AttrCmpAttr("r1.id", CmpOp::kEq, "s1.id"));
+  p = MakeSelect(p, Predicate::AttrCmpValue("r1.v", op, constant));
+  return MakeProject(p, std::move(attrs));
+}
+
+TEST(FingerprintTest, IdenticalPlansBuiltIndependentlyCollide) {
+  PlanPtr a = FingerprintExemplar(CmpOp::kEq, Value(2), {"r1.id"});
+  PlanPtr b = FingerprintExemplar(CmpOp::kEq, Value(2), {"r1.id"});
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(HashPlan(a), HashPlan(b));
+  EXPECT_EQ(MakeFingerprint(a, 7), MakeFingerprint(b, 7));
+}
+
+TEST(FingerprintTest, DifferingSelectionConstantDiverges) {
+  PlanPtr a = FingerprintExemplar(CmpOp::kEq, Value(2), {"r1.id"});
+  PlanPtr b = FingerprintExemplar(CmpOp::kEq, Value(3), {"r1.id"});
+  EXPECT_NE(HashPlan(a), HashPlan(b));
+}
+
+TEST(FingerprintTest, DifferingComparisonOperatorDiverges) {
+  PlanPtr a = FingerprintExemplar(CmpOp::kEq, Value(2), {"r1.id"});
+  PlanPtr b = FingerprintExemplar(CmpOp::kGe, Value(2), {"r1.id"});
+  EXPECT_NE(HashPlan(a), HashPlan(b));
+}
+
+TEST(FingerprintTest, DifferingJoinPredicateDiverges) {
+  PlanPtr base = MakeProduct(MakeScan("r", "r1"), MakeScan("s", "s1"));
+  PlanPtr a = MakeSelect(
+      base, Predicate::AttrCmpAttr("r1.id", CmpOp::kEq, "s1.id"));
+  PlanPtr b = MakeSelect(
+      base, Predicate::AttrCmpAttr("r1.v", CmpOp::kEq, "s1.id"));
+  EXPECT_NE(HashPlan(a), HashPlan(b));
+  // Attribute-vs-constant comparisons never collide with
+  // attribute-vs-attribute ones, even with equal renderings.
+  PlanPtr c = MakeSelect(
+      base, Predicate::AttrCmpValue("r1.id", CmpOp::kEq, Value("s1.id")));
+  EXPECT_NE(HashPlan(a), HashPlan(c));
+}
+
+TEST(FingerprintTest, DifferingProjectionAndAggregateDiverge) {
+  PlanPtr scan = MakeScan("r", "r1");
+  EXPECT_NE(HashPlan(MakeProject(scan, {"r1.id"})),
+            HashPlan(MakeProject(scan, {"r1.v"})));
+  EXPECT_NE(HashPlan(MakeAggregate(scan, AggKind::kCount)),
+            HashPlan(MakeAggregate(scan, AggKind::kSum, "r1.v")));
+  EXPECT_NE(HashPlan(scan), HashPlan(MakeDistinct(scan)));
+}
+
+TEST(FingerprintTest, ContextHashSeparatesEqualPlans) {
+  PlanPtr plan = FingerprintExemplar(CmpOp::kEq, Value(2), {"r1.id"});
+  PlanFingerprint method_a = MakeFingerprint(plan, 1);
+  PlanFingerprint method_b = MakeFingerprint(plan, 2);
+  EXPECT_EQ(method_a.plan_hash, method_b.plan_hash);
+  EXPECT_NE(method_a, method_b);
+  std::unordered_set<PlanFingerprint, PlanFingerprintHash> set;
+  set.insert(method_a);
+  set.insert(method_b);
+  set.insert(MakeFingerprint(plan, 1));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FingerprintTest, AgreesWithCanonicalOnEquality) {
+  // Plans with equal canonical strings must have equal hashes.
+  PlanPtr a = FingerprintExemplar(CmpOp::kLt, Value(9), {"r1.id", "s1.w"});
+  PlanPtr b = FingerprintExemplar(CmpOp::kLt, Value(9), {"r1.id", "s1.w"});
+  ASSERT_EQ(Canonical(a), Canonical(b));
+  EXPECT_EQ(HashPlan(a), HashPlan(b));
 }
 
 TEST(OptimizeTest, PushdownThroughSelectionStacks) {

@@ -197,6 +197,30 @@ TEST(GeneratorTest, HighOverlapForSimilarScores) {
   EXPECT_GT(MappingSetOverlapRatio(mappings.ValueOrDie()), 0.25);
 }
 
+TEST(MappingSetHashTest, SensitiveToPairsAndProbabilities) {
+  auto make_set = [](double p1, const std::string& src) {
+    Mapping a;
+    EXPECT_TRUE(a.Add("Person.name", "customer.c_name").ok());
+    EXPECT_TRUE(a.Add("Person.phone", src).ok());
+    a.set_probability(p1);
+    Mapping b;
+    EXPECT_TRUE(b.Add("Person.name", "customer.c_name").ok());
+    b.set_probability(1.0 - p1);
+    return std::vector<Mapping>{a, b};
+  };
+  auto base = make_set(0.6, "customer.c_phone");
+  EXPECT_EQ(MappingSetHash(base),
+            MappingSetHash(make_set(0.6, "customer.c_phone")));
+  // Different correspondence, different probability split, and a
+  // truncated set all change the hash.
+  EXPECT_NE(MappingSetHash(base),
+            MappingSetHash(make_set(0.6, "customer.c_acctbal")));
+  EXPECT_NE(MappingSetHash(base),
+            MappingSetHash(make_set(0.5, "customer.c_phone")));
+  EXPECT_NE(MappingSetHash(base),
+            MappingSetHash({base.front()}));
+}
+
 }  // namespace
 }  // namespace mapping
 }  // namespace urm

@@ -1,0 +1,263 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/workload.h"
+#include "relational/value.h"
+
+namespace urm {
+namespace service {
+namespace {
+
+using core::Engine;
+using core::Method;
+using core::WorkloadQuery;
+
+/// Engines are expensive; build one per target schema and share.
+Engine* SharedEngine(datagen::TargetSchemaId schema) {
+  static std::map<datagen::TargetSchemaId, std::unique_ptr<Engine>> cache;
+  auto it = cache.find(schema);
+  if (it == cache.end()) {
+    Engine::Options options;
+    options.target_mb = 0.3;
+    options.num_mappings = 24;
+    options.target_schema = schema;
+    auto engine = Engine::Create(options);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    it = cache.emplace(schema, std::move(engine).ValueOrDie()).first;
+  }
+  return it->second.get();
+}
+
+const Method kAllMethods[] = {Method::kBasic, Method::kEBasic,
+                              Method::kEMqo, Method::kQSharing,
+                              Method::kOSharing};
+
+TEST(ParallelEvaluationTest, MatchesSequentialForAllMethodsOnWorkload) {
+  ThreadPool pool(4);
+  for (const WorkloadQuery& wq : core::PaperWorkload()) {
+    Engine* engine = SharedEngine(wq.schema);
+    Engine::EvalOptions eval;
+    eval.parallelism = 4;
+    eval.pool = &pool;
+    for (Method method : kAllMethods) {
+      auto sequential = engine->Evaluate(wq.query, method);
+      ASSERT_TRUE(sequential.ok())
+          << wq.id << " " << MethodName(method) << ": "
+          << sequential.status().ToString();
+      auto parallel = engine->Evaluate(wq.query, method, eval);
+      ASSERT_TRUE(parallel.ok())
+          << wq.id << " " << MethodName(method) << ": "
+          << parallel.status().ToString();
+      const auto& seq = sequential.ValueOrDie();
+      const auto& par = parallel.ValueOrDie();
+      EXPECT_TRUE(seq.answers.ApproxEquals(par.answers, 1e-12))
+          << wq.id << " " << MethodName(method) << "\nsequential:\n"
+          << seq.answers.ToString() << "parallel:\n"
+          << par.answers.ToString();
+      EXPECT_EQ(seq.answers.size(), par.answers.size())
+          << wq.id << " " << MethodName(method);
+      EXPECT_EQ(seq.partitions, par.partitions)
+          << wq.id << " " << MethodName(method);
+      EXPECT_EQ(seq.source_queries, par.source_queries)
+          << wq.id << " " << MethodName(method);
+    }
+  }
+}
+
+TEST(ParallelEvaluationTest, OSharingParallelLeafCountsMatchSequential) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ThreadPool pool(3);
+  Engine::EvalOptions eval;
+  eval.parallelism = 3;
+  eval.pool = &pool;
+  const auto query = core::QueryById("Q4").query;
+  auto seq = engine->Evaluate(query, Method::kOSharing);
+  auto par = engine->Evaluate(query, Method::kOSharing, eval);
+  ASSERT_TRUE(seq.ok() && par.ok());
+  EXPECT_EQ(seq.ValueOrDie().source_queries,
+            par.ValueOrDie().source_queries);
+  EXPECT_EQ(seq.ValueOrDie().stats.operators_executed,
+            par.ValueOrDie().stats.operators_executed);
+}
+
+TEST(QueryServiceTest, CacheMissThenHit) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(engine, options);
+
+  QueryRequest request{core::QueryById("Q1").query, Method::kQSharing};
+  auto first = service.SubmitOne(request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ASSERT_NE(first.result, nullptr);
+  EXPECT_FALSE(first.cache_hit);
+
+  auto second = service.SubmitOne(request);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  // Zero-copy: the cached MethodResult object is shared.
+  EXPECT_EQ(first.result.get(), second.result.get());
+
+  CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Duplicates of a cached plan report cache provenance, not in-batch
+  // sharing.
+  auto batch = service.Submit({request, request});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].cache_hit);
+  EXPECT_TRUE(batch[1].cache_hit);
+  EXPECT_FALSE(batch[1].shared_in_batch);
+}
+
+TEST(QueryServiceTest, BatchDeduplicatesStructurallyIdenticalPlans) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(engine, options);
+
+  // Two plans built independently (QueryById reconstructs the tree) are
+  // structurally identical and must share one evaluation.
+  std::vector<QueryRequest> batch = {
+      {core::QueryById("Q2").query, Method::kOSharing},
+      {core::QueryById("Q3").query, Method::kOSharing},
+      {core::QueryById("Q2").query, Method::kOSharing},
+  };
+  auto responses = service.Submit(batch);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    ASSERT_NE(r.result, nullptr);
+  }
+  EXPECT_EQ(responses[0].fingerprint, responses[2].fingerprint);
+  EXPECT_NE(responses[0].fingerprint, responses[1].fingerprint);
+  EXPECT_FALSE(responses[0].shared_in_batch);
+  EXPECT_TRUE(responses[2].shared_in_batch);
+  EXPECT_EQ(responses[0].result.get(), responses[2].result.get());
+  // Only two distinct evaluations hit the cache as misses.
+  EXPECT_EQ(service.cache_stats().misses, 2u);
+  EXPECT_EQ(service.cache_stats().entries, 2u);
+}
+
+TEST(QueryServiceTest, BatchAnswersMatchDirectEngineEvaluation) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.num_threads = 3;
+  options.intra_query_parallelism = 2;
+  QueryService service(engine, options);
+
+  std::vector<QueryRequest> batch;
+  for (const char* id : {"Q1", "Q2", "Q3", "Q4", "Q5"}) {
+    for (Method method : kAllMethods) {
+      batch.push_back({core::QueryById(id).query, method});
+    }
+  }
+  auto responses = service.Submit(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok())
+        << responses[i].status.ToString();
+    auto direct = engine->Evaluate(batch[i].query, batch[i].method);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(direct.ValueOrDie().answers.ApproxEquals(
+        responses[i].result->answers, 1e-9))
+        << "request " << i;
+  }
+}
+
+TEST(QueryServiceTest, CacheKeyedByMethod) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  QueryService service(engine, ServiceOptions{});
+  QueryRequest as_basic{core::QueryById("Q1").query, Method::kBasic};
+  QueryRequest as_osharing{core::QueryById("Q1").query, Method::kOSharing};
+  EXPECT_NE(service.Fingerprint(as_basic), service.Fingerprint(as_osharing));
+  auto first = service.SubmitOne(as_basic);
+  auto second = service.SubmitOne(as_osharing);
+  ASSERT_TRUE(first.status.ok() && second.status.ok());
+  EXPECT_FALSE(second.cache_hit);
+}
+
+TEST(QueryServiceTest, CacheKeyedByMappingSet) {
+  // A private engine: UseTopMappings must not disturb the shared one.
+  Engine::Options engine_options;
+  engine_options.target_mb = 0.05;
+  engine_options.num_mappings = 8;
+  auto owned = Engine::Create(engine_options);
+  ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+  Engine* engine = owned.ValueOrDie().get();
+
+  QueryService service(engine, ServiceOptions{});
+  QueryRequest request{core::QueryById("Q4").query, Method::kQSharing};
+  auto fp_before = service.Fingerprint(request);
+  ASSERT_TRUE(service.SubmitOne(request).status.ok());
+  engine->UseTopMappings(4);
+  EXPECT_NE(service.Fingerprint(request), fp_before);
+  auto after = service.SubmitOne(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);  // reconfiguration invalidates by key
+}
+
+TEST(QueryServiceTest, EvictionRespectsCapacity) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.num_threads = 0;
+  options.cache_capacity = 2;
+  QueryService service(engine, options);
+  for (const char* id : {"Q1", "Q2", "Q3"}) {
+    ASSERT_TRUE(
+        service.SubmitOne({core::QueryById(id).query, Method::kQSharing})
+            .status.ok());
+  }
+  CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // Q1 was evicted (LRU), Q3 still resident.
+  EXPECT_FALSE(
+      service.SubmitOne({core::QueryById("Q1").query, Method::kQSharing})
+          .cache_hit);
+  EXPECT_TRUE(
+      service.SubmitOne({core::QueryById("Q3").query, Method::kQSharing})
+          .cache_hit);
+}
+
+TEST(QueryServiceTest, PerRequestErrorsDoNotFailTheBatch) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  QueryService service(engine, ServiceOptions{});
+  auto bogus = algebra::MakeSelect(
+      algebra::MakeScan("no_such_table", "x"),
+      algebra::Predicate::AttrCmpValue("x.a", algebra::CmpOp::kEq,
+                                       relational::Value(1)));
+  std::vector<QueryRequest> batch = {
+      {bogus, Method::kBasic},
+      {core::QueryById("Q1").query, Method::kBasic},
+      {nullptr, Method::kBasic},
+  };
+  auto responses = service.Submit(batch);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[0].status.ok());
+  EXPECT_EQ(responses[0].result, nullptr);
+  EXPECT_TRUE(responses[1].status.ok());
+  ASSERT_NE(responses[1].result, nullptr);
+  EXPECT_FALSE(responses[2].status.ok());
+}
+
+TEST(QueryServiceTest, ZeroCapacityDisablesCaching) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  QueryService service(engine, options);
+  QueryRequest request{core::QueryById("Q1").query, Method::kQSharing};
+  ASSERT_TRUE(service.SubmitOne(request).status.ok());
+  EXPECT_FALSE(service.SubmitOne(request).cache_hit);
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace urm

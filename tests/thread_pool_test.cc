@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace urm {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  auto future = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAfterAllTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(8,
+                       [&](size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                         completed.fetch_add(1);
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        executed.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool completes all queued work before joining
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndexesOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(100);
+  pool.ParallelFor(100, [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(4);
+  pool.ParallelFor(4, [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Every outer task fans out on the same pool; the help-loop must keep
+  // the fully-subscribed pool making progress.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPoolTest, TryRunOneExecutesQueuedTask) {
+  ThreadPool pool(0);
+  EXPECT_FALSE(pool.TryRunOne());
+  auto future = pool.Submit([] { return 5; });
+  EXPECT_TRUE(pool.TryRunOne());
+  EXPECT_EQ(future.get(), 5);
+}
+
+}  // namespace
+}  // namespace urm
