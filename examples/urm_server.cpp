@@ -1,15 +1,28 @@
 /// \file urm_server.cpp
-/// REPL-style serving driver for the QueryService: accepts batches of
-/// Table III queries, deduplicates and evaluates them concurrently, and
-/// reports cache behavior — the interactive face of the serving tier.
+/// REPL-style serving driver for the QueryService built on the unified
+/// request API: every query kind (method evaluation, top-k, set-op,
+/// threshold) enters as a core::Request, batches are deduplicated and
+/// evaluated concurrently, and results can be delivered synchronously,
+/// asynchronously (futures + completion callbacks), or streamed leaf
+/// by leaf through a core::AnswerSink.
 ///
 ///   urm_server [--mb 1.0] [--h 100] [--threads 4] [--cache 256]
 ///              [--parallelism 1]
 ///
 /// Commands (one per line):
 ///   run Q4 [method]            evaluate one query (default osharing)
-///   batch Q1:osharing Q2:qsharing Q1:osharing ...
-///                              submit a batch; duplicates share work
+///   topk Q4 5                  top-k: 5 best tuples with bounds
+///   threshold Q4 0.25          all tuples with Pr >= 0.25
+///   setop Q1 union Q2          set operation (union|intersect|except;
+///                              operands must share a schema + arity)
+///   batch Q1:osharing Q2:topk:5 Q4:threshold:0.2 ...
+///                              submit a mixed-kind batch; duplicates
+///                              share work
+///   async Q1 Q2:qsharing ...   submit via SubmitAsync; completions
+///                              print as their callbacks fire
+///   stream Q4 [method]         stream u-trace leaf answers as they
+///                              are produced (time-to-first-answer)
+///   stream Q4 topk 5           ... same for the top-k scan
 ///   stats                      answer-cache counters per schema
 ///   clear                      drop all cached answers
 ///   help                       this text
@@ -22,13 +35,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "core/workload.h"
 #include "service/query_service.h"
 
@@ -50,6 +66,14 @@ bool ParseMethod(const std::string& name, core::Method* method) {
   else if (name == "emqo" || name == "e-mqo") *method = core::Method::kEMqo;
   else if (name == "qsharing" || name == "q-sharing") *method = core::Method::kQSharing;
   else if (name == "osharing" || name == "o-sharing") *method = core::Method::kOSharing;
+  else return false;
+  return true;
+}
+
+bool ParseSetOp(const std::string& name, core::SetOpKind* kind) {
+  if (name == "union") *kind = core::SetOpKind::kUnion;
+  else if (name == "intersect") *kind = core::SetOpKind::kIntersect;
+  else if (name == "except") *kind = core::SetOpKind::kExcept;
   else return false;
   return true;
 }
@@ -117,36 +141,94 @@ class ServiceDirectory {
 void PrintResponse(const std::string& label,
                    const service::QueryResponse& response) {
   if (!response.status.ok()) {
-    std::printf("%-14s error: %s\n", label.c_str(),
+    std::printf("%-18s error: %s\n", label.c_str(),
                 response.status.ToString().c_str());
     return;
   }
-  const auto& result = *response.result;
   const char* source = response.cache_hit ? "cache"
                        : response.shared_in_batch ? "shared"
                                                   : "evaluated";
-  std::printf("%-14s %-9s %zu answers (P(θ)=%.3f) %zu partitions "
-              "%.1f ms\n",
-              label.c_str(), source, result.answers.size(),
-              result.answers.null_probability(), result.partitions,
-              result.TotalSeconds() * 1e3);
+  const core::Response& r = *response.response;
+  switch (r.kind) {
+    case core::RequestKind::kEvaluate:
+    case core::RequestKind::kSetOp:
+      std::printf("%-18s %-9s %zu answers (P(θ)=%.3f) %zu partitions "
+                  "%.1f ms\n",
+                  label.c_str(), source, r.evaluate.answers.size(),
+                  r.evaluate.answers.null_probability(),
+                  r.evaluate.partitions, r.evaluate.TotalSeconds() * 1e3);
+      break;
+    case core::RequestKind::kTopK:
+      std::printf("%-18s %-9s top-%zu (%s after %zu leaves) %.1f ms\n",
+                  label.c_str(), source, r.top_k.tuples.size(),
+                  r.top_k.early_terminated ? "pruned" : "exhausted",
+                  r.top_k.leaves_visited, r.top_k.seconds * 1e3);
+      for (const auto& t : r.top_k.tuples) {
+        std::printf("    Pr in [%.4f, %.4f]\n", t.lower_bound,
+                    t.upper_bound);
+      }
+      break;
+    case core::RequestKind::kThreshold:
+      std::printf("%-18s %-9s %zu tuples over threshold (%s after %zu "
+                  "leaves) %.1f ms\n",
+                  label.c_str(), source, r.threshold.tuples.size(),
+                  r.threshold.early_terminated ? "pruned" : "exhausted",
+                  r.threshold.leaves_visited, r.threshold.seconds * 1e3);
+      break;
+  }
 }
 
-/// Parses "Q4" or "Q4:osharing" into a request; returns the label.
-bool ParseRequestToken(const std::string& token, std::string* query_id,
-                       core::Method* method) {
-  *method = core::Method::kOSharing;
-  auto colon = token.find(':');
-  *query_id = token.substr(0, colon);
-  if (colon != std::string::npos &&
-      !ParseMethod(token.substr(colon + 1), method)) {
-    std::printf("unknown method in '%s'\n", token.c_str());
-    return false;
-  }
+/// Looks up a workload query id, reporting unknown ids.
+bool LookupQuery(const std::string& id, core::WorkloadQuery* out) {
   for (const auto& wq : core::PaperWorkload()) {
-    if (wq.id == *query_id) return true;
+    if (wq.id == id) {
+      *out = wq;
+      return true;
+    }
   }
-  std::printf("unknown query '%s' (expected Q1..Q10)\n", query_id->c_str());
+  std::printf("unknown query '%s' (expected Q1..Q10)\n", id.c_str());
+  return false;
+}
+
+/// Parses "Q4", "Q4:osharing", "Q4:topk:5" or "Q4:threshold:0.2" into
+/// a Request over the query's schema.
+bool ParseRequestToken(const std::string& token, core::Request* request,
+                       datagen::TargetSchemaId* schema) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(token);
+  while (std::getline(stream, part, ':')) parts.push_back(part);
+  if (parts.empty()) return false;
+  core::WorkloadQuery wq;
+  if (!LookupQuery(parts[0], &wq)) return false;
+  *schema = wq.schema;
+  if (parts.size() == 1) {
+    *request = core::Request::MethodEval(wq.query, core::Method::kOSharing);
+    return true;
+  }
+  core::Method method;
+  if (ParseMethod(parts[1], &method)) {
+    *request = core::Request::MethodEval(wq.query, method);
+    return true;
+  }
+  if (parts[1] == "topk" && parts.size() == 3) {
+    long long k = std::atoll(parts[2].c_str());
+    if (k <= 0) {
+      std::printf("k must be a positive integer, got '%s'\n",
+                  parts[2].c_str());
+      return false;
+    }
+    *request = core::Request::TopK(wq.query, static_cast<size_t>(k));
+    return true;
+  }
+  if (parts[1] == "threshold" && parts.size() == 3) {
+    *request = core::Request::Threshold(wq.query,
+                                        std::atof(parts[2].c_str()));
+    return true;
+  }
+  std::printf("cannot parse '%s' (try Qid, Qid:method, Qid:topk:k, "
+              "Qid:threshold:p)\n",
+              token.c_str());
   return false;
 }
 
@@ -155,17 +237,15 @@ void RunBatch(ServiceDirectory* directory,
   // Group requests per schema (each schema has its own service); keep
   // the submission batched so dedup/cache behavior is visible.
   std::map<datagen::TargetSchemaId,
-           std::pair<std::vector<std::string>,
-                     std::vector<service::QueryRequest>>>
+           std::pair<std::vector<std::string>, std::vector<core::Request>>>
       by_schema;
   for (const auto& token : tokens) {
-    std::string id;
-    core::Method method;
-    if (!ParseRequestToken(token, &id, &method)) return;
-    core::WorkloadQuery wq = core::QueryById(id);
-    auto& [labels, requests] = by_schema[wq.schema];
+    core::Request request;
+    datagen::TargetSchemaId schema;
+    if (!ParseRequestToken(token, &request, &schema)) return;
+    auto& [labels, requests] = by_schema[schema];
     labels.push_back(token);
-    requests.push_back({wq.query, method});
+    requests.push_back(std::move(request));
   }
   for (auto& [schema, group] : by_schema) {
     service::QueryService* service = directory->ForSchema(schema);
@@ -177,11 +257,129 @@ void RunBatch(ServiceDirectory* directory,
   }
 }
 
+/// Submits every request through SubmitAsync; completion callbacks
+/// print from the worker threads as evaluations finish (out of
+/// submission order when pool size allows).
+void RunAsync(ServiceDirectory* directory,
+              const std::vector<std::string>& tokens) {
+  // Parse and resolve every token before submitting anything: once a
+  // request is in flight its callback references the locals below, so
+  // no early return may happen past the first SubmitAsync.
+  struct Parsed {
+    std::string label;
+    core::Request request;
+    service::QueryService* service = nullptr;
+  };
+  std::vector<Parsed> parsed;
+  for (const auto& token : tokens) {
+    Parsed p;
+    p.label = token;
+    datagen::TargetSchemaId schema;
+    if (!ParseRequestToken(token, &p.request, &schema)) return;
+    p.service = directory->ForSchema(schema);
+    if (p.service == nullptr) return;
+    parsed.push_back(std::move(p));
+  }
+
+  std::mutex stdout_mu;
+  Timer timer;
+  std::vector<std::future<service::QueryResponse>> futures;
+  for (const auto& p : parsed) {
+    std::string label = p.label;
+    futures.push_back(p.service->SubmitAsync(
+        p.request, nullptr,
+        [&stdout_mu, &timer, label](const service::QueryResponse& response) {
+          std::lock_guard<std::mutex> lock(stdout_mu);
+          std::printf("  [%.1f ms] ", timer.Seconds() * 1e3);
+          PrintResponse(label, response);
+        }));
+  }
+  std::printf("%zu requests in flight\n", futures.size());
+  for (auto& future : futures) future.wait();
+}
+
+/// Streams one request's u-trace leaves as they are produced.
+class PrintingSink : public core::AnswerSink {
+ public:
+  bool OnAnswer(const std::vector<relational::Row>& rows,
+                double probability) override {
+    if (answers_++ == 0) first_ms_ = timer_.Seconds() * 1e3;
+    std::printf("  leaf %3zu: %4zu rows, partition mass %.4f "
+                "(t=%.1f ms)\n",
+                answers_, rows.size(), probability,
+                timer_.Seconds() * 1e3);
+    return true;
+  }
+
+  void OnComplete(const Status& status) override {
+    std::printf("  stream complete (%s): %zu leaves, first after "
+                "%.1f ms, done after %.1f ms\n",
+                status.ok() ? "ok" : status.ToString().c_str(), answers_,
+                first_ms_, timer_.Seconds() * 1e3);
+  }
+
+ private:
+  Timer timer_;
+  size_t answers_ = 0;
+  double first_ms_ = 0.0;
+};
+
+void RunStream(ServiceDirectory* directory,
+               const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return;
+  core::Request request;
+  datagen::TargetSchemaId schema;
+  if (tokens.size() >= 2 && tokens[1] == "topk") {
+    std::string token = tokens[0] + ":topk:" +
+                        (tokens.size() > 2 ? tokens[2] : "5");
+    if (!ParseRequestToken(token, &request, &schema)) return;
+  } else if (tokens.size() >= 2 && tokens[1] == "threshold") {
+    std::string token = tokens[0] + ":threshold:" +
+                        (tokens.size() > 2 ? tokens[2] : "0.2");
+    if (!ParseRequestToken(token, &request, &schema)) return;
+  } else {
+    std::string token =
+        tokens.size() > 1 ? tokens[0] + ":" + tokens[1] : tokens[0];
+    if (!ParseRequestToken(token, &request, &schema)) return;
+  }
+  service::QueryService* service = directory->ForSchema(schema);
+  if (service == nullptr) return;
+  PrintingSink sink;
+  auto response = service->Submit(request, &sink);
+  PrintResponse(tokens[0], response);
+}
+
+void RunSetOp(ServiceDirectory* directory, const std::string& left_id,
+              const std::string& op_name, const std::string& right_id) {
+  core::SetOpKind kind;
+  if (!ParseSetOp(op_name, &kind)) {
+    std::printf("unknown set op '%s' (union|intersect|except)\n",
+                op_name.c_str());
+    return;
+  }
+  core::WorkloadQuery left, right;
+  if (!LookupQuery(left_id, &left) || !LookupQuery(right_id, &right)) return;
+  if (left.schema != right.schema) {
+    std::printf("set-op operands must share a target schema\n");
+    return;
+  }
+  service::QueryService* service = directory->ForSchema(left.schema);
+  if (service == nullptr) return;
+  auto response =
+      service->Submit(core::Request::SetOp(left.query, right.query, kind));
+  PrintResponse(left_id + " " + op_name + " " + right_id, response);
+}
+
 void PrintHelp() {
   std::printf(
       "commands:\n"
       "  run <Q1..Q10> [basic|ebasic|emqo|qsharing|osharing]\n"
-      "  batch <Qid>[:<method>] ...\n"
+      "  topk <Qid> <k>\n"
+      "  threshold <Qid> <p>\n"
+      "  setop <Qid> <union|intersect|except> <Qid>\n"
+      "  batch <Qid>[:<method>|:topk:<k>|:threshold:<p>] ...\n"
+      "  async <Qid>[:<method>|:topk:<k>|:threshold:<p>] ...\n"
+      "  stream <Qid> [<method>|topk <k>|threshold <p>]\n"
       "  stats | clear | help | quit\n");
 }
 
@@ -223,6 +421,9 @@ int main(int argc, char** argv) {
     std::string command;
     if (!(stream >> command)) continue;
     if (command == "quit" || command == "exit") break;
+    std::vector<std::string> tokens;
+    std::string token;
+    while (stream >> token) tokens.push_back(token);
     if (command == "help") {
       PrintHelp();
     } else if (command == "stats") {
@@ -230,23 +431,32 @@ int main(int argc, char** argv) {
     } else if (command == "clear") {
       directory.ClearCaches();
     } else if (command == "run") {
-      std::string id, method_name;
-      stream >> id >> method_name;
-      if (id.empty()) {
-        PrintHelp();
-        continue;
-      }
-      RunBatch(&directory,
-               {method_name.empty() ? id : id + ":" + method_name});
-    } else if (command == "batch") {
-      std::vector<std::string> tokens;
-      std::string token;
-      while (stream >> token) tokens.push_back(token);
       if (tokens.empty()) {
         PrintHelp();
         continue;
       }
+      RunBatch(&directory, {tokens.size() > 1
+                                ? tokens[0] + ":" + tokens[1]
+                                : tokens[0]});
+    } else if (command == "topk" && tokens.size() == 2) {
+      RunBatch(&directory, {tokens[0] + ":topk:" + tokens[1]});
+    } else if (command == "threshold" && tokens.size() == 2) {
+      RunBatch(&directory, {tokens[0] + ":threshold:" + tokens[1]});
+    } else if (command == "setop" && tokens.size() == 3) {
+      RunSetOp(&directory, tokens[0], tokens[1], tokens[2]);
+    } else if (command == "batch" && !tokens.empty()) {
       RunBatch(&directory, tokens);
+    } else if (command == "async" && !tokens.empty()) {
+      if (args.threads == 0) {
+        // No workers to run detached futures; Submit's helping wait is
+        // the only way to make progress.
+        std::printf("note: --threads 0, falling back to sync batch\n");
+        RunBatch(&directory, tokens);
+      } else {
+        RunAsync(&directory, tokens);
+      }
+    } else if (command == "stream" && !tokens.empty()) {
+      RunStream(&directory, tokens);
     } else {
       PrintHelp();
     }

@@ -89,6 +89,8 @@ uint64_t HashPlan(const PlanPtr& plan) {
   return HashNode(0xcbf29ce484222325ULL, plan);
 }
 
+uint64_t MixHash(uint64_t h, uint64_t v) { return Mix(h, v); }
+
 PlanFingerprint MakeFingerprint(const PlanPtr& plan,
                                 uint64_t context_hash) {
   PlanFingerprint fp;

@@ -48,6 +48,11 @@ struct PlanFingerprintHash {
 /// by label (labels are unique per materialization by contract).
 uint64_t HashPlan(const PlanPtr& plan);
 
+/// Order-sensitive 64-bit hash accumulation (the mix used by HashPlan),
+/// exposed so higher layers can fold request parameters — kind, method,
+/// k, set-op, threshold — into a plan hash (core::FingerprintRequest).
+uint64_t MixHash(uint64_t h, uint64_t v);
+
 /// Combines the plan hash with an evaluation-context hash.
 PlanFingerprint MakeFingerprint(const PlanPtr& plan,
                                 uint64_t context_hash = 0);

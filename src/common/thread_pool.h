@@ -148,8 +148,14 @@ class ThreadPool {
         if (++group->completed == group->n) group->done_cv.notify_all();
       }
     };
+    // Helpers are best-effort: once the pool starts stopping (service
+    // teardown racing an in-flight nested fan-out), no new tasks may
+    // enter the queue, and the caller simply claims every index
+    // itself — completion is guaranteed without helpers.
     size_t helpers = std::min(workers_.size(), n - 1);
-    for (size_t k = 0; k < helpers; ++k) Submit(run_claimed);
+    for (size_t k = 0; k < helpers; ++k) {
+      if (!TrySubmitTask(run_claimed)) break;
+    }
     run_claimed();
     std::unique_lock<std::mutex> lock(group->mu);
     group->done_cv.wait(lock, [&] { return group->completed == group->n; });
@@ -159,6 +165,20 @@ class ThreadPool {
   }
 
  private:
+  /// Enqueues a fire-and-forget task unless the pool is stopping;
+  /// returns whether it was enqueued. Unlike Submit this is legal
+  /// during shutdown (it just declines), which ParallelFor needs when
+  /// a nested fan-out races pool destruction.
+  bool TrySubmitTask(const std::function<void()>& fn) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return false;
+      queue_.emplace_back(fn);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;

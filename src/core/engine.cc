@@ -7,21 +7,24 @@
 namespace urm {
 namespace core {
 
-const char* MethodName(Method method) {
-  switch (method) {
-    case Method::kBasic:
-      return "basic";
-    case Method::kEBasic:
-      return "e-basic";
-    case Method::kEMqo:
-      return "e-MQO";
-    case Method::kQSharing:
-      return "q-sharing";
-    case Method::kOSharing:
-      return "o-sharing";
+namespace {
+
+/// Adapts the public streaming interface to the o-sharing engine's
+/// LeafVisitor so Run can tee u-trace leaves to a caller's sink.
+class SinkLeafAdapter : public osharing::LeafVisitor {
+ public:
+  explicit SinkLeafAdapter(AnswerSink* sink) : sink_(sink) {}
+
+  bool OnLeaf(const std::vector<relational::Row>& rows,
+              double probability) override {
+    return sink_->OnAnswer(rows, probability);
   }
-  return "?";
-}
+
+ private:
+  AnswerSink* sink_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
   auto engine = std::unique_ptr<Engine>(new Engine());
@@ -56,6 +59,7 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
   if (!mappings.ok()) return mappings.status();
   engine->all_mappings_ = std::move(mappings).ValueOrDie();
   engine->mappings_ = engine->all_mappings_;
+  engine->RefreshMappingSetHash();
   return engine;
 }
 
@@ -70,16 +74,137 @@ std::unique_ptr<Engine> Engine::FromParts(
   engine->all_mappings_ = std::move(mappings);
   engine->mappings_ = engine->all_mappings_;
   engine->options_ = options;
+  engine->RefreshMappingSetHash();
   return engine;
 }
 
 void Engine::UseTopMappings(size_t h) {
   mappings_ = mapping::TakeTopMappings(all_mappings_, h);
+  mapping_epoch_++;
+  RefreshMappingSetHash();
+}
+
+void Engine::RefreshMappingSetHash() {
+  mapping_set_hash_ = mapping::MappingSetHash(mappings_);
 }
 
 Result<reformulation::TargetQueryInfo> Engine::Analyze(
     const algebra::PlanPtr& query) const {
   return reformulation::AnalyzeTargetQuery(query, target_schema_);
+}
+
+Result<Response> Engine::Run(const Request& request) const {
+  return Run(request, EvalOptions());
+}
+
+Result<Response> Engine::Run(const Request& request,
+                             const EvalOptions& eval) const {
+  auto response = RunInternal(request, eval);
+  if (eval.sink != nullptr) {
+    eval.sink->OnComplete(response.ok() ? Status::OK() : response.status());
+  }
+  return response;
+}
+
+Result<Response> Engine::RunInternal(const Request& request,
+                                     const EvalOptions& eval) const {
+  URM_RETURN_NOT_OK(ValidateRequest(request));
+  SinkLeafAdapter adapter(eval.sink);
+  osharing::LeafVisitor* tee = eval.sink != nullptr ? &adapter : nullptr;
+
+  Response response;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case RequestKind::kEvaluate: {
+      auto info = Analyze(request.query);
+      if (!info.ok()) return info.status();
+      reformulation::Reformulator reformulator(source_schema_);
+      baselines::ExecOptions exec;
+      exec.parallelism = eval.parallelism;
+      exec.pool = eval.pool;
+      Result<baselines::MethodResult> result =
+          Status::Internal("unreachable");
+      switch (request.method) {
+        case Method::kBasic:
+          result = baselines::RunBasic(info.ValueOrDie(),
+                                       baselines::AsWeighted(mappings_),
+                                       catalog_, reformulator, exec);
+          break;
+        case Method::kEBasic:
+          result = baselines::RunEBasic(info.ValueOrDie(),
+                                        baselines::AsWeighted(mappings_),
+                                        catalog_, reformulator, exec);
+          break;
+        case Method::kEMqo:
+          result = baselines::RunEMqo(info.ValueOrDie(),
+                                      baselines::AsWeighted(mappings_),
+                                      catalog_, reformulator, exec);
+          break;
+        case Method::kQSharing:
+          result = qsharing::RunQSharing(info.ValueOrDie(), mappings_,
+                                         catalog_, reformulator, exec);
+          break;
+        case Method::kOSharing: {
+          osharing::OSharingOptions options;
+          options.strategy = request.strategy.value_or(options_.strategy);
+          options.random_seed = options_.seed;
+          options.parallelism = eval.parallelism;
+          options.pool = eval.pool;
+          options.tee = tee;
+          result = osharing::RunOSharing(info.ValueOrDie(), mappings_,
+                                         catalog_, options);
+          break;
+        }
+      }
+      if (!result.ok()) return result.status();
+      response.evaluate = std::move(result).ValueOrDie();
+      return response;
+    }
+
+    case RequestKind::kTopK: {
+      auto info = Analyze(request.query);
+      if (!info.ok()) return info.status();
+      topk::TopKOptions options;
+      options.osharing.strategy = request.strategy.value_or(options_.strategy);
+      options.osharing.random_seed = options_.seed;
+      options.osharing.tee = tee;
+      auto result = topk::RunTopK(info.ValueOrDie(), mappings_, catalog_,
+                                  request.k, options);
+      if (!result.ok()) return result.status();
+      response.top_k = std::move(result).ValueOrDie();
+      return response;
+    }
+
+    case RequestKind::kSetOp: {
+      auto left_info = Analyze(request.query);
+      if (!left_info.ok()) return left_info.status();
+      auto right_info = Analyze(request.right);
+      if (!right_info.ok()) return right_info.status();
+      reformulation::Reformulator reformulator(source_schema_);
+      auto result = core::EvaluateSetOp(left_info.ValueOrDie(),
+                                        right_info.ValueOrDie(),
+                                        request.set_op, mappings_, catalog_,
+                                        reformulator);
+      if (!result.ok()) return result.status();
+      response.evaluate = std::move(result).ValueOrDie();
+      return response;
+    }
+
+    case RequestKind::kThreshold: {
+      auto info = Analyze(request.query);
+      if (!info.ok()) return info.status();
+      osharing::OSharingOptions options;
+      options.strategy = request.strategy.value_or(options_.strategy);
+      options.random_seed = options_.seed;
+      options.tee = tee;
+      auto result = topk::RunThreshold(info.ValueOrDie(), mappings_,
+                                       catalog_, request.threshold, options);
+      if (!result.ok()) return result.status();
+      response.threshold = std::move(result).ValueOrDie();
+      return response;
+    }
+  }
+  return Status::Internal("unreachable");
 }
 
 Result<baselines::MethodResult> Engine::Evaluate(
@@ -90,84 +215,39 @@ Result<baselines::MethodResult> Engine::Evaluate(
 Result<baselines::MethodResult> Engine::Evaluate(
     const algebra::PlanPtr& query, Method method,
     const EvalOptions& eval) const {
-  auto info = Analyze(query);
-  if (!info.ok()) return info.status();
-  reformulation::Reformulator reformulator(source_schema_);
-  baselines::ExecOptions exec;
-  exec.parallelism = eval.parallelism;
-  exec.pool = eval.pool;
-  switch (method) {
-    case Method::kBasic:
-      return baselines::RunBasic(info.ValueOrDie(),
-                                 baselines::AsWeighted(mappings_),
-                                 catalog_, reformulator, exec);
-    case Method::kEBasic:
-      return baselines::RunEBasic(info.ValueOrDie(),
-                                  baselines::AsWeighted(mappings_),
-                                  catalog_, reformulator, exec);
-    case Method::kEMqo:
-      return baselines::RunEMqo(info.ValueOrDie(),
-                                baselines::AsWeighted(mappings_),
-                                catalog_, reformulator, exec);
-    case Method::kQSharing:
-      return qsharing::RunQSharing(info.ValueOrDie(), mappings_, catalog_,
-                                   reformulator, exec);
-    case Method::kOSharing: {
-      osharing::OSharingOptions options;
-      options.strategy = options_.strategy;
-      options.random_seed = options_.seed;
-      options.parallelism = eval.parallelism;
-      options.pool = eval.pool;
-      return osharing::RunOSharing(info.ValueOrDie(), mappings_, catalog_,
-                                   options);
-    }
-  }
-  return Status::Internal("unreachable");
+  auto response = Run(Request::MethodEval(query, method), eval);
+  if (!response.ok()) return response.status();
+  return std::move(response.ValueOrDie().evaluate);
 }
 
 Result<baselines::MethodResult> Engine::EvaluateOSharing(
     const algebra::PlanPtr& query, osharing::StrategyKind strategy) const {
-  auto info = Analyze(query);
-  if (!info.ok()) return info.status();
-  osharing::OSharingOptions options;
-  options.strategy = strategy;
-  options.random_seed = options_.seed;
-  return osharing::RunOSharing(info.ValueOrDie(), mappings_, catalog_,
-                               options);
+  auto response = Run(
+      Request::MethodEval(query, Method::kOSharing).WithStrategy(strategy));
+  if (!response.ok()) return response.status();
+  return std::move(response.ValueOrDie().evaluate);
 }
 
 Result<baselines::MethodResult> Engine::EvaluateSetOp(
     const algebra::PlanPtr& left, const algebra::PlanPtr& right,
     SetOpKind kind) const {
-  auto left_info = Analyze(left);
-  if (!left_info.ok()) return left_info.status();
-  auto right_info = Analyze(right);
-  if (!right_info.ok()) return right_info.status();
-  reformulation::Reformulator reformulator(source_schema_);
-  return core::EvaluateSetOp(left_info.ValueOrDie(),
-                             right_info.ValueOrDie(), kind, mappings_,
-                             catalog_, reformulator);
+  auto response = Run(Request::SetOp(left, right, kind));
+  if (!response.ok()) return response.status();
+  return std::move(response.ValueOrDie().evaluate);
 }
 
 Result<topk::TopKResult> Engine::EvaluateTopK(const algebra::PlanPtr& query,
                                               size_t k) const {
-  auto info = Analyze(query);
-  if (!info.ok()) return info.status();
-  topk::TopKOptions options;
-  options.osharing.strategy = options_.strategy;
-  options.osharing.random_seed = options_.seed;
-  return topk::RunTopK(info.ValueOrDie(), mappings_, catalog_, k, options);
+  auto response = Run(Request::TopK(query, k));
+  if (!response.ok()) return response.status();
+  return std::move(response.ValueOrDie().top_k);
 }
 
 Result<topk::ThresholdResult> Engine::EvaluateThreshold(
     const algebra::PlanPtr& query, double threshold) const {
-  auto info = Analyze(query);
-  if (!info.ok()) return info.status();
-  osharing::OSharingOptions options;
-  options.strategy = options_.strategy;
-  options.random_seed = options_.seed;
-  return topk::RunThreshold(info.ValueOrDie(), mappings_, catalog_,
-                            threshold, options);
+  auto response = Run(Request::Threshold(query, threshold));
+  if (!response.ok()) return response.status();
+  return std::move(response.ValueOrDie().threshold);
 }
 
 }  // namespace core

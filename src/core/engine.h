@@ -6,6 +6,7 @@
 
 #include "baselines/baselines.h"
 #include "common/status.h"
+#include "core/request.h"
 #include "core/setops.h"
 #include "datagen/target_schemas.h"
 #include "datagen/tpch.h"
@@ -21,8 +22,10 @@
 ///   * the scored correspondences between TPC-H and a target schema
 ///     (matching),
 ///   * the h best possible mappings with probabilities (mapping),
-/// and evaluates probabilistic queries with any of the five methods plus
-/// the top-k algorithm.
+/// and answers probabilistic queries of every kind through the unified
+/// request API: build a core::Request (method evaluation, top-k,
+/// set-op, or threshold) and dispatch it with Run. See request.h for
+/// the envelope and the AnswerSink streaming hook.
 ///
 /// Quickstart:
 /// \code
@@ -30,32 +33,30 @@
 ///   opts.target_schema = urm::datagen::TargetSchemaId::kExcel;
 ///   auto engine = urm::core::Engine::Create(opts);
 ///   auto q = urm::core::QueryById("Q1");
-///   auto result = engine.ValueOrDie()->Evaluate(
-///       q.query, urm::core::Method::kOSharing);
+///   auto response = engine.ValueOrDie()->Run(
+///       urm::core::Request::MethodEval(q.query,
+///                                      urm::core::Method::kOSharing));
+///   // response.ValueOrDie().evaluate.answers holds the AnswerSet.
 /// \endcode
+///
+/// Migration note: the per-kind entry points (Evaluate,
+/// EvaluateOSharing, EvaluateTopK, EvaluateSetOp, EvaluateThreshold)
+/// predate the Request API. They remain as thin wrappers over Run —
+/// same results, same costs — but new code should construct Requests:
+/// only Run offers streaming sinks, and only Requests flow through the
+/// service tier's fingerprint/dedup/cache machinery.
 
 namespace urm {
 namespace core {
 
-/// Evaluation methods compared in the paper.
-enum class Method {
-  kBasic,
-  kEBasic,
-  kEMqo,
-  kQSharing,
-  kOSharing,
-};
-
-const char* MethodName(Method method);
-
 /// \brief One fully-prepared experiment configuration.
 ///
-/// Thread-safety: all const members (Analyze, Evaluate, EvaluateOSharing,
-/// EvaluateTopK, EvaluateSetOp, EvaluateThreshold, the accessors) are
-/// safe to call concurrently — every evaluation builds its own mutable
-/// state and only reads the catalog/mapping set. UseTopMappings mutates
-/// the active mapping set and must not race with evaluations; the
-/// service layer treats it as a stop-the-world reconfiguration.
+/// Thread-safety: all const members (Run, Analyze, the legacy Evaluate*
+/// wrappers, the accessors) are safe to call concurrently — every
+/// evaluation builds its own mutable state and only reads the
+/// catalog/mapping set. UseTopMappings mutates the active mapping set
+/// and must not race with evaluations; the service layer treats it as
+/// a stop-the-world reconfiguration.
 class Engine {
  public:
   struct Options {
@@ -94,52 +95,81 @@ class Engine {
   const Options& options() const { return options_; }
 
   /// Restricts the mapping set to the top h (renormalized); used by the
-  /// |M| sweeps.
+  /// |M| sweeps. Bumps the reconfiguration epoch and refreshes the
+  /// memoized mapping-set hash.
   void UseTopMappings(size_t h);
+
+  /// Structural hash of the active mapping set, memoized per
+  /// reconfiguration epoch — the serving tier folds it into every
+  /// request fingerprint without rehashing h mappings per submission.
+  uint64_t mapping_set_hash() const { return mapping_set_hash_; }
+
+  /// Monotonic counter incremented by each UseTopMappings call.
+  uint64_t mapping_epoch() const { return mapping_epoch_; }
 
   /// Analyzes a target query against the target schema.
   Result<reformulation::TargetQueryInfo> Analyze(
       const algebra::PlanPtr& query) const;
 
-  /// Intra-query parallelism knobs for Evaluate. With parallelism > 1
-  /// and a pool, the mapping-partition loops of the chosen method fan
-  /// out (q-sharing/basic/e-basic: one task per representative source
+  /// Per-dispatch knobs for Run. With parallelism > 1 and a pool, the
+  /// mapping-partition loops of a method evaluation fan out
+  /// (q-sharing/basic/e-basic: one task per representative source
   /// query; o-sharing: one task per root u-trace partition) and merge
   /// deterministically in partition order. e-MQO stays sequential (its
-  /// shared-subexpression memo is an execution-order dependency).
+  /// shared-subexpression memo is an execution-order dependency), as do
+  /// top-k/threshold (their pruning depends on ordered traversal).
   struct EvalOptions {
     int parallelism = 1;
     ThreadPool* pool = nullptr;
+    /// Streams u-trace leaf answers as they are produced (o-sharing
+    /// evaluation, top-k, threshold); see core::AnswerSink. May be
+    /// null. OnComplete fires for every request kind.
+    AnswerSink* sink = nullptr;
   };
 
+  /// Dispatches any Request — the single entry point behind all query
+  /// kinds. Returns the kind-tagged Response; with eval.sink set, leaf
+  /// answers stream to the sink before Run returns.
+  Result<Response> Run(const Request& request,
+                       const EvalOptions& eval) const;
+
+  /// Run with default EvalOptions (sequential, no streaming).
+  Result<Response> Run(const Request& request) const;
+
   /// Evaluates a probabilistic query with the chosen method.
+  /// \deprecated Thin wrapper over Run(Request::MethodEval(...)).
   Result<baselines::MethodResult> Evaluate(const algebra::PlanPtr& query,
                                            Method method) const;
 
   /// Evaluate with explicit parallelism options; identical results to
   /// the sequential overload (bit-identical for deterministic
   /// strategies, see OSharingOptions::parallelism).
+  /// \deprecated Thin wrapper over Run(Request::MethodEval(...), eval).
   Result<baselines::MethodResult> Evaluate(const algebra::PlanPtr& query,
                                            Method method,
                                            const EvalOptions& eval) const;
 
   /// o-sharing with an explicit operator-selection strategy (used by
   /// the strategy-comparison experiments, Fig. 11(f) / Table IV).
+  /// \deprecated Thin wrapper over Run with Request::WithStrategy.
   Result<baselines::MethodResult> EvaluateOSharing(
       const algebra::PlanPtr& query, osharing::StrategyKind strategy) const;
 
   /// Evaluates a probabilistic top-k query (§VII).
+  /// \deprecated Thin wrapper over Run(Request::TopK(...)).
   Result<topk::TopKResult> EvaluateTopK(const algebra::PlanPtr& query,
                                         size_t k) const;
 
   /// Evaluates `left OP right` (probabilistic set operations — the
   /// paper's future-work extension; see setops.h).
+  /// \deprecated Thin wrapper over Run(Request::SetOp(...)).
   Result<baselines::MethodResult> EvaluateSetOp(
       const algebra::PlanPtr& left, const algebra::PlanPtr& right,
       SetOpKind kind) const;
 
   /// Evaluates a probability-threshold query: all tuples with
   /// Pr >= threshold (extension; see threshold.h).
+  /// \deprecated Thin wrapper over Run(Request::Threshold(...)).
   Result<topk::ThresholdResult> EvaluateThreshold(
       const algebra::PlanPtr& query, double threshold) const;
 
@@ -151,12 +181,23 @@ class Engine {
  private:
   Engine() = default;
 
+  /// Run minus the sink OnComplete notification (Run wraps it so the
+  /// completion hook fires exactly once on every path).
+  Result<Response> RunInternal(const Request& request,
+                               const EvalOptions& eval) const;
+
+  /// Refreshes the memoized mapping-set hash (construction and each
+  /// reconfiguration).
+  void RefreshMappingSetHash();
+
   relational::Catalog catalog_;
   matching::SchemaDef source_schema_;
   matching::SchemaDef target_schema_;
   std::vector<matching::Correspondence> correspondences_;
   std::vector<mapping::Mapping> all_mappings_;  ///< full enumerated set
   std::vector<mapping::Mapping> mappings_;      ///< active (top-h) set
+  uint64_t mapping_set_hash_ = 0;
+  uint64_t mapping_epoch_ = 0;
   Options options_;
 };
 

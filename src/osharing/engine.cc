@@ -114,6 +114,8 @@ Status OSharingEngine::Run(const std::vector<WeightedMapping>& reps,
 namespace {
 
 /// Buffers leaf outcomes for deferred in-order replay (never aborts).
+/// Owned leaves are moved in, and the replay loop moves them out
+/// again, so buffering adds no row copies over the sequential path.
 class BufferingVisitor : public LeafVisitor {
  public:
   struct Leaf {
@@ -126,7 +128,12 @@ class BufferingVisitor : public LeafVisitor {
     return true;
   }
 
-  const std::vector<Leaf>& leaves() const { return leaves_; }
+  bool OnLeafOwned(std::vector<Row>&& rows, double probability) override {
+    leaves_.push_back(Leaf{std::move(rows), probability});
+    return true;
+  }
+
+  std::vector<Leaf>& leaves() { return leaves_; }
 
  private:
   std::vector<Leaf> leaves_;
@@ -151,19 +158,9 @@ Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
     if (!done.ok()) return done.status();
     return Status::OK();
   }
-  std::vector<Candidate> candidates = ComputeCandidates(root);
-  if (candidates.empty()) {
-    return Status::Internal("no valid operator for pending query state");
-  }
   std::vector<OpPartition> partitions;
-  auto op = ChooseOperator(root, std::move(candidates), &partitions);
+  auto op = PickOperator(root, &partitions);
   if (!op.ok()) return op.status();
-  if (options_.visit_partitions_by_probability) {
-    std::stable_sort(partitions.begin(), partitions.end(),
-                     [](const OpPartition& a, const OpPartition& b) {
-                       return a.probability > b.probability;
-                     });
-  }
 
   struct Branch {
     Status status;
@@ -184,6 +181,7 @@ Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
     OSharingOptions sub_options = options_;
     sub_options.parallelism = 1;
     sub_options.pool = nullptr;
+    sub_options.tee = nullptr;  // leaves stream at replay, in order
     sub_options.random_seed = options_.random_seed + 0x9e3779b9ULL * (i + 1);
     OSharingEngine sub(info_, catalog_, sub_options);
     sub.shape_ = shape_;
@@ -200,12 +198,12 @@ Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
     branch.stats = sub.stats_;
   });
 
-  for (const Branch& branch : branches) {
+  for (Branch& branch : branches) {
     URM_RETURN_NOT_OK(branch.status);
     stats_ += branch.stats;
-    for (const auto& leaf : branch.buffer.leaves()) {
+    for (auto& leaf : branch.buffer.leaves()) {
       leaves_++;
-      if (!visitor->OnLeaf(leaf.rows, leaf.probability)) {
+      if (!visitor->OnLeafOwned(std::move(leaf.rows), leaf.probability)) {
         return Status::OK();
       }
     }
@@ -355,6 +353,23 @@ std::vector<OSharingEngine::OpPartition> OSharingEngine::PartitionMappings(
     partitions[it->second].probability += wm->probability;
   }
   return partitions;
+}
+
+Result<OSharingEngine::Candidate> OSharingEngine::PickOperator(
+    const EUnit& u, std::vector<OpPartition>* partitions) {
+  std::vector<Candidate> candidates = ComputeCandidates(u);
+  if (candidates.empty()) {
+    return Status::Internal("no valid operator for pending query state");
+  }
+  auto op = ChooseOperator(u, std::move(candidates), partitions);
+  if (!op.ok()) return op.status();
+  if (options_.visit_partitions_by_probability) {
+    std::stable_sort(partitions->begin(), partitions->end(),
+                     [](const OpPartition& a, const OpPartition& b) {
+                       return a.probability > b.probability;
+                     });
+  }
+  return op;
 }
 
 Result<OSharingEngine::Candidate> OSharingEngine::ChooseOperator(
@@ -706,23 +721,13 @@ Result<bool> OSharingEngine::RunEUnit(const EUnit& u, LeafVisitor* visitor) {
     auto rows = AssembleLeafRows(u);
     if (!rows.ok()) return rows.status();
     leaves_++;
-    return visitor->OnLeaf(rows.ValueOrDie(), u.probability);
+    return visitor->OnLeafOwned(std::move(rows).ValueOrDie(),
+                                u.probability);
   }
   // Case 3: pick, partition, execute, recurse.
-  std::vector<Candidate> candidates = ComputeCandidates(u);
-  if (candidates.empty()) {
-    return Status::Internal("no valid operator for pending query state");
-  }
   std::vector<OpPartition> partitions;
-  auto op = ChooseOperator(u, std::move(candidates), &partitions);
+  auto op = PickOperator(u, &partitions);
   if (!op.ok()) return op.status();
-
-  if (options_.visit_partitions_by_probability) {
-    std::stable_sort(partitions.begin(), partitions.end(),
-                     [](const OpPartition& a, const OpPartition& b) {
-                       return a.probability > b.probability;
-                     });
-  }
   for (const auto& p : partitions) {
     if (p.unanswerable) {
       leaves_++;

@@ -29,6 +29,8 @@ enum class StrategyKind {
 
 const char* StrategyName(StrategyKind kind);
 
+class LeafVisitor;
+
 struct OSharingOptions {
   StrategyKind strategy = StrategyKind::kSEF;
   uint64_t random_seed = 17;  ///< used by the Random strategy
@@ -52,6 +54,12 @@ struct OSharingOptions {
   /// may take a different (equally valid) trace.
   int parallelism = 1;
   ThreadPool* pool = nullptr;
+  /// Secondary observer of the leaf stream: the Run* drivers
+  /// (osharing / top-k / threshold) tee every leaf to it alongside
+  /// their own accumulating visitor — this is how the serving tier's
+  /// core::AnswerSink taps answers as they are produced. A false
+  /// return unsubscribes the tee without aborting the primary scan.
+  LeafVisitor* tee = nullptr;
 
   bool parallel() const { return parallelism > 1 && pool != nullptr; }
 };
@@ -66,6 +74,44 @@ class LeafVisitor {
   /// Returning false aborts the traversal (top-k early termination).
   virtual bool OnLeaf(const std::vector<relational::Row>& rows,
                       double probability) = 0;
+  /// Ownership-transferring variant, called when the producer is done
+  /// with the rows (freshly assembled leaves, buffered-replay hand-off).
+  /// Buffering visitors override it to move instead of copy; the
+  /// default forwards to OnLeaf.
+  virtual bool OnLeafOwned(std::vector<relational::Row>&& rows,
+                           double probability) {
+    return OnLeaf(rows, probability);
+  }
+};
+
+/// \brief Forwards each leaf to a primary visitor and a tee. The
+/// primary's verdict drives the traversal; a tee that returns false is
+/// only unsubscribed. Used by the Run* drivers to stream answers to a
+/// core::AnswerSink while their own sink aggregates.
+class TeeVisitor : public LeafVisitor {
+ public:
+  TeeVisitor(LeafVisitor* primary, LeafVisitor* tee)
+      : primary_(primary), tee_(tee) {}
+
+  bool OnLeaf(const std::vector<relational::Row>& rows,
+              double probability) override {
+    if (tee_ != nullptr && !tee_->OnLeaf(rows, probability)) {
+      tee_ = nullptr;
+    }
+    return primary_->OnLeaf(rows, probability);
+  }
+
+  bool OnLeafOwned(std::vector<relational::Row>&& rows,
+                   double probability) override {
+    if (tee_ != nullptr && !tee_->OnLeaf(rows, probability)) {
+      tee_ = nullptr;
+    }
+    return primary_->OnLeafOwned(std::move(rows), probability);
+  }
+
+ private:
+  LeafVisitor* primary_;
+  LeafVisitor* tee_;
 };
 
 /// \brief Executes the u-trace for one query over one source instance.
@@ -122,6 +168,13 @@ class OSharingEngine {
   Result<Candidate> ChooseOperator(const EUnit& u,
                                    std::vector<Candidate> candidates,
                                    std::vector<OpPartition>* partitions);
+
+  /// The Case-3 "pick" step shared by RunEUnit and RunParallel:
+  /// candidate enumeration, strategy choice, and the optional
+  /// probability-mass partition ordering — one code path so the
+  /// bit-identical sequential/parallel guarantee cannot drift.
+  Result<Candidate> PickOperator(const EUnit& u,
+                                 std::vector<OpPartition>* partitions);
 
   /// Executes `op` for one partition, deriving the child e-unit.
   Result<EUnit> Execute(const EUnit& u, const Candidate& op,

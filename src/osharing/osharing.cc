@@ -12,9 +12,9 @@ using baselines::WeightedMapping;
 namespace {
 
 /// Accumulates every leaf's rows into an AnswerSet.
-class AnswerSink : public LeafVisitor {
+class AccumulatingVisitor : public LeafVisitor {
  public:
-  explicit AnswerSink(reformulation::AnswerSet* answers)
+  explicit AccumulatingVisitor(reformulation::AnswerSet* answers)
       : answers_(answers) {}
 
   bool OnLeaf(const std::vector<relational::Row>& rows,
@@ -52,10 +52,12 @@ Result<MethodResult> RunOSharing(
   result.rewrite_seconds = timer.Lap();
   result.partitions = tree.ValueOrDie().partitions().size();
 
-  // Steps 3-5: run the u-trace and aggregate.
+  // Steps 3-5: run the u-trace and aggregate. A caller-provided tee
+  // observes the same leaf stream the accumulator consumes.
   OSharingEngine engine(info, catalog, options);
   URM_RETURN_NOT_OK(engine.Init());
-  AnswerSink sink(&result.answers);
+  AccumulatingVisitor accumulator(&result.answers);
+  TeeVisitor sink(&accumulator, options.tee);
   if (options.parallel()) {
     URM_RETURN_NOT_OK(engine.RunParallel(reps, &sink, options.pool));
   } else {

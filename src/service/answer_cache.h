@@ -8,12 +8,13 @@
 #include <utility>
 
 #include "algebra/fingerprint.h"
-#include "baselines/method_result.h"
+#include "core/request.h"
 
 /// \file answer_cache.h
-/// Bounded LRU cache from plan fingerprints to evaluation results —
-/// the paper's MQO spirit (share work across identical queries) lifted
-/// to the serving tier: a repeated query over an unchanged mapping set
+/// Bounded LRU cache from request fingerprints to responses — the
+/// paper's MQO spirit (share work across identical queries) lifted to
+/// the serving tier: a repeated request of any kind (method
+/// evaluation, top-k, set-op, threshold) over an unchanged mapping set
 /// is answered without touching the engine at all.
 
 namespace urm {
@@ -29,12 +30,13 @@ struct CacheStats {
 
 /// \brief Thread-safe bounded LRU keyed by PlanFingerprint.
 ///
-/// Values are shared_ptr<const MethodResult>, so hits are zero-copy and
-/// entries evicted while a caller still holds the result stay valid.
-/// Capacity 0 disables the cache (Get always misses, Put drops).
+/// Values are shared_ptr<const core::Response>, so hits are zero-copy
+/// and entries evicted while a caller still holds the response stay
+/// valid. Capacity 0 disables the cache (Get always misses, Put
+/// drops).
 class AnswerCache {
  public:
-  using Value = std::shared_ptr<const baselines::MethodResult>;
+  using Value = std::shared_ptr<const core::Response>;
 
   explicit AnswerCache(size_t capacity) : capacity_(capacity) {}
 

@@ -1,23 +1,30 @@
 #include "service/query_service.h"
 
+#include <chrono>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
-
-#include "common/hash_util.h"
 
 namespace urm {
 namespace service {
 
 namespace {
 
-/// Folds the evaluation method and the engine's active mapping-set
-/// hash into the fingerprint context, so a cache entry can never
-/// survive a method switch or a mapping-set reconfiguration.
-uint64_t ContextHash(uint64_t mapping_set_hash, core::Method method) {
-  size_t seed = static_cast<size_t>(mapping_set_hash);
-  HashCombine(seed, static_cast<size_t>(method) + 1);
-  return static_cast<uint64_t>(seed);
+/// Fills the convenience MethodResult view for the evaluate-shaped
+/// kinds: an aliasing pointer into the shared Response, no copy.
+void AttachLegacyResult(QueryResponse* response) {
+  if (response->response == nullptr) return;
+  if (response->response->kind == core::RequestKind::kEvaluate ||
+      response->response->kind == core::RequestKind::kSetOp) {
+    response->result = std::shared_ptr<const baselines::MethodResult>(
+        response->response, &response->response->evaluate);
+  }
+}
+
+/// Immediately-resolved future (cache hits, validation errors).
+std::future<QueryResponse> ReadyFuture(const QueryResponse& response) {
+  std::promise<QueryResponse> promise;
+  promise.set_value(response);
+  return promise.get_future();
 }
 
 }  // namespace
@@ -26,109 +33,225 @@ QueryService::QueryService(const core::Engine* engine,
                            ServiceOptions options)
     : engine_(engine),
       options_(options),
-      pool_(options.num_threads),
-      cache_(options.cache_capacity) {
+      cache_(options.cache_capacity),
+      pool_(options.num_threads) {
   URM_CHECK(engine != nullptr);
 }
 
 algebra::PlanFingerprint QueryService::Fingerprint(
+    const core::Request& request) const {
+  // The engine memoizes the mapping-set hash per reconfiguration
+  // epoch, so fingerprinting is O(plan size), not O(h mappings).
+  return core::FingerprintRequest(request, engine_->mapping_set_hash());
+}
+
+algebra::PlanFingerprint QueryService::Fingerprint(
     const QueryRequest& request) const {
-  return algebra::MakeFingerprint(
-      request.query,
-      ContextHash(mapping::MappingSetHash(engine_->mappings()),
-                  request.method));
+  return Fingerprint(core::Request::MethodEval(request.query, request.method));
+}
+
+std::future<QueryResponse> QueryService::SubmitAsync(
+    const core::Request& request, core::AnswerSink* sink,
+    CompletionCallback callback) {
+  Status valid = core::ValidateRequest(request);
+  if (!valid.ok()) {
+    QueryResponse response;
+    response.status = valid;
+    // Same contract as an engine-side failure: the sink's completion
+    // hook fires exactly once even when nothing was evaluated.
+    if (sink != nullptr) sink->OnComplete(valid);
+    if (callback) callback(response);
+    return ReadyFuture(response);
+  }
+  return Dispatch(request, Fingerprint(request), sink, std::move(callback));
+}
+
+std::future<QueryResponse> QueryService::Dispatch(
+    const core::Request& request, const algebra::PlanFingerprint& fp,
+    core::AnswerSink* sink, CompletionCallback callback) {
+  if (sink == nullptr) {
+    // Cache probe and in-flight lookup under one lock: a finishing
+    // evaluation Puts before erasing its in-flight entry, so a
+    // submitter always sees the response via one of the two — never a
+    // duplicate evaluation. Both probes are O(1); evaluations never
+    // run under mu_.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (auto cached = cache_.Get(fp)) {
+      lock.unlock();
+      QueryResponse response;
+      response.fingerprint = fp;
+      response.response = std::move(cached);
+      response.cache_hit = true;
+      AttachLegacyResult(&response);
+      if (callback) callback(response);
+      return ReadyFuture(response);
+    }
+    auto it = in_flight_.find(fp);
+    if (it != in_flight_.end()) {
+      Work::Subscriber subscriber;
+      subscriber.callback = std::move(callback);
+      subscriber.shared = true;
+      auto future = subscriber.promise.get_future();
+      it->second->subscribers.push_back(std::move(subscriber));
+      return future;
+    }
+    auto work = std::make_shared<Work>();
+    work->request = request;
+    work->fingerprint = fp;
+    work->in_flight = true;
+    Work::Subscriber subscriber;
+    subscriber.callback = std::move(callback);
+    auto future = subscriber.promise.get_future();
+    work->subscribers.push_back(std::move(subscriber));
+    in_flight_.emplace(fp, work);
+    lock.unlock();
+    pool_.Submit([this, work] { RunWork(work); });
+    return future;
+  }
+
+  // Streaming requests are private evaluations: no cache lookup, no
+  // in-flight sharing — the sink must observe every leaf of its own
+  // fresh u-trace. The finished response is still published to the
+  // cache for later non-streaming submissions.
+  auto work = std::make_shared<Work>();
+  work->request = request;
+  work->fingerprint = fp;
+  work->sink = sink;
+  Work::Subscriber subscriber;
+  subscriber.callback = std::move(callback);
+  auto future = subscriber.promise.get_future();
+  work->subscribers.push_back(std::move(subscriber));
+  pool_.Submit([this, work] { RunWork(work); });
+  return future;
+}
+
+void QueryService::RunWork(const std::shared_ptr<Work>& work) {
+  core::Engine::EvalOptions eval;
+  // Streaming evaluations stay sequential: the parallel o-sharing path
+  // buffers leaves per partition and replays them only after the
+  // barrier, which would push the first streamed answer to completion
+  // time — the opposite of what a sink is for.
+  eval.parallelism =
+      work->sink != nullptr ? 1 : options_.intra_query_parallelism;
+  eval.pool = &pool_;
+  eval.sink = work->sink;
+  QueryResponse base;
+  base.fingerprint = work->fingerprint;
+  // An exception escaping the evaluation must not abandon the
+  // subscribers' promises (future.get() would throw broken_promise and
+  // callbacks / OnComplete would never fire); fold it into the
+  // per-request status like any other evaluation failure.
+  try {
+    auto result = engine_->Run(work->request, eval);
+    if (result.ok()) {
+      base.response = std::make_shared<const core::Response>(
+          std::move(result).ValueOrDie());
+      AttachLegacyResult(&base);
+    } else {
+      base.status = result.status();
+    }
+  } catch (const std::exception& e) {
+    base.status = Status::Internal(std::string("evaluation threw: ") +
+                                   e.what());
+    if (work->sink != nullptr) work->sink->OnComplete(base.status);
+  } catch (...) {
+    base.status = Status::Internal("evaluation threw");
+    if (work->sink != nullptr) work->sink->OnComplete(base.status);
+  }
+
+  // Publish to the cache before the in-flight entry disappears, so a
+  // concurrent Dispatch always sees the response one way or the other;
+  // the cache has its own lock, keeping mu_'s critical section O(1).
+  if (base.status.ok()) cache_.Put(work->fingerprint, base.response);
+  std::vector<Work::Subscriber> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (work->in_flight) in_flight_.erase(work->fingerprint);
+    subscribers = std::move(work->subscribers);
+  }
+  for (auto& subscriber : subscribers) {
+    QueryResponse response = base;
+    response.shared_in_batch = subscriber.shared;
+    // Callback strictly before the future is fulfilled: anything the
+    // callback writes is visible to whoever unblocks from get().
+    if (subscriber.callback) subscriber.callback(response);
+    subscriber.promise.set_value(response);
+  }
+}
+
+QueryResponse QueryService::Wait(std::future<QueryResponse> future) {
+  // Helping drain keeps num_threads = 0 single-threaded semantics and
+  // speeds batch waits: the submitting thread runs queued evaluations
+  // instead of blocking.
+  while (future.wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    if (!pool_.TryRunOne()) {
+      // Queue drained: the evaluation is running on another thread.
+      future.wait();
+    }
+  }
+  return future.get();
+}
+
+QueryResponse QueryService::Submit(const core::Request& request,
+                                   core::AnswerSink* sink) {
+  return Wait(SubmitAsync(request, sink));
 }
 
 std::vector<QueryResponse> QueryService::Submit(
-    const std::vector<QueryRequest>& batch) {
+    const std::vector<core::Request>& batch) {
   std::vector<QueryResponse> responses(batch.size());
   if (batch.empty()) return responses;
 
-  // Fingerprint every request and group identical plans: the first
-  // occurrence of a fingerprint owns the work item, later occurrences
-  // share its result.
-  struct WorkItem {
-    size_t first_request = 0;
-    std::shared_ptr<const baselines::MethodResult> result;
-    Status status;
-    bool cache_hit = false;
-  };
-  std::vector<WorkItem> work;
+  // Fingerprint every request and dedup inside the batch: the first
+  // occurrence of a fingerprint owns the dispatch, later occurrences
+  // copy its response. Cross-batch sharing (cache, in-flight) is
+  // handled by Dispatch.
   std::unordered_map<algebra::PlanFingerprint, size_t,
                      algebra::PlanFingerprintHash>
-      by_fingerprint;
-  std::vector<size_t> work_of_request(batch.size(), SIZE_MAX);
-  // The mapping set cannot change mid-Submit; hash it once per batch.
-  const uint64_t set_hash = mapping::MappingSetHash(engine_->mappings());
+      first_of;
+  std::vector<size_t> owner(batch.size(), SIZE_MAX);
+  std::vector<std::future<QueryResponse>> futures(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].query == nullptr) {
-      responses[i].status = Status::InvalidArgument("null query plan");
+    Status valid = core::ValidateRequest(batch[i]);
+    if (!valid.ok()) {
+      responses[i].status = valid;
       continue;
     }
-    responses[i].fingerprint = algebra::MakeFingerprint(
-        batch[i].query, ContextHash(set_hash, batch[i].method));
-    auto [it, inserted] =
-        by_fingerprint.emplace(responses[i].fingerprint, work.size());
+    responses[i].fingerprint = Fingerprint(batch[i]);
+    auto [it, inserted] = first_of.emplace(responses[i].fingerprint, i);
+    owner[i] = it->second;
     if (inserted) {
-      WorkItem item;
-      item.first_request = i;
-      work.push_back(std::move(item));
-    } else {
-      responses[i].shared_in_batch = true;
-    }
-    work_of_request[i] = it->second;
-  }
-
-  // Serve what the cache already has, then evaluate the distinct
-  // misses concurrently. Tasks may fan out further (intra-query
-  // parallelism) onto the same pool; ParallelFor's help-loop makes the
-  // nesting deadlock-free.
-  std::vector<size_t> misses;
-  for (size_t w = 0; w < work.size(); ++w) {
-    auto cached = cache_.Get(responses[work[w].first_request].fingerprint);
-    if (cached != nullptr) {
-      work[w].result = std::move(cached);
-      work[w].cache_hit = true;
-    } else {
-      misses.push_back(w);
+      futures[i] = Dispatch(batch[i], responses[i].fingerprint, nullptr,
+                            nullptr);
     }
   }
-  core::Engine::EvalOptions eval;
-  eval.parallelism = options_.intra_query_parallelism;
-  eval.pool = &pool_;
-  pool_.ParallelFor(misses.size(), [&](size_t n) {
-    WorkItem& item = work[misses[n]];
-    const QueryRequest& request = batch[item.first_request];
-    auto result = engine_->Evaluate(request.query, request.method, eval);
-    if (!result.ok()) {
-      item.status = result.status();
-      return;
-    }
-    item.result = std::make_shared<const baselines::MethodResult>(
-        std::move(result).ValueOrDie());
-  });
-  for (size_t w : misses) {
-    if (work[w].status.ok()) {
-      cache_.Put(responses[work[w].first_request].fingerprint,
-                 work[w].result);
-    }
-  }
-
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (work_of_request[i] == SIZE_MAX) continue;  // null query
-    const WorkItem& item = work[work_of_request[i]];
-    responses[i].status = item.status;
-    responses[i].result = item.result;
-    responses[i].cache_hit = item.cache_hit;
-    // A duplicate of a cached plan was served by the cache, not by an
-    // in-batch evaluation.
-    if (item.cache_hit) responses[i].shared_in_batch = false;
+    if (owner[i] == i) responses[i] = Wait(std::move(futures[i]));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (owner[i] == SIZE_MAX || owner[i] == i) continue;
+    responses[i] = responses[owner[i]];
+    // A duplicate of a cached request was served by the cache, not by
+    // an in-batch evaluation.
+    responses[i].shared_in_batch = !responses[i].cache_hit;
   }
   return responses;
 }
 
+std::vector<QueryResponse> QueryService::Submit(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<core::Request> requests;
+  requests.reserve(batch.size());
+  for (const QueryRequest& request : batch) {
+    requests.push_back(
+        core::Request::MethodEval(request.query, request.method));
+  }
+  return Submit(requests);
+}
+
 QueryResponse QueryService::SubmitOne(const QueryRequest& request) {
-  return Submit({request}).front();
+  return Submit(std::vector<QueryRequest>{request}).front();
 }
 
 }  // namespace service

@@ -1,6 +1,10 @@
 #pragma once
 
+#include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/fingerprint.h"
@@ -10,35 +14,54 @@
 #include "service/answer_cache.h"
 
 /// \file query_service.h
-/// The concurrent query-serving tier on top of core::Engine. The paper
-/// shares work across the h possible mappings of *one* query (q-sharing
-/// §IV, o-sharing §V); this layer shares across *concurrent queries and
-/// cores*:
-///   * a batch is deduplicated by structural plan fingerprint, so an
-///     identical (query, method) pair submitted twice evaluates once;
-///   * distinct plans evaluate concurrently on a fixed thread pool;
-///   * finished answers land in a bounded LRU cache keyed by
-///     (plan fingerprint, method, mapping-set hash), so repeated
-///     queries over an unchanged mapping set are served without
-///     touching the engine;
-///   * inside one evaluation, the mapping-partition loops can fan out
-///     to the same pool (EvalOptions::parallelism), with deterministic
-///     partition-order merges.
+/// The concurrent query-serving tier on top of core::Engine, built
+/// around the unified request API (core/request.h). Every query kind —
+/// method evaluation, top-k, set-op, threshold — enters as a
+/// core::Request and flows through one pipeline:
+///   * the full request (plans + kind parameters + the engine's
+///     memoized mapping-set hash) is fingerprinted;
+///   * identical requests are deduplicated — within a batch, against
+///     evaluations already in flight, and against the bounded LRU
+///     answer cache — so any repeated request evaluates once;
+///   * distinct requests evaluate concurrently on a fixed thread pool,
+///     and each evaluation can fan its mapping partitions out to the
+///     same pool (intra_query_parallelism);
+///   * completion is delivered as the caller prefers: a
+///     std::future<QueryResponse> (SubmitAsync), a completion
+///     callback, or a blocking wait (Submit);
+///   * a core::AnswerSink streams u-trace leaf answers to the caller
+///     while the evaluation is still running (o-sharing / top-k /
+///     threshold paths).
 ///
 /// Quickstart:
 /// \code
 ///   urm::service::QueryService svc(engine.get(), {});
 ///   auto q = urm::core::QueryById("Q1");
-///   auto responses = svc.Submit({{q.query, urm::core::Method::kOSharing}});
-///   responses[0].result->answers.ToString();
+///   // Sync:
+///   auto r = svc.Submit(
+///       urm::core::Request::MethodEval(q.query,
+///                                      urm::core::Method::kOSharing));
+///   r.response->evaluate.answers.ToString();
+///   // Async with a future:
+///   auto f = svc.SubmitAsync(urm::core::Request::TopK(q.query, 5));
+///   f.get().response->top_k.tuples;
 /// \endcode
+///
+/// Migration note: the {plan, method} QueryRequest batch API predates
+/// the unified envelope. Submit(std::vector<QueryRequest>) and
+/// SubmitOne remain as thin wrappers that convert to
+/// core::Request::MethodEval — identical semantics — but new code
+/// should submit core::Requests: only they cover top-k / set-op /
+/// threshold, futures, callbacks, and streaming sinks.
 
 namespace urm {
 namespace service {
 
 struct ServiceOptions {
   /// Worker threads in the shared pool (>= 0; 0 runs every request on
-  /// the submitting thread, preserving single-threaded semantics).
+  /// the submitting/waiting thread, preserving single-threaded
+  /// semantics — note that with 0 workers SubmitAsync futures only
+  /// make progress while a Submit-style wait is draining the queue).
   int num_threads = 4;
   /// Answer-cache capacity in entries; 0 disables caching.
   size_t cache_capacity = 256;
@@ -48,30 +71,44 @@ struct ServiceOptions {
   int intra_query_parallelism = 1;
 };
 
-/// One query of a batch.
+/// One query of a legacy batch (method evaluations only).
+/// \deprecated Build core::Request envelopes instead.
 struct QueryRequest {
   algebra::PlanPtr query;
   core::Method method = core::Method::kOSharing;
 };
 
-/// Outcome for one request, in batch order.
+/// Outcome for one request.
 struct QueryResponse {
-  Status status;  ///< per-request; result is null unless ok
+  Status status;  ///< per-request; response is null unless ok
   algebra::PlanFingerprint fingerprint;
+  /// The kind-tagged result envelope (see core::Response).
+  std::shared_ptr<const core::Response> response;
+  /// Convenience view of response->evaluate for the kEvaluate/kSetOp
+  /// kinds (null otherwise); aliases `response`, no copy.
   std::shared_ptr<const baselines::MethodResult> result;
-  /// Served from the answer cache (previous Submit).
+  /// Served from the answer cache (a previous submission).
   bool cache_hit = false;
-  /// Shared the evaluation of an identical plan earlier in this batch.
+  /// Shared an identical evaluation — earlier in the same batch, or
+  /// already in flight from a concurrent submission.
   bool shared_in_batch = false;
 };
 
-/// \brief Concurrent batch-query service owning a pool and a cache.
+/// Completion hook for SubmitAsync: runs on the evaluating thread
+/// right before the future is fulfilled (or inline on the submitting
+/// thread for immediate cache hits / validation errors), so its
+/// effects are visible to whoever unblocks from future.get().
+using CompletionCallback = std::function<void(const QueryResponse&)>;
+
+/// \brief Concurrent query service owning a pool, a cache, and the
+/// in-flight dedup table.
 ///
-/// Thread-safety: Submit may be called from multiple threads; the
-/// engine must not be reconfigured (UseTopMappings) while submissions
-/// are in flight. Reconfigurations between submissions are safe — the
-/// mapping-set hash in the fingerprint keys the cache, so stale
-/// entries can never be returned (they age out via LRU).
+/// Thread-safety: Submit / SubmitAsync may be called from multiple
+/// threads; the engine must not be reconfigured (UseTopMappings) while
+/// submissions are in flight. Reconfigurations between submissions are
+/// safe — the mapping-set hash in the fingerprint keys the cache, so
+/// stale entries can never be returned (they age out via LRU).
+/// Destroying the service completes all outstanding futures first.
 class QueryService {
  public:
   /// `engine` must outlive the service.
@@ -80,17 +117,49 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Evaluates a batch: fingerprint, dedup, cache-check, then evaluate
-  /// the distinct misses concurrently. Responses are in request order;
-  /// per-request failures (e.g. a query over an unknown table) are
-  /// reported in QueryResponse::status without failing the batch.
+  /// Submits one request for asynchronous evaluation and returns a
+  /// future for its response. Cache hits and validation errors resolve
+  /// immediately; otherwise the evaluation is scheduled on the pool,
+  /// deduplicated against identical in-flight requests (joiners mark
+  /// shared_in_batch). `sink` streams leaf answers as they are
+  /// produced (see core::AnswerSink); a streaming request always
+  /// evaluates — it bypasses cache lookup and in-flight sharing, since
+  /// a shared or cached evaluation has no leaf stream to replay — but
+  /// its finished response still lands in the cache. Streaming
+  /// evaluations also ignore intra_query_parallelism (the parallel
+  /// path replays buffered leaves only at the end, which would defeat
+  /// time-to-first-answer). `callback`, if set, fires once, just
+  /// before the future is fulfilled.
+  std::future<QueryResponse> SubmitAsync(
+      const core::Request& request, core::AnswerSink* sink = nullptr,
+      CompletionCallback callback = nullptr);
+
+  /// Synchronous single-request convenience: SubmitAsync + wait (the
+  /// waiting thread helps drain the pool, so this works with
+  /// num_threads = 0).
+  QueryResponse Submit(const core::Request& request,
+                       core::AnswerSink* sink = nullptr);
+
+  /// Evaluates a batch of any request kinds: fingerprint, dedup within
+  /// the batch, then SubmitAsync the distinct requests and wait for
+  /// all. Responses are in request order; per-request failures (e.g. a
+  /// query over an unknown table) are reported in
+  /// QueryResponse::status without failing the batch.
+  std::vector<QueryResponse> Submit(const std::vector<core::Request>& batch);
+
+  /// Legacy batch entry point (method evaluations only).
+  /// \deprecated Converts to core::Request::MethodEval and forwards.
   std::vector<QueryResponse> Submit(const std::vector<QueryRequest>& batch);
 
-  /// Single-request convenience wrapper.
+  /// Legacy single-request convenience wrapper.
+  /// \deprecated Use Submit(const core::Request&).
   QueryResponse SubmitOne(const QueryRequest& request);
 
-  /// Fingerprint a request exactly as Submit would (method + current
-  /// mapping set folded into the context hash).
+  /// Fingerprint a request exactly as Submit would: the full request
+  /// envelope plus the engine's memoized mapping-set hash as context.
+  algebra::PlanFingerprint Fingerprint(const core::Request& request) const;
+
+  /// \deprecated Legacy overload; converts to core::Request::MethodEval.
   algebra::PlanFingerprint Fingerprint(const QueryRequest& request) const;
 
   CacheStats cache_stats() const { return cache_.stats(); }
@@ -101,10 +170,48 @@ class QueryService {
   ThreadPool& pool() { return pool_; }
 
  private:
+  /// One scheduled evaluation plus everyone waiting on it.
+  struct Work {
+    core::Request request;
+    algebra::PlanFingerprint fingerprint;
+    core::AnswerSink* sink = nullptr;
+    /// Registered in in_flight_ (shareable; false for sink-bearing
+    /// private evaluations).
+    bool in_flight = false;
+    struct Subscriber {
+      std::promise<QueryResponse> promise;
+      CompletionCallback callback;
+      bool shared = false;  ///< joined an evaluation someone else owns
+    };
+    std::vector<Subscriber> subscribers;  ///< guarded by service mu_
+  };
+
+  /// Cache lookup, in-flight join, or new scheduling for a validated
+  /// request; the returned future is fulfilled by RunWork (or
+  /// immediately on a cache hit).
+  std::future<QueryResponse> Dispatch(const core::Request& request,
+                                      const algebra::PlanFingerprint& fp,
+                                      core::AnswerSink* sink,
+                                      CompletionCallback callback);
+
+  /// Evaluates one Work item on a pool thread and publishes the
+  /// response to cache and subscribers.
+  void RunWork(const std::shared_ptr<Work>& work);
+
+  /// Blocks until `future` is ready, draining queued pool tasks on
+  /// this thread while waiting.
+  QueryResponse Wait(std::future<QueryResponse> future);
+
   const core::Engine* engine_;
   ServiceOptions options_;
-  ThreadPool pool_;
   AnswerCache cache_;
+  mutable std::mutex mu_;  ///< guards in_flight_ + Work::subscribers
+  std::unordered_map<algebra::PlanFingerprint, std::shared_ptr<Work>,
+                     algebra::PlanFingerprintHash>
+      in_flight_;
+  /// Last member: destroyed (drained + joined) first, while the cache
+  /// and in-flight table its tasks touch are still alive.
+  ThreadPool pool_;
 };
 
 }  // namespace service

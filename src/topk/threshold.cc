@@ -129,7 +129,8 @@ Result<ThresholdResult> RunThreshold(
 
   ThresholdSink sink(threshold, total);
   sink.DiscountUpfront(unanswerable);
-  URM_RETURN_NOT_OK(engine.Run(reps, &sink));
+  osharing::TeeVisitor teed(&sink, engine_options.tee);
+  URM_RETURN_NOT_OK(engine.Run(reps, &teed));
 
   result.tuples = sink.Extract();
   result.early_terminated = sink.stopped_early();

@@ -150,7 +150,10 @@ Result<TopKResult> RunTopK(const reformulation::TargetQueryInfo& info,
 
   TopKSink sink(k, total);
   sink.DiscountUpfront(unanswerable);
-  URM_RETURN_NOT_OK(engine.Run(reps, &sink));
+  // The top-k scan consumes leaves incrementally by design; a tee
+  // exposes that stream to callers (service AnswerSink) as-is.
+  osharing::TeeVisitor teed(&sink, engine_options.tee);
+  URM_RETURN_NOT_OK(engine.Run(reps, &teed));
 
   result.tuples = sink.Extract();
   result.early_terminated = sink.stopped_early();
