@@ -7,7 +7,7 @@
 /// by leaf through a core::AnswerSink.
 ///
 ///   urm_server [--mb 1.0] [--h 100] [--threads 4] [--cache 256]
-///              [--parallelism 1]
+///              [--parallelism 1] [--store-mb 256] [--ttl 0]
 ///
 /// Commands (one per line):
 ///   run Q4 [method]            evaluate one query (default osharing)
@@ -58,6 +58,8 @@ struct ServerArgs {
   int threads = 4;
   size_t cache = 256;
   int parallelism = 1;
+  double store_mb = 256.0;  ///< operator-store byte budget (0 disables)
+  double ttl = 0.0;         ///< answer-cache TTL seconds (0 = none)
 };
 
 bool ParseMethod(const std::string& name, core::Method* method) {
@@ -102,7 +104,11 @@ class ServiceDirectory {
     service::ServiceOptions service_options;
     service_options.num_threads = args_.threads;
     service_options.cache_capacity = args_.cache;
+    service_options.cache_ttl_seconds = args_.ttl;
     service_options.intra_query_parallelism = args_.parallelism;
+    service_options.share_operators = args_.store_mb > 0.0;
+    service_options.operator_store_bytes =
+        static_cast<size_t>(args_.store_mb * 1024 * 1024);
     entry.service = std::make_unique<service::QueryService>(
         entry.engine.get(), service_options);
     auto* result = entry.service.get();
@@ -117,10 +123,19 @@ class ServiceDirectory {
     }
     for (const auto& [schema, entry] : services_) {
       service::CacheStats stats = entry.service->cache_stats();
-      std::printf("%-8s cache: %zu entries, %zu hits, %zu misses, "
-                  "%zu evictions\n",
+      std::printf("%-8s answers:   %zu entries (%.1f KB), %zu hits, "
+                  "%zu misses, %zu evictions, %zu expired\n",
                   datagen::TargetSchemaName(schema), stats.entries,
-                  stats.hits, stats.misses, stats.evictions);
+                  stats.bytes / 1024.0, stats.hits, stats.misses,
+                  stats.evictions, stats.expirations);
+      osharing::OperatorStoreStats store =
+          entry.service->operator_store_stats();
+      std::printf("%-8s operators: %zu entries (%.1f KB), %zu hits "
+                  "(%zu single-flight), %zu misses, %zu evictions, "
+                  "%.1f KB reused\n",
+                  "", store.entries, store.bytes / 1024.0, store.hits,
+                  store.single_flight_waits, store.misses,
+                  store.evictions, store.bytes_reused / 1024.0);
     }
   }
 
@@ -153,10 +168,21 @@ void PrintResponse(const std::string& label,
     case core::RequestKind::kEvaluate:
     case core::RequestKind::kSetOp:
       std::printf("%-18s %-9s %zu answers (P(θ)=%.3f) %zu partitions "
-                  "%.1f ms\n",
+                  "%.1f ms",
                   label.c_str(), source, r.evaluate.answers.size(),
                   r.evaluate.answers.null_probability(),
                   r.evaluate.partitions, r.evaluate.TotalSeconds() * 1e3);
+      if (r.evaluate.stats.cache_hits + r.evaluate.stats.cache_misses > 0) {
+        // Operator-cache observability: how much materialization this
+        // evaluation reused (op-cache + shared store) vs computed.
+        std::printf("  [ops: %zu hit / %zu miss, %zu shared, "
+                    "%.1f KB reused]",
+                    r.evaluate.stats.cache_hits,
+                    r.evaluate.stats.cache_misses,
+                    r.evaluate.stats.store_hits,
+                    r.evaluate.stats.cache_bytes_saved / 1024.0);
+      }
+      std::printf("\n");
       break;
     case core::RequestKind::kTopK:
       std::printf("%-18s %-9s top-%zu (%s after %zu leaves) %.1f ms\n",
@@ -403,6 +429,10 @@ int main(int argc, char** argv) {
       args.cache = static_cast<size_t>(std::atoll(next("--cache")));
     else if (std::strcmp(argv[i], "--parallelism") == 0)
       args.parallelism = std::atoi(next("--parallelism"));
+    else if (std::strcmp(argv[i], "--store-mb") == 0)
+      args.store_mb = std::atof(next("--store-mb"));
+    else if (std::strcmp(argv[i], "--ttl") == 0)
+      args.ttl = std::atof(next("--ttl"));
     else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;

@@ -284,6 +284,9 @@ Result<RelationPtr> Evaluate(const PlanPtr& plan, const EvalContext& ctx) {
       if (ctx.stats != nullptr) ctx.stats->cache_hits++;
       return it->second;
     }
+    // Symmetric with the hit side so hit rates derived from the
+    // counters are meaningful for the e-MQO memo too.
+    if (ctx.stats != nullptr) ctx.stats->cache_misses++;
   }
 
   Result<RelationPtr> result = Status::Internal("unreachable");

@@ -22,13 +22,29 @@ struct EvalStats {
   size_t operators_executed = 0;  ///< Select/Project/Product/Aggregate runs
   size_t scans = 0;               ///< base-table scans
   size_t tuples_produced = 0;     ///< rows emitted by all operators
-  size_t cache_hits = 0;          ///< memoized subplans reused (e-MQO)
+  /// Memoized operator evaluations reused instead of recomputed: e-MQO
+  /// subplan memo hits plus o-sharing operator-cache hits (private
+  /// per-engine memo and the cross-query OperatorStore combined).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;  ///< operator-cache lookups that computed fresh
+  /// Result-relation bytes served from an o-sharing operator cache —
+  /// the materialization work sharing saved (ApproxBytes of reused
+  /// results). e-MQO memo hits count in cache_hits only: weighing them
+  /// would rescan the relation on every hit.
+  size_t cache_bytes_saved = 0;
+  /// Subset of cache_hits served by the *shared* cross-query
+  /// OperatorStore (another query or a sibling parallel branch
+  /// materialized the operator), including single-flight waits.
+  size_t store_hits = 0;
 
   EvalStats& operator+=(const EvalStats& other) {
     operators_executed += other.operators_executed;
     scans += other.scans;
     tuples_produced += other.tuples_produced;
     cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_bytes_saved += other.cache_bytes_saved;
+    store_hits += other.store_hits;
     return *this;
   }
 };

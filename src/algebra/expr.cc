@@ -1,5 +1,6 @@
 #include "algebra/expr.h"
 
+#include "common/hash_util.h"
 #include "common/logging.h"
 
 namespace urm {
@@ -71,6 +72,16 @@ bool Predicate::operator==(const Predicate& other) const {
   return lhs == other.lhs && op == other.op && rhs_attr == other.rhs_attr &&
          rhs_value == other.rhs_value &&
          rhs_attr.has_value() == other.rhs_attr.has_value();
+}
+
+uint64_t Predicate::CacheHash() const {
+  // Mirrors operator==: each compared field feeds the hash, and values
+  // use Value::Hash (itself consistent with Value::operator==).
+  size_t seed = Fnv1a(lhs);
+  HashCombine(seed, static_cast<size_t>(op));
+  HashCombine(seed, rhs_attr.has_value() ? Fnv1a(*rhs_attr) : 0x5ca1ab1eULL);
+  HashCombine(seed, rhs_value.Hash());
+  return seed;
 }
 
 std::string Predicate::ToString() const {

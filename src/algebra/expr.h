@@ -79,6 +79,12 @@ struct Predicate {
 
   bool operator==(const Predicate& other) const;
 
+  /// Structural hash consistent with operator== (equal predicates hash
+  /// equal). The o-sharing operator memos key on (input identity, this
+  /// hash) and verify candidate hits with operator==, so the memo hot
+  /// path never renders or string-compares a predicate.
+  uint64_t CacheHash() const;
+
   /// e.g. "po1.orderNum = '00001'" or "po1.orderNum = po2.orderNum".
   std::string ToString() const;
 };

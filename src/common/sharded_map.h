@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+/// \file sharded_map.h
+/// A mutex-per-shard concurrent hash map. Keys are distributed over a
+/// power-of-two number of shards by their hash; each shard holds an
+/// independent std::unordered_map plus an optional caller-defined
+/// per-shard state (LRU lists, byte counters, ...) that is mutated
+/// under the same lock as the map itself.
+///
+/// The map deliberately exposes *locked scopes* rather than value-like
+/// Get/Put: callers pass a functor that runs with the shard lock held
+/// and receives the shard's map and state. This keeps compound
+/// operations (lookup + LRU promotion + byte accounting) atomic without
+/// a global lock, and keeps lock hold times explicit at the call site.
+/// Cross-shard operations (Clear, ForEachShard) lock one shard at a
+/// time and therefore see a point-in-time view per shard, not a global
+/// snapshot — fine for caches and counters, not for invariants that
+/// span shards.
+
+namespace urm {
+
+/// Default per-shard extra state: nothing.
+struct NoShardState {};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename ShardState = NoShardState>
+class ShardedMap {
+ public:
+  using Map = std::unordered_map<Key, Value, Hash>;
+
+  /// `num_shards` is rounded up to a power of two (minimum 1).
+  explicit ShardedMap(size_t num_shards)
+      : shards_(RoundUpPowerOfTwo(num_shards)) {}
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Runs `fn(map, state)` with the lock of `key`'s shard held and
+  /// returns its result. The functor must not call back into the same
+  /// ShardedMap (self-deadlock).
+  template <typename Fn>
+  decltype(auto) WithShard(const Key& key, Fn&& fn) {
+    Shard& shard = shards_[ShardIndex(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return fn(shard.map, shard.state);
+  }
+
+  /// Runs `fn(map, state)` once per shard, locking each in turn.
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      fn(shard.map, shard.state);
+    }
+  }
+
+  /// const overload for read-only sweeps (stats aggregation).
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      fn(shard.map, shard.state);
+    }
+  }
+
+  /// Empties every shard's map and resets its state.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+      shard.state = ShardState{};
+    }
+  }
+
+  /// Total entries across shards (point-in-time per shard).
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.map.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    Map map;
+    ShardState state;
+  };
+
+  static size_t RoundUpPowerOfTwo(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  size_t ShardIndex(const Key& key) const {
+    // Shard on the high bits: unordered_map buckets already consume the
+    // low bits, and hashes whose low bits collide (pointer alignment)
+    // would otherwise pile onto few shards.
+    size_t h = Hash{}(key);
+    h ^= h >> 17;
+    return ((h * 0x9e3779b97f4a7c15ULL) >> 32) & (shards_.size() - 1);
+  }
+
+  /// deque, not vector: Shard holds a mutex (immovable), and deque
+  /// constructs elements in place without ever relocating them.
+  std::deque<Shard> shards_;
+};
+
+}  // namespace urm

@@ -151,6 +151,8 @@ Result<Response> Engine::RunInternal(const Request& request,
           options.parallelism = eval.parallelism;
           options.pool = eval.pool;
           options.tee = tee;
+          options.store = eval.operator_store;
+          options.store_epoch = mapping_epoch_;
           result = osharing::RunOSharing(info.ValueOrDie(), mappings_,
                                          catalog_, options);
           break;
@@ -168,6 +170,8 @@ Result<Response> Engine::RunInternal(const Request& request,
       options.osharing.strategy = request.strategy.value_or(options_.strategy);
       options.osharing.random_seed = options_.seed;
       options.osharing.tee = tee;
+      options.osharing.store = eval.operator_store;
+      options.osharing.store_epoch = mapping_epoch_;
       auto result = topk::RunTopK(info.ValueOrDie(), mappings_, catalog_,
                                   request.k, options);
       if (!result.ok()) return result.status();
@@ -197,6 +201,8 @@ Result<Response> Engine::RunInternal(const Request& request,
       options.strategy = request.strategy.value_or(options_.strategy);
       options.random_seed = options_.seed;
       options.tee = tee;
+      options.store = eval.operator_store;
+      options.store_epoch = mapping_epoch_;
       auto result = topk::RunThreshold(info.ValueOrDie(), mappings_,
                                        catalog_, request.threshold, options);
       if (!result.ok()) return result.status();

@@ -125,6 +125,13 @@ class Engine {
     /// evaluation, top-k, threshold); see core::AnswerSink. May be
     /// null. OnComplete fires for every request kind.
     AnswerSink* sink = nullptr;
+    /// Shared cross-query memo of materialized o-sharing operators
+    /// (selections + scans); see osharing/operator_store.h. The
+    /// serving tier owns one per QueryService and fences it on
+    /// mapping-epoch changes, so concurrent and successive queries
+    /// over the same catalog reuse each other's materializations. May
+    /// be null (each evaluation then shares only within itself).
+    osharing::OperatorStore* operator_store = nullptr;
   };
 
   /// Dispatches any Request — the single entry point behind all query

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "algebra/plan.h"
@@ -111,12 +112,10 @@ Status OSharingEngine::Run(const std::vector<WeightedMapping>& reps,
   return Status::OK();
 }
 
-namespace {
-
 /// Buffers leaf outcomes for deferred in-order replay (never aborts).
 /// Owned leaves are moved in, and the replay loop moves them out
 /// again, so buffering adds no row copies over the sequential path.
-class BufferingVisitor : public LeafVisitor {
+class OSharingEngine::BufferingVisitor : public LeafVisitor {
  public:
   struct Leaf {
     std::vector<Row> rows;
@@ -139,8 +138,6 @@ class BufferingVisitor : public LeafVisitor {
   std::vector<Leaf> leaves_;
 };
 
-}  // namespace
-
 Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
                                    LeafVisitor* visitor, ThreadPool* pool) {
   URM_CHECK(visitor != nullptr);
@@ -150,22 +147,98 @@ Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
   if (reps.empty()) return Status::OK();
   EUnit root = MakeRoot(reps);
 
-  // Traces with no root fan-out (fully executed, or a single pending
-  // top) gain nothing from the pool; run them sequentially.
+  // Traces with no fan-out (fully executed, or a single pending top)
+  // gain nothing from the pool; run them sequentially.
   if (root.pending_selections.empty() && root.pending_products.empty() &&
       root.next_top >= shape_.tops.size()) {
     auto done = RunEUnit(root, visitor);
     if (!done.ok()) return done.status();
     return Status::OK();
   }
+
+  // Without a serving-tier store, scope one to this evaluation so
+  // sibling branches share materializations the sequential trace
+  // would have memoized (they previously redid them in private
+  // caches). Restored on every exit path: the scoped store dies with
+  // this call.
+  std::unique_ptr<OperatorStore> scoped_store;
+  struct StoreGuard {
+    OSharingOptions* options;
+    OperatorStore* previous;
+    ~StoreGuard() { options->store = previous; }
+  } guard{&options_, options_.store};
+  if (options_.store == nullptr && options_.enable_operator_cache) {
+    OperatorStoreOptions store_options;
+    store_options.num_shards = 8;
+    scoped_store = std::make_unique<OperatorStore>(store_options);
+    options_.store = scoped_store.get();
+  }
+
+  BufferingVisitor buffer;
+  const size_t leaves_before = leaves_;
+  URM_RETURN_NOT_OK(RunSubtreeParallel(root, 0, pool, &buffer));
+  // leaves_ keeps the sequential contract — leaves *delivered* to the
+  // visitor — so rewind the production counting done while buffering:
+  // an abort mid-replay must not over-report by the discarded tail.
+  leaves_ = leaves_before;
+  for (auto& leaf : buffer.leaves()) {
+    leaves_++;
+    if (!visitor->OnLeafOwned(std::move(leaf.rows), leaf.probability)) {
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status OSharingEngine::RunSubtreeParallel(const EUnit& u, int depth,
+                                          ThreadPool* pool,
+                                          BufferingVisitor* out) {
+  auto leaf = EmitTerminalLeaf(u, out);
+  if (!leaf.ok()) return leaf.status();
+  if (leaf.ValueOrDie().has_value()) return Status::OK();
+
+  // Case 3: pick as the sequential trace would, then decide whether
+  // this node's partitions are worth fanning out.
   std::vector<OpPartition> partitions;
-  auto op = PickOperator(root, &partitions);
+  auto op = PickOperator(u, &partitions);
   if (!op.ok()) return op.status();
+
+  size_t remaining_ops = u.pending_selections.size() +
+                         u.pending_products.size() +
+                         (shape_.tops.size() - u.next_top);
+  bool fan = depth < options_.max_parallel_depth && partitions.size() > 1 &&
+             u.mappings.size() * remaining_ops >= options_.parallel_grain;
+
+  if (!fan) {
+    for (const auto& p : partitions) {
+      if (p.unanswerable) {
+        leaves_++;
+        out->OnLeaf({}, p.probability);
+        continue;
+      }
+      auto child = Execute(u, op.ValueOrDie(), p);
+      if (!child.ok()) return child.status();
+      if (partitions.size() == 1) {
+        // A single-partition operator is a pass-through: keep looking
+        // for a fan-out point deeper down without consuming depth.
+        URM_RETURN_NOT_OK(
+            RunSubtreeParallel(child.ValueOrDie(), depth, pool, out));
+      } else {
+        // Below the depth/grain cutoff: the whole subtree runs
+        // sequentially on this engine (RunEUnit counts its leaves; a
+        // buffer never aborts).
+        auto cont = RunEUnit(child.ValueOrDie(), out);
+        if (!cont.ok()) return cont.status();
+      }
+    }
+    return Status::OK();
+  }
 
   struct Branch {
     Status status;
     BufferingVisitor buffer;
     algebra::EvalStats stats;
+    size_t leaves = 0;
   };
   std::vector<Branch> branches(partitions.size());
   pool->ParallelFor(partitions.size(), [&](size_t i) {
@@ -173,39 +246,43 @@ Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
     Branch& branch = branches[i];
     if (p.unanswerable) {
       branch.buffer.OnLeaf({}, p.probability);
+      branch.leaves = 1;
       return;
     }
-    // Each branch runs in its own engine: private operator caches and
-    // stats, decorrelated rng for the Random strategy. The root e-unit
-    // and the representative mappings are shared read-only.
+    // Each branch runs in its own engine clone: private L1 caches and
+    // stats, decorrelated rng for the Random strategy — but the same
+    // shared OperatorStore, so branches reuse each other's
+    // materialized selections and scans. The parent e-unit and the
+    // representative mappings are shared read-only.
     OSharingOptions sub_options = options_;
-    sub_options.parallelism = 1;
-    sub_options.pool = nullptr;
     sub_options.tee = nullptr;  // leaves stream at replay, in order
-    sub_options.random_seed = options_.random_seed + 0x9e3779b9ULL * (i + 1);
+    // Mix depth and branch index into the reseed (an additive offset
+    // collides across recursion levels: parent i=2 and branch i=0's
+    // depth-1 child j=1 would draw identical streams).
+    size_t reseed = static_cast<size_t>(options_.random_seed);
+    HashCombine(reseed, static_cast<size_t>(depth + 1));
+    HashCombine(reseed, i + 1);
+    sub_options.random_seed = reseed;
     OSharingEngine sub(info_, catalog_, sub_options);
     sub.shape_ = shape_;
-    auto child = sub.Execute(root, op.ValueOrDie(), p);
+    auto child = sub.Execute(u, op.ValueOrDie(), p);
     if (!child.ok()) {
       branch.status = child.status();
       return;
     }
-    auto cont = sub.RunEUnit(child.ValueOrDie(), &branch.buffer);
-    if (!cont.ok()) {
-      branch.status = cont.status();
-      return;
-    }
+    branch.status =
+        sub.RunSubtreeParallel(child.ValueOrDie(), depth + 1, pool,
+                               &branch.buffer);
     branch.stats = sub.stats_;
+    branch.leaves = sub.leaves_;
   });
 
   for (Branch& branch : branches) {
     URM_RETURN_NOT_OK(branch.status);
     stats_ += branch.stats;
+    leaves_ += branch.leaves;
     for (auto& leaf : branch.buffer.leaves()) {
-      leaves_++;
-      if (!visitor->OnLeafOwned(std::move(leaf.rows), leaf.probability)) {
-        return Status::OK();
-      }
+      out->OnLeafOwned(std::move(leaf.rows), leaf.probability);
     }
   }
   return Status::OK();
@@ -213,23 +290,67 @@ Status OSharingEngine::RunParallel(const std::vector<WeightedMapping>& reps,
 
 Result<relational::RelationPtr> OSharingEngine::RunSelection(
     const RelationPtr& input, const algebra::Predicate& pred) {
-  std::pair<const void*, std::string> key;
-  if (options_.enable_operator_cache) {
-    key = {static_cast<const void*>(input.get()), pred.ToString()};
+  // The store is part of the operator-cache feature: with the feature
+  // ablated it is not consulted (and the cache counters stay zero),
+  // even when a serving tier wired one in.
+  const bool use_l1 = options_.enable_operator_cache;
+  const bool use_store = options_.store != nullptr && use_l1;
+  SelectionKey key;
+  if (use_l1 || use_store) {
+    // Structural hash — the memo hot path neither renders nor
+    // string-compares the predicate; candidate hits are verified with
+    // Predicate::operator==.
+    key = SelectionKey{static_cast<const void*>(input.get()),
+                       pred.CacheHash()};
+  }
+  if (use_l1) {
     auto it = selection_cache_.find(key);
-    if (it != selection_cache_.end()) {
+    if (it != selection_cache_.end() && it->second.pred == pred) {
       stats_.cache_hits++;
-      return it->second;
+      stats_.cache_bytes_saved += it->second.bytes;
+      return it->second.rel;
     }
   }
-  algebra::EvalContext ctx;
-  ctx.catalog = &catalog_;
-  ctx.stats = &stats_;
-  auto rel =
-      algebra::Evaluate(MakeSelect(MakeRelationLeaf(input, "f"), pred), ctx);
-  if (!rel.ok()) return rel.status();
-  if (options_.enable_operator_cache) {
-    selection_cache_.emplace(std::move(key), rel.ValueOrDie());
+
+  auto compute = [&]() -> Result<RelationPtr> {
+    algebra::EvalContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.stats = &stats_;
+    return algebra::Evaluate(MakeSelect(MakeRelationLeaf(input, "f"), pred),
+                             ctx);
+  };
+
+  if (use_store) {
+    // Selections over per-query intermediates (post factor-fusion
+    // relations) land here too: unhittable across queries, but sibling
+    // branches of one parallel u-trace share the fused pointer and do
+    // reuse them — suppressing the insert would regress cross-branch
+    // sharing, and cold entries age out through the LRU anyway.
+    OperatorKey store_key;
+    store_key.catalog = &catalog_;
+    store_key.epoch = options_.store_epoch;
+    store_key.input = input.get();
+    store_key.op_hash = key.pred_hash;
+    bool shared = false;
+    size_t bytes = 0;
+    // Rendered only here — once per private-memo miss, never on the
+    // hot path — for the store's cross-engine hit verification.
+    auto rel = options_.store->GetOrCompute(store_key, pred.ToString(),
+                                            input, compute, &shared, &bytes);
+    if (!rel.ok()) return rel;
+    RecordStoreOutcome(shared, bytes);
+    if (use_l1) {
+      selection_cache_[key] = CachedSelection{pred, rel.ValueOrDie(), bytes};
+    }
+    return rel;
+  }
+
+  auto rel = compute();
+  if (!rel.ok()) return rel;
+  if (use_l1) {
+    stats_.cache_misses++;
+    selection_cache_[key] = CachedSelection{
+        pred, rel.ValueOrDie(), rel.ValueOrDie()->ApproxBytes()};
   }
   return rel;
 }
@@ -237,14 +358,62 @@ Result<relational::RelationPtr> OSharingEngine::RunSelection(
 Result<RelationPtr> OSharingEngine::MaterializeScan(
     const std::string& relation, const std::string& scan_alias) {
   auto it = scan_cache_.find(scan_alias);
-  if (it != scan_cache_.end()) return it->second;
-  algebra::EvalContext ctx;
-  ctx.catalog = &catalog_;
-  ctx.stats = &stats_;
-  auto rel = algebra::Evaluate(algebra::MakeScan(relation, scan_alias), ctx);
-  if (!rel.ok()) return rel.status();
-  scan_cache_.emplace(scan_alias, rel.ValueOrDie());
+  if (it != scan_cache_.end()) {
+    // The scan memo itself always runs, but its reuse is reported
+    // through the cache counters only when the operator-cache feature
+    // is on — enable_operator_cache=false must keep them at zero (the
+    // ablation contract, see OperatorCacheDoesNotChangeAnswers).
+    if (options_.enable_operator_cache) {
+      stats_.cache_hits++;
+      stats_.cache_bytes_saved += it->second.bytes;
+    }
+    return it->second.rel;
+  }
+
+  auto compute = [&]() -> Result<RelationPtr> {
+    algebra::EvalContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.stats = &stats_;
+    return algebra::Evaluate(algebra::MakeScan(relation, scan_alias), ctx);
+  };
+
+  if (options_.store != nullptr && options_.enable_operator_cache) {
+    // Scans share cross-query through the store too — and because a
+    // store hit returns the *same* RelationPtr every query saw, the
+    // downstream selection keys (input pointer + predicate hash) also
+    // match across queries, compounding the sharing.
+    std::string render = "scan|" + relation + "|" + scan_alias;
+    OperatorKey store_key;
+    store_key.catalog = &catalog_;
+    store_key.epoch = options_.store_epoch;
+    store_key.op_hash = HashOperatorRender(render);
+    bool shared = false;
+    size_t bytes = 0;
+    auto rel = options_.store->GetOrCompute(store_key, render, nullptr,
+                                            compute, &shared, &bytes);
+    if (!rel.ok()) return rel;
+    RecordStoreOutcome(shared, bytes);
+    scan_cache_.emplace(scan_alias, CachedScan{rel.ValueOrDie(), bytes});
+    return rel;
+  }
+
+  auto rel = compute();
+  if (!rel.ok()) return rel;
+  if (options_.enable_operator_cache) stats_.cache_misses++;
+  scan_cache_.emplace(scan_alias,
+                      CachedScan{rel.ValueOrDie(),
+                                 rel.ValueOrDie()->ApproxBytes()});
   return rel;
+}
+
+void OSharingEngine::RecordStoreOutcome(bool shared, size_t bytes) {
+  if (shared) {
+    stats_.cache_hits++;
+    stats_.store_hits++;
+    stats_.cache_bytes_saved += bytes;
+  } else {
+    stats_.cache_misses++;
+  }
 }
 
 std::vector<OSharingEngine::Candidate> OSharingEngine::ComputeCandidates(
@@ -699,7 +868,8 @@ Result<std::vector<Row>> OSharingEngine::AssembleLeafRows(const EUnit& u) {
   return rows;
 }
 
-Result<bool> OSharingEngine::RunEUnit(const EUnit& u, LeafVisitor* visitor) {
+Result<std::optional<bool>> OSharingEngine::EmitTerminalLeaf(
+    const EUnit& u, LeafVisitor* visitor) {
   // Case 2: an empty intermediate relation makes the whole answer θ —
   // except for aggregate queries, where the aggregate of an empty input
   // is still a value (COUNT = 0), matching the basic methods.
@@ -711,7 +881,7 @@ Result<bool> OSharingEngine::RunEUnit(const EUnit& u, LeafVisitor* visitor) {
     for (const auto& g : u.groups) {
       if (g.HasEmptyFactor()) {
         leaves_++;
-        return visitor->OnLeaf({}, u.probability);
+        return std::optional<bool>(visitor->OnLeaf({}, u.probability));
       }
     }
   }
@@ -721,9 +891,16 @@ Result<bool> OSharingEngine::RunEUnit(const EUnit& u, LeafVisitor* visitor) {
     auto rows = AssembleLeafRows(u);
     if (!rows.ok()) return rows.status();
     leaves_++;
-    return visitor->OnLeafOwned(std::move(rows).ValueOrDie(),
-                                u.probability);
+    return std::optional<bool>(visitor->OnLeafOwned(
+        std::move(rows).ValueOrDie(), u.probability));
   }
+  return std::optional<bool>();
+}
+
+Result<bool> OSharingEngine::RunEUnit(const EUnit& u, LeafVisitor* visitor) {
+  auto leaf = EmitTerminalLeaf(u, visitor);
+  if (!leaf.ok()) return leaf.status();
+  if (leaf.ValueOrDie().has_value()) return *leaf.ValueOrDie();
   // Case 3: pick, partition, execute, recurse.
   std::vector<OpPartition> partitions;
   auto op = PickOperator(u, &partitions);

@@ -1,12 +1,18 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/evaluate.h"
+#include "common/hash_util.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "osharing/eunit.h"
+#include "osharing/operator_store.h"
 #include "osharing/query_shape.h"
 #include "reformulation/target_query.h"
 #include "relational/catalog.h"
@@ -44,16 +50,38 @@ struct OSharingOptions {
   /// its input — the paper's §IX "data structures to facilitate
   /// o-sharing evaluation". See bench_ablation for the effect.
   bool enable_operator_cache = true;
-  /// Fan the root-level mapping partitions out to `pool` when
-  /// parallelism > 1 (each u-trace subtree is independent by
-  /// construction — the partitions disagree on the chosen operator's
-  /// correspondences, so no state is shared between them). Leaf
-  /// answers are buffered per partition and replayed in partition
-  /// order, so deterministic strategies (SEF/SNF) produce bit-identical
-  /// results to the sequential trace; kRandom re-seeds per branch and
-  /// may take a different (equally valid) trace.
+  /// Fan u-trace mapping partitions out to `pool` when parallelism > 1
+  /// (each subtree is independent by construction — the partitions
+  /// disagree on the chosen operator's correspondences, so no e-unit
+  /// state is shared between them). Leaf answers are buffered per
+  /// partition and replayed in partition order, so deterministic
+  /// strategies (SEF/SNF) produce bit-identical results to the
+  /// sequential trace; kRandom re-seeds per branch and may take a
+  /// different (equally valid) trace.
   int parallelism = 1;
   ThreadPool* pool = nullptr;
+  /// How many fan-out levels RunParallel may spawn below the root.
+  /// 1 restricts fan-out to the root operator's partitions (the
+  /// pre-recursive behavior); larger values let skewed partition trees
+  /// load-balance by splitting heavy subtrees again. Single-partition
+  /// operators pass through without consuming a level.
+  int max_parallel_depth = 4;
+  /// Minimum estimated subtree work — mapping count times remaining
+  /// operators — required to fan a node out; smaller subtrees run
+  /// sequentially on the branch that owns them (spawn overhead would
+  /// dominate).
+  size_t parallel_grain = 16;
+  /// Cross-evaluation memo of materialized selections and scans (see
+  /// operator_store.h), shared by all engine clones of one parallel
+  /// evaluation and — when the serving tier owns it — by concurrent
+  /// queries over the same catalog. When null, RunParallel creates a
+  /// store scoped to the one evaluation so sibling branches still
+  /// share; Run (sequential) uses the private per-engine memo alone.
+  OperatorStore* store = nullptr;
+  /// Mapping epoch folded into every store key (Engine::mapping_epoch);
+  /// stale entries are unreachable after a reconfiguration even before
+  /// the store is fenced.
+  uint64_t store_epoch = 0;
   /// Secondary observer of the leaf stream: the Run* drivers
   /// (osharing / top-k / threshold) tee every leaf to it alongside
   /// their own accumulating visitor — this is how the serving tier's
@@ -129,12 +157,18 @@ class OSharingEngine {
   Status Run(const std::vector<baselines::WeightedMapping>& reps,
              LeafVisitor* visitor);
 
-  /// Like Run, but distributes the root operator's mapping partitions
-  /// over `pool`: each partition's subtree executes in its own engine
-  /// clone (private caches), and the visitor replays the buffered
-  /// leaves in partition order — the exact sequential leaf sequence
-  /// for deterministic strategies. A visitor abort stops the replay
-  /// (already-computed sibling branches are discarded).
+  /// Like Run, but distributes u-trace mapping partitions over `pool`,
+  /// recursively: fan-out happens at every operator whose partition
+  /// fan and estimated work clear the OSharingOptions depth/grain
+  /// cutoffs, so skewed partition trees load-balance instead of being
+  /// bound by the largest root partition. Each spawned subtree executes
+  /// in its own engine clone; all clones share one OperatorStore
+  /// (options.store, or a store scoped to this call), so sibling
+  /// branches reuse selections the sequential trace would have
+  /// memoized. The visitor replays the buffered leaves in partition
+  /// order — the exact sequential leaf sequence for deterministic
+  /// strategies. A visitor abort stops the replay (already-computed
+  /// sibling branches are discarded).
   Status RunParallel(const std::vector<baselines::WeightedMapping>& reps,
                      LeafVisitor* visitor, ThreadPool* pool);
 
@@ -188,14 +222,71 @@ class OSharingEngine {
   Result<bool> RunEUnit(const EUnit& u, LeafVisitor* visitor);
   Result<std::vector<relational::Row>> AssembleLeafRows(const EUnit& u);
 
+  /// Cases 1-2 of the u-trace: when `u` is a leaf (an empty factor's θ
+  /// outcome, or fully executed), emits it to `visitor` — counting it
+  /// in leaves_ — and returns the visitor's verdict; nullopt when `u`
+  /// still has pending operators. The single source of the
+  /// leaf-termination rules for both the sequential executor and the
+  /// parallel one, so the bit-identical guarantee cannot drift.
+  Result<std::optional<bool>> EmitTerminalLeaf(const EUnit& u,
+                                               LeafVisitor* visitor);
+
+  class BufferingVisitor;
+
+  /// The recursive half of RunParallel: executes the subtree rooted at
+  /// `u`, fanning its partitions out to `pool` when `depth` and the
+  /// grain cutoff allow, buffering every leaf into `out` in partition
+  /// (= sequential DFS) order. Counts produced leaves into leaves_.
+  Status RunSubtreeParallel(const EUnit& u, int depth, ThreadPool* pool,
+                            BufferingVisitor* out);
+
   /// Memoized selection execution (see
-  /// OSharingOptions::enable_operator_cache).
+  /// OSharingOptions::enable_operator_cache / OSharingOptions::store).
   Result<relational::RelationPtr> RunSelection(
       const relational::RelationPtr& input, const algebra::Predicate& pred);
 
   /// Memoized aliased base-relation scan.
   Result<relational::RelationPtr> MaterializeScan(
       const std::string& relation, const std::string& scan_alias);
+
+  /// Folds one shared-store lookup outcome into stats_ — the single
+  /// source of the hit/miss/bytes-saved accounting for RunSelection
+  /// and MaterializeScan.
+  void RecordStoreOutcome(bool shared, size_t bytes);
+
+  /// Private selection-memo key: input relation identity plus the
+  /// predicate's structural hash (Predicate::CacheHash). Lookups
+  /// compare the precomputed hash (and one pointer) instead of
+  /// rendering and string-comparing the predicate at every u-trace
+  /// level; the entry keeps the predicate to verify candidate hits
+  /// with operator==, so a hash collision degrades to a recompute,
+  /// never a wrong reuse — and the memo hot path never renders at all
+  /// (ToString runs only on the miss path that reaches the shared
+  /// store, whose cross-engine entries are render-verified).
+  struct SelectionKey {
+    const void* input = nullptr;
+    uint64_t pred_hash = 0;
+
+    bool operator==(const SelectionKey& other) const {
+      return input == other.input && pred_hash == other.pred_hash;
+    }
+  };
+  struct SelectionKeyHash {
+    size_t operator()(const SelectionKey& key) const {
+      size_t seed = static_cast<size_t>(key.pred_hash);
+      HashCombine(seed, std::hash<const void*>{}(key.input));
+      return seed;
+    }
+  };
+  struct CachedSelection {
+    algebra::Predicate pred;  ///< verified on hit (collision guard)
+    relational::RelationPtr rel;
+    size_t bytes = 0;  ///< ApproxBytes, measured once at insertion
+  };
+  struct CachedScan {
+    relational::RelationPtr rel;
+    size_t bytes = 0;  ///< ApproxBytes, measured once at insertion
+  };
 
   const reformulation::TargetQueryInfo& info_;
   const relational::Catalog& catalog_;
@@ -204,11 +295,14 @@ class OSharingEngine {
   algebra::EvalStats stats_;
   size_t leaves_ = 0;
   Rng rng_;
-  /// (input relation identity, predicate rendering) -> result.
-  std::map<std::pair<const void*, std::string>, relational::RelationPtr>
+  /// Private per-engine memo in front of the shared store (no locks;
+  /// hit => the exact RelationPtr previously returned on this branch).
+  std::unordered_map<SelectionKey, CachedSelection, SelectionKeyHash>
       selection_cache_;
-  /// scan alias -> materialized (renamed) base relation.
-  std::map<std::string, relational::RelationPtr> scan_cache_;
+  /// scan alias -> materialized (renamed) base relation. Reuse counts
+  /// toward the same EvalStats cache counters as selections, so the
+  /// reported operator hit rate covers both memo kinds.
+  std::unordered_map<std::string, CachedScan> scan_cache_;
 };
 
 }  // namespace osharing

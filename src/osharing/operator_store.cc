@@ -1,0 +1,197 @@
+#include "osharing/operator_store.h"
+
+#include <utility>
+
+namespace urm {
+namespace osharing {
+
+using relational::RelationPtr;
+
+OperatorStore::OperatorStore(OperatorStoreOptions options)
+    : options_(options),
+      shards_(options.num_shards),
+      // Divide by the rounded-up shard count so the total stays
+      // max_bytes regardless of the rounding.
+      per_shard_budget_(options.max_bytes / shards_.num_shards()) {}
+
+void OperatorStore::FenceEpoch(uint64_t epoch) {
+  // Fence forward only: a worker that loaded its epoch before a newer
+  // reconfiguration was fenced must not clear entries that are valid
+  // under the newer epoch (and then block their re-insertion). One
+  // thread wins the fence and clears; late fencers of the same epoch
+  // see the updated value and exit. Entries are also keyed by epoch,
+  // so even a racing lookup cannot see a stale result.
+  uint64_t current = fenced_epoch_.load(std::memory_order_acquire);
+  while (current < epoch) {
+    if (fenced_epoch_.compare_exchange_weak(current, epoch)) {
+      Clear();
+      return;
+    }
+  }
+}
+
+Result<RelationPtr> OperatorStore::GetOrCompute(
+    const OperatorKey& key, const std::string& op_render,
+    RelationPtr pinned_input, const Compute& compute, bool* shared,
+    size_t* result_bytes) {
+  if (shared != nullptr) *shared = false;
+  if (result_bytes != nullptr) *result_bytes = 0;
+
+  enum class Outcome { kOwner, kReadyHit, kWaitHit, kCollision };
+  std::shared_future<Result<RelationPtr>> future;
+  std::promise<Result<RelationPtr>> promise;
+  std::shared_ptr<Entry> owned;  // the entry this caller must fulfill
+  size_t known_bytes = 0;
+
+  Outcome outcome = shards_.WithShard(
+      key, [&](Shards::Map& map, ShardState& state) -> Outcome {
+        auto it = map.find(key);
+        if (it != map.end()) {
+          Entry& entry = *it->second;
+          if (entry.op_render != op_render) {
+            // 64-bit hash collision between two distinct operators:
+            // fall back to an uncached compute for the newcomer.
+            return Outcome::kCollision;
+          }
+          future = entry.future;
+          if (!entry.ready) return Outcome::kWaitHit;
+          known_bytes = entry.result_bytes;
+          state.lru.splice(state.lru.begin(), state.lru, entry.lru_it);
+          return Outcome::kReadyHit;
+        }
+        owned = std::make_shared<Entry>();
+        owned->op_render = op_render;
+        owned->pinned_input = std::move(pinned_input);
+        owned->future = promise.get_future().share();
+        map.emplace(key, owned);
+        return Outcome::kOwner;
+      });
+
+  switch (outcome) {
+    case Outcome::kCollision: {
+      // Computed fresh like a miss (just never inserted); keep the
+      // counters and the caller's byte accounting truthful.
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      Result<RelationPtr> fresh = compute();
+      if (fresh.ok() && result_bytes != nullptr) {
+        *result_bytes = fresh.ValueOrDie()->ApproxBytes();
+      }
+      return fresh;
+    }
+
+    case Outcome::kWaitHit:
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+      [[fallthrough]];
+    case Outcome::kReadyHit: {
+      // Outside the shard lock: a kWaitHit blocks here until the owner
+      // fulfills the promise (never under a lock, so no deadlock).
+      Result<RelationPtr> result = future.get();
+      if (result.ok()) {
+        // Ready hits use the size measured at insertion; only the rare
+        // single-flight wait rescans the relation.
+        if (outcome == Outcome::kWaitHit) {
+          known_bytes = result.ValueOrDie()->ApproxBytes();
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        bytes_reused_.fetch_add(known_bytes, std::memory_order_relaxed);
+        if (shared != nullptr) *shared = true;
+        if (result_bytes != nullptr) *result_bytes = known_bytes;
+      }
+      return result;
+    }
+
+    case Outcome::kOwner:
+      break;
+  }
+
+  // This caller owns the computation; it runs outside any lock.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Result<RelationPtr> result = Status::Internal("operator compute skipped");
+  try {
+    result = compute();
+  } catch (...) {
+    // Fulfill waiters with the exception, drop the entry, rethrow.
+    promise.set_exception(std::current_exception());
+    shards_.WithShard(key, [&](Shards::Map& map, ShardState&) {
+      auto it = map.find(key);
+      if (it != map.end() && it->second == owned) map.erase(it);
+      return 0;
+    });
+    throw;
+  }
+  promise.set_value(result);
+
+  size_t computed_bytes =
+      result.ok() ? result.ValueOrDie()->ApproxBytes() : 0;
+  if (result_bytes != nullptr) *result_bytes = computed_bytes;
+  // Budget weight includes the pinned input (what the entry retains;
+  // see Entry::bytes for why a shared input is charged per entry);
+  // measured here, outside the shard lock — ApproxBytes is O(rows).
+  size_t budget_bytes = computed_bytes;
+  if (result.ok() && owned->pinned_input != nullptr) {
+    budget_bytes += owned->pinned_input->ApproxBytes();
+  }
+  size_t evicted = 0;
+  shards_.WithShard(key, [&](Shards::Map& map, ShardState& state) {
+    auto it = map.find(key);
+    if (it == map.end() || it->second != owned) return 0;  // fenced away
+    if (!result.ok() ||
+        key.epoch < fenced_epoch_.load(std::memory_order_acquire)) {
+      // Failed computes are not cached (waiters already hold the error
+      // through the shared future) — and neither is a result whose
+      // epoch the store already fenced past mid-compute: completing
+      // its insertion would resurrect an unreachable entry that no
+      // future fence of the same epoch would ever drop. Entries AHEAD
+      // of the fence stay: they are reachable by current-epoch lookups
+      // (a store wired in without an explicit fence still caches), and
+      // any later fence drops them with everything else.
+      map.erase(it);
+      return 0;
+    }
+    Entry& entry = *owned;
+    entry.result_bytes = computed_bytes;
+    entry.bytes = budget_bytes;
+    state.lru.push_front(key);
+    entry.lru_it = state.lru.begin();
+    entry.ready = true;
+    state.bytes += entry.bytes;
+    // LRU eviction down to the shard budget — never the entry just
+    // inserted, so an operator larger than the shard budget still
+    // serves repeats (bounded overrun of one entry per shard; the
+    // AnswerCache makes the same trade).
+    while (state.bytes > per_shard_budget_ && state.lru.size() > 1) {
+      const OperatorKey& victim_key = state.lru.back();
+      auto victim = map.find(victim_key);
+      state.bytes -= victim->second->bytes;
+      map.erase(victim);
+      state.lru.pop_back();
+      ++evicted;
+    }
+    return 0;
+  });
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+OperatorStoreStats OperatorStore::stats() const {
+  OperatorStoreStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.single_flight_waits =
+      single_flight_waits_.load(std::memory_order_relaxed);
+  stats.bytes_reused = bytes_reused_.load(std::memory_order_relaxed);
+  shards_.ForEachShard(
+      [&](const Shards::Map& map, const ShardState& state) {
+        stats.entries += map.size();
+        stats.bytes += state.bytes;
+      });
+  return stats;
+}
+
+void OperatorStore::Clear() { shards_.Clear(); }
+
+}  // namespace osharing
+}  // namespace urm

@@ -34,6 +34,14 @@ double AnswerSet::TotalProbability() const {
   return total;
 }
 
+size_t AnswerSet::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& t : tuples_) {
+    bytes += relational::ApproxRowBytes(t.values) + sizeof(double);
+  }
+  return bytes;
+}
+
 std::vector<AnswerTuple> AnswerSet::Sorted() const {
   std::vector<AnswerTuple> out = tuples_;
   std::sort(out.begin(), out.end(),

@@ -57,6 +57,10 @@ class AnswerSet {
   /// The k highest-probability tuples (ties broken deterministically).
   std::vector<AnswerTuple> TopK(size_t k) const;
 
+  /// Approximate in-memory footprint of the answer tuples (used by the
+  /// serving tier to weigh cached responses by bytes, not entry count).
+  size_t ApproxBytes() const;
+
   /// Value-equality within `eps` on probabilities, order-insensitive.
   /// Used by tests to assert all evaluation methods agree.
   bool ApproxEquals(const AnswerSet& other, double eps = 1e-9) const;

@@ -123,14 +123,18 @@ Result<Relation> Relation::Product(const Relation& other) const {
   return out;
 }
 
+size_t ApproxRowBytes(const Row& row) {
+  size_t bytes = 0;
+  for (const Value& v : row) {
+    bytes += 8;
+    if (v.type() == ValueType::kString) bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
 size_t Relation::ApproxBytes() const {
   size_t bytes = 0;
-  for (const Row& r : rows()) {
-    for (const Value& v : r) {
-      bytes += 8;
-      if (v.type() == ValueType::kString) bytes += v.AsString().size();
-    }
-  }
+  for (const Row& r : rows()) bytes += ApproxRowBytes(r);
   return bytes;
 }
 

@@ -71,6 +71,10 @@ class Relation {
 
 using RelationPtr = std::shared_ptr<const Relation>;
 
+/// Approximate in-memory footprint of one row (the per-row unit behind
+/// Relation::ApproxBytes; also used to weigh cached answer sets).
+size_t ApproxRowBytes(const Row& row);
+
 /// Hash of a full row, consistent with row equality via Value::operator==.
 size_t HashRow(const Row& row);
 

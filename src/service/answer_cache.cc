@@ -1,7 +1,43 @@
 #include "service/answer_cache.h"
 
+#include "relational/relation.h"
+
 namespace urm {
 namespace service {
+
+size_t ApproxResponseBytes(const core::Response& response) {
+  size_t bytes = sizeof(core::Response);
+  switch (response.kind) {
+    case core::RequestKind::kEvaluate:
+    case core::RequestKind::kSetOp:
+      bytes += response.evaluate.answers.ApproxBytes();
+      break;
+    case core::RequestKind::kTopK:
+      for (const auto& t : response.top_k.tuples) {
+        bytes += relational::ApproxRowBytes(t.values) + 2 * sizeof(double);
+      }
+      break;
+    case core::RequestKind::kThreshold:
+      for (const auto& t : response.threshold.tuples) {
+        bytes += relational::ApproxRowBytes(t.values) + 2 * sizeof(double);
+      }
+      break;
+  }
+  return bytes;
+}
+
+bool AnswerCache::Expired(const Entry& entry, Clock::time_point now) const {
+  if (options_.ttl_seconds <= 0.0) return false;
+  return std::chrono::duration<double>(now - entry.inserted).count() >
+         options_.ttl_seconds;
+}
+
+void AnswerCache::DropOldest() {
+  Entry& victim = lru_.back();
+  bytes_ -= victim.bytes;
+  index_.erase(victim.key);
+  lru_.pop_back();
+}
 
 AnswerCache::Value AnswerCache::Get(const algebra::PlanFingerprint& key) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -10,39 +46,88 @@ AnswerCache::Value AnswerCache::Get(const algebra::PlanFingerprint& key) {
     stats_.misses++;
     return nullptr;
   }
+  if (Expired(*it->second, Clock::now())) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    stats_.expirations++;
+    stats_.misses++;
+    return nullptr;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   stats_.hits++;
-  return it->second->second;
+  return it->second->value;
 }
 
 void AnswerCache::Put(const algebra::PlanFingerprint& key, Value value) {
-  if (capacity_ == 0 || value == nullptr) return;
+  if (options_.capacity_entries == 0 || value == nullptr) return;
+  size_t bytes = ApproxResponseBytes(*value);
   std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(key, std::move(value), bytes);
+}
+
+void AnswerCache::Put(const algebra::PlanFingerprint& key, Value value,
+                      uint64_t epoch) {
+  if (options_.capacity_entries == 0 || value == nullptr) return;
+  size_t bytes = ApproxResponseBytes(*value);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != fenced_epoch_.load(std::memory_order_relaxed)) {
+    return;  // computed under a fenced-past epoch
+  }
+  PutLocked(key, std::move(value), bytes);
+}
+
+void AnswerCache::PutLocked(const algebra::PlanFingerprint& key, Value value,
+                            size_t bytes) {
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(value);
+    bytes_ += bytes - it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    it->second->inserted = Clock::now();
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    lru_.push_front(Entry{key, std::move(value), bytes, Clock::now()});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
   }
-  lru_.emplace_front(key, std::move(value));
-  index_.emplace(key, lru_.begin());
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+  // Enforce both budgets, never evicting the entry just touched (an
+  // answer larger than the whole byte budget still serves repeats).
+  while (lru_.size() > options_.capacity_entries ||
+         (options_.capacity_bytes > 0 && bytes_ > options_.capacity_bytes &&
+          lru_.size() > 1)) {
+    DropOldest();
     stats_.evictions++;
   }
+}
+
+void AnswerCache::FenceEpoch(uint64_t epoch) {
+  // Fast path: between reconfigurations every dispatch fences with an
+  // unchanged epoch — one atomic load, no contention with Get/Put.
+  // Forward only: a worker holding a stale epoch must not clear
+  // entries valid under a newer one (and then block their
+  // re-insertion via the epoch-checked Put).
+  if (epoch <= fenced_epoch_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch <= fenced_epoch_.load(std::memory_order_relaxed)) return;
+  fenced_epoch_.store(epoch, std::memory_order_release);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
 }
 
 void AnswerCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
 }
 
 CacheStats AnswerCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   CacheStats out = stats_;
   out.entries = lru_.size();
+  out.bytes = bytes_;
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 namespace urm {
@@ -29,13 +30,32 @@ std::future<QueryResponse> ReadyFuture(const QueryResponse& response) {
 
 }  // namespace
 
+namespace {
+
+AnswerCacheOptions MakeCacheOptions(const ServiceOptions& options) {
+  AnswerCacheOptions cache;
+  cache.capacity_entries = options.cache_capacity;
+  cache.capacity_bytes = options.cache_capacity_bytes;
+  cache.ttl_seconds = options.cache_ttl_seconds;
+  return cache;
+}
+
+}  // namespace
+
 QueryService::QueryService(const core::Engine* engine,
                            ServiceOptions options)
     : engine_(engine),
       options_(options),
-      cache_(options.cache_capacity),
+      cache_(MakeCacheOptions(options)),
       pool_(options.num_threads) {
   URM_CHECK(engine != nullptr);
+  if (options_.share_operators) {
+    osharing::OperatorStoreOptions store_options;
+    store_options.max_bytes = options_.operator_store_bytes;
+    store_options.num_shards = options_.operator_store_shards;
+    operator_store_ =
+        std::make_unique<osharing::OperatorStore>(store_options);
+  }
 }
 
 algebra::PlanFingerprint QueryService::Fingerprint(
@@ -69,6 +89,11 @@ std::future<QueryResponse> QueryService::SubmitAsync(
 std::future<QueryResponse> QueryService::Dispatch(
     const core::Request& request, const algebra::PlanFingerprint& fp,
     core::AnswerSink* sink, CompletionCallback callback) {
+  // Mapping-epoch invalidation hook: entries cached before a
+  // reconfiguration are unreachable anyway (the fingerprint contains
+  // the mapping-set hash); the fence frees their memory instead of
+  // letting them age out through the LRU.
+  cache_.FenceEpoch(engine_->mapping_epoch());
   if (sink == nullptr) {
     // Cache probe and in-flight lookup under one lock: a finishing
     // evaluation Puts before erasing its in-flight entry, so a
@@ -126,6 +151,10 @@ std::future<QueryResponse> QueryService::Dispatch(
 }
 
 void QueryService::RunWork(const std::shared_ptr<Work>& work) {
+  // The epoch this evaluation runs under; the post-evaluation cache
+  // Put is epoch-checked so a response computed before a concurrent
+  // reconfiguration's fence cannot repopulate the fenced cache.
+  const uint64_t epoch = engine_->mapping_epoch();
   core::Engine::EvalOptions eval;
   // Streaming evaluations stay sequential: the parallel o-sharing path
   // buffers leaves per partition and replays them only after the
@@ -135,6 +164,13 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
       work->sink != nullptr ? 1 : options_.intra_query_parallelism;
   eval.pool = &pool_;
   eval.sink = work->sink;
+  if (operator_store_ != nullptr) {
+    // Drop shared materializations from before a UseTopMappings
+    // reconfiguration (entries are also epoch-keyed; the fence just
+    // reclaims their memory promptly).
+    operator_store_->FenceEpoch(epoch);
+    eval.operator_store = operator_store_.get();
+  }
   QueryResponse base;
   base.fingerprint = work->fingerprint;
   // An exception escaping the evaluation must not abandon the
@@ -162,7 +198,7 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
   // Publish to the cache before the in-flight entry disappears, so a
   // concurrent Dispatch always sees the response one way or the other;
   // the cache has its own lock, keeping mu_'s critical section O(1).
-  if (base.status.ok()) cache_.Put(work->fingerprint, base.response);
+  if (base.status.ok()) cache_.Put(work->fingerprint, base.response, epoch);
   std::vector<Work::Subscriber> subscribers;
   {
     std::lock_guard<std::mutex> lock(mu_);

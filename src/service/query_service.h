@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "osharing/operator_store.h"
 #include "service/answer_cache.h"
 
 /// \file query_service.h
@@ -65,10 +66,26 @@ struct ServiceOptions {
   int num_threads = 4;
   /// Answer-cache capacity in entries; 0 disables caching.
   size_t cache_capacity = 256;
+  /// Answer-cache byte budget across entries (answer-set bytes, not
+  /// entry count); 0 = unbounded bytes.
+  size_t cache_capacity_bytes = 64ull << 20;
+  /// Answer-cache entry TTL in seconds; 0 = never expire. Use for
+  /// deployments where the source instance mutates out-of-band.
+  double cache_ttl_seconds = 0.0;
   /// Partition fan-out width inside one evaluation (see
   /// core::Engine::EvalOptions). 1 keeps each evaluation sequential;
   /// the pool is then used for inter-query concurrency only.
   int intra_query_parallelism = 1;
+  /// Share materialized o-sharing operators (selections + scans)
+  /// across all evaluations of this service through one
+  /// osharing::OperatorStore — concurrent and successive queries over
+  /// the same catalog reuse each other's work (paper §IX). Disable to
+  /// fall back to per-evaluation sharing only.
+  bool share_operators = true;
+  /// Operator-store byte budget (materialized relation bytes).
+  size_t operator_store_bytes = 256ull << 20;
+  /// Operator-store concurrency shards (rounded up to a power of two).
+  size_t operator_store_shards = 16;
 };
 
 /// One query of a legacy batch (method evaluations only).
@@ -165,6 +182,13 @@ class QueryService {
   CacheStats cache_stats() const { return cache_.stats(); }
   void ClearCache() { cache_.Clear(); }
 
+  /// Counters of the shared operator store (zeroes when
+  /// share_operators is off).
+  osharing::OperatorStoreStats operator_store_stats() const {
+    return operator_store_ != nullptr ? operator_store_->stats()
+                                      : osharing::OperatorStoreStats();
+  }
+
   const core::Engine& engine() const { return *engine_; }
   const ServiceOptions& options() const { return options_; }
   ThreadPool& pool() { return pool_; }
@@ -205,6 +229,10 @@ class QueryService {
   const core::Engine* engine_;
   ServiceOptions options_;
   AnswerCache cache_;
+  /// Cross-query memo of materialized o-sharing operators, shared by
+  /// every evaluation (and every parallel branch within one); fenced
+  /// on mapping-epoch changes. Null when share_operators is off.
+  std::unique_ptr<osharing::OperatorStore> operator_store_;
   mutable std::mutex mu_;  ///< guards in_flight_ + Work::subscribers
   std::unordered_map<algebra::PlanFingerprint, std::shared_ptr<Work>,
                      algebra::PlanFingerprintHash>

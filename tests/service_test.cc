@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "core/workload.h"
 #include "relational/value.h"
@@ -245,6 +247,118 @@ TEST(QueryServiceTest, PerRequestErrorsDoNotFailTheBatch) {
   EXPECT_TRUE(responses[1].status.ok());
   ASSERT_NE(responses[1].result, nullptr);
   EXPECT_FALSE(responses[2].status.ok());
+}
+
+/// Fabricates an evaluate Response whose AnswerSet weighs roughly
+/// `approx_bytes` (int64 rows at 8 bytes + 8 for the probability).
+std::shared_ptr<const core::Response> ResponseOfBytes(size_t approx_bytes) {
+  auto response = std::make_shared<core::Response>();
+  response->kind = core::RequestKind::kEvaluate;
+  response->evaluate.answers = reformulation::AnswerSet({"v"});
+  for (size_t i = 0; i * 16 < approx_bytes; ++i) {
+    response->evaluate.answers.Add(
+        {relational::Value(static_cast<int64_t>(i))}, 0.1);
+  }
+  return response;
+}
+
+algebra::PlanFingerprint FingerprintOf(uint64_t seed) {
+  algebra::PlanFingerprint fp;
+  fp.plan_hash = seed;
+  return fp;
+}
+
+TEST(AnswerCacheTest, EvictsByAnswerBytesNotEntryCount) {
+  AnswerCacheOptions options;
+  options.capacity_entries = 100;  // entry bound alone would keep all
+  options.capacity_bytes = 1024;
+  AnswerCache cache(options);
+  // Three ~480-byte answers blow a 1 KB budget at the third Put.
+  cache.Put(FingerprintOf(1), ResponseOfBytes(480));
+  cache.Put(FingerprintOf(2), ResponseOfBytes(480));
+  cache.Put(FingerprintOf(3), ResponseOfBytes(480));
+  CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 1024u + sizeof(core::Response));
+  EXPECT_EQ(cache.Get(FingerprintOf(1)), nullptr);      // LRU victim
+  EXPECT_NE(cache.Get(FingerprintOf(3)), nullptr);
+}
+
+TEST(AnswerCacheTest, OversizedAnswerStillServesRepeats) {
+  AnswerCacheOptions options;
+  options.capacity_entries = 4;
+  options.capacity_bytes = 64;  // smaller than any real answer
+  AnswerCache cache(options);
+  cache.Put(FingerprintOf(1), ResponseOfBytes(512));
+  // The newest entry is never evicted by the byte bound, so a repeat
+  // of even an over-budget answer is a hit.
+  EXPECT_NE(cache.Get(FingerprintOf(1)), nullptr);
+}
+
+TEST(AnswerCacheTest, TtlExpiresEntries) {
+  AnswerCacheOptions options;
+  options.capacity_entries = 8;
+  options.ttl_seconds = 0.02;
+  AnswerCache cache(options);
+  cache.Put(FingerprintOf(1), ResponseOfBytes(64));
+  EXPECT_NE(cache.Get(FingerprintOf(1)), nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(cache.Get(FingerprintOf(1)), nullptr);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.expirations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(AnswerCacheTest, FenceEpochInvalidates) {
+  AnswerCache cache(AnswerCacheOptions{});
+  cache.Put(FingerprintOf(1), ResponseOfBytes(64));
+  cache.FenceEpoch(0);  // initial epoch: no-op
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.FenceEpoch(1);  // reconfiguration
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(AnswerCacheTest, FenceEpochIsForwardOnly) {
+  AnswerCache cache(AnswerCacheOptions{});
+  cache.FenceEpoch(2);
+  cache.Put(FingerprintOf(1), ResponseOfBytes(64), /*epoch=*/2);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // A stale worker fencing late must not clear newer-epoch entries.
+  cache.FenceEpoch(1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(AnswerCacheTest, StaleEpochPutDoesNotRepopulateFencedCache) {
+  AnswerCache cache(AnswerCacheOptions{});
+  cache.FenceEpoch(1);  // reconfiguration fenced mid-evaluation
+  // A response computed under epoch 0 must be dropped: its fingerprint
+  // is unreachable by any current-epoch request, and no future
+  // FenceEpoch(1) would ever drop it.
+  cache.Put(FingerprintOf(1), ResponseOfBytes(64), /*epoch=*/0);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  cache.Put(FingerprintOf(2), ResponseOfBytes(64), /*epoch=*/1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(QueryServiceTest, ReconfigurationFencesAnswerCache) {
+  Engine::Options engine_options;
+  engine_options.target_mb = 0.05;
+  engine_options.num_mappings = 8;
+  auto owned = Engine::Create(engine_options);
+  ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+  Engine* engine = owned.ValueOrDie().get();
+
+  QueryService service(engine, ServiceOptions{});
+  QueryRequest request{core::QueryById("Q1").query, Method::kQSharing};
+  ASSERT_TRUE(service.SubmitOne(request).status.ok());
+  EXPECT_EQ(service.cache_stats().entries, 1u);
+  engine->UseTopMappings(4);
+  // The next dispatch notices the epoch change and drops the (already
+  // unreachable) pre-reconfiguration entries.
+  ASSERT_TRUE(service.SubmitOne(request).status.ok());
+  EXPECT_EQ(service.cache_stats().entries, 1u);
+  EXPECT_EQ(service.cache_stats().evictions, 0u);
 }
 
 TEST(QueryServiceTest, ZeroCapacityDisablesCaching) {
