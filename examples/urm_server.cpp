@@ -7,7 +7,12 @@
 /// by leaf through a core::AnswerSink.
 ///
 ///   urm_server [--mb 1.0] [--h 100] [--threads 4] [--cache 256]
-///              [--parallelism 1] [--store-mb 256] [--ttl 0]
+///              [--parallelism 1] [--shards 1] [--store-mb 256] [--ttl 0]
+///
+/// --shards S > 1 evaluates every request over the mapping set split
+/// into S contiguous probability-renormalized shards, concurrently on
+/// the pool, with a deterministic per-shard answer merge (the h ≫ 10³
+/// scaling path; see docs/TUNING.md).
 ///
 /// Commands (one per line):
 ///   run Q4 [method]            evaluate one query (default osharing)
@@ -58,6 +63,7 @@ struct ServerArgs {
   int threads = 4;
   size_t cache = 256;
   int parallelism = 1;
+  int shards = 1;           ///< mapping shards per evaluation (1 = off)
   double store_mb = 256.0;  ///< operator-store byte budget (0 disables)
   double ttl = 0.0;         ///< answer-cache TTL seconds (0 = none)
 };
@@ -106,6 +112,7 @@ class ServiceDirectory {
     service_options.cache_capacity = args_.cache;
     service_options.cache_ttl_seconds = args_.ttl;
     service_options.intra_query_parallelism = args_.parallelism;
+    service_options.mapping_shards = args_.shards;
     service_options.share_operators = args_.store_mb > 0.0;
     service_options.operator_store_bytes =
         static_cast<size_t>(args_.store_mb * 1024 * 1024);
@@ -121,18 +128,20 @@ class ServiceDirectory {
       std::printf("no engines built yet\n");
       return;
     }
+    // Every counter is printed under its CacheStats / OperatorStoreStats
+    // field name; the glossary for all of them is in docs/TUNING.md.
     for (const auto& [schema, entry] : services_) {
       service::CacheStats stats = entry.service->cache_stats();
-      std::printf("%-8s answers:   %zu entries (%.1f KB), %zu hits, "
-                  "%zu misses, %zu evictions, %zu expired\n",
+      std::printf("%-8s answers:   entries=%zu bytes=%.1fKB hits=%zu "
+                  "misses=%zu evictions=%zu expirations=%zu\n",
                   datagen::TargetSchemaName(schema), stats.entries,
                   stats.bytes / 1024.0, stats.hits, stats.misses,
                   stats.evictions, stats.expirations);
       osharing::OperatorStoreStats store =
           entry.service->operator_store_stats();
-      std::printf("%-8s operators: %zu entries (%.1f KB), %zu hits "
-                  "(%zu single-flight), %zu misses, %zu evictions, "
-                  "%.1f KB reused\n",
+      std::printf("%-8s operators: entries=%zu bytes=%.1fKB hits=%zu "
+                  "single_flight_waits=%zu misses=%zu evictions=%zu "
+                  "bytes_reused=%.1fKB\n",
                   "", store.entries, store.bytes / 1024.0, store.hits,
                   store.single_flight_waits, store.misses,
                   store.evictions, store.bytes_reused / 1024.0);
@@ -175,8 +184,10 @@ void PrintResponse(const std::string& label,
       if (r.evaluate.stats.cache_hits + r.evaluate.stats.cache_misses > 0) {
         // Operator-cache observability: how much materialization this
         // evaluation reused (op-cache + shared store) vs computed.
-        std::printf("  [ops: %zu hit / %zu miss, %zu shared, "
-                    "%.1f KB reused]",
+        // Every field is labelled with its EvalStats name; the field
+        // glossary lives in docs/TUNING.md.
+        std::printf("  [ops: cache_hits=%zu cache_misses=%zu "
+                    "store_hits=%zu cache_bytes_saved=%.1fKB]",
                     r.evaluate.stats.cache_hits,
                     r.evaluate.stats.cache_misses,
                     r.evaluate.stats.store_hits,
@@ -429,6 +440,8 @@ int main(int argc, char** argv) {
       args.cache = static_cast<size_t>(std::atoll(next("--cache")));
     else if (std::strcmp(argv[i], "--parallelism") == 0)
       args.parallelism = std::atoi(next("--parallelism"));
+    else if (std::strcmp(argv[i], "--shards") == 0)
+      args.shards = std::atoi(next("--shards"));
     else if (std::strcmp(argv[i], "--store-mb") == 0)
       args.store_mb = std::atof(next("--store-mb"));
     else if (std::strcmp(argv[i], "--ttl") == 0)
@@ -439,9 +452,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("urm query service (threads=%d, cache=%zu, parallelism=%d); "
-              "'help' lists commands\n",
-              args.threads, args.cache, args.parallelism);
+  std::printf("urm query service (threads=%d, cache=%zu, parallelism=%d, "
+              "shards=%d); 'help' lists commands\n",
+              args.threads, args.cache, args.parallelism, args.shards);
   ServiceDirectory directory(args);
 
   std::string line;

@@ -1,5 +1,10 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <optional>
+
+#include "common/timer.h"
+#include "mapping/sharded.h"
 #include "matching/matcher.h"
 #include "qsharing/qsharing.h"
 #include "reformulation/reformulator.h"
@@ -106,9 +111,53 @@ Result<Response> Engine::Run(const Request& request,
   return response;
 }
 
+Result<baselines::MethodResult> Engine::EvaluateMethodOverMappings(
+    const reformulation::TargetQueryInfo& info, const Request& request,
+    const EvalOptions& eval, const std::vector<mapping::Mapping>& mappings,
+    uint64_t store_shard_epoch, osharing::LeafVisitor* tee) const {
+  reformulation::Reformulator reformulator(source_schema_);
+  baselines::ExecOptions exec;
+  exec.parallelism = eval.parallelism;
+  exec.pool = eval.pool;
+  switch (request.method) {
+    case Method::kBasic:
+      return baselines::RunBasic(info, baselines::AsWeighted(mappings),
+                                 catalog_, reformulator, exec);
+    case Method::kEBasic:
+      return baselines::RunEBasic(info, baselines::AsWeighted(mappings),
+                                  catalog_, reformulator, exec);
+    case Method::kEMqo:
+      return baselines::RunEMqo(info, baselines::AsWeighted(mappings),
+                                catalog_, reformulator, exec);
+    case Method::kQSharing:
+      return qsharing::RunQSharing(info, mappings, catalog_, reformulator,
+                                   exec);
+    case Method::kOSharing: {
+      osharing::OSharingOptions options;
+      options.strategy = request.strategy.value_or(options_.strategy);
+      options.random_seed = options_.seed;
+      options.parallelism = eval.parallelism;
+      options.pool = eval.pool;
+      options.tee = tee;
+      options.store = eval.operator_store;
+      options.store_epoch = mapping_epoch_;
+      options.store_shard_epoch = store_shard_epoch;
+      return osharing::RunOSharing(info, mappings, catalog_, options);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
 Result<Response> Engine::RunInternal(const Request& request,
                                      const EvalOptions& eval) const {
   URM_RETURN_NOT_OK(ValidateRequest(request));
+  // Sharded dispatch: streaming requests stay on the single-pass path
+  // (a per-shard merge has no global leaf order to stream), and a set
+  // that cannot be split (h < 2) falls through below.
+  if (eval.mapping_shards > 1 && eval.sink == nullptr &&
+      mappings_.size() > 1) {
+    return RunSharded(request, eval);
+  }
   SinkLeafAdapter adapter(eval.sink);
   osharing::LeafVisitor* tee = eval.sink != nullptr ? &adapter : nullptr;
 
@@ -118,46 +167,9 @@ Result<Response> Engine::RunInternal(const Request& request,
     case RequestKind::kEvaluate: {
       auto info = Analyze(request.query);
       if (!info.ok()) return info.status();
-      reformulation::Reformulator reformulator(source_schema_);
-      baselines::ExecOptions exec;
-      exec.parallelism = eval.parallelism;
-      exec.pool = eval.pool;
-      Result<baselines::MethodResult> result =
-          Status::Internal("unreachable");
-      switch (request.method) {
-        case Method::kBasic:
-          result = baselines::RunBasic(info.ValueOrDie(),
-                                       baselines::AsWeighted(mappings_),
-                                       catalog_, reformulator, exec);
-          break;
-        case Method::kEBasic:
-          result = baselines::RunEBasic(info.ValueOrDie(),
-                                        baselines::AsWeighted(mappings_),
-                                        catalog_, reformulator, exec);
-          break;
-        case Method::kEMqo:
-          result = baselines::RunEMqo(info.ValueOrDie(),
-                                      baselines::AsWeighted(mappings_),
-                                      catalog_, reformulator, exec);
-          break;
-        case Method::kQSharing:
-          result = qsharing::RunQSharing(info.ValueOrDie(), mappings_,
-                                         catalog_, reformulator, exec);
-          break;
-        case Method::kOSharing: {
-          osharing::OSharingOptions options;
-          options.strategy = request.strategy.value_or(options_.strategy);
-          options.random_seed = options_.seed;
-          options.parallelism = eval.parallelism;
-          options.pool = eval.pool;
-          options.tee = tee;
-          options.store = eval.operator_store;
-          options.store_epoch = mapping_epoch_;
-          result = osharing::RunOSharing(info.ValueOrDie(), mappings_,
-                                         catalog_, options);
-          break;
-        }
-      }
+      auto result = EvaluateMethodOverMappings(info.ValueOrDie(), request,
+                                               eval, mappings_,
+                                               /*store_shard_epoch=*/0, tee);
       if (!result.ok()) return result.status();
       response.evaluate = std::move(result).ValueOrDie();
       return response;
@@ -207,6 +219,183 @@ Result<Response> Engine::RunInternal(const Request& request,
                                        catalog_, request.threshold, options);
       if (!result.ok()) return result.status();
       response.threshold = std::move(result).ValueOrDie();
+      return response;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+
+/// Reweights one shard's answer set by its probability mass into
+/// `merged`. Determinism: shards merge in shard order (the caller's
+/// loop) and tuples within a shard in their accumulation order, so
+/// repeated sharded evaluations produce the same AnswerSet — and, for
+/// exactly representable probabilities, the same bits as the unsharded
+/// pass.
+void MergeShardAnswers(const reformulation::AnswerSet& shard_answers,
+                       double mass, reformulation::AnswerSet* merged) {
+  for (const reformulation::AnswerTuple& t : shard_answers.tuples()) {
+    merged->Add(t.values, t.probability * mass);
+  }
+  merged->AddNull(shard_answers.null_probability() * mass);
+}
+
+constexpr double kShardMergeEps = 1e-12;  ///< mirrors the u-trace sinks
+
+}  // namespace
+
+std::shared_ptr<const mapping::ShardedMappingSet> Engine::ShardedView(
+    size_t num_shards) const {
+  std::lock_guard<std::mutex> lock(shard_memo_mu_);
+  if (shard_memo_ == nullptr || shard_memo_epoch_ != mapping_epoch_ ||
+      shard_memo_count_ != num_shards) {
+    shard_memo_ = std::make_shared<const mapping::ShardedMappingSet>(
+        mapping::ShardedMappingSet::Build(mappings_, num_shards));
+    shard_memo_epoch_ = mapping_epoch_;
+    shard_memo_count_ = num_shards;
+  }
+  return shard_memo_;
+}
+
+Result<Response> Engine::RunSharded(const Request& request,
+                                    const EvalOptions& eval) const {
+  Timer timer;
+  const std::shared_ptr<const mapping::ShardedMappingSet> view =
+      ShardedView(static_cast<size_t>(std::max(eval.mapping_shards, 1)));
+  const mapping::ShardedMappingSet& sharded = *view;
+  if (sharded.num_shards() <= 1) {
+    EvalOptions whole = eval;
+    whole.mapping_shards = 1;
+    return RunInternal(request, whole);
+  }
+
+  auto info = Analyze(request.query);
+  if (!info.ok()) return info.status();
+  std::optional<reformulation::TargetQueryInfo> right_info;
+  if (request.kind == RequestKind::kSetOp) {
+    auto right = Analyze(request.right);
+    if (!right.ok()) return right.status();
+    right_info = std::move(right).ValueOrDie();
+  }
+
+  // Per-shard evaluation: each shard is a well-formed renormalized
+  // mapping set evaluated by its own engine clone (private
+  // reformulator / o-sharing engine; shared read-only catalog and
+  // query info). The QueryService's OperatorStore is shared by all
+  // shards, each under its shard-local key epoch. Within a shard the
+  // evaluation may fan out further (eval.parallelism); the nested
+  // ParallelFor is claim-based and deadlock-free.
+  EvalOptions shard_eval = eval;
+  shard_eval.mapping_shards = 1;
+  shard_eval.sink = nullptr;
+  const size_t num_shards = sharded.num_shards();
+  std::vector<Result<baselines::MethodResult>> parts(
+      num_shards, Result<baselines::MethodResult>(
+                      Status::Internal("shard not evaluated")));
+  auto eval_shard = [&](size_t s) {
+    const mapping::MappingShard& shard = sharded.shard(s);
+    switch (request.kind) {
+      case RequestKind::kEvaluate:
+        parts[s] = EvaluateMethodOverMappings(info.ValueOrDie(), request,
+                                              shard_eval, shard.mappings,
+                                              shard.hash, nullptr);
+        return;
+      case RequestKind::kSetOp: {
+        reformulation::Reformulator reformulator(source_schema_);
+        parts[s] = core::EvaluateSetOp(info.ValueOrDie(), *right_info,
+                                       request.set_op, shard.mappings,
+                                       catalog_, reformulator);
+        return;
+      }
+      case RequestKind::kTopK:
+      case RequestKind::kThreshold: {
+        // Top-k / threshold shards compute their complete renormalized
+        // answer mass with the full o-sharing scan: a shard cannot
+        // prune locally below the global rank/threshold cut (a tuple's
+        // probability sums contributions across shards), so its only
+        // sound early-termination bound is its own exhausted mass —
+        // which the scan applies by construction. The cut happens on
+        // the merged exact probabilities below.
+        osharing::OSharingOptions options;
+        options.strategy = request.strategy.value_or(options_.strategy);
+        options.random_seed = options_.seed;
+        options.parallelism = shard_eval.parallelism;
+        options.pool = shard_eval.pool;
+        options.store = shard_eval.operator_store;
+        options.store_epoch = mapping_epoch_;
+        options.store_shard_epoch = shard.hash;
+        parts[s] = osharing::RunOSharing(info.ValueOrDie(), shard.mappings,
+                                         catalog_, options);
+        return;
+      }
+    }
+    parts[s] = Status::Internal("unreachable request kind");
+  };
+  if (eval.pool != nullptr) {
+    eval.pool->ParallelFor(num_shards, eval_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) eval_shard(s);
+  }
+  for (const auto& part : parts) {
+    if (!part.ok()) return part.status();
+  }
+
+  // Deterministic merge in shard order, reweighted by shard mass.
+  baselines::MethodResult combined;
+  combined.answers = reformulation::AnswerSet(
+      parts[0].ValueOrDie().answers.column_names());
+  for (size_t s = 0; s < num_shards; ++s) {
+    const baselines::MethodResult& part = parts[s].ValueOrDie();
+    MergeShardAnswers(part.answers, sharded.shard(s).mass,
+                      &combined.answers);
+    combined.stats += part.stats;
+    combined.rewrite_seconds += part.rewrite_seconds;
+    combined.plan_seconds += part.plan_seconds;
+    combined.eval_seconds += part.eval_seconds;
+    combined.aggregate_seconds += part.aggregate_seconds;
+    combined.source_queries += part.source_queries;
+    combined.partitions += part.partitions;
+  }
+
+  Response response;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case RequestKind::kEvaluate:
+    case RequestKind::kSetOp:
+      response.evaluate = std::move(combined);
+      return response;
+    case RequestKind::kTopK: {
+      // AnswerSet::TopK is (probability desc, row order) — the same
+      // tie order as the unsharded top-k extraction, over exact
+      // probabilities.
+      auto top = combined.answers.TopK(request.k);
+      topk::TopKResult result;
+      result.tuples.reserve(top.size());
+      for (auto& t : top) {
+        result.tuples.push_back(topk::TopKEntry{
+            std::move(t.values), t.probability, t.probability});
+      }
+      result.early_terminated = false;  // every shard scanned its mass
+      result.leaves_visited = combined.source_queries;
+      result.stats = combined.stats;
+      result.seconds = timer.Seconds();
+      response.top_k = std::move(result);
+      return response;
+    }
+    case RequestKind::kThreshold: {
+      auto sorted = combined.answers.Sorted();
+      topk::ThresholdResult result;
+      for (auto& t : sorted) {
+        if (t.probability + kShardMergeEps < request.threshold) break;
+        result.tuples.push_back(topk::ThresholdEntry{
+            std::move(t.values), t.probability, t.probability});
+      }
+      result.early_terminated = false;
+      result.leaves_visited = combined.source_queries;
+      result.stats = combined.stats;
+      result.seconds = timer.Seconds();
+      response.threshold = std::move(result);
       return response;
     }
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "datagen/target_schemas.h"
 #include "datagen/tpch.h"
 #include "mapping/generator.h"
+#include "mapping/sharded.h"
 #include "osharing/osharing.h"
 #include "topk/threshold.h"
 #include "topk/topk.h"
@@ -25,7 +27,8 @@
 /// and answers probabilistic queries of every kind through the unified
 /// request API: build a core::Request (method evaluation, top-k,
 /// set-op, or threshold) and dispatch it with Run. See request.h for
-/// the envelope and the AnswerSink streaming hook.
+/// the envelope and the AnswerSink streaming hook, and
+/// EvalOptions::mapping_shards for sharded (h ≫ 10³) evaluation.
 ///
 /// Quickstart:
 /// \code
@@ -85,6 +88,11 @@ class Engine {
       matching::SchemaDef target_schema,
       std::vector<mapping::Mapping> mappings, Options options);
 
+  /// Configuration accessors. Safe to call concurrently with
+  /// evaluations; the references stay valid for the engine's lifetime,
+  /// but `mappings()` contents change under UseTopMappings (a
+  /// stop-the-world reconfiguration — do not hold the reference across
+  /// one).
   const relational::Catalog& catalog() const { return catalog_; }
   const matching::SchemaDef& source_schema() const { return source_schema_; }
   const matching::SchemaDef& target_schema() const { return target_schema_; }
@@ -121,6 +129,21 @@ class Engine {
   struct EvalOptions {
     int parallelism = 1;
     ThreadPool* pool = nullptr;
+    /// Partition the active mapping set into this many contiguous
+    /// probability-renormalized shards (mapping::ShardedMappingSet),
+    /// evaluate each shard independently — its own engine clone /
+    /// reformulator, concurrently when `pool` is set — and merge the
+    /// per-shard AnswerSets deterministically in shard order,
+    /// reweighting probabilities by shard mass. <= 1 evaluates the
+    /// whole set in one pass (the default; bit-identical to the
+    /// pre-sharding behavior). Applies to all four request kinds; for
+    /// top-k / threshold each shard computes its complete renormalized
+    /// answer mass (per-shard scans still terminate on their own
+    /// exhausted-mass bound) and the rank/threshold cut happens on the
+    /// merged exact probabilities. Ignored for streaming requests
+    /// (`sink` set): a sharded merge has no global leaf order to
+    /// stream.
+    int mapping_shards = 1;
     /// Streams u-trace leaf answers as they are produced (o-sharing
     /// evaluation, top-k, threshold); see core::AnswerSink. May be
     /// null. OnComplete fires for every request kind.
@@ -143,40 +166,36 @@ class Engine {
   /// Run with default EvalOptions (sequential, no streaming).
   Result<Response> Run(const Request& request) const;
 
-  /// Evaluates a probabilistic query with the chosen method.
-  /// \deprecated Thin wrapper over Run(Request::MethodEval(...)).
+  // Legacy per-kind entry points. All are thin wrappers over Run with
+  // the matching Request factory — same results, same costs, same
+  // thread-safety (const, concurrent) — kept for source compatibility.
+  // New code should construct Requests (see the migration note above);
+  // only Run offers streaming sinks, sharding, and the service tier's
+  // fingerprint/dedup/cache machinery.
+
+  /// \deprecated Run(Request::MethodEval(query, method)).
   Result<baselines::MethodResult> Evaluate(const algebra::PlanPtr& query,
                                            Method method) const;
 
-  /// Evaluate with explicit parallelism options; identical results to
-  /// the sequential overload (bit-identical for deterministic
-  /// strategies, see OSharingOptions::parallelism).
-  /// \deprecated Thin wrapper over Run(Request::MethodEval(...), eval).
+  /// \deprecated Run(Request::MethodEval(query, method), eval).
   Result<baselines::MethodResult> Evaluate(const algebra::PlanPtr& query,
                                            Method method,
                                            const EvalOptions& eval) const;
 
-  /// o-sharing with an explicit operator-selection strategy (used by
-  /// the strategy-comparison experiments, Fig. 11(f) / Table IV).
-  /// \deprecated Thin wrapper over Run with Request::WithStrategy.
+  /// \deprecated Run(Request::MethodEval(...).WithStrategy(strategy)).
   Result<baselines::MethodResult> EvaluateOSharing(
       const algebra::PlanPtr& query, osharing::StrategyKind strategy) const;
 
-  /// Evaluates a probabilistic top-k query (§VII).
-  /// \deprecated Thin wrapper over Run(Request::TopK(...)).
+  /// \deprecated Run(Request::TopK(query, k)).
   Result<topk::TopKResult> EvaluateTopK(const algebra::PlanPtr& query,
                                         size_t k) const;
 
-  /// Evaluates `left OP right` (probabilistic set operations — the
-  /// paper's future-work extension; see setops.h).
-  /// \deprecated Thin wrapper over Run(Request::SetOp(...)).
+  /// \deprecated Run(Request::SetOp(left, right, kind)).
   Result<baselines::MethodResult> EvaluateSetOp(
       const algebra::PlanPtr& left, const algebra::PlanPtr& right,
       SetOpKind kind) const;
 
-  /// Evaluates a probability-threshold query: all tuples with
-  /// Pr >= threshold (extension; see threshold.h).
-  /// \deprecated Thin wrapper over Run(Request::Threshold(...)).
+  /// \deprecated Run(Request::Threshold(query, threshold)).
   Result<topk::ThresholdResult> EvaluateThreshold(
       const algebra::PlanPtr& query, double threshold) const;
 
@@ -193,6 +212,35 @@ class Engine {
   Result<Response> RunInternal(const Request& request,
                                const EvalOptions& eval) const;
 
+  /// Sharded evaluation (EvalOptions::mapping_shards > 1): builds the
+  /// ShardedMappingSet, evaluates every shard (concurrently when
+  /// eval.pool is set), and merges the per-shard results in shard
+  /// order. Falls back to the single-pass path when the set cannot be
+  /// split (h < 2).
+  Result<Response> RunSharded(const Request& request,
+                              const EvalOptions& eval) const;
+
+  /// The memoized sharded view of the active mapping set for
+  /// `num_shards`, rebuilt only when the reconfiguration epoch or the
+  /// requested shard count changes — serving a sharded request is
+  /// O(plan), not O(h), after the first build (mirrors the
+  /// mapping-set-hash memo). Callers alternating shard counts on one
+  /// engine thrash the memo but stay correct (each gets its own
+  /// shared_ptr).
+  std::shared_ptr<const mapping::ShardedMappingSet> ShardedView(
+      size_t num_shards) const;
+
+  /// The kEvaluate method dispatch over an explicit mapping set — one
+  /// code path shared by the whole-set evaluation and every shard
+  /// evaluation, so the merged sharded result cannot drift from the
+  /// unsharded one. `store_shard_epoch` is 0 for whole-set runs, the
+  /// shard's identity hash otherwise (see OperatorKey::shard_epoch).
+  Result<baselines::MethodResult> EvaluateMethodOverMappings(
+      const reformulation::TargetQueryInfo& info, const Request& request,
+      const EvalOptions& eval,
+      const std::vector<mapping::Mapping>& mappings,
+      uint64_t store_shard_epoch, osharing::LeafVisitor* tee) const;
+
   /// Refreshes the memoized mapping-set hash (construction and each
   /// reconfiguration).
   void RefreshMappingSetHash();
@@ -205,6 +253,12 @@ class Engine {
   std::vector<mapping::Mapping> mappings_;      ///< active (top-h) set
   uint64_t mapping_set_hash_ = 0;
   uint64_t mapping_epoch_ = 0;
+  /// ShardedView memo (guarded by shard_memo_mu_): the sharded set for
+  /// the last (epoch, shard count) pair requested.
+  mutable std::mutex shard_memo_mu_;
+  mutable std::shared_ptr<const mapping::ShardedMappingSet> shard_memo_;
+  mutable uint64_t shard_memo_epoch_ = 0;
+  mutable size_t shard_memo_count_ = 0;
   Options options_;
 };
 

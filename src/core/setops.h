@@ -35,6 +35,8 @@ const char* SetOpName(SetOpKind kind);
 /// Evaluates `left OP right` over the mapping set. Fails when the two
 /// queries' output arities differ. A mapping that cannot answer a side
 /// treats that side as empty (∅ ∪ B = B, ∅ ∩ B = ∅, ∅ − B = ∅).
+/// Thread-safe for concurrent calls (reads `mappings`/`catalog` only);
+/// the sharded evaluation path runs it once per mapping shard.
 Result<baselines::MethodResult> EvaluateSetOp(
     const reformulation::TargetQueryInfo& left,
     const reformulation::TargetQueryInfo& right, SetOpKind kind,

@@ -1,0 +1,68 @@
+#include "mapping/sharded.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash_util.h"
+
+namespace urm {
+namespace mapping {
+
+ShardedMappingSet ShardedMappingSet::Build(
+    const std::vector<Mapping>& mappings, size_t num_shards) {
+  ShardedMappingSet out;
+  const size_t h = mappings.size();
+  if (h == 0) return out;
+  const size_t s = std::max<size_t>(1, std::min(num_shards, h));
+
+  out.shards_.reserve(s);
+  const size_t base = h / s;
+  const size_t extra = h % s;
+  size_t next = 0;
+  for (size_t i = 0; i < s; ++i) {
+    MappingShard shard;
+    shard.first = next;
+    const size_t count = base + (i < extra ? 1 : 0);
+    shard.mappings.assign(mappings.begin() + static_cast<long>(next),
+                          mappings.begin() + static_cast<long>(next + count));
+    next += count;
+    for (const Mapping& m : shard.mappings) shard.mass += m.probability();
+    if (shard.mass > 0.0) {
+      for (Mapping& m : shard.mappings) {
+        m.set_probability(m.probability() / shard.mass);
+      }
+    }
+    shard.hash = MappingSetHash(shard.mappings);
+    out.shards_.push_back(std::move(shard));
+  }
+
+  size_t seed = 0x9e3779b97f4a7c15ULL;
+  HashCombine(seed, s);
+  for (const MappingShard& shard : out.shards_) {
+    HashCombine(seed, static_cast<size_t>(shard.hash));
+    uint64_t mass_bits = 0;
+    static_assert(sizeof(mass_bits) == sizeof(shard.mass),
+                  "double must be 64-bit");
+    std::memcpy(&mass_bits, &shard.mass, sizeof(mass_bits));
+    HashCombine(seed, static_cast<size_t>(mass_bits));
+  }
+  out.config_hash_ = static_cast<uint64_t>(seed);
+  return out;
+}
+
+double ShardedMappingSet::total_mass() const {
+  double total = 0.0;
+  for (const MappingShard& shard : shards_) total += shard.mass;
+  return total;
+}
+
+uint64_t ShardContextHash(uint64_t mapping_set_hash, size_t num_shards) {
+  if (num_shards <= 1) return mapping_set_hash;
+  size_t seed = static_cast<size_t>(mapping_set_hash);
+  HashCombine(seed, static_cast<size_t>(0x5348415244u));  // "SHARD"
+  HashCombine(seed, num_shards);
+  return static_cast<uint64_t>(seed);
+}
+
+}  // namespace mapping
+}  // namespace urm

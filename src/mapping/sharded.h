@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/mapping.h"
+
+/// \file sharded.h
+/// Sharded mapping sets: the h possible mappings partitioned into S
+/// contiguous, probability-renormalized shards so the serving tier can
+/// evaluate them concurrently (one engine clone per shard) and merge
+/// the per-shard AnswerSets deterministically. The paper's experiments
+/// stop at h ≈ 10³ because every method walks the whole mapping set in
+/// one pass; sharding the mapping dimension unlocks h ≫ 10³ and maps
+/// directly onto distributed serving (one shard per node).
+///
+/// Semantics: the mappings of a set are mutually exclusive and their
+/// probabilities sum to 1, so for any answer tuple t
+///
+///     Pr(t) = Σ_m Pr(m)·[t ∈ answer under m]
+///           = Σ_s mass_s · Σ_{m ∈ shard s} Pr'_s(m)·[t ∈ answer under m]
+///
+/// where mass_s is the shard's original probability mass and Pr'_s the
+/// probability renormalized within the shard (Pr(m) / mass_s). Each
+/// shard is therefore a well-formed mapping set in its own right
+/// (probabilities sum to ~1, so every per-shard algorithm — including
+/// the u-trace mass bounds that drive top-k / threshold early
+/// termination — runs unchanged), and the merge reweights each shard's
+/// answer probabilities by mass_s and accumulates in shard order.
+///
+/// Shards are contiguous ranges of the source set (which is sorted by
+/// score), so the merge order is deterministic and, for exactly
+/// representable probabilities, the merged probabilities are
+/// bit-identical to the unsharded evaluation; for arbitrary doubles the
+/// renormalize/reweight round-trip agrees within a few ulp (the
+/// determinism property tests assert 1e-12).
+
+namespace urm {
+namespace mapping {
+
+/// \brief One shard: a contiguous slice of the source mapping set with
+/// probabilities renormalized to sum to ~1.
+///
+/// Immutable after ShardedMappingSet::Build; safe to read from any
+/// number of concurrent shard evaluations.
+struct MappingShard {
+  /// The shard's mappings, probabilities renormalized by 1/mass.
+  std::vector<Mapping> mappings;
+  /// Original probability mass of the slice (Σ over all shards ≈ 1);
+  /// the merge weight for this shard's answer probabilities.
+  double mass = 0.0;
+  /// Index of the shard's first mapping in the source set (shards
+  /// cover [first, first + mappings.size()) contiguously).
+  size_t first = 0;
+  /// MappingSetHash of the renormalized shard — the shard's identity.
+  /// Stable across repeated Build calls over the same source set, so
+  /// per-shard store entries and fences key on it (see
+  /// osharing::OperatorKey::shard_epoch): the shard-local epoch value
+  /// that keeps one shard's materializations distinct from its
+  /// siblings' while staying reusable across queries.
+  uint64_t hash = 0;
+};
+
+/// \brief The h mappings partitioned into S contiguous
+/// probability-renormalized shards.
+///
+/// Build is deterministic: same source set and shard count produce the
+/// same shards, masses, and hashes. The object is immutable afterwards
+/// and safe to share across threads.
+class ShardedMappingSet {
+ public:
+  /// Partitions `mappings` into min(num_shards, h) contiguous shards of
+  /// near-equal size (the first h % S shards take one extra mapping)
+  /// and renormalizes each shard's probabilities by its mass. A
+  /// zero-mass slice (degenerate input) keeps its original
+  /// probabilities and merges with weight 0. num_shards == 0 is
+  /// treated as 1; an empty source set produces zero shards.
+  static ShardedMappingSet Build(const std::vector<Mapping>& mappings,
+                                 size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+  const MappingShard& shard(size_t i) const { return shards_[i]; }
+  const std::vector<MappingShard>& shards() const { return shards_; }
+
+  /// Σ shard masses; ~1 for a well-formed source set.
+  double total_mass() const;
+
+  /// Order-sensitive hash of the full shard configuration (shard
+  /// count + every shard's hash and mass bits) — changes whenever the
+  /// source set, its probabilities, or the shard count change.
+  uint64_t config_hash() const { return config_hash_; }
+
+ private:
+  std::vector<MappingShard> shards_;
+  uint64_t config_hash_ = 0;
+};
+
+/// O(1) companion of ShardedMappingSet::config_hash for cache keys: the
+/// serving tier folds the shard count into the (already memoized)
+/// mapping-set hash without materializing the shards, so fingerprints
+/// of sharded and unsharded evaluations of the same request never
+/// collide. ShardContextHash(hash, 0) == ShardContextHash(hash, 1) ==
+/// hash: a single shard is the unsharded evaluation.
+uint64_t ShardContextHash(uint64_t mapping_set_hash, size_t num_shards);
+
+}  // namespace mapping
+}  // namespace urm

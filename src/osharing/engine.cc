@@ -329,6 +329,7 @@ Result<relational::RelationPtr> OSharingEngine::RunSelection(
     OperatorKey store_key;
     store_key.catalog = &catalog_;
     store_key.epoch = options_.store_epoch;
+    store_key.shard_epoch = options_.store_shard_epoch;
     store_key.input = input.get();
     store_key.op_hash = key.pred_hash;
     bool shared = false;
@@ -386,6 +387,7 @@ Result<RelationPtr> OSharingEngine::MaterializeScan(
     OperatorKey store_key;
     store_key.catalog = &catalog_;
     store_key.epoch = options_.store_epoch;
+    store_key.shard_epoch = options_.store_shard_epoch;
     store_key.op_hash = HashOperatorRender(render);
     bool shared = false;
     size_t bytes = 0;

@@ -82,6 +82,15 @@ struct OSharingOptions {
   /// stale entries are unreachable after a reconfiguration even before
   /// the store is fenced.
   uint64_t store_epoch = 0;
+  /// Shard-local epoch component folded into every store key
+  /// (OperatorKey::shard_epoch): 0 when this evaluation runs over the
+  /// whole mapping set; the shard's identity hash
+  /// (mapping::MappingShard::hash) when it runs over one shard of a
+  /// sharded set. Keeps each shard's materializations in their own key
+  /// space (reused by later queries over the same shard, never by
+  /// sibling shards) without disturbing the monotonic store_epoch the
+  /// fence compares against.
+  uint64_t store_shard_epoch = 0;
   /// Secondary observer of the leaf stream: the Run* drivers
   /// (osharing / top-k / threshold) tee every leaf to it alongside
   /// their own accumulating visitor — this is how the serving tier's
@@ -143,6 +152,15 @@ class TeeVisitor : public LeafVisitor {
 };
 
 /// \brief Executes the u-trace for one query over one source instance.
+///
+/// Thread-safety: one engine instance is single-threaded (Init, then
+/// Run or RunParallel once; private memos and stats are unsynchronized
+/// by design). Concurrency comes from *clones*: RunParallel spawns one
+/// clone per fanned-out branch, and the serving tier runs independent
+/// engines per query/shard — all sharing one OperatorStore, which is
+/// internally synchronized and epoch/shard-keyed (options.store_epoch,
+/// options.store_shard_epoch) so fenced or sibling-shard entries can
+/// never be returned.
 class OSharingEngine {
  public:
   OSharingEngine(const reformulation::TargetQueryInfo& info,

@@ -30,9 +30,12 @@
 /// at the same time, one computes it and the other waits for that
 /// result instead of duplicating the work.
 ///
-/// Keys carry the catalog identity and the engine's mapping epoch;
-/// FenceEpoch drops every entry when the epoch advances (UseTopMappings
-/// reconfigurations), so a stale materialization can never be returned.
+/// Keys carry the catalog identity and the engine's mapping epoch —
+/// plus a shard-local epoch component when the evaluation runs over one
+/// shard of a sharded mapping set (see OperatorKey::shard_epoch);
+/// FenceEpoch drops every entry when the global epoch advances
+/// (UseTopMappings reconfigurations), so a stale materialization can
+/// never be returned, whether it was keyed whole-set or shard-local.
 /// Entries pin their input relation (pointer-identity keys stay valid —
 /// an input address cannot be recycled while an entry references it)
 /// and are evicted LRU per shard once the byte budget is exceeded —
@@ -70,6 +73,17 @@ struct OperatorStoreStats {
 struct OperatorKey {
   const void* catalog = nullptr;  ///< owning catalog (store may be shared)
   uint64_t epoch = 0;             ///< Engine::mapping_epoch at evaluation
+  /// Shard-local epoch component: 0 for whole-set evaluations; the
+  /// owning shard's identity hash (mapping::MappingShard::hash) for
+  /// sharded ones. The global `epoch` stays monotonic — it alone
+  /// drives FenceEpoch — while this field partitions the key space per
+  /// shard: one shard's materializations are distinct from its
+  /// siblings' (each shard's store slice is self-contained, the layout
+  /// a distributed deployment needs to place one shard per node), yet
+  /// repeated sharded queries in the same epoch still reuse them,
+  /// because a shard's hash is stable for a given source set and shard
+  /// count.
+  uint64_t shard_epoch = 0;
   /// Input relation identity for selections (entries pin the pointee);
   /// null for base-relation scans.
   const void* input = nullptr;
@@ -79,7 +93,8 @@ struct OperatorKey {
 
   bool operator==(const OperatorKey& other) const {
     return catalog == other.catalog && epoch == other.epoch &&
-           input == other.input && op_hash == other.op_hash;
+           shard_epoch == other.shard_epoch && input == other.input &&
+           op_hash == other.op_hash;
   }
 };
 
@@ -88,6 +103,7 @@ struct OperatorKeyHash {
     size_t seed = static_cast<size_t>(key.op_hash);
     HashCombine(seed, std::hash<const void*>{}(key.catalog));
     HashCombine(seed, static_cast<size_t>(key.epoch));
+    HashCombine(seed, static_cast<size_t>(key.shard_epoch));
     HashCombine(seed, std::hash<const void*>{}(key.input));
     return seed;
   }

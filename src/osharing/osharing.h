@@ -17,6 +17,11 @@ namespace urm {
 namespace osharing {
 
 /// Runs Algorithm 2 end to end and aggregates all leaf answers.
+/// Thread-safe for concurrent calls: each call builds its own engine
+/// state and only reads `mappings`/`catalog`; a shared
+/// options.store (OperatorStore) is internally synchronized, with
+/// entries keyed by options.store_epoch / store_shard_epoch so
+/// reconfigured or sibling-shard evaluations can never alias.
 Result<baselines::MethodResult> RunOSharing(
     const reformulation::TargetQueryInfo& info,
     const std::vector<mapping::Mapping>& mappings,

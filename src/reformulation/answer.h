@@ -47,6 +47,11 @@ class AnswerSet {
   bool empty() const { return tuples_.empty(); }
   double null_probability() const { return null_probability_; }
 
+  /// Tuples in first-insertion (accumulation) order — the deterministic
+  /// raw view the sharded-evaluation merge replays, reweighting each
+  /// shard's tuples by its probability mass in shard order.
+  const std::vector<AnswerTuple>& tuples() const { return tuples_; }
+
   /// Sum over tuples plus θ; ~1 for a complete evaluation.
   double TotalProbability() const;
 

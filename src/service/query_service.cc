@@ -1,9 +1,12 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <utility>
+
+#include "mapping/sharded.h"
 
 namespace urm {
 namespace service {
@@ -61,8 +64,14 @@ QueryService::QueryService(const core::Engine* engine,
 algebra::PlanFingerprint QueryService::Fingerprint(
     const core::Request& request) const {
   // The engine memoizes the mapping-set hash per reconfiguration
-  // epoch, so fingerprinting is O(plan size), not O(h mappings).
-  return core::FingerprintRequest(request, engine_->mapping_set_hash());
+  // epoch, so fingerprinting is O(plan size), not O(h mappings). The
+  // shard configuration is folded in (O(1), no shard materialization):
+  // sharded and unsharded evaluations of the same request agree only
+  // to ~1e-12, so their cached answers must not alias.
+  return core::FingerprintRequest(
+      request, mapping::ShardContextHash(
+                   engine_->mapping_set_hash(),
+                   static_cast<size_t>(std::max(options_.mapping_shards, 1))));
 }
 
 algebra::PlanFingerprint QueryService::Fingerprint(
@@ -162,6 +171,13 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
   // time — the opposite of what a sink is for.
   eval.parallelism =
       work->sink != nullptr ? 1 : options_.intra_query_parallelism;
+  // Sharded evaluation: the engine splits the mapping set into
+  // contiguous renormalized shards and fans them out on the pool.
+  // Streaming requests evaluate whole-set (a sharded merge has no
+  // global leaf order to stream); the engine enforces the same rule,
+  // but zeroing it here keeps the dispatch intent explicit.
+  eval.mapping_shards =
+      work->sink != nullptr ? 1 : options_.mapping_shards;
   eval.pool = &pool_;
   eval.sink = work->sink;
   if (operator_store_ != nullptr) {
@@ -198,7 +214,16 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
   // Publish to the cache before the in-flight entry disappears, so a
   // concurrent Dispatch always sees the response one way or the other;
   // the cache has its own lock, keeping mu_'s critical section O(1).
-  if (base.status.ok()) cache_.Put(work->fingerprint, base.response, epoch);
+  // Exception: on a shard-configured service a streaming evaluation
+  // ran whole-set (sinks bypass sharding), so its response must not be
+  // published under the shard-folded fingerprint — sharded and
+  // unsharded answers agree only to ~1e-12 and their cache entries
+  // must never alias.
+  const bool cacheable =
+      work->sink == nullptr || options_.mapping_shards <= 1;
+  if (base.status.ok() && cacheable) {
+    cache_.Put(work->fingerprint, base.response, epoch);
+  }
   std::vector<Work::Subscriber> subscribers;
   {
     std::lock_guard<std::mutex> lock(mu_);

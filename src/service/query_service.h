@@ -26,7 +26,10 @@
 ///     answer cache — so any repeated request evaluates once;
 ///   * distinct requests evaluate concurrently on a fixed thread pool,
 ///     and each evaluation can fan its mapping partitions out to the
-///     same pool (intra_query_parallelism);
+///     same pool (intra_query_parallelism) and/or split the mapping
+///     set into probability-renormalized shards evaluated concurrently
+///     and merged deterministically (mapping_shards — the h ≫ 10³
+///     scaling path; shard config is part of every fingerprint);
 ///   * completion is delivered as the caller prefers: a
 ///     std::future<QueryResponse> (SubmitAsync), a completion
 ///     callback, or a blocking wait (Submit);
@@ -76,6 +79,16 @@ struct ServiceOptions {
   /// core::Engine::EvalOptions). 1 keeps each evaluation sequential;
   /// the pool is then used for inter-query concurrency only.
   int intra_query_parallelism = 1;
+  /// Evaluate every request over the mapping set partitioned into this
+  /// many contiguous probability-renormalized shards, concurrently on
+  /// the pool, merging per-shard answers deterministically (see
+  /// core::Engine::EvalOptions::mapping_shards and
+  /// mapping::ShardedMappingSet). <= 1 (default) evaluates the whole
+  /// set in one pass. The shard count is folded into every request
+  /// fingerprint, so cached answers key on the shard configuration;
+  /// streaming (sink-bearing) requests ignore sharding and evaluate in
+  /// one pass.
+  int mapping_shards = 1;
   /// Share materialized o-sharing operators (selections + scans)
   /// across all evaluations of this service through one
   /// osharing::OperatorStore — concurrent and successive queries over
@@ -142,7 +155,9 @@ class QueryService {
   /// produced (see core::AnswerSink); a streaming request always
   /// evaluates — it bypasses cache lookup and in-flight sharing, since
   /// a shared or cached evaluation has no leaf stream to replay — but
-  /// its finished response still lands in the cache. Streaming
+  /// its finished response still lands in the cache (unless the
+  /// service is shard-configured: a streaming evaluation runs
+  /// whole-set, which must not alias the sharded cache keys). Streaming
   /// evaluations also ignore intra_query_parallelism (the parallel
   /// path replays buffered leaves only at the end, which would defeat
   /// time-to-first-answer). `callback`, if set, fires once, just

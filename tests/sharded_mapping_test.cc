@@ -1,0 +1,475 @@
+/// \file sharded_mapping_test.cc
+/// Sharded mapping sets (mapping::ShardedMappingSet) and the sharded
+/// evaluation path behind Engine::EvalOptions::mapping_shards /
+/// ServiceOptions::mapping_shards.
+///
+/// Determinism contract under test, per the two guarantees the engine
+/// documents:
+///  * exactly representable probabilities (dyadic, power-of-two shard
+///    masses) make every renormalize / accumulate / reweight step exact
+///    in IEEE double, so sharded results at S ∈ {1, 2, 4} are
+///    **bit-identical** to the unsharded pass for all four request
+///    kinds;
+///  * arbitrary probabilities agree within 1e-12 (randomized h/S
+///    property test).
+///
+/// The concurrent cases (pool-backed shard fan-out, concurrent sharded
+/// service submissions over one shared OperatorStore) run under TSan in
+/// CI alongside the other service suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "mapping/sharded.h"
+#include "service/query_service.h"
+#include "tests/paper_fixture.h"
+
+namespace urm {
+namespace core {
+namespace {
+
+using algebra::CmpOp;
+using algebra::MakeProject;
+using algebra::MakeScan;
+using algebra::MakeSelect;
+using algebra::PlanPtr;
+using algebra::Predicate;
+using reformulation::AnswerSet;
+using relational::RowsEqual;
+
+/// π_phone σ_addr=c Person over the paper fixture's target schema.
+PlanPtr PhoneByAddr(const std::string& c) {
+  return MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.addr", CmpOp::kEq, c)),
+      {"person.phone"});
+}
+
+/// π_addr σ_phone='123' Person (the paper's q0).
+PlanPtr AddrByPhone() {
+  return MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.phone", CmpOp::kEq, "123")),
+      {"person.addr"});
+}
+
+/// Exact (bitwise) AnswerSet equality: same tuples in the same sorted
+/// order with == probabilities — no epsilon.
+void ExpectBitIdentical(const AnswerSet& a, const AnswerSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.null_probability(), b.null_probability());
+  auto sa = a.Sorted();
+  auto sb = b.Sorted();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(sa[i].values, sb[i].values)) << "row " << i;
+    EXPECT_EQ(sa[i].probability, sb[i].probability) << "row " << i;
+  }
+}
+
+class ShardedMappingTest : public ::testing::Test {
+ protected:
+  ShardedMappingTest() : ex_(urm::testing::MakePaperExample()) {}
+
+  /// 8 mappings cycling the fixture's five pair-sets, each with
+  /// probability (and score) exactly 2^-3 — so contiguous shards at
+  /// S ∈ {1, 2, 4} have power-of-two masses {1, 0.5, 0.25} and every
+  /// renormalization and reweight is exact in IEEE double.
+  std::vector<mapping::Mapping> DyadicMappings() const {
+    std::vector<mapping::Mapping> out;
+    for (size_t i = 0; i < 8; ++i) {
+      mapping::Mapping m = ex_.mappings[i % ex_.mappings.size()];
+      m.set_probability(0.125);
+      m.set_score(0.125);
+      out.push_back(std::move(m));
+    }
+    return out;
+  }
+
+  std::unique_ptr<Engine> MakeEngine(
+      std::vector<mapping::Mapping> mappings) const {
+    Engine::Options options;
+    options.strategy = osharing::StrategyKind::kSEF;
+    return Engine::FromParts(ex_.catalog, ex_.source_schema,
+                             ex_.target_schema, std::move(mappings),
+                             options);
+  }
+
+  urm::testing::PaperExample ex_;
+};
+
+TEST_F(ShardedMappingTest, BuildPartitionsContiguouslyAndRenormalizes) {
+  auto mappings = DyadicMappings();
+  auto sharded = mapping::ShardedMappingSet::Build(mappings, 3);
+  ASSERT_EQ(sharded.num_shards(), 3u);
+  // 8 = 3 + 3 + 2, contiguous.
+  EXPECT_EQ(sharded.shard(0).mappings.size(), 3u);
+  EXPECT_EQ(sharded.shard(1).mappings.size(), 3u);
+  EXPECT_EQ(sharded.shard(2).mappings.size(), 2u);
+  EXPECT_EQ(sharded.shard(0).first, 0u);
+  EXPECT_EQ(sharded.shard(1).first, 3u);
+  EXPECT_EQ(sharded.shard(2).first, 6u);
+  EXPECT_NEAR(sharded.total_mass(), 1.0, 1e-12);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    // Each shard is a well-formed renormalized mapping set.
+    EXPECT_NEAR(mapping::TotalProbability(sharded.shard(s).mappings), 1.0,
+                1e-12);
+    EXPECT_NE(sharded.shard(s).hash, 0u);
+    // The shard keeps the source pair-sets untouched.
+    for (size_t i = 0; i < sharded.shard(s).mappings.size(); ++i) {
+      EXPECT_TRUE(sharded.shard(s).mappings[i].SamePairs(
+          mappings[sharded.shard(s).first + i]));
+    }
+  }
+}
+
+TEST_F(ShardedMappingTest, BuildClampsAndHashesConfigurations) {
+  auto mappings = DyadicMappings();
+  EXPECT_EQ(mapping::ShardedMappingSet::Build(mappings, 0).num_shards(), 1u);
+  EXPECT_EQ(mapping::ShardedMappingSet::Build(mappings, 100).num_shards(),
+            8u);
+  EXPECT_EQ(mapping::ShardedMappingSet::Build({}, 4).num_shards(), 0u);
+
+  auto s2 = mapping::ShardedMappingSet::Build(mappings, 2);
+  auto s2_again = mapping::ShardedMappingSet::Build(mappings, 2);
+  auto s4 = mapping::ShardedMappingSet::Build(mappings, 4);
+  // Deterministic per configuration, distinct across configurations.
+  EXPECT_EQ(s2.config_hash(), s2_again.config_hash());
+  EXPECT_EQ(s2.shard(0).hash, s2_again.shard(0).hash);
+  EXPECT_NE(s2.config_hash(), s4.config_hash());
+
+  // O(1) fingerprint companion: 0/1 shards are the unsharded identity.
+  EXPECT_EQ(mapping::ShardContextHash(42, 0), 42u);
+  EXPECT_EQ(mapping::ShardContextHash(42, 1), 42u);
+  EXPECT_NE(mapping::ShardContextHash(42, 2),
+            mapping::ShardContextHash(42, 4));
+  EXPECT_NE(mapping::ShardContextHash(42, 2), 42u);
+}
+
+TEST_F(ShardedMappingTest, ShardedEvaluateBitIdenticalOnDyadicMasses) {
+  auto engine = MakeEngine(DyadicMappings());
+  ThreadPool pool(3);
+  const Method methods[] = {Method::kBasic, Method::kEBasic, Method::kEMqo,
+                            Method::kQSharing, Method::kOSharing};
+  for (Method method : methods) {
+    auto request = Request::MethodEval(PhoneByAddr("aaa"), method);
+    auto unsharded = engine->Run(request);
+    ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+    for (int shards : {1, 2, 4}) {
+      Engine::EvalOptions eval;
+      eval.mapping_shards = shards;
+      eval.pool = &pool;
+      auto sharded = engine->Run(request, eval);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ExpectBitIdentical(unsharded.ValueOrDie().evaluate.answers,
+                         sharded.ValueOrDie().evaluate.answers);
+    }
+  }
+}
+
+TEST_F(ShardedMappingTest, ShardedTopKBitIdenticalOnDyadicMasses) {
+  auto engine = MakeEngine(DyadicMappings());
+  ThreadPool pool(3);
+  // k larger than the answer count: the unsharded scan exhausts its
+  // mass, so its bounds are the exact probabilities — as are the
+  // sharded merge's.
+  auto request = Request::TopK(PhoneByAddr("aaa"), 10);
+  auto unsharded = engine->Run(request);
+  ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+  for (int shards : {1, 2, 4}) {
+    Engine::EvalOptions eval;
+    eval.mapping_shards = shards;
+    eval.pool = &pool;
+    auto sharded = engine->Run(request, eval);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    const auto& a = unsharded.ValueOrDie().top_k.tuples;
+    const auto& b = sharded.ValueOrDie().top_k.tuples;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(RowsEqual(a[i].values, b[i].values)) << "row " << i;
+      EXPECT_EQ(a[i].lower_bound, b[i].lower_bound) << "row " << i;
+      EXPECT_EQ(a[i].upper_bound, b[i].upper_bound) << "row " << i;
+    }
+  }
+}
+
+TEST_F(ShardedMappingTest, ShardedTopKSelectsTrueTopKUnderPruning) {
+  auto engine = MakeEngine(DyadicMappings());
+  ThreadPool pool(3);
+  // Exhaustive ranking oracle: basic's exact answer probabilities.
+  auto basic = engine->Run(
+      Request::MethodEval(PhoneByAddr("aaa"), Method::kBasic));
+  ASSERT_TRUE(basic.ok());
+  auto expected = basic.ValueOrDie().evaluate.answers.TopK(2);
+
+  for (int shards : {2, 4}) {
+    Engine::EvalOptions eval;
+    eval.mapping_shards = shards;
+    eval.pool = &pool;
+    auto sharded = engine->Run(Request::TopK(PhoneByAddr("aaa"), 2), eval);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    const auto& got = sharded.ValueOrDie().top_k.tuples;
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Per-shard scans are complete, so the merged rank cut uses the
+      // exact probabilities: rows *and* order match the oracle.
+      EXPECT_TRUE(RowsEqual(got[i].values, expected[i].values));
+      EXPECT_EQ(got[i].lower_bound, expected[i].probability);
+      EXPECT_EQ(got[i].upper_bound, expected[i].probability);
+    }
+    EXPECT_FALSE(sharded.ValueOrDie().top_k.early_terminated);
+  }
+}
+
+TEST_F(ShardedMappingTest, ShardedThresholdBitIdenticalOnDyadicMasses) {
+  auto engine = MakeEngine(DyadicMappings());
+  ThreadPool pool(3);
+  // A dyadic threshold below every leaf mass: the unsharded scan runs
+  // to exhaustion, bounds are exact on both paths.
+  const double tiny = std::ldexp(1.0, -40);
+  auto request = Request::Threshold(PhoneByAddr("aaa"), tiny);
+  auto unsharded = engine->Run(request);
+  ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+  for (int shards : {1, 2, 4}) {
+    Engine::EvalOptions eval;
+    eval.mapping_shards = shards;
+    eval.pool = &pool;
+    auto sharded = engine->Run(request, eval);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    const auto& a = unsharded.ValueOrDie().threshold.tuples;
+    const auto& b = sharded.ValueOrDie().threshold.tuples;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(RowsEqual(a[i].values, b[i].values)) << "row " << i;
+      EXPECT_EQ(a[i].lower_bound, b[i].lower_bound) << "row " << i;
+      EXPECT_EQ(a[i].upper_bound, b[i].upper_bound) << "row " << i;
+    }
+  }
+}
+
+TEST_F(ShardedMappingTest, ShardedThresholdMatchesExactFilter) {
+  auto engine = MakeEngine(DyadicMappings());
+  ThreadPool pool(3);
+  auto basic = engine->Run(
+      Request::MethodEval(PhoneByAddr("aaa"), Method::kBasic));
+  ASSERT_TRUE(basic.ok());
+  const double p = 0.3;
+  size_t expected = 0;
+  for (const auto& t : basic.ValueOrDie().evaluate.answers.Sorted()) {
+    if (t.probability + 1e-12 >= p) ++expected;
+  }
+  Engine::EvalOptions eval;
+  eval.mapping_shards = 4;
+  eval.pool = &pool;
+  auto sharded = engine->Run(Request::Threshold(PhoneByAddr("aaa"), p), eval);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded.ValueOrDie().threshold.tuples.size(), expected);
+  for (const auto& t : sharded.ValueOrDie().threshold.tuples) {
+    EXPECT_GE(t.lower_bound + 1e-12, p);
+  }
+}
+
+TEST_F(ShardedMappingTest, ShardedSetOpBitIdenticalOnDyadicMasses) {
+  auto engine = MakeEngine(DyadicMappings());
+  ThreadPool pool(3);
+  for (SetOpKind kind : {SetOpKind::kUnion, SetOpKind::kExcept}) {
+    auto request =
+        Request::SetOp(PhoneByAddr("aaa"), PhoneByAddr("hk"), kind);
+    auto unsharded = engine->Run(request);
+    ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+    for (int shards : {2, 4}) {
+      Engine::EvalOptions eval;
+      eval.mapping_shards = shards;
+      eval.pool = &pool;
+      auto sharded = engine->Run(request, eval);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ExpectBitIdentical(unsharded.ValueOrDie().evaluate.answers,
+                         sharded.ValueOrDie().evaluate.answers);
+    }
+  }
+}
+
+TEST_F(ShardedMappingTest, RandomizedShardsMatchUnsharded) {
+  // Property: for random h, random (non-dyadic) probabilities, and a
+  // random shard count, sharded == unsharded within 1e-12 for every
+  // request kind — with the shard fan-out actually running on a pool.
+  Rng rng(20260730);
+  ThreadPool pool(4);
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const size_t h = static_cast<size_t>(rng.Uniform(2, 20));
+    std::vector<mapping::Mapping> mappings;
+    double total = 0.0;
+    for (size_t i = 0; i < h; ++i) {
+      mapping::Mapping m = ex_.mappings[i % ex_.mappings.size()];
+      double w = 0.05 + rng.NextDouble();
+      m.set_probability(w);
+      m.set_score(w);
+      total += w;
+      mappings.push_back(std::move(m));
+    }
+    for (auto& m : mappings) m.set_probability(m.probability() / total);
+    auto engine = MakeEngine(std::move(mappings));
+
+    const int shards = static_cast<int>(rng.Uniform(2, 7));
+    Engine::EvalOptions eval;
+    eval.mapping_shards = shards;
+    eval.pool = &pool;
+
+    for (const PlanPtr& q : {PhoneByAddr("aaa"), AddrByPhone()}) {
+      for (Method method : {Method::kBasic, Method::kOSharing}) {
+        auto request = Request::MethodEval(q, method);
+        auto unsharded = engine->Run(request);
+        auto sharded = engine->Run(request, eval);
+        ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+        ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+        EXPECT_TRUE(sharded.ValueOrDie().evaluate.answers.ApproxEquals(
+            unsharded.ValueOrDie().evaluate.answers, 1e-12))
+            << "h=" << h << " shards=" << shards;
+      }
+
+      // Top-k against the exhaustive oracle (exact probabilities).
+      auto basic = engine->Run(Request::MethodEval(q, Method::kBasic));
+      ASSERT_TRUE(basic.ok());
+      auto expected = basic.ValueOrDie().evaluate.answers.TopK(3);
+      auto topk = engine->Run(Request::TopK(q, 3), eval);
+      ASSERT_TRUE(topk.ok()) << topk.status().ToString();
+      const auto& got = topk.ValueOrDie().top_k.tuples;
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].lower_bound, expected[i].probability, 1e-12);
+      }
+
+      // Threshold against the exact filter.
+      auto thr = engine->Run(Request::Threshold(q, 0.25), eval);
+      ASSERT_TRUE(thr.ok()) << thr.status().ToString();
+      size_t over = 0;
+      for (const auto& t : basic.ValueOrDie().evaluate.answers.Sorted()) {
+        if (t.probability + 1e-12 >= 0.25) ++over;
+      }
+      EXPECT_EQ(thr.ValueOrDie().threshold.tuples.size(), over);
+    }
+  }
+}
+
+TEST_F(ShardedMappingTest, ServiceFingerprintCoversShardConfig) {
+  auto engine = MakeEngine(DyadicMappings());
+  service::ServiceOptions unsharded_options;
+  unsharded_options.num_threads = 0;
+  service::ServiceOptions sharded_options;
+  sharded_options.num_threads = 0;
+  sharded_options.mapping_shards = 4;
+  service::QueryService unsharded(engine.get(), unsharded_options);
+  service::QueryService sharded(engine.get(), sharded_options);
+
+  auto request = Request::MethodEval(PhoneByAddr("aaa"), Method::kOSharing);
+  // Same engine, same request: the shard configuration alone must
+  // separate the cache keys.
+  EXPECT_NE(unsharded.Fingerprint(request), sharded.Fingerprint(request));
+
+  auto first = sharded.Submit(request);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  auto second = sharded.Submit(request);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+
+  auto whole = unsharded.Submit(request);
+  ASSERT_TRUE(whole.status.ok());
+  // Dyadic masses: the cached sharded answers equal the unsharded ones
+  // exactly.
+  ExpectBitIdentical(whole.response->evaluate.answers,
+                     second.response->evaluate.answers);
+}
+
+/// Counts streamed leaves (and completions) to prove streaming still
+/// works when the service is configured for sharding.
+class CountingSink : public AnswerSink {
+ public:
+  bool OnAnswer(const std::vector<relational::Row>&, double) override {
+    ++leaves_;
+    return true;
+  }
+  void OnComplete(const Status& status) override {
+    ok_ = status.ok();
+    ++completions_;
+  }
+  size_t leaves() const { return leaves_; }
+  size_t completions() const { return completions_; }
+  bool ok() const { return ok_; }
+
+ private:
+  size_t leaves_ = 0;
+  size_t completions_ = 0;
+  bool ok_ = false;
+};
+
+TEST_F(ShardedMappingTest, StreamingRequestsBypassSharding) {
+  auto engine = MakeEngine(DyadicMappings());
+  service::ServiceOptions options;
+  options.num_threads = 0;
+  options.mapping_shards = 4;
+  service::QueryService service(engine.get(), options);
+
+  CountingSink sink;
+  auto response = service.Submit(
+      Request::MethodEval(PhoneByAddr("aaa"), Method::kOSharing), &sink);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  // The whole-set u-trace streamed its leaves; the final answers match
+  // the unsharded evaluation bit for bit (it *was* unsharded).
+  EXPECT_GT(sink.leaves(), 0u);
+  EXPECT_EQ(sink.completions(), 1u);
+  EXPECT_TRUE(sink.ok());
+  auto unsharded = engine->Run(
+      Request::MethodEval(PhoneByAddr("aaa"), Method::kOSharing));
+  ASSERT_TRUE(unsharded.ok());
+  ExpectBitIdentical(unsharded.ValueOrDie().evaluate.answers,
+                     response.response->evaluate.answers);
+
+  // Regression: the streaming evaluation ran whole-set, so its
+  // response must NOT have been cached under this service's
+  // shard-folded fingerprint — the next non-streaming submission has
+  // to evaluate (sharded), not alias the unsharded answers.
+  auto resubmit = service.Submit(
+      Request::MethodEval(PhoneByAddr("aaa"), Method::kOSharing));
+  ASSERT_TRUE(resubmit.status.ok());
+  EXPECT_FALSE(resubmit.cache_hit);
+}
+
+TEST_F(ShardedMappingTest, ConcurrentShardedSubmissionsShareOneStore) {
+  // TSan coverage: concurrent sharded evaluations fan their shards out
+  // on the shared pool while all of them hit one OperatorStore under
+  // shard-local key epochs.
+  auto engine = MakeEngine(DyadicMappings());
+  service::ServiceOptions options;
+  options.num_threads = 4;
+  options.mapping_shards = 3;
+  service::QueryService service(engine.get(), options);
+
+  std::vector<std::future<service::QueryResponse>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (const char* addr : {"aaa", "hk", "bbb"}) {
+      futures.push_back(service.SubmitAsync(
+          Request::MethodEval(PhoneByAddr(addr), Method::kOSharing)));
+    }
+    futures.push_back(service.SubmitAsync(Request::TopK(AddrByPhone(), 2)));
+    futures.push_back(
+        service.SubmitAsync(Request::Threshold(PhoneByAddr("aaa"), 0.25)));
+  }
+  for (auto& future : futures) {
+    auto response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+
+  // Repeated sharded rounds reuse shard-local store entries.
+  auto stats = service.operator_store_stats();
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace urm

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Docs link lint: fail on broken relative links in the markdown tree.
+
+Scans README.md, ROADMAP.md, CHANGES.md, PAPER.md and docs/*.md for
+inline markdown links/images `[text](target)` and verifies that every
+relative target resolves to an existing file or directory (anchors are
+stripped; http(s)/mailto targets are skipped). Fenced code blocks are
+ignored so code snippets cannot produce false positives.
+
+Run from anywhere: paths resolve relative to the repository root
+(the parent of this script's directory). Exit code 0 = all links
+resolve, 1 = at least one broken link (each printed as
+`file:line: broken link 'target'`).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CANDIDATES = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"]
+
+# Inline link or image: [text](target) / ![alt](target). Targets with
+# spaces or titles ("... "...") are cut at the first space.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO)}:{lineno}: "
+                              f"broken link '{target}'")
+    return errors
+
+
+def main() -> int:
+    files = [REPO / name for name in CANDIDATES if (REPO / name).exists()]
+    files += sorted((REPO / "docs").glob("*.md"))
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    print(f"docs-lint: {len(files)} files checked, "
+          f"{len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
