@@ -8,11 +8,20 @@
 ///
 ///   urm_server [--mb 1.0] [--h 100] [--threads 4] [--cache 256]
 ///              [--parallelism 1] [--shards 1] [--store-mb 256] [--ttl 0]
+///              [--metrics-file <path>] [--metrics-interval <s>]
+///              [--log-level debug|info|warn|error|off]
 ///
 /// --shards S > 1 evaluates every request over the mapping set split
 /// into S contiguous probability-renormalized shards, concurrently on
 /// the pool, with a deterministic per-shard answer merge (the h ≫ 10³
 /// scaling path; see docs/TUNING.md).
+///
+/// --metrics-file dumps the Prometheus text exposition (the same
+/// payload the `metrics` command prints) to <path> — atomically via a
+/// temp file + rename, so a scraper's textfile collector never reads a
+/// torn dump. With --metrics-interval S > 0 a background thread
+/// refreshes the file every S seconds; otherwise it is written once at
+/// exit. See docs/OBSERVABILITY.md for the metric glossary.
 ///
 /// Commands (one per line):
 ///   run Q4 [method]            evaluate one query (default osharing)
@@ -28,7 +37,10 @@
 ///   stream Q4 [method]         stream u-trace leaf answers as they
 ///                              are produced (time-to-first-answer)
 ///   stream Q4 topk 5           ... same for the top-k scan
-///   stats                      answer-cache counters per schema
+///   stats                      answer-cache / operator-store / pool
+///                              counters per schema
+///   metrics                    Prometheus text exposition of every
+///                              registered series
 ///   clear                      drop all cached answers
 ///   help                       this text
 ///   quit                       exit (EOF works too)
@@ -37,6 +49,9 @@
 /// Noris, Q8-Q10 Paragon), each fronted by its own QueryService
 /// sharing the configured pool/cache sizes.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,10 +62,13 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
 #include "core/workload.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "service/query_service.h"
 
 namespace {
@@ -66,6 +84,8 @@ struct ServerArgs {
   int shards = 1;           ///< mapping shards per evaluation (1 = off)
   double store_mb = 256.0;  ///< operator-store byte budget (0 disables)
   double ttl = 0.0;         ///< answer-cache TTL seconds (0 = none)
+  std::string metrics_file;      ///< exposition dump path ("" = off)
+  double metrics_interval = 0.0; ///< dump period seconds (<= 0: at exit)
 };
 
 bool ParseMethod(const std::string& name, core::Method* method) {
@@ -116,6 +136,10 @@ class ServiceDirectory {
     service_options.share_operators = args_.store_mb > 0.0;
     service_options.operator_store_bytes =
         static_cast<size_t>(args_.store_mb * 1024 * 1024);
+    // Each schema's service shares the process DefaultRegistry; the
+    // schema label keeps their series apart in one exposition.
+    service_options.metric_labels = {
+        {"schema", datagen::TargetSchemaName(schema)}};
     entry.service = std::make_unique<service::QueryService>(
         entry.engine.get(), service_options);
     auto* result = entry.service.get();
@@ -145,6 +169,11 @@ class ServiceDirectory {
                   "", store.entries, store.bytes / 1024.0, store.hits,
                   store.single_flight_waits, store.misses,
                   store.evictions, store.bytes_reused / 1024.0);
+      PoolStats pool = entry.service->pool_stats();
+      std::printf("%-8s pool:      threads=%zu queue_depth=%zu "
+                  "running_tasks=%zu tasks_executed=%llu\n",
+                  "", pool.threads, pool.queue_depth, pool.running_tasks,
+                  static_cast<unsigned long long>(pool.tasks_executed));
     }
   }
 
@@ -417,8 +446,73 @@ void PrintHelp() {
       "  batch <Qid>[:<method>|:topk:<k>|:threshold:<p>] ...\n"
       "  async <Qid>[:<method>|:topk:<k>|:threshold:<p>] ...\n"
       "  stream <Qid> [<method>|topk <k>|threshold <p>]\n"
-      "  stats | clear | help | quit\n");
+      "  stats | metrics | clear | help | quit\n");
 }
+
+/// Writes the exposition to `path` atomically (temp file + rename), so
+/// a textfile-collector scrape never reads a torn dump.
+bool DumpMetrics(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    URM_LOG(Error, "server") << "cannot open metrics file " << tmp;
+    return false;
+  }
+  const std::string text = obs::DefaultRegistry().ExposeText();
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    URM_LOG(Error, "server") << "metrics dump to " << path << " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Periodic --metrics-file refresher: a background thread dumps every
+/// `interval` seconds; the destructor stops it and writes one final
+/// dump (also the whole behavior when interval <= 0).
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, double interval)
+      : path_(std::move(path)) {
+    if (path_.empty()) return;
+    if (interval > 0.0) {
+      thread_ = std::thread([this, interval] {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+          cv_.wait_for(lock, std::chrono::duration<double>(interval),
+                       [this] { return stop_; });
+          if (stop_) break;
+          lock.unlock();
+          DumpMetrics(path_);
+          lock.lock();
+        }
+      });
+    }
+  }
+
+  ~MetricsDumper() {
+    if (path_.empty()) return;
+    if (thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+    DumpMetrics(path_);  // final dump reflects the full session
+  }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -446,7 +540,22 @@ int main(int argc, char** argv) {
       args.store_mb = std::atof(next("--store-mb"));
     else if (std::strcmp(argv[i], "--ttl") == 0)
       args.ttl = std::atof(next("--ttl"));
-    else {
+    else if (std::strcmp(argv[i], "--metrics-file") == 0)
+      args.metrics_file = next("--metrics-file");
+    else if (std::strcmp(argv[i], "--metrics-interval") == 0)
+      args.metrics_interval = std::atof(next("--metrics-interval"));
+    else if (std::strcmp(argv[i], "--log-level") == 0) {
+      obs::LogLevel level;
+      const char* name = next("--log-level");
+      if (!obs::ParseLogLevel(name, &level)) {
+        std::fprintf(stderr,
+                     "unknown log level '%s' "
+                     "(debug|info|warn|error|off)\n",
+                     name);
+        return 1;
+      }
+      obs::set_log_threshold(level);
+    } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
     }
@@ -456,6 +565,7 @@ int main(int argc, char** argv) {
               "shards=%d); 'help' lists commands\n",
               args.threads, args.cache, args.parallelism, args.shards);
   ServiceDirectory directory(args);
+  MetricsDumper dumper(args.metrics_file, args.metrics_interval);
 
   std::string line;
   while (std::printf("urm> "), std::fflush(stdout),
@@ -471,6 +581,8 @@ int main(int argc, char** argv) {
       PrintHelp();
     } else if (command == "stats") {
       directory.PrintStats();
+    } else if (command == "metrics") {
+      std::fputs(obs::DefaultRegistry().ExposeText().c_str(), stdout);
     } else if (command == "clear") {
       directory.ClearCaches();
     } else if (command == "run") {

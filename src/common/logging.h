@@ -1,14 +1,20 @@
 #pragma once
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+
+#include "obs/log.h"
 
 /// \file logging.h
 /// CHECK macros for internal invariants (Arrow/glog style). A failed check
 /// indicates a bug in this library, not a user error; user errors are
 /// reported through Status.
+///
+/// Failures route through the structured logger (obs/log.h) at Fatal
+/// severity on the "check" channel, so the output is one line-atomic
+/// flushed write — concurrent check failures (e.g. racing worker
+/// threads under TSan) cannot interleave within a line in CI logs.
 
 namespace urm {
 namespace internal {
@@ -16,16 +22,24 @@ namespace internal {
 /// Accumulates a message and aborts on destruction. Used by URM_CHECK.
 class FatalLogMessage {
  public:
-  FatalLogMessage(const char* file, int line) {
-    stream_ << file << ":" << line << ": check failed: ";
+  FatalLogMessage(const char* file, int line) : file_(file), line_(line) {
+    stream_ << "check failed: ";
   }
   [[noreturn]] ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
+    {
+      // The LogMessage destructor performs the single flushed write;
+      // scoped so it runs before abort.
+      obs::LogMessage(obs::LogLevel::kFatal, "check", file_, line_)
+              .stream()
+          << stream_.str();
+    }
     std::abort();
   }
   std::ostringstream& stream() { return stream_; }
 
  private:
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -31,6 +31,18 @@
 
 namespace urm {
 
+/// Point-in-time pool observability snapshot (ThreadPool::stats):
+/// `running_tasks / threads` is instantaneous worker utilization,
+/// `queue_depth` the backlog, `tasks_executed` the lifetime monotonic
+/// task count (queued tasks only; ParallelFor indexes claimed inline
+/// by the calling thread are not pool tasks).
+struct PoolStats {
+  size_t threads = 0;
+  size_t queue_depth = 0;
+  size_t running_tasks = 0;  ///< tasks executing right now (any thread)
+  uint64_t tasks_executed = 0;
+};
+
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped at 0).
@@ -61,6 +73,20 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Snapshot of queue depth / running tasks / lifetime task count.
+  /// Safe to call concurrently with Submit/TryRunOne/ParallelFor.
+  PoolStats stats() const {
+    PoolStats stats;
+    stats.threads = workers_.size();
+    stats.running_tasks = running_.load(std::memory_order_relaxed);
+    stats.tasks_executed = executed_.load(std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stats.queue_depth = queue_.size();
+    }
+    return stats;
+  }
+
   /// Enqueues `fn` and returns a future for its result. An exception
   /// thrown by `fn` is rethrown by future.get().
   template <typename F>
@@ -88,7 +114,7 @@ class ThreadPool {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RunCounted(task);
     return true;
   }
 
@@ -189,14 +215,31 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();
+      RunCounted(task);
     }
   }
 
-  std::mutex mu_;
+  /// Executes one dequeued task inside the running/executed counters
+  /// (the utilization signal stats() reports). Exception-safe: a
+  /// throwing packaged_task still decrements.
+  void RunCounted(const std::function<void()>& task) {
+    running_.fetch_add(1, std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      task();
+    } catch (...) {
+      running_.fetch_sub(1, std::memory_order_relaxed);
+      throw;
+    }
+    running_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  std::atomic<size_t> running_{0};
+  std::atomic<uint64_t> executed_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "mapping/sharded.h"
+#include "obs/log.h"
 #include "matching/matcher.h"
 #include "qsharing/qsharing.h"
 #include "reformulation/reformulator.h"
@@ -293,7 +294,8 @@ Result<Response> Engine::RunSharded(const Request& request,
   std::vector<Result<baselines::MethodResult>> parts(
       num_shards, Result<baselines::MethodResult>(
                       Status::Internal("shard not evaluated")));
-  auto eval_shard = [&](size_t s) {
+  std::vector<double> shard_seconds(num_shards, 0.0);
+  auto eval_shard_inner = [&](size_t s) {
     const mapping::MappingShard& shard = sharded.shard(s);
     switch (request.kind) {
       case RequestKind::kEvaluate:
@@ -332,6 +334,13 @@ Result<Response> Engine::RunSharded(const Request& request,
     }
     parts[s] = Status::Internal("unreachable request kind");
   };
+  // Per-shard wall time feeds the skew metric below: with a static
+  // contiguous shard split, one slow shard bounds the whole request.
+  auto eval_shard = [&](size_t s) {
+    Timer shard_timer;
+    eval_shard_inner(s);
+    shard_seconds[s] = shard_timer.Seconds();
+  };
   if (eval.pool != nullptr) {
     eval.pool->ParallelFor(num_shards, eval_shard);
   } else {
@@ -339,6 +348,26 @@ Result<Response> Engine::RunSharded(const Request& request,
   }
   for (const auto& part : parts) {
     if (!part.ok()) return part.status();
+  }
+  if (eval.shard_metrics != nullptr) {
+    double max_seconds = 0.0;
+    double total_seconds = 0.0;
+    for (double s : shard_seconds) {
+      if (eval.shard_metrics->shard_seconds != nullptr) {
+        eval.shard_metrics->shard_seconds->Observe(s);
+      }
+      max_seconds = std::max(max_seconds, s);
+      total_seconds += s;
+    }
+    const double mean_seconds =
+        total_seconds / static_cast<double>(num_shards);
+    if (eval.shard_metrics->shard_skew != nullptr && mean_seconds > 0.0) {
+      eval.shard_metrics->shard_skew->Observe(max_seconds / mean_seconds);
+    }
+    URM_LOG(Debug, "shard")
+        << RequestKindName(request.kind) << " over " << num_shards
+        << " shards: max " << max_seconds * 1e3 << " ms, mean "
+        << mean_seconds * 1e3 << " ms";
   }
 
   // Deterministic merge in shard order, reweighted by shard mass.

@@ -13,6 +13,7 @@
 #include "datagen/tpch.h"
 #include "mapping/generator.h"
 #include "mapping/sharded.h"
+#include "obs/metrics.h"
 #include "osharing/osharing.h"
 #include "topk/threshold.h"
 #include "topk/topk.h"
@@ -155,6 +156,10 @@ class Engine {
     /// over the same catalog reuse each other's materializations. May
     /// be null (each evaluation then shares only within itself).
     osharing::OperatorStore* operator_store = nullptr;
+    /// Pre-resolved histograms RunSharded reports per-shard wall time
+    /// and per-run skew (max/mean) into; the serving tier wires this
+    /// from its metrics bundle. May be null (no reporting).
+    const obs::ShardMetrics* shard_metrics = nullptr;
   };
 
   /// Dispatches any Request — the single entry point behind all query

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/hash_util.h"
+#include "obs/log.h"
 
 namespace urm {
 namespace mapping {
@@ -47,6 +48,9 @@ ShardedMappingSet ShardedMappingSet::Build(
     HashCombine(seed, static_cast<size_t>(mass_bits));
   }
   out.config_hash_ = static_cast<uint64_t>(seed);
+  URM_LOG(Debug, "shard") << "built sharded view: h=" << h << " shards=" << s
+                          << " (" << base << "-" << base + (extra > 0 ? 1 : 0)
+                          << " mappings/shard)";
   return out;
 }
 

@@ -1,0 +1,138 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace urm {
+namespace obs {
+
+namespace {
+
+LogLevel ThresholdFromEnv() {
+  const char* v = std::getenv("URM_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (v != nullptr) ParseLogLevel(v, &level);
+  return level;
+}
+
+std::atomic<int>& ThresholdStorage() {
+  // Seeded from the environment exactly once, on first use (which may
+  // be before main; the atomic makes later set_log_threshold calls
+  // safe from any thread).
+  static std::atomic<int> threshold{static_cast<int>(ThresholdFromEnv())};
+  return threshold;
+}
+
+/// Test-sink storage. Guarded by a mutex only on the install path; the
+/// emit path reads the shared_ptr-like flag first (logging tests are
+/// single-threaded around installation).
+std::mutex g_sink_mu;
+LogSinkForTesting g_test_sink;
+std::atomic<bool> g_has_test_sink{false};
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+char LogLevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo:  return 'I';
+    case LogLevel::kWarn:  return 'W';
+    case LogLevel::kError: return 'E';
+    case LogLevel::kFatal: return 'F';
+    case LogLevel::kOff:   return '?';
+  }
+  return '?';
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") *level = LogLevel::kDebug;
+  else if (name == "info") *level = LogLevel::kInfo;
+  else if (name == "warn" || name == "warning") *level = LogLevel::kWarn;
+  else if (name == "error") *level = LogLevel::kError;
+  else if (name == "off") *level = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(
+      ThresholdStorage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  ThresholdStorage().store(static_cast<int>(level),
+                           std::memory_order_relaxed);
+}
+
+bool LogEnabled(LogLevel level) {
+  if (level == LogLevel::kFatal) return true;
+  return static_cast<int>(level) >=
+         ThresholdStorage().load(std::memory_order_relaxed);
+}
+
+void SetLogSinkForTesting(LogSinkForTesting sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_test_sink = std::move(sink);
+  g_has_test_sink.store(g_test_sink != nullptr, std::memory_order_release);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* channel,
+                       const char* file, int line)
+    : level_(level), channel_(channel), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  // Format the entire line into one buffer so the final write is a
+  // single syscall-sized fwrite — concurrent messages cannot
+  // interleave within a line.
+  using std::chrono::system_clock;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[80];
+  std::snprintf(stamp, sizeof(stamp),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, millis);
+
+  std::string line = stamp;
+  line += ' ';
+  line += LogLevelChar(level_);
+  line += " [";
+  line += channel_;
+  line += "] ";
+  line += Basename(file_);
+  line += ':';
+  line += std::to_string(line_);
+  line += ' ';
+  line += stream_.str();
+  line += '\n';
+
+  if (g_has_test_sink.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_test_sink) {
+      g_test_sink(level_, line);
+      return;
+    }
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace obs
+}  // namespace urm

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+/// \file log.h
+/// Structured severity/channel logging for the serving tier.
+///
+///   URM_LOG(Info, "service") << "engine ready in " << ms << " ms";
+///   // -> 2026-08-09T12:34:56.789Z I [service] query_service.cc:42 ...
+///
+/// Severities: Debug < Info < Warn < Error < Fatal. Messages below the
+/// process threshold are filtered before their stream arguments are
+/// evaluated (the macro short-circuits). The threshold defaults to
+/// Info, is seeded once from the URM_LOG_LEVEL environment variable
+/// (debug|info|warn|error|off), and can be changed at runtime with
+/// set_log_threshold (urm_server's --log-level flag). Fatal is never
+/// filtered.
+///
+/// Channels are free-form short tags ("service", "cache", "ostore",
+/// "shard", "check", "server") that identify the subsystem; the
+/// glossary lives in docs/OBSERVABILITY.md.
+///
+/// Output is line-atomic: each message is formatted into one buffer
+/// and written to stderr with a single flushed fwrite, so concurrent
+/// loggers (and concurrent URM_CHECK failures, which route through
+/// this sink at Fatal) never interleave within a line.
+///
+/// This header depends only on the standard library — common/logging.h
+/// includes it, so it must stay below everything else.
+
+namespace urm {
+namespace obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+  kOff = 5,  ///< threshold-only value: filters everything but Fatal
+};
+
+/// Single-character severity tag used in the line format (D/I/W/E/F).
+char LogLevelChar(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" (or "warning") / "error" / "off"
+/// (case-sensitive, lowercase). Returns false on unknown names.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// The current process-wide threshold (atomic; safe to read anywhere).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Whether a message at `level` would be emitted. Fatal always is.
+bool LogEnabled(LogLevel level);
+
+/// Test hook: capture formatted lines instead of writing to stderr.
+/// Pass nullptr to restore the stderr sink. Not synchronized with
+/// in-flight LogMessage destructors — install before logging starts.
+using LogSinkForTesting = std::function<void(LogLevel, const std::string&)>;
+void SetLogSinkForTesting(LogSinkForTesting sink);
+
+/// \brief One log statement: accumulates a message, then formats and
+/// writes the whole line atomically on destruction.
+///
+/// Use through URM_LOG — constructing one directly skips the threshold
+/// check.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* channel, const char* file,
+             int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* channel_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace obs
+}  // namespace urm
+
+/// Emits one structured log line at the given severity token (Debug,
+/// Info, Warn, Error, Fatal) and channel tag. Arguments after << are
+/// not evaluated when the severity is below the threshold.
+#define URM_LOG(severity, channel)                                     \
+  if (!::urm::obs::LogEnabled(::urm::obs::LogLevel::k##severity)) {    \
+  } else                                                               \
+    ::urm::obs::LogMessage(::urm::obs::LogLevel::k##severity, channel, \
+                           __FILE__, __LINE__)                         \
+        .stream()

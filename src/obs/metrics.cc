@@ -1,0 +1,426 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace urm {
+namespace obs {
+
+namespace internal {
+
+size_t NextThreadStripe() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Family/label names: Prometheus identifier charset.
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 c == '_' || c == ':';
+    bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+/// Sample values and histogram bounds: integers render without a
+/// decimal point, everything else with 9 significant digits (enough to
+/// round-trip seconds-scale sums and bucket bounds).
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Renders `{a="x",b="y"}` (empty string for no labels); `extra`, if
+/// non-null, is appended last (the histogram `le` label).
+std::string RenderLabels(const Labels& labels, const Label* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += label.first + "=\"" + EscapeLabelValue(label.second) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first + "=\"" + EscapeLabelValue(extra->second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// ------------------------------------------------------------ Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(kMetricStripes * (bounds_.size() + 1)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    URM_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  for (double b : bounds_) {
+    URM_CHECK(std::isfinite(b)) << "the +Inf bucket is implicit";
+  }
+  for (auto& sum : sums_) sum.store(0.0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  // Inclusive upper bounds (Prometheus `le`): the first bound >= value
+  // owns the observation; beyond every bound lands in +Inf overflow.
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  size_t stripe = internal::ThreadStripe() & (kMetricStripes - 1);
+  counts_[stripe * (bounds_.size() + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  internal::AtomicDoubleAdd(&sums_[stripe], value);
+}
+
+void Histogram::Snapshot(std::vector<uint64_t>* bucket_counts,
+                         double* sum) const {
+  const size_t buckets = bounds_.size() + 1;
+  bucket_counts->assign(buckets, 0);
+  for (size_t stripe = 0; stripe < kMetricStripes; ++stripe) {
+    for (size_t b = 0; b < buckets; ++b) {
+      (*bucket_counts)[b] +=
+          counts_[stripe * buckets + b].load(std::memory_order_relaxed);
+    }
+  }
+  double total = 0.0;
+  for (const auto& s : sums_) total += s.load(std::memory_order_relaxed);
+  *sum = total;
+}
+
+// --------------------------------------------------------------- Family
+
+template <typename T>
+T* Family<T>::WithLabels(const std::vector<std::string>& label_values) {
+  URM_CHECK_EQ(label_values.size(), label_names_.size())
+      << "family " << name_ << " label arity";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = children_.find(label_values);
+  if (it == children_.end()) {
+    it = children_.emplace(label_values, std::unique_ptr<T>(MakeChild()))
+             .first;
+  }
+  return it->second.get();
+}
+
+template <>
+Counter* Family<Counter>::MakeChild() {
+  return new Counter();
+}
+
+template <>
+Gauge* Family<Gauge>::MakeChild() {
+  return new Gauge();
+}
+
+template <>
+Histogram* Family<Histogram>::MakeChild() {
+  return new Histogram(histogram_bounds_);
+}
+
+template class Family<Counter>;
+template class Family<Gauge>;
+template class Family<Histogram>;
+
+// -------------------------------------------------------------- buckets
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  URM_CHECK_GT(start, 0.0);
+  URM_CHECK_GT(factor, 1.0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& LatencyBuckets() {
+  // 500 µs .. 30 s in 1-2.5-5 steps: fine enough that p50/p99 and
+  // time-to-first-answer interpolate meaningfully at both REPL and
+  // bench scales.
+  static const std::vector<double> kBounds = {
+      0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+      0.25,   0.5,   1.0,    2.5,   5.0,  10.0,  30.0};
+  return kBounds;
+}
+
+// ------------------------------------------------------------- Registry
+
+Registry::InstrumentFamily& Registry::FindOrCreate(
+    const std::string& name, const std::string& help, MetricType type,
+    const std::vector<std::string>& label_names,
+    const std::vector<double>& bounds) {
+  URM_CHECK(ValidName(name)) << "metric family name: " << name;
+  for (const std::string& label : label_names) {
+    URM_CHECK(ValidName(label)) << "label name: " << label;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  URM_CHECK(callbacks_.find(name) == callbacks_.end())
+      << name << " already registered as a callback family";
+  auto it = families_.find(name);
+  if (it != families_.end()) {
+    // Idempotent re-registration (a second QueryService sharing the
+    // registry); the shape must agree or exposition would lie.
+    InstrumentFamily& family = it->second;
+    URM_CHECK(family.type == type) << name << " re-registered as a "
+                                   << MetricTypeName(type);
+    const std::vector<std::string>& existing =
+        family.type == MetricType::kCounter ? family.counter->label_names()
+        : family.type == MetricType::kGauge ? family.gauge->label_names()
+                                            : family.histogram->label_names();
+    URM_CHECK(existing == label_names)
+        << name << " re-registered with different label names";
+    if (family.type == MetricType::kHistogram) {
+      URM_CHECK(family.histogram->histogram_bounds_ == bounds)
+          << name << " re-registered with different buckets";
+    }
+    return family;
+  }
+  InstrumentFamily family;
+  family.type = type;
+  auto setup = [&](auto* fam) {
+    fam->name_ = name;
+    fam->help_ = help;
+    fam->label_names_ = label_names;
+    fam->histogram_bounds_ = bounds;
+  };
+  switch (type) {
+    case MetricType::kCounter:
+      family.counter.reset(new Family<Counter>());
+      setup(family.counter.get());
+      break;
+    case MetricType::kGauge:
+      family.gauge.reset(new Family<Gauge>());
+      setup(family.gauge.get());
+      break;
+    case MetricType::kHistogram:
+      family.histogram.reset(new Family<Histogram>());
+      setup(family.histogram.get());
+      break;
+  }
+  return families_.emplace(name, std::move(family)).first->second;
+}
+
+Family<Counter>& Registry::CounterFamily(
+    const std::string& name, const std::string& help,
+    std::vector<std::string> label_names) {
+  return *FindOrCreate(name, help, MetricType::kCounter, label_names, {})
+              .counter;
+}
+
+Family<Gauge>& Registry::GaugeFamily(const std::string& name,
+                                     const std::string& help,
+                                     std::vector<std::string> label_names) {
+  return *FindOrCreate(name, help, MetricType::kGauge, label_names, {})
+              .gauge;
+}
+
+Family<Histogram>& Registry::HistogramFamily(
+    const std::string& name, const std::string& help,
+    std::vector<double> bounds, std::vector<std::string> label_names) {
+  return *FindOrCreate(name, help, MetricType::kHistogram, label_names,
+                       bounds)
+              .histogram;
+}
+
+uint64_t Registry::AddCallback(const std::string& name,
+                               const std::string& help, MetricType type,
+                               SampleCallback fn) {
+  URM_CHECK(ValidName(name)) << "metric family name: " << name;
+  std::lock_guard<std::mutex> lock(mu_);
+  URM_CHECK(families_.find(name) == families_.end())
+      << name << " already registered as an instrument family";
+  auto it = callbacks_.find(name);
+  if (it == callbacks_.end()) {
+    it = callbacks_.emplace(name, CallbackFamily{help, type, {}}).first;
+  } else {
+    URM_CHECK(it->second.type == type)
+        << name << " re-registered as a " << MetricTypeName(type);
+  }
+  uint64_t id = next_callback_id_++;
+  it->second.providers.emplace(id, std::move(fn));
+  return id;
+}
+
+void Registry::RemoveCallback(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end();) {
+    it->second.providers.erase(id);
+    // Empty callback families disappear from exposition entirely (the
+    // provider owning every sample is gone).
+    if (it->second.providers.empty()) {
+      it = callbacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+namespace {
+
+void FillSample(const Counter& counter, Sample* sample) {
+  sample->value = static_cast<double>(counter.Value());
+}
+
+void FillSample(const Gauge& gauge, Sample* sample) {
+  sample->value = static_cast<double>(gauge.Value());
+}
+
+void FillSample(const Histogram& histogram, Sample* sample) {
+  sample->is_histogram = true;
+  sample->bounds = histogram.bounds();
+  histogram.Snapshot(&sample->bucket_counts, &sample->sum);
+}
+
+}  // namespace
+
+std::vector<FamilySnapshot> Registry::Collect() const {
+  std::vector<FamilySnapshot> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(families_.size() + callbacks_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.type = family.type;
+    auto collect_children = [&](auto& fam) {
+      snapshot.help = fam->help_;
+      std::lock_guard<std::mutex> child_lock(fam->mu_);
+      for (const auto& [values, child] : fam->children_) {
+        Sample sample;
+        for (size_t i = 0; i < values.size(); ++i) {
+          sample.labels.emplace_back(fam->label_names_[i], values[i]);
+        }
+        FillSample(*child, &sample);
+        snapshot.samples.push_back(std::move(sample));
+      }
+    };
+    switch (family.type) {
+      case MetricType::kCounter: collect_children(family.counter); break;
+      case MetricType::kGauge: collect_children(family.gauge); break;
+      case MetricType::kHistogram:
+        collect_children(family.histogram);
+        break;
+    }
+    out.push_back(std::move(snapshot));
+  }
+  for (const auto& [name, family] : callbacks_) {
+    FamilySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.help = family.help;
+    snapshot.type = family.type;
+    for (const auto& [id, fn] : family.providers) {
+      (void)id;
+      fn(&snapshot.samples);
+    }
+    out.push_back(std::move(snapshot));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FamilySnapshot& a, const FamilySnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Registry::ExposeText() const { return obs::ExposeText(Collect()); }
+
+// ----------------------------------------------------------- exposition
+
+std::string ExposeText(const std::vector<FamilySnapshot>& families) {
+  std::string out;
+  for (const FamilySnapshot& family : families) {
+    out += "# HELP " + family.name + " " + EscapeHelp(family.help) + "\n";
+    out += "# TYPE " + family.name + " " +
+           MetricTypeName(family.type) + "\n";
+    for (const Sample& sample : family.samples) {
+      if (!sample.is_histogram) {
+        out += family.name + RenderLabels(sample.labels, nullptr) + " " +
+               FormatValue(sample.value) + "\n";
+        continue;
+      }
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+        cumulative += sample.bucket_counts[b];
+        Label le{"le", b < sample.bounds.size()
+                           ? FormatValue(sample.bounds[b])
+                           : std::string("+Inf")};
+        out += family.name + "_bucket" +
+               RenderLabels(sample.labels, &le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += family.name + "_sum" + RenderLabels(sample.labels, nullptr) +
+             " " + FormatValue(sample.sum) + "\n";
+      out += family.name + "_count" +
+             RenderLabels(sample.labels, nullptr) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+  }
+  return out;
+}
+
+Registry& DefaultRegistry() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace urm

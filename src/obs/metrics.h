@@ -1,0 +1,311 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file metrics.h
+/// The production metrics registry: labeled counters, gauges, and
+/// fixed-bucket histograms with Prometheus text exposition — the
+/// single place every serving-tier component (QueryService,
+/// AnswerCache, OperatorStore, ThreadPool, Engine::RunSharded) reports
+/// into, and the `/metrics` payload the future HTTP tier serves for
+/// free (urm_server's `metrics` command and --metrics-file dump emit
+/// the same text today).
+///
+/// Model (mirrors the Prometheus client data model):
+///   * a *family* is (name, help, type, label names) — registered once
+///     via Registry::{CounterFamily,GaugeFamily,HistogramFamily};
+///   * a *child* is one instrument within a family, keyed by its label
+///     values (Family::WithLabels). Children are created under a lock
+///     but the returned pointers are stable for the registry's
+///     lifetime — resolve them once, then update lock-free;
+///   * *callback families* (Registry::AddCallback) produce their
+///     samples at Collect time from an external source of truth (the
+///     cache/store/pool stats structs that already maintain their own
+///     counters) instead of duplicating hot-path increments.
+///
+/// Hot-path cost: Counter::Increment and Histogram::Observe touch
+/// striped cache-line-padded atomics (relaxed), so concurrent request
+/// threads don't bounce one cache line; Gauge is a single atomic
+/// (gauges update at request granularity, not per-operator).
+///
+/// Snapshots (Registry::Collect) and ExposeText are read-side and may
+/// run concurrently with updates; a snapshot is internally consistent
+/// per instrument (histogram counts are summed bucket-first so
+/// `_count` always equals the +Inf bucket).
+///
+/// Naming conventions (enforced by tools/metrics_lint.py over the
+/// urm_server smoke run): families are `urm_<subsystem>_<what>`,
+/// counters end in `_total`, histograms carry a unit suffix
+/// (`_seconds`, `_ratio`). The glossary lives in
+/// docs/OBSERVABILITY.md.
+
+namespace urm {
+namespace obs {
+
+/// One label: (name, value).
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+/// Number of atomic stripes per counter/histogram (power of two). Each
+/// stripe is cache-line padded; threads hash to stripes by a stable
+/// per-thread slot.
+constexpr size_t kMetricStripes = 8;
+
+namespace internal {
+
+size_t NextThreadStripe();
+
+/// Stable small integer per thread, used to pick an atomic stripe.
+/// Inline so the hot path is one TLS load once the slot is assigned;
+/// the assignment itself (first touch per thread) is out of line.
+inline size_t ThreadStripe() {
+  thread_local const size_t stripe = NextThreadStripe();
+  return stripe;
+}
+
+struct alignas(64) PaddedCounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Relaxed add for atomic<double> (C++17 has no fetch_add for
+/// floating atomics): CAS loop, uncontended in the striped layout.
+inline void AtomicDoubleAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// \brief Monotonic counter (striped atomics; Increment is lock-free).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    cells_[internal::ThreadStripe() & (kMetricStripes - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::PaddedCounterCell cells_[kMetricStripes];
+};
+
+/// \brief Point-in-time value (single atomic; Set/Add/Sub lock-free).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram. `le` semantics match Prometheus: an
+/// observation lands in the first bucket whose upper bound is >= the
+/// value (bounds are inclusive), overflowing into the implicit +Inf
+/// bucket. Observe is lock-free on striped atomics.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and finite; the +Inf bucket
+  /// is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Snapshot: per-bucket *non-cumulative* counts (bounds.size() + 1
+  /// entries, last = +Inf overflow), plus the observation sum.
+  /// Bucket-first summation keeps count == sum(buckets) even while
+  /// concurrent Observes land.
+  void Snapshot(std::vector<uint64_t>* bucket_counts, double* sum) const;
+
+ private:
+  std::vector<double> bounds_;
+  /// Stripe-major layout: counts_[stripe * (bounds+1) + bucket].
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<double> sums_[kMetricStripes];
+};
+
+/// One exposed series (or histogram child) in a snapshot.
+struct Sample {
+  Labels labels;
+  double value = 0.0;  ///< counter/gauge value
+  /// Histogram-only payload (is_histogram true): non-cumulative bucket
+  /// counts aligned with `bounds` plus a final +Inf overflow count.
+  bool is_histogram = false;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;
+  double sum = 0.0;
+};
+
+/// One family's samples at Collect time.
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<Sample> samples;
+};
+
+/// Emits a Collect result in the Prometheus text exposition format
+/// (version 0.0.4): # HELP / # TYPE headers, one line per series,
+/// histograms expanded into cumulative _bucket{le=...}, _sum, _count.
+std::string ExposeText(const std::vector<FamilySnapshot>& families);
+
+class Registry;
+
+/// \brief One registered family of instruments; hands out label-keyed
+/// children with stable addresses.
+template <typename T>
+class Family {
+ public:
+  /// Returns the child for `label_values` (matching the family's label
+  /// names positionally), creating it on first use. The pointer stays
+  /// valid for the registry's lifetime; resolve once, update lock-free.
+  T* WithLabels(const std::vector<std::string>& label_values);
+
+  /// The unlabeled child (families registered with no label names).
+  T* Default() { return WithLabels({}); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& label_names() const {
+    return label_names_;
+  }
+
+ private:
+  friend class Registry;
+  Family() = default;
+  T* MakeChild();
+
+  std::string name_;
+  std::string help_;
+  std::vector<std::string> label_names_;
+  std::vector<double> histogram_bounds_;  ///< Family<Histogram> only
+  std::mutex mu_;
+  /// Node-stable map keyed by label values.
+  std::map<std::vector<std::string>, std::unique_ptr<T>> children_;
+};
+
+using CounterFamilyT = Family<Counter>;
+using GaugeFamilyT = Family<Gauge>;
+using HistogramFamilyT = Family<Histogram>;
+
+/// Exponentially spaced bucket bounds: start, start*factor, ... count
+/// bounds total.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// The default request-latency bounds (500 µs .. 30 s, roughly 2.5x
+/// steps) shared by the per-kind latency histograms.
+const std::vector<double>& LatencyBuckets();
+
+/// \brief The metrics registry: owns families, merges callback-driven
+/// samples, and renders exposition text.
+///
+/// Thread-safety: all members may be called concurrently. Family
+/// registration is idempotent — re-registering the same (name, type,
+/// label names) returns the existing family (so any number of
+/// QueryServices can share one registry); a name collision with a
+/// different type or label names check-fails (it would corrupt the
+/// exposition).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Family<Counter>& CounterFamily(const std::string& name,
+                                 const std::string& help,
+                                 std::vector<std::string> label_names = {});
+  Family<Gauge>& GaugeFamily(const std::string& name,
+                             const std::string& help,
+                             std::vector<std::string> label_names = {});
+  Family<Histogram>& HistogramFamily(
+      const std::string& name, const std::string& help,
+      std::vector<double> bounds,
+      std::vector<std::string> label_names = {});
+
+  /// Registers a collect-time sample provider for family `name` (help
+  /// and type fixed by the first registration): at Collect, `fn` is
+  /// invoked to append samples — the bridge for components that
+  /// already maintain counters in their own stats structs
+  /// (CacheStats, OperatorStoreStats, PoolStats). Multiple providers
+  /// may feed one family (one per QueryService, distinguished by
+  /// their labels). Counter-typed callback samples must be monotonic
+  /// over the source's lifetime. Returns an id for RemoveCallback;
+  /// `fn` must stay valid until removed. A name collision with an
+  /// instrument family check-fails.
+  using SampleCallback = std::function<void(std::vector<Sample>*)>;
+  uint64_t AddCallback(const std::string& name, const std::string& help,
+                       MetricType type, SampleCallback fn);
+  void RemoveCallback(uint64_t id);
+
+  /// Snapshots every family (instrument children + callback samples),
+  /// sorted by family name.
+  std::vector<FamilySnapshot> Collect() const;
+
+  /// Collect + ExposeText.
+  std::string ExposeText() const;
+
+ private:
+  struct InstrumentFamily {
+    MetricType type;
+    std::unique_ptr<Family<Counter>> counter;
+    std::unique_ptr<Family<Gauge>> gauge;
+    std::unique_ptr<Family<Histogram>> histogram;
+  };
+  struct CallbackFamily {
+    std::string help;
+    MetricType type;
+    std::map<uint64_t, SampleCallback> providers;
+  };
+
+  InstrumentFamily& FindOrCreate(const std::string& name,
+                                 const std::string& help, MetricType type,
+                                 const std::vector<std::string>& label_names,
+                                 const std::vector<double>& bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, InstrumentFamily> families_;
+  std::map<std::string, CallbackFamily> callbacks_;
+  uint64_t next_callback_id_ = 1;
+};
+
+/// The process-wide registry every component reports into unless
+/// given an explicit one (ServiceOptions::metrics_registry).
+Registry& DefaultRegistry();
+
+/// \brief Pre-resolved instruments the engine's sharded evaluation
+/// reports into (wired through Engine::EvalOptions by the service so
+/// core/ never touches the registry itself).
+struct ShardMetrics {
+  Histogram* shard_seconds = nullptr;  ///< per-shard wall time
+  /// Per sharded run: slowest shard's wall time over the mean — the
+  /// skew a static shard split leaves on the table (1.0 = balanced).
+  Histogram* shard_skew = nullptr;
+};
+
+}  // namespace obs
+}  // namespace urm

@@ -24,6 +24,7 @@ void OperatorStore::FenceEpoch(uint64_t epoch) {
   uint64_t current = fenced_epoch_.load(std::memory_order_acquire);
   while (current < epoch) {
     if (fenced_epoch_.compare_exchange_weak(current, epoch)) {
+      epoch_fences_.fetch_add(1, std::memory_order_relaxed);
       Clear();
       return;
     }
@@ -183,6 +184,7 @@ OperatorStoreStats OperatorStore::stats() const {
   stats.single_flight_waits =
       single_flight_waits_.load(std::memory_order_relaxed);
   stats.bytes_reused = bytes_reused_.load(std::memory_order_relaxed);
+  stats.epoch_fences = epoch_fences_.load(std::memory_order_relaxed);
   shards_.ForEachShard(
       [&](const Shards::Map& map, const ShardState& state) {
         stats.entries += map.size();

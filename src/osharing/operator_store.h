@@ -64,6 +64,9 @@ struct OperatorStoreStats {
   size_t evictions = 0;           ///< dropped by the byte budget
   size_t single_flight_waits = 0; ///< hits that waited on an in-flight compute
   size_t bytes_reused = 0;        ///< result bytes served instead of recomputed
+  /// FenceEpoch calls that actually advanced the epoch and cleared the
+  /// store (mapping-set reconfigurations observed by this store).
+  size_t epoch_fences = 0;
   size_t entries = 0;             ///< current entries (snapshot)
   /// Current budget-weighted bytes (results + pinned inputs; snapshot).
   size_t bytes = 0;
@@ -191,6 +194,7 @@ class OperatorStore {
   std::atomic<size_t> evictions_{0};
   std::atomic<size_t> single_flight_waits_{0};
   std::atomic<size_t> bytes_reused_{0};
+  std::atomic<size_t> epoch_fences_{0};
 };
 
 /// Stable hash of a rendered operator description (hash_util's FNV-1a);

@@ -114,6 +114,7 @@ void AnswerCache::FenceEpoch(uint64_t epoch) {
   lru_.clear();
   index_.clear();
   bytes_ = 0;
+  stats_.epoch_fences++;
 }
 
 void AnswerCache::Clear() {

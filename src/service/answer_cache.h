@@ -37,6 +37,9 @@ struct CacheStats {
   size_t misses = 0;
   size_t evictions = 0;    ///< dropped by the entry/byte budgets
   size_t expirations = 0;  ///< dropped because their TTL elapsed
+  /// FenceEpoch calls that actually advanced the epoch and dropped
+  /// entries (mapping-set reconfigurations observed by this cache).
+  size_t epoch_fences = 0;
   size_t entries = 0;
   size_t bytes = 0;        ///< current answer bytes held
 };

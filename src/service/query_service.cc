@@ -4,12 +4,103 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "mapping/sharded.h"
+#include "obs/log.h"
 
 namespace urm {
 namespace service {
+
+namespace {
+
+constexpr size_t kNumKinds = 4;  ///< core::RequestKind cardinality
+
+/// Outcome label values for urm_requests_total.
+enum Outcome { kEvaluated = 0, kCacheHit, kShared, kError, kNumOutcomes };
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case kEvaluated: return "evaluated";
+    case kCacheHit: return "cache_hit";
+    case kShared: return "shared";
+    case kError: return "error";
+    default: return "unknown";
+  }
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Wraps a caller sink to observe the submit-to-first-streamed-leaf
+/// latency on the first OnAnswer, then forwards everything unchanged.
+class FirstAnswerTimingSink : public core::AnswerSink {
+ public:
+  FirstAnswerTimingSink(core::AnswerSink* inner, obs::Histogram* histogram,
+                        std::chrono::steady_clock::time_point submitted)
+      : inner_(inner), histogram_(histogram), submitted_(submitted) {}
+
+  bool OnAnswer(const std::vector<relational::Row>& rows,
+                double probability) override {
+    if (!observed_) {
+      observed_ = true;
+      histogram_->Observe(SecondsSince(submitted_));
+    }
+    return inner_->OnAnswer(rows, probability);
+  }
+
+  void OnComplete(const Status& status) override {
+    inner_->OnComplete(status);
+  }
+
+ private:
+  core::AnswerSink* inner_;
+  obs::Histogram* histogram_;
+  std::chrono::steady_clock::time_point submitted_;
+  bool observed_ = false;
+};
+
+}  // namespace
+
+/// Every instrument the service updates on the request path, resolved
+/// once at construction (child lookups are locked; updates are not),
+/// plus the collect-time bridges feeding the cache / operator-store /
+/// pool stats structs into the registry without hot-path duplication.
+struct ServiceMetrics {
+  obs::Registry* registry = nullptr;
+  obs::Counter* requests[kNumKinds][kNumOutcomes] = {};
+  obs::Histogram* latency[kNumKinds] = {};       ///< submit -> complete
+  obs::Histogram* first_answer[kNumKinds] = {};  ///< submit -> first leaf
+  obs::Counter* dedup_joins = nullptr;
+  obs::Gauge* in_flight = nullptr;
+  obs::ShardMetrics shard;  ///< wired through EvalOptions
+  std::vector<uint64_t> callback_ids;  ///< stat bridges to unregister
+};
+
+namespace {
+
+/// Registers a one-series stat bridge: at Collect, `value` is read
+/// from the component's own stats and emitted under `labels`.
+void AddStatBridge(ServiceMetrics* metrics, const std::string& name,
+                   const std::string& help, obs::MetricType type,
+                   const obs::Labels& labels,
+                   std::function<double()> value) {
+  metrics->callback_ids.push_back(metrics->registry->AddCallback(
+      name, help, type,
+      [labels, value = std::move(value)](std::vector<obs::Sample>* out) {
+        obs::Sample sample;
+        sample.labels = labels;
+        sample.value = value();
+        out->push_back(std::move(sample));
+      }));
+}
+
+}  // namespace
 
 namespace {
 
@@ -59,6 +150,199 @@ QueryService::QueryService(const core::Engine* engine,
     operator_store_ =
         std::make_unique<osharing::OperatorStore>(store_options);
   }
+  if (options_.enable_metrics) InitMetrics();
+}
+
+void QueryService::InitMetrics() {
+  metrics_ = std::make_unique<ServiceMetrics>();
+  ServiceMetrics& m = *metrics_;
+  m.registry = options_.metrics_registry != nullptr
+                   ? options_.metrics_registry
+                   : &obs::DefaultRegistry();
+
+  // Base label set every series carries (e.g. {"schema", <name>}),
+  // extended per family; families are shared across services on the
+  // same registry (registration is idempotent), so the base labels are
+  // what keeps their series apart.
+  std::vector<std::string> base_names;
+  std::vector<std::string> base_values;
+  for (const obs::Label& label : options_.metric_labels) {
+    base_names.push_back(label.first);
+    base_values.push_back(label.second);
+  }
+  auto names = [&](std::initializer_list<const char*> extra) {
+    std::vector<std::string> out = base_names;
+    for (const char* name : extra) out.emplace_back(name);
+    return out;
+  };
+  auto values = [&](std::initializer_list<const char*> extra) {
+    std::vector<std::string> out = base_values;
+    for (const char* value : extra) out.emplace_back(value);
+    return out;
+  };
+
+  auto& requests = m.registry->CounterFamily(
+      "urm_requests_total",
+      "Requests completed, by request kind and outcome (evaluated, "
+      "cache_hit, shared, error).",
+      names({"kind", "outcome"}));
+  auto& latency = m.registry->HistogramFamily(
+      "urm_request_latency_seconds",
+      "Submit-to-complete latency of evaluated requests, by kind "
+      "(includes queue wait; cache hits resolve inline and are not "
+      "observed).",
+      obs::LatencyBuckets(), names({"kind"}));
+  auto& first_answer = m.registry->HistogramFamily(
+      "urm_request_first_answer_seconds",
+      "Submit-to-first-streamed-leaf latency of streaming requests, "
+      "by kind.",
+      obs::LatencyBuckets(), names({"kind"}));
+  for (size_t k = 0; k < kNumKinds; ++k) {
+    const char* kind = core::RequestKindName(static_cast<core::RequestKind>(k));
+    for (size_t o = 0; o < kNumOutcomes; ++o) {
+      m.requests[k][o] = requests.WithLabels(
+          values({kind, OutcomeName(static_cast<Outcome>(o))}));
+    }
+    m.latency[k] = latency.WithLabels(values({kind}));
+    m.first_answer[k] = first_answer.WithLabels(values({kind}));
+  }
+  m.dedup_joins =
+      m.registry
+          ->CounterFamily("urm_dedup_joins_total",
+                          "Submissions that joined an identical in-flight "
+                          "evaluation instead of scheduling their own.",
+                          base_names)
+          .WithLabels(base_values);
+  m.in_flight =
+      m.registry
+          ->GaugeFamily("urm_inflight_requests",
+                        "Evaluations currently queued or running.",
+                        base_names)
+          .WithLabels(base_values);
+  m.shard.shard_seconds =
+      m.registry
+          ->HistogramFamily("urm_shard_seconds",
+                            "Per-shard wall time of sharded evaluations.",
+                            obs::LatencyBuckets(), base_names)
+          .WithLabels(base_values);
+  m.shard.shard_skew =
+      m.registry
+          ->HistogramFamily(
+              "urm_shard_skew_ratio",
+              "Slowest shard's wall time over the mean, per sharded "
+              "run (1.0 = perfectly balanced split).",
+              {1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0}, base_names)
+          .WithLabels(base_values);
+
+  // Collect-time bridges: the cache / store / pool already maintain
+  // their counters; re-read them at scrape time instead of adding a
+  // second set of hot-path increments.
+  const obs::Labels& base = options_.metric_labels;
+  AddStatBridge(&m, "urm_answer_cache_hits_total",
+                "Answer-cache lookups served from the cache.",
+                obs::MetricType::kCounter, base,
+                [this] { return static_cast<double>(cache_.stats().hits); });
+  AddStatBridge(&m, "urm_answer_cache_misses_total",
+                "Answer-cache lookups that missed (including TTL "
+                "expiries).",
+                obs::MetricType::kCounter, base,
+                [this] { return static_cast<double>(cache_.stats().misses); });
+  AddStatBridge(
+      &m, "urm_answer_cache_evictions_total",
+      "Answer-cache entries dropped by the entry or byte budget.",
+      obs::MetricType::kCounter, base,
+      [this] { return static_cast<double>(cache_.stats().evictions); });
+  AddStatBridge(
+      &m, "urm_answer_cache_ttl_expiries_total",
+      "Answer-cache entries dropped because their TTL elapsed.",
+      obs::MetricType::kCounter, base,
+      [this] { return static_cast<double>(cache_.stats().expirations); });
+  AddStatBridge(
+      &m, "urm_answer_cache_epoch_fences_total",
+      "Mapping-set reconfiguration fences that cleared the cache.",
+      obs::MetricType::kCounter, base,
+      [this] { return static_cast<double>(cache_.stats().epoch_fences); });
+  AddStatBridge(&m, "urm_answer_cache_entries",
+                "Answer-cache entries currently held.",
+                obs::MetricType::kGauge, base,
+                [this] { return static_cast<double>(cache_.stats().entries); });
+  AddStatBridge(&m, "urm_answer_cache_bytes",
+                "Answer bytes currently held by the cache.",
+                obs::MetricType::kGauge, base,
+                [this] { return static_cast<double>(cache_.stats().bytes); });
+
+  if (operator_store_ != nullptr) {
+    osharing::OperatorStore* store = operator_store_.get();
+    AddStatBridge(&m, "urm_operator_store_hits_total",
+                  "Materialized operators served from the shared store.",
+                  obs::MetricType::kCounter, base,
+                  [store] { return static_cast<double>(store->stats().hits); });
+    AddStatBridge(
+        &m, "urm_operator_store_misses_total",
+        "Operator lookups computed fresh.", obs::MetricType::kCounter,
+        base, [store] { return static_cast<double>(store->stats().misses); });
+    AddStatBridge(
+        &m, "urm_operator_store_evictions_total",
+        "Store entries dropped by the byte budget.",
+        obs::MetricType::kCounter, base,
+        [store] { return static_cast<double>(store->stats().evictions); });
+    AddStatBridge(&m, "urm_operator_store_single_flight_waits_total",
+                  "Hits that waited on an in-flight compute of the same "
+                  "operator.",
+                  obs::MetricType::kCounter, base, [store] {
+                    return static_cast<double>(
+                        store->stats().single_flight_waits);
+                  });
+    AddStatBridge(&m, "urm_operator_store_bytes_reused_total",
+                  "Result bytes served from the store instead of "
+                  "recomputed.",
+                  obs::MetricType::kCounter, base, [store] {
+                    return static_cast<double>(store->stats().bytes_reused);
+                  });
+    AddStatBridge(&m, "urm_operator_store_epoch_fences_total",
+                  "Mapping-set reconfiguration fences that cleared the "
+                  "store.",
+                  obs::MetricType::kCounter, base, [store] {
+                    return static_cast<double>(store->stats().epoch_fences);
+                  });
+    AddStatBridge(
+        &m, "urm_operator_store_entries",
+        "Materialized operators currently held.", obs::MetricType::kGauge,
+        base, [store] { return static_cast<double>(store->stats().entries); });
+    AddStatBridge(&m, "urm_operator_store_bytes",
+                  "Budget-weighted bytes currently held by the store "
+                  "(results plus pinned inputs).",
+                  obs::MetricType::kGauge, base,
+                  [store] { return static_cast<double>(store->stats().bytes); });
+  }
+
+  AddStatBridge(&m, "urm_pool_threads", "Worker threads in the pool.",
+                obs::MetricType::kGauge, base,
+                [this] { return static_cast<double>(pool_.stats().threads); });
+  AddStatBridge(
+      &m, "urm_pool_queue_depth", "Tasks queued and not yet started.",
+      obs::MetricType::kGauge, base,
+      [this] { return static_cast<double>(pool_.stats().queue_depth); });
+  AddStatBridge(
+      &m, "urm_pool_running_tasks", "Tasks currently executing.",
+      obs::MetricType::kGauge, base,
+      [this] { return static_cast<double>(pool_.stats().running_tasks); });
+  AddStatBridge(
+      &m, "urm_pool_tasks_executed_total", "Tasks completed by the pool.",
+      obs::MetricType::kCounter, base,
+      [this] { return static_cast<double>(pool_.stats().tasks_executed); });
+}
+
+QueryService::~QueryService() {
+  // The stat bridges read members of this service at Collect time;
+  // unregister them before any member is torn down. The pool drains in
+  // ~pool_ afterwards — in-flight evaluations only touch pre-resolved
+  // instruments, which live in the registry, not here.
+  if (metrics_ != nullptr) {
+    for (uint64_t id : metrics_->callback_ids) {
+      metrics_->registry->RemoveCallback(id);
+    }
+  }
 }
 
 algebra::PlanFingerprint QueryService::Fingerprint(
@@ -86,6 +370,13 @@ std::future<QueryResponse> QueryService::SubmitAsync(
   if (!valid.ok()) {
     QueryResponse response;
     response.status = valid;
+    if (metrics_ != nullptr) {
+      metrics_->requests[static_cast<size_t>(request.kind)][kError]
+          ->Increment();
+    }
+    URM_LOG(Warn, "service")
+        << core::RequestKindName(request.kind)
+        << " request rejected: " << valid.message();
     // Same contract as an engine-side failure: the sink's completion
     // hook fires exactly once even when nothing was evaluated.
     if (sink != nullptr) sink->OnComplete(valid);
@@ -117,6 +408,10 @@ std::future<QueryResponse> QueryService::Dispatch(
       response.response = std::move(cached);
       response.cache_hit = true;
       AttachLegacyResult(&response);
+      if (metrics_ != nullptr) {
+        metrics_->requests[static_cast<size_t>(request.kind)][kCacheHit]
+            ->Increment();
+      }
       if (callback) callback(response);
       return ReadyFuture(response);
     }
@@ -127,18 +422,21 @@ std::future<QueryResponse> QueryService::Dispatch(
       subscriber.shared = true;
       auto future = subscriber.promise.get_future();
       it->second->subscribers.push_back(std::move(subscriber));
+      if (metrics_ != nullptr) metrics_->dedup_joins->Increment();
       return future;
     }
     auto work = std::make_shared<Work>();
     work->request = request;
     work->fingerprint = fp;
     work->in_flight = true;
+    work->submitted = std::chrono::steady_clock::now();
     Work::Subscriber subscriber;
     subscriber.callback = std::move(callback);
     auto future = subscriber.promise.get_future();
     work->subscribers.push_back(std::move(subscriber));
     in_flight_.emplace(fp, work);
     lock.unlock();
+    if (metrics_ != nullptr) metrics_->in_flight->Add();
     pool_.Submit([this, work] { RunWork(work); });
     return future;
   }
@@ -151,10 +449,12 @@ std::future<QueryResponse> QueryService::Dispatch(
   work->request = request;
   work->fingerprint = fp;
   work->sink = sink;
+  work->submitted = std::chrono::steady_clock::now();
   Work::Subscriber subscriber;
   subscriber.callback = std::move(callback);
   auto future = subscriber.promise.get_future();
   work->subscribers.push_back(std::move(subscriber));
+  if (metrics_ != nullptr) metrics_->in_flight->Add();
   pool_.Submit([this, work] { RunWork(work); });
   return future;
 }
@@ -180,6 +480,17 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
       work->sink != nullptr ? 1 : options_.mapping_shards;
   eval.pool = &pool_;
   eval.sink = work->sink;
+  const size_t kind_index = static_cast<size_t>(work->request.kind);
+  // Time-to-first-leaf: wrap the caller's sink so the first streamed
+  // answer stamps the first_answer histogram (the wrapper only needs
+  // to outlive the synchronous evaluation in this frame).
+  std::unique_ptr<FirstAnswerTimingSink> timing_sink;
+  if (work->sink != nullptr && metrics_ != nullptr) {
+    timing_sink = std::make_unique<FirstAnswerTimingSink>(
+        work->sink, metrics_->first_answer[kind_index], work->submitted);
+    eval.sink = timing_sink.get();
+  }
+  if (metrics_ != nullptr) eval.shard_metrics = &metrics_->shard;
   if (operator_store_ != nullptr) {
     // Drop shared materializations from before a UseTopMappings
     // reconfiguration (entries are also epoch-keyed; the fence just
@@ -230,9 +541,24 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
     if (work->in_flight) in_flight_.erase(work->fingerprint);
     subscribers = std::move(work->subscribers);
   }
+  if (metrics_ != nullptr) {
+    metrics_->in_flight->Sub();
+    metrics_->latency[kind_index]->Observe(SecondsSince(work->submitted));
+  }
+  if (!base.status.ok()) {
+    URM_LOG(Warn, "service")
+        << core::RequestKindName(work->request.kind)
+        << " evaluation failed: " << base.status.message();
+  }
   for (auto& subscriber : subscribers) {
     QueryResponse response = base;
     response.shared_in_batch = subscriber.shared;
+    if (metrics_ != nullptr) {
+      const Outcome outcome = !base.status.ok()
+                                  ? kError
+                                  : (subscriber.shared ? kShared : kEvaluated);
+      metrics_->requests[kind_index][outcome]->Increment();
+    }
     // Callback strictly before the future is fulfilled: anything the
     // callback writes is visible to whoever unblocks from get().
     if (subscriber.callback) subscriber.callback(response);

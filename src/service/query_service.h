@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <future>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "osharing/operator_store.h"
 #include "service/answer_cache.h"
 
@@ -61,6 +63,10 @@
 namespace urm {
 namespace service {
 
+/// Pre-resolved metric instruments + registered stat bridges (defined
+/// in the .cc; null when ServiceOptions::enable_metrics is off).
+struct ServiceMetrics;
+
 struct ServiceOptions {
   /// Worker threads in the shared pool (>= 0; 0 runs every request on
   /// the submitting/waiting thread, preserving single-threaded
@@ -99,6 +105,19 @@ struct ServiceOptions {
   size_t operator_store_bytes = 256ull << 20;
   /// Operator-store concurrency shards (rounded up to a power of two).
   size_t operator_store_shards = 16;
+  /// Report serving-tier metrics — per-kind latency histograms,
+  /// request outcomes, in-flight gauge, dedup joins, shard timing, and
+  /// collect-time bridges for the cache / operator-store / pool stats
+  /// — into `metrics_registry`. Off disables every metric touch (the
+  /// bench's overhead config measures the difference).
+  bool enable_metrics = true;
+  /// Registry to report into; null uses obs::DefaultRegistry(). Must
+  /// outlive the service.
+  obs::Registry* metrics_registry = nullptr;
+  /// Labels attached to every series this service emits (urm_server
+  /// uses {{"schema", <target schema>}}), so multiple services can
+  /// share one registry without their series colliding.
+  obs::Labels metric_labels;
 };
 
 /// One query of a legacy batch (method evaluations only).
@@ -143,6 +162,10 @@ class QueryService {
  public:
   /// `engine` must outlive the service.
   QueryService(const core::Engine* engine, ServiceOptions options);
+
+  /// Completes all outstanding futures, then unregisters the metric
+  /// stat bridges from the registry.
+  ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -197,6 +220,10 @@ class QueryService {
   CacheStats cache_stats() const { return cache_.stats(); }
   void ClearCache() { cache_.Clear(); }
 
+  /// Point-in-time pool occupancy (threads, queue depth, running
+  /// tasks, total executed) — see ThreadPool::stats.
+  PoolStats pool_stats() const { return pool_.stats(); }
+
   /// Counters of the shared operator store (zeroes when
   /// share_operators is off).
   osharing::OperatorStoreStats operator_store_stats() const {
@@ -214,6 +241,9 @@ class QueryService {
     core::Request request;
     algebra::PlanFingerprint fingerprint;
     core::AnswerSink* sink = nullptr;
+    /// Dispatch time; anchors the submit-to-complete and
+    /// submit-to-first-streamed-leaf latency observations.
+    std::chrono::steady_clock::time_point submitted;
     /// Registered in in_flight_ (shareable; false for sink-bearing
     /// private evaluations).
     bool in_flight = false;
@@ -237,6 +267,10 @@ class QueryService {
   /// response to cache and subscribers.
   void RunWork(const std::shared_ptr<Work>& work);
 
+  /// Resolves every instrument child and registers the stat bridges
+  /// (constructor, when enable_metrics is on).
+  void InitMetrics();
+
   /// Blocks until `future` is ready, draining queued pool tasks on
   /// this thread while waiting.
   QueryResponse Wait(std::future<QueryResponse> future);
@@ -248,6 +282,10 @@ class QueryService {
   /// every evaluation (and every parallel branch within one); fenced
   /// on mapping-epoch changes. Null when share_operators is off.
   std::unique_ptr<osharing::OperatorStore> operator_store_;
+  /// Pre-resolved instruments + registered stat bridges; null when
+  /// enable_metrics is off. Declared before pool_ so in-flight
+  /// evaluations can still report while the pool drains in ~pool_.
+  std::unique_ptr<ServiceMetrics> metrics_;
   mutable std::mutex mu_;  ///< guards in_flight_ + Work::subscribers
   std::unordered_map<algebra::PlanFingerprint, std::shared_ptr<Work>,
                      algebra::PlanFingerprintHash>

@@ -1,0 +1,428 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "service/query_service.h"
+#include "tests/paper_fixture.h"
+
+namespace urm {
+namespace obs {
+namespace {
+
+// --------------------------------------------------------- instruments
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  gauge.Add(5);
+  gauge.Sub(2);
+  EXPECT_EQ(gauge.Value(), 10);
+  gauge.Sub(20);
+  EXPECT_EQ(gauge.Value(), -10);  // gauges may go negative
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusive) {
+  // Prometheus `le` semantics: an observation equal to a bound lands
+  // in that bound's bucket, strictly greater overflows to the next.
+  Histogram histogram({1.0, 2.0});
+  histogram.Observe(0.5);  // le="1"
+  histogram.Observe(1.0);  // le="1" (inclusive)
+  histogram.Observe(1.5);  // le="2"
+  histogram.Observe(2.0);  // le="2" (inclusive)
+  histogram.Observe(2.5);  // +Inf overflow
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  histogram.Snapshot(&counts, &sum);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_DOUBLE_EQ(sum, 7.5);
+}
+
+TEST(HistogramTest, ConcurrentObserveKeepsCountConsistent) {
+  Histogram histogram({0.25, 0.5, 0.75});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  // A snapshotting reader races the writers; every snapshot must be
+  // internally consistent (count == sum of buckets) even mid-update.
+  std::thread reader([&] {
+    std::vector<uint64_t> counts;
+    double sum = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      histogram.Snapshot(&counts, &sum);
+      uint64_t total = 0;
+      for (uint64_t c : counts) total += c;
+      EXPECT_LE(total,
+                static_cast<uint64_t>(kThreads) * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe((t * kPerThread + i) % 100 / 100.0);
+      }
+    });
+  }
+  for (auto& thread : writers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  histogram.Snapshot(&counts, &sum);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(BucketsTest, ExponentialBucketsGrowByFactor) {
+  auto bounds = ExponentialBuckets(0.001, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.001);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+  // The shared latency bounds must be strictly increasing (the
+  // Histogram constructor check-fails otherwise; assert the contract
+  // here so a bad edit fails in this test, not in every service test).
+  const auto& latency = LatencyBuckets();
+  for (size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_LT(latency[i - 1], latency[i]);
+  }
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(RegistryTest, ChildrenAreStableAndKeyedByLabelValues) {
+  Registry registry;
+  auto& family = registry.CounterFamily("urm_test_total", "help",
+                                        {"kind"});
+  Counter* a = family.WithLabels({"alpha"});
+  Counter* b = family.WithLabels({"beta"});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, family.WithLabels({"alpha"}));  // stable address
+  // Idempotent re-registration returns the same family (and children).
+  auto& again = registry.CounterFamily("urm_test_total", "help",
+                                       {"kind"});
+  EXPECT_EQ(&family, &again);
+  EXPECT_EQ(a, again.WithLabels({"alpha"}));
+}
+
+TEST(RegistryTest, CallbackFamiliesMergeAndRemove) {
+  Registry registry;
+  double value_a = 1.0;
+  auto sample_fn = [](const Labels& labels, double* value) {
+    return [labels, value](std::vector<Sample>* out) {
+      Sample sample;
+      sample.labels = labels;
+      sample.value = *value;
+      out->push_back(std::move(sample));
+    };
+  };
+  double value_b = 2.0;
+  uint64_t id_a = registry.AddCallback(
+      "urm_cb_total", "help", MetricType::kCounter,
+      sample_fn({{"src", "a"}}, &value_a));
+  uint64_t id_b = registry.AddCallback(
+      "urm_cb_total", "help", MetricType::kCounter,
+      sample_fn({{"src", "b"}}, &value_b));
+  auto families = registry.Collect();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].samples.size(), 2u);  // both providers merged
+  registry.RemoveCallback(id_a);
+  families = registry.Collect();
+  ASSERT_EQ(families.size(), 1u);
+  ASSERT_EQ(families[0].samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(families[0].samples[0].value, 2.0);
+  registry.RemoveCallback(id_b);
+  EXPECT_TRUE(registry.Collect().empty());  // empty family disappears
+}
+
+TEST(RegistryTest, GoldenExposition) {
+  Registry registry;
+  auto& requests = registry.CounterFamily(
+      "urm_requests_total", "Requests by kind.", {"kind"});
+  requests.WithLabels({"evaluate"})->Increment(3);
+  requests.WithLabels({"top-k"})->Increment();
+  registry.GaugeFamily("urm_inflight_requests", "In flight.")
+      .Default()
+      ->Set(2);
+  auto& latency = registry.HistogramFamily(
+      "urm_latency_seconds", "Latency.", {0.1, 0.5});
+  Histogram* h = latency.Default();
+  h->Observe(0.05);
+  h->Observe(0.1);   // inclusive upper bound
+  h->Observe(0.25);
+  h->Observe(2.0);   // +Inf overflow
+  const std::string expected =
+      "# HELP urm_inflight_requests In flight.\n"
+      "# TYPE urm_inflight_requests gauge\n"
+      "urm_inflight_requests 2\n"
+      "# HELP urm_latency_seconds Latency.\n"
+      "# TYPE urm_latency_seconds histogram\n"
+      "urm_latency_seconds_bucket{le=\"0.1\"} 2\n"
+      "urm_latency_seconds_bucket{le=\"0.5\"} 3\n"
+      "urm_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "urm_latency_seconds_sum 2.4\n"
+      "urm_latency_seconds_count 4\n"
+      "# HELP urm_requests_total Requests by kind.\n"
+      "# TYPE urm_requests_total counter\n"
+      "urm_requests_total{kind=\"evaluate\"} 3\n"
+      "urm_requests_total{kind=\"top-k\"} 1\n";
+  EXPECT_EQ(registry.ExposeText(), expected);
+}
+
+TEST(RegistryTest, ExpositionEscapesLabelValuesAndHelp) {
+  Registry registry;
+  registry
+      .CounterFamily("urm_esc_total", "line one\nline \\two", {"q"})
+      .WithLabels({"a\"b\\c\nd"})
+      ->Increment();
+  const std::string text = registry.ExposeText();
+  EXPECT_NE(text.find("# HELP urm_esc_total line one\\nline \\\\two"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("urm_esc_total{q=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(RegistryTest, ConcurrentCollectAndUpdate) {
+  Registry registry;
+  auto& family =
+      registry.CounterFamily("urm_race_total", "help", {"t"});
+  std::atomic<bool> stop{false};
+  std::thread collector([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.ExposeText();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&family, t] {
+      Counter* counter = family.WithLabels({std::to_string(t)});
+      for (int i = 0; i < 20000; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : writers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  collector.join();
+  uint64_t total = 0;
+  for (const auto& snapshot : registry.Collect()) {
+    for (const auto& sample : snapshot.samples) {
+      total += static_cast<uint64_t>(sample.value);
+    }
+  }
+  EXPECT_EQ(total, 4u * 20000);
+}
+
+// -------------------------------------------------------------- logger
+
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture() {
+    previous_threshold_ = log_threshold();
+    SetLogSinkForTesting([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  ~ScopedLogCapture() {
+    SetLogSinkForTesting(nullptr);
+    set_log_threshold(previous_threshold_);
+  }
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+  std::vector<LogLevel> levels() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return levels_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+  LogLevel previous_threshold_;
+};
+
+TEST(LogTest, ThresholdFiltersBelowButNeverFatal) {
+  ScopedLogCapture capture;
+  set_log_threshold(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  set_log_threshold(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  EXPECT_TRUE(LogEnabled(LogLevel::kFatal));  // never filtered
+  set_log_threshold(LogLevel::kInfo);
+  URM_LOG(Debug, "test") << "filtered";
+  URM_LOG(Info, "test") << "kept";
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("kept"), std::string::npos);
+}
+
+TEST(LogTest, FilteredStatementsDoNotEvaluateArguments) {
+  ScopedLogCapture capture;
+  set_log_threshold(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  URM_LOG(Info, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  URM_LOG(Error, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, LineFormatCarriesLevelChannelAndLocation) {
+  ScopedLogCapture capture;
+  set_log_threshold(LogLevel::kInfo);
+  URM_LOG(Warn, "cache") << "evicted " << 3 << " entries";
+  auto lines = capture.lines();
+  auto levels = capture.levels();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(levels[0], LogLevel::kWarn);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find(" W "), std::string::npos) << line;
+  EXPECT_NE(line.find("[cache]"), std::string::npos) << line;
+  EXPECT_NE(line.find("metrics_test.cc:"), std::string::npos) << line;
+  EXPECT_NE(line.find("evicted 3 entries"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n') << "lines are newline-terminated";
+  // One line per statement: no embedded newlines before the terminator.
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+}
+
+TEST(LogTest, ParseLogLevelNames) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+}
+
+// -------------------------------------------- service instrumentation
+
+TEST(ServiceMetricsTest, RequestsLatencyAndBridgesAppearInExposition) {
+  testing::PaperExample example = testing::MakePaperExample();
+  core::Engine::Options options;
+  auto engine = core::Engine::FromParts(
+      example.catalog, example.source_schema, example.target_schema,
+      example.mappings, options);
+
+  Registry registry;
+  service::ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.metrics_registry = &registry;
+  service_options.metric_labels = {{"schema", "paper"}};
+  {
+    service::QueryService service(engine.get(), service_options);
+    // q0 = π_addr σ_phone='123' Person (the paper's worked query).
+    algebra::PlanPtr q0 = algebra::MakeScan("Person", "person");
+    q0 = algebra::MakeSelect(
+        q0, algebra::Predicate::AttrCmpValue("person.phone",
+                                             algebra::CmpOp::kEq, "123"));
+    q0 = algebra::MakeProject(q0, {"person.addr"});
+    auto first = service.Submit(
+        core::Request::MethodEval(q0, core::Method::kOSharing));
+    ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+    auto repeat = service.Submit(
+        core::Request::MethodEval(q0, core::Method::kOSharing));
+    EXPECT_TRUE(repeat.cache_hit);
+    auto topk = service.Submit(core::Request::TopK(q0, 2));
+    ASSERT_TRUE(topk.status.ok()) << topk.status.ToString();
+
+    const std::string text = registry.ExposeText();
+    EXPECT_NE(
+        text.find("urm_requests_total{schema=\"paper\","
+                  "kind=\"evaluate\",outcome=\"evaluated\"} 1"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("urm_requests_total{schema=\"paper\","
+                  "kind=\"evaluate\",outcome=\"cache_hit\"} 1"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("urm_requests_total{schema=\"paper\","
+                  "kind=\"top-k\",outcome=\"evaluated\"} 1"),
+        std::string::npos)
+        << text;
+    // Each evaluated request observed submit-to-complete latency once
+    // (the cache hit resolved inline and is not observed).
+    EXPECT_NE(text.find("urm_request_latency_seconds_count"
+                        "{schema=\"paper\",kind=\"evaluate\"} 1"),
+              std::string::npos)
+        << text;
+    // The stat bridges surface the cache / pool counters.
+    EXPECT_NE(text.find("urm_answer_cache_hits_total"
+                        "{schema=\"paper\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("urm_pool_threads{schema=\"paper\"} 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("urm_inflight_requests{schema=\"paper\"} 0"),
+              std::string::npos)
+        << text;
+  }
+  // Destroying the service unregisters its stat bridges; instrument
+  // families (and their counts) survive in the registry.
+  const std::string after = registry.ExposeText();
+  EXPECT_EQ(after.find("urm_pool_threads"), std::string::npos) << after;
+  EXPECT_NE(after.find("urm_requests_total"), std::string::npos) << after;
+}
+
+TEST(ServiceMetricsTest, DisabledMetricsTouchNothing) {
+  testing::PaperExample example = testing::MakePaperExample();
+  auto engine = core::Engine::FromParts(
+      example.catalog, example.source_schema, example.target_schema,
+      example.mappings, core::Engine::Options());
+  Registry registry;
+  service::ServiceOptions service_options;
+  service_options.num_threads = 0;
+  service_options.enable_metrics = false;
+  service_options.metrics_registry = &registry;
+  service::QueryService service(engine.get(), service_options);
+  algebra::PlanPtr q = algebra::MakeProject(
+      algebra::MakeScan("Person", "person"), {"person.addr"});
+  auto response =
+      service.Submit(core::Request::MethodEval(q, core::Method::kBasic));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(registry.ExposeText().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace urm
