@@ -8,6 +8,7 @@
 ///
 ///   urm_server [--mb 1.0] [--h 100] [--threads 4] [--cache 256]
 ///              [--parallelism 1] [--shards 1] [--store-mb 256] [--ttl 0]
+///              [--http <port>] [--http-drain <s>]
 ///              [--metrics-file <path>] [--metrics-interval <s>]
 ///              [--log-level debug|info|warn|error|off]
 ///
@@ -15,6 +16,14 @@
 /// into S contiguous probability-renormalized shards, concurrently on
 /// the pool, with a deterministic per-shard answer merge (the h ≫ 10³
 /// scaling path; see docs/TUNING.md).
+///
+/// --http P serves the versioned JSON API (docs/API.md) on
+/// 127.0.0.1:P alongside the REPL — POST /v1/query, GET /v1/stats,
+/// GET /metrics, and the /v1/stream WebSocket (P = 0 binds an
+/// ephemeral port, printed at startup). SIGINT/SIGTERM (and REPL
+/// `quit`) drain gracefully: the listener closes, in-flight requests
+/// and streams finish, and the metrics dumper writes its final dump —
+/// --http-drain bounds the wait (default 10 s).
 ///
 /// --metrics-file dumps the Prometheus text exposition (the same
 /// payload the `metrics` command prints) to <path> — atomically via a
@@ -49,6 +58,11 @@
 /// Noris, Q8-Q10 Paragon), each fronted by its own QueryService
 /// sharing the configured pool/cache sizes.
 
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -67,6 +81,8 @@
 
 #include "common/timer.h"
 #include "core/workload.h"
+#include "net/api.h"
+#include "net/server.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "service/query_service.h"
@@ -86,7 +102,95 @@ struct ServerArgs {
   double ttl = 0.0;         ///< answer-cache TTL seconds (0 = none)
   std::string metrics_file;      ///< exposition dump path ("" = off)
   double metrics_interval = 0.0; ///< dump period seconds (<= 0: at exit)
+  int http_port = -1;            ///< -1 = no HTTP tier; 0 = ephemeral
+  double http_drain = 10.0;      ///< graceful-drain deadline seconds
 };
+
+/// Async-signal-safe shutdown notification: the handler stores which
+/// signal arrived and writes one byte into a self-pipe the REPL's
+/// poll loop watches (write(2) is on the async-signal-safe list;
+/// printf/locks are not).
+std::atomic<int> g_signal{0};
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int sig) {
+  g_signal.store(sig, std::memory_order_release);
+  char byte = 's';
+  [[maybe_unused]] ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void InstallSignalHandlers() {
+  if (::pipe(g_signal_pipe) != 0) {
+    g_signal_pipe[0] = g_signal_pipe[1] = -1;
+    return;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+/// Reads REPL lines off stdin with poll(), watching the signal pipe at
+/// the same time — a pending SIGINT/SIGTERM interrupts the wait
+/// instead of leaving the process stuck in a blocking getline.
+class LineReader {
+ public:
+  enum class Event { kLine, kEof, kSignal };
+
+  Event Next(std::string* line) {
+    while (true) {
+      size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return Event::kLine;
+      }
+      if (eof_) {
+        if (!buffer_.empty()) {
+          *line = std::move(buffer_);
+          buffer_.clear();
+          return Event::kLine;
+        }
+        return Event::kEof;
+      }
+      if (g_signal.load(std::memory_order_acquire) != 0) {
+        return Event::kSignal;
+      }
+      pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0},
+                       {g_signal_pipe[0], POLLIN, 0}};
+      nfds_t count = g_signal_pipe[0] >= 0 ? 2 : 1;
+      ::poll(fds, count, -1);
+      if (g_signal.load(std::memory_order_acquire) != 0 ||
+          (count == 2 && fds[1].revents != 0)) {
+        return Event::kSignal;
+      }
+      if ((fds[0].revents & (POLLIN | POLLHUP)) != 0) {
+        char chunk[4096];
+        ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+        if (n > 0) {
+          buffer_.append(chunk, static_cast<size_t>(n));
+        } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
+          eof_ = true;
+        }
+      }
+    }
+  }
+
+ private:
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Blocks until SIGINT/SIGTERM arrives (the --http idle wait once
+/// stdin reaches EOF — e.g. `urm_server --http 0 < /dev/null`).
+void WaitForSignal() {
+  while (g_signal.load(std::memory_order_acquire) == 0) {
+    pollfd fd = {g_signal_pipe[0], POLLIN, 0};
+    ::poll(&fd, g_signal_pipe[0] >= 0 ? 1 : 0, 500);
+  }
+}
 
 bool ParseMethod(const std::string& name, core::Method* method) {
   if (name == "basic") *method = core::Method::kBasic;
@@ -106,12 +210,16 @@ bool ParseSetOp(const std::string& name, core::SetOpKind* kind) {
   return true;
 }
 
-/// One engine + service per target schema, built on first use.
-class ServiceDirectory {
+/// One engine + service per target schema, built on first use. Doubles
+/// as the HTTP tier's ServiceHub: with --http the server loop thread
+/// resolves schemas concurrently with the REPL thread, so every access
+/// to the map goes through mu_.
+class ServiceDirectory : public net::api::ServiceHub {
  public:
   explicit ServiceDirectory(const ServerArgs& args) : args_(args) {}
 
-  service::QueryService* ForSchema(datagen::TargetSchemaId schema) {
+  service::QueryService* ForSchema(datagen::TargetSchemaId schema) override {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = services_.find(schema);
     if (it != services_.end()) return it->second.service.get();
     std::printf("building %s engine (|D|=%.1f MB, h=%d)...\n",
@@ -147,7 +255,15 @@ class ServiceDirectory {
     return result;
   }
 
+  void VisitServices(
+      const std::function<void(datagen::TargetSchemaId,
+                               service::QueryService*)>& fn) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [schema, entry] : services_) fn(schema, entry.service.get());
+  }
+
   void PrintStats() const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (services_.empty()) {
       std::printf("no engines built yet\n");
       return;
@@ -178,6 +294,7 @@ class ServiceDirectory {
   }
 
   void ClearCaches() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& [schema, entry] : services_) entry.service->ClearCache();
     std::printf("caches cleared\n");
   }
@@ -188,6 +305,7 @@ class ServiceDirectory {
     std::unique_ptr<service::QueryService> service;
   };
   ServerArgs args_;
+  mutable std::mutex mu_;
   std::map<datagen::TargetSchemaId, Entry> services_;
 };
 
@@ -540,6 +658,10 @@ int main(int argc, char** argv) {
       args.store_mb = std::atof(next("--store-mb"));
     else if (std::strcmp(argv[i], "--ttl") == 0)
       args.ttl = std::atof(next("--ttl"));
+    else if (std::strcmp(argv[i], "--http") == 0)
+      args.http_port = std::atoi(next("--http"));
+    else if (std::strcmp(argv[i], "--http-drain") == 0)
+      args.http_drain = std::atof(next("--http-drain"));
     else if (std::strcmp(argv[i], "--metrics-file") == 0)
       args.metrics_file = next("--metrics-file");
     else if (std::strcmp(argv[i], "--metrics-interval") == 0)
@@ -561,15 +683,61 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.http_port >= 0 && args.threads <= 0) {
+    // SubmitAsync needs pool workers to make progress for HTTP
+    // callers; the REPL's synchronous helping wait can't help them.
+    std::printf("note: --http requires pool workers; using --threads 1\n");
+    args.threads = 1;
+  }
+
+  InstallSignalHandlers();
+
   std::printf("urm query service (threads=%d, cache=%zu, parallelism=%d, "
               "shards=%d); 'help' lists commands\n",
               args.threads, args.cache, args.parallelism, args.shards);
   ServiceDirectory directory(args);
   MetricsDumper dumper(args.metrics_file, args.metrics_interval);
 
+  // Declared after directory/dumper so teardown drains the HTTP tier
+  // first, while the services (and the registry the final metrics dump
+  // reads) are still alive.
+  std::unique_ptr<net::HttpServer> http;
+  if (args.http_port >= 0) {
+    net::ServerOptions options;
+    options.listener.port = static_cast<uint16_t>(args.http_port);
+    options.drain_deadline_seconds =
+        args.http_drain > 0.0 ? args.http_drain : 10.0;
+    http = std::make_unique<net::HttpServer>(options);
+    net::api::RegisterRoutes(http.get(), &directory);
+    Status status = http->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "http: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("http listening on 127.0.0.1:%u\n", http->port());
+  }
+
+  LineReader reader;
   std::string line;
-  while (std::printf("urm> "), std::fflush(stdout),
-         std::getline(std::cin, line)) {
+  while (true) {
+    std::printf("urm> ");
+    std::fflush(stdout);
+    LineReader::Event event = reader.Next(&line);
+    if (event == LineReader::Event::kSignal) {
+      std::printf("\nsignal received, shutting down\n");
+      break;
+    }
+    if (event == LineReader::Event::kEof) {
+      if (http != nullptr) {
+        // Headless --http mode (stdin redirected from /dev/null):
+        // keep serving until SIGINT/SIGTERM.
+        std::printf("\nstdin closed; serving until SIGINT/SIGTERM\n");
+        std::fflush(stdout);
+        WaitForSignal();
+        std::printf("signal received, shutting down\n");
+      }
+      break;
+    }
     std::istringstream stream(line);
     std::string command;
     if (!(stream >> command)) continue;
@@ -615,6 +783,11 @@ int main(int argc, char** argv) {
     } else {
       PrintHelp();
     }
+  }
+  if (http != nullptr) {
+    std::printf("draining http server...\n");
+    http->Shutdown();
+    std::printf("http server stopped\n");
   }
   return 0;
 }

@@ -1,0 +1,80 @@
+#include "common/base64.h"
+
+#include <cstdint>
+
+namespace urm {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// -1 = invalid, -2 = padding.
+int DecodeChar(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  if (c == '=') return -2;
+  return -1;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    uint32_t group = (static_cast<uint8_t>(bytes[i]) << 16) |
+                     (static_cast<uint8_t>(bytes[i + 1]) << 8) |
+                     static_cast<uint8_t>(bytes[i + 2]);
+    out += kAlphabet[(group >> 18) & 63];
+    out += kAlphabet[(group >> 12) & 63];
+    out += kAlphabet[(group >> 6) & 63];
+    out += kAlphabet[group & 63];
+  }
+  size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    uint32_t group = static_cast<uint8_t>(bytes[i]) << 16;
+    out += kAlphabet[(group >> 18) & 63];
+    out += kAlphabet[(group >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    uint32_t group = (static_cast<uint8_t>(bytes[i]) << 16) |
+                     (static_cast<uint8_t>(bytes[i + 1]) << 8);
+    out += kAlphabet[(group >> 18) & 63];
+    out += kAlphabet[(group >> 12) & 63];
+    out += kAlphabet[(group >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+bool Base64Decode(std::string_view text, std::string* out) {
+  if (text.size() % 4 != 0) return false;
+  out->clear();
+  out->reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int v[4];
+    for (int j = 0; j < 4; ++j) v[j] = DecodeChar(text[i + j]);
+    // Padding may only appear in the last one or two positions of the
+    // final group.
+    bool last = i + 4 == text.size();
+    if (v[0] < 0 || v[1] < 0) return false;
+    if (v[2] == -1 || v[3] == -1) return false;
+    if ((v[2] == -2 || v[3] == -2) && !last) return false;
+    if (v[2] == -2 && v[3] != -2) return false;
+    uint32_t group = (static_cast<uint32_t>(v[0]) << 18) |
+                     (static_cast<uint32_t>(v[1]) << 12) |
+                     (v[2] > 0 ? static_cast<uint32_t>(v[2]) << 6 : 0) |
+                     (v[3] > 0 ? static_cast<uint32_t>(v[3]) : 0);
+    out->push_back(static_cast<char>((group >> 16) & 0xff));
+    if (v[2] != -2) out->push_back(static_cast<char>((group >> 8) & 0xff));
+    if (v[3] != -2) out->push_back(static_cast<char>(group & 0xff));
+  }
+  return true;
+}
+
+}  // namespace urm

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file base64.h
+/// RFC 4648 base64 (standard alphabet, '=' padding). Used by the
+/// WebSocket handshake (Sec-WebSocket-Accept) and its tests.
+
+namespace urm {
+
+std::string Base64Encode(std::string_view bytes);
+
+/// Strict decode: requires canonical padding and no whitespace.
+/// Returns false (leaving `out` unspecified) on any malformed input.
+bool Base64Decode(std::string_view text, std::string* out);
+
+}  // namespace urm

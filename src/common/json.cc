@@ -1,0 +1,446 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace urm {
+namespace json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  v.integral_ = std::isfinite(d) && d == std::floor(d) &&
+                std::fabs(d) < 9.007199254740992e15;  // 2^53
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = static_cast<double>(i);
+  v.integral_ = true;
+  return v;
+}
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool Value::AsBool() const {
+  URM_CHECK(is_bool());
+  return bool_;
+}
+
+double Value::AsDouble() const {
+  URM_CHECK(is_number());
+  return number_;
+}
+
+int64_t Value::AsInt64() const {
+  URM_CHECK(is_number());
+  return static_cast<int64_t>(number_);
+}
+
+const std::string& Value::AsString() const {
+  URM_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<Value>& Value::AsArray() const {
+  URM_CHECK(is_array());
+  return array_;
+}
+
+const std::vector<Value::Member>& Value::AsObject() const {
+  URM_CHECK(is_object());
+  return object_;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void Value::Append(Value v) {
+  URM_CHECK(is_array());
+  array_.push_back(std::move(v));
+}
+
+void Value::Set(std::string key, Value v) {
+  URM_CHECK(is_object());
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void SerializeInto(const Value& v, std::string* out);
+
+void SerializeNumber(const Value& v, std::string* out) {
+  char buf[40];
+  double d = v.AsDouble();
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan literal; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  *out += buf;
+}
+
+void SerializeInto(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += v.AsBool() ? "true" : "false"; break;
+    case Type::kNumber: SerializeNumber(v, out); break;
+    case Type::kString: EscapeInto(v.AsString(), out); break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& item : v.AsArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        SerializeInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.AsObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(key, out);
+        out->push_back(':');
+        SerializeInto(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over a string_view with a byte cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    SkipWhitespace();
+    Value root;
+    URM_RETURN_NOT_OK(ParseValue(&root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& reason) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + reason);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        URM_RETURN_NOT_OK(ParseString(&s));
+        *out = Value::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          *out = Value::Bool(true);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          *out = Value::Bool(false);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = Value::Null();
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    *out = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected object key");
+      std::string key;
+      URM_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      Value member;
+      URM_RETURN_NOT_OK(ParseValue(&member, depth + 1));
+      out->Set(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    *out = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      Value item;
+      URM_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          URM_RETURN_NOT_OK(ParseUnicodeEscape(out));
+          break;
+        }
+        default: return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code = 0;
+    URM_RETURN_NOT_OK(ParseHex4(&code));
+    // Surrogate pair: a high surrogate must be followed by \uDC00..DFFF.
+    if (code >= 0xd800 && code <= 0xdbff) {
+      if (text_.substr(pos_, 2) != "\\u") {
+        return Error("unpaired surrogate");
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      URM_RETURN_NOT_OK(ParseHex4(&low));
+      if (low < 0xdc00 || low > 0xdfff) return Error("unpaired surrogate");
+      code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+    } else if (code >= 0xdc00 && code <= 0xdfff) {
+      return Error("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Error("invalid hex digit in \\u escape");
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (AtEnd() || !(Peek() >= '0' && Peek() <= '9')) {
+      return Error("invalid number");
+    }
+    // Integer part: a leading zero may not be followed by digits.
+    if (Peek() == '0') {
+      ++pos_;
+      if (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    bool fractional = false;
+    if (!AtEnd() && Peek() == '.') {
+      fractional = true;
+      ++pos_;
+      if (AtEnd() || !(Peek() >= '0' && Peek() <= '9')) {
+        return Error("missing digits after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      fractional = true;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !(Peek() >= '0' && Peek() <= '9')) {
+        return Error("missing exponent digits");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    std::string literal(text_.substr(start, pos_ - start));
+    double d = std::strtod(literal.c_str(), nullptr);
+    *out = fractional ? Value::Number(d) : Value::Int(std::atoll(literal.c_str()));
+    // A huge integer literal overflows atoll; fall back to the double.
+    if (!fractional && std::fabs(d) >= 9.007199254740992e15) {
+      *out = Value::Number(d);
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::Serialize() const {
+  std::string out;
+  SerializeInto(*this, &out);
+  return out;
+}
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace json
+}  // namespace urm

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file json.h
+/// Minimal dependency-free JSON: a variant value type, a strict
+/// recursive-descent parser (UTF-8 pass-through, \uXXXX escapes, depth
+/// cap), and a serializer. This is the wire format of the network
+/// tier's /v1 API (src/net/api.cc) — small enough to audit, with the
+/// exact error messages surfaced in 400 responses.
+///
+/// Numbers are held as double with an integer fast path: values that
+/// arrive as integer literals (and doubles that are exactly integral)
+/// serialize without a decimal point, so int64 cells round-trip up to
+/// 2^53.
+
+namespace urm {
+namespace json {
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// \brief One JSON value. Object member order is preserved (stable
+/// serialization); lookups are linear — API payloads are small.
+class Value {
+ public:
+  using Member = std::pair<std::string, Value>;
+
+  Value() : type_(Type::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value Int(int64_t i);
+  static Value Str(std::string s);
+  static Value Array();
+  static Value Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; check-fail on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt64() const;  ///< truncates; check-fails unless number
+  const std::string& AsString() const;
+  const std::vector<Value>& AsArray() const;
+  const std::vector<Member>& AsObject() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const Value* Find(std::string_view key) const;
+
+  /// Appends to an array value (check-fails otherwise).
+  void Append(Value v);
+  /// Appends an object member (check-fails otherwise; duplicate keys
+  /// are the caller's bug — serialization would emit both).
+  void Set(std::string key, Value v);
+
+  /// Compact serialization (no whitespace), RFC 8259 escaping.
+  std::string Serialize() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool integral_ = false;  ///< serialize number_ without a decimal point
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<Member> object_;
+};
+
+/// Strict parse of exactly one JSON document (trailing garbage is an
+/// error). Limits: nesting depth 64, input size is the caller's
+/// concern (the HTTP tier bounds body bytes before parsing). Error
+/// statuses carry a byte offset and reason.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace urm

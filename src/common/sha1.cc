@@ -1,0 +1,91 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace urm {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+/// One 64-byte block into the running state.
+void Compress(uint32_t state[5], const uint8_t block[64]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+           e = state[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    uint32_t temp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+}
+
+}  // namespace
+
+std::array<uint8_t, 20> Sha1(std::string_view data) {
+  uint32_t state[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476,
+                       0xc3d2e1f0};
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  size_t remaining = data.size();
+  while (remaining >= 64) {
+    Compress(state, bytes);
+    bytes += 64;
+    remaining -= 64;
+  }
+  // Final block(s): 0x80 pad, zeros, 64-bit big-endian bit length.
+  uint8_t block[128];
+  std::memcpy(block, bytes, remaining);
+  block[remaining] = 0x80;
+  size_t padded = remaining + 1 <= 56 ? 64 : 128;
+  std::memset(block + remaining + 1, 0, padded - remaining - 1 - 8);
+  uint64_t bit_length = static_cast<uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[padded - 1 - i] = static_cast<uint8_t>(bit_length >> (8 * i));
+  }
+  Compress(state, block);
+  if (padded == 128) Compress(state, block + 64);
+
+  std::array<uint8_t, 20> digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state[i]);
+  }
+  return digest;
+}
+
+}  // namespace urm

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+/// \file sha1.h
+/// Minimal SHA-1 (FIPS 180-1), dependency-free. Used exclusively for
+/// the RFC 6455 WebSocket handshake (Sec-WebSocket-Accept = base64 of
+/// the SHA-1 of key + GUID) — SHA-1 is broken for collision resistance
+/// and must not guard anything security-sensitive, but the handshake
+/// only needs it as a fixed transform both ends agree on.
+
+namespace urm {
+
+/// 20-byte SHA-1 digest of `data`.
+std::array<uint8_t, 20> Sha1(std::string_view data);
+
+}  // namespace urm

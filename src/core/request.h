@@ -97,6 +97,15 @@ struct Request {
 /// threshold outside (0, 1].
 Status ValidateRequest(const Request& request);
 
+/// One recorded u-trace leaf: the distinct answer rows and the mapping
+/// partition's probability mass, in emission order. A streaming
+/// evaluation records its leaf sequence so a later sink-bearing cache
+/// hit can replay the stream without re-evaluating.
+struct RecordedLeaf {
+  std::vector<relational::Row> rows;
+  double probability = 0.0;
+};
+
 /// \brief The result of one Request; the member matching `kind` is
 /// populated (kEvaluate and kSetOp both produce a MethodResult).
 ///
@@ -108,6 +117,11 @@ struct Response {
   baselines::MethodResult evaluate;  ///< kEvaluate / kSetOp
   topk::TopKResult top_k;            ///< kTopK
   topk::ThresholdResult threshold;   ///< kThreshold
+  /// The complete leaf sequence of the streaming evaluation that
+  /// produced this response (null when it was evaluated without a sink
+  /// or the trace was cut short) — the service replays it on
+  /// sink-bearing cache hits.
+  std::shared_ptr<const std::vector<RecordedLeaf>> leaves;
 };
 
 /// \brief Streaming consumer of answers as the evaluation produces

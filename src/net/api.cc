@@ -1,0 +1,528 @@
+#include "net/api.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/workload.h"
+#include "net/http.h"
+#include "reformulation/answer.h"
+
+namespace urm {
+namespace net {
+namespace api {
+
+namespace {
+
+/// The paper workload, resolved once: Q1..Q10 with their target
+/// schemas. Plans are immutable shared_ptrs, safe to hand to
+/// concurrent evaluations.
+const std::vector<core::WorkloadQuery>& Workload() {
+  static const std::vector<core::WorkloadQuery>* workload =
+      new std::vector<core::WorkloadQuery>(core::PaperWorkload());
+  return *workload;
+}
+
+const core::WorkloadQuery* FindQuery(const std::string& id) {
+  for (const core::WorkloadQuery& q : Workload()) {
+    if (q.id == id) return &q;
+  }
+  return nullptr;
+}
+
+bool Fail(ApiError* error, int http_status, std::string code,
+          std::string message) {
+  error->http_status = http_status;
+  error->code = std::move(code);
+  error->message = std::move(message);
+  return false;
+}
+
+bool ParseMethod(const std::string& name, core::Method* out) {
+  static const core::Method kAll[] = {
+      core::Method::kBasic, core::Method::kEBasic, core::Method::kEMqo,
+      core::Method::kQSharing, core::Method::kOSharing};
+  for (core::Method m : kAll) {
+    if (http::EqualsIgnoreCase(name, core::MethodName(m))) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseSetOp(const std::string& name, core::SetOpKind* out) {
+  static const core::SetOpKind kAll[] = {core::SetOpKind::kUnion,
+                                         core::SetOpKind::kIntersect,
+                                         core::SetOpKind::kExcept};
+  for (core::SetOpKind op : kAll) {
+    if (http::EqualsIgnoreCase(name, core::SetOpName(op))) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Member as a string, or nullptr when absent / not a string.
+const std::string* FindString(const json::Value& object,
+                              std::string_view key) {
+  const json::Value* v = object.Find(key);
+  if (v == nullptr || !v->is_string()) return nullptr;
+  return &v->AsString();
+}
+
+json::Value CellToJson(const relational::Value& cell) {
+  switch (cell.type()) {
+    case relational::ValueType::kNull:
+      return json::Value::Null();
+    case relational::ValueType::kInt64:
+      return json::Value::Int(cell.AsInt64());
+    case relational::ValueType::kDouble:
+      return json::Value::Number(cell.AsDouble());
+    case relational::ValueType::kString:
+      return json::Value::Str(cell.AsString());
+  }
+  return json::Value::Null();
+}
+
+json::Value EvaluateResultJson(const baselines::MethodResult& result,
+                               size_t max_rows) {
+  json::Value out = json::Value::Object();
+  json::Value columns = json::Value::Array();
+  for (const std::string& name : result.answers.column_names()) {
+    columns.Append(json::Value::Str(name));
+  }
+  out.Set("columns", std::move(columns));
+  const auto& tuples = result.answers.tuples();
+  json::Value rows = json::Value::Array();
+  size_t emitted = 0;
+  for (const auto& tuple : tuples) {
+    if (emitted >= max_rows) break;
+    json::Value row = json::Value::Object();
+    row.Set("values", RowToJson(tuple.values));
+    row.Set("probability", json::Value::Number(tuple.probability));
+    rows.Append(std::move(row));
+    ++emitted;
+  }
+  out.Set("tuples", std::move(rows));
+  out.Set("row_count", json::Value::Int(static_cast<int64_t>(tuples.size())));
+  if (emitted < tuples.size()) out.Set("truncated", json::Value::Bool(true));
+  out.Set("null_probability",
+          json::Value::Number(result.answers.null_probability()));
+  out.Set("total_seconds", json::Value::Number(result.TotalSeconds()));
+  out.Set("source_queries",
+          json::Value::Int(static_cast<int64_t>(result.source_queries)));
+  out.Set("partitions",
+          json::Value::Int(static_cast<int64_t>(result.partitions)));
+  return out;
+}
+
+template <typename Entries>
+json::Value BoundedTuplesJson(const Entries& entries, size_t max_rows,
+                              size_t* emitted) {
+  json::Value rows = json::Value::Array();
+  *emitted = 0;
+  for (const auto& entry : entries) {
+    if (*emitted >= max_rows) break;
+    json::Value row = json::Value::Object();
+    row.Set("values", RowToJson(entry.values));
+    row.Set("lower_bound", json::Value::Number(entry.lower_bound));
+    row.Set("upper_bound", json::Value::Number(entry.upper_bound));
+    rows.Append(std::move(row));
+    ++(*emitted);
+  }
+  return rows;
+}
+
+json::Value TopKResultJson(const topk::TopKResult& result, size_t max_rows) {
+  json::Value out = json::Value::Object();
+  size_t emitted = 0;
+  out.Set("tuples", BoundedTuplesJson(result.tuples, max_rows, &emitted));
+  out.Set("row_count",
+          json::Value::Int(static_cast<int64_t>(result.tuples.size())));
+  if (emitted < result.tuples.size()) {
+    out.Set("truncated", json::Value::Bool(true));
+  }
+  out.Set("early_terminated", json::Value::Bool(result.early_terminated));
+  out.Set("leaves_visited",
+          json::Value::Int(static_cast<int64_t>(result.leaves_visited)));
+  out.Set("seconds", json::Value::Number(result.seconds));
+  return out;
+}
+
+json::Value ThresholdResultJson(const topk::ThresholdResult& result,
+                                size_t max_rows) {
+  json::Value out = json::Value::Object();
+  size_t emitted = 0;
+  out.Set("tuples", BoundedTuplesJson(result.tuples, max_rows, &emitted));
+  out.Set("row_count",
+          json::Value::Int(static_cast<int64_t>(result.tuples.size())));
+  if (emitted < result.tuples.size()) {
+    out.Set("truncated", json::Value::Bool(true));
+  }
+  out.Set("early_terminated", json::Value::Bool(result.early_terminated));
+  out.Set("leaves_visited",
+          json::Value::Int(static_cast<int64_t>(result.leaves_visited)));
+  out.Set("seconds", json::Value::Number(result.seconds));
+  return out;
+}
+
+std::string WsErrorFrame(std::string_view code, std::string_view message) {
+  json::Value error = json::Value::Object();
+  error.Set("code", json::Value::Str(std::string(code)));
+  error.Set("message", json::Value::Str(std::string(message)));
+  json::Value root = json::Value::Object();
+  root.Set("type", json::Value::Str("error"));
+  root.Set("error", std::move(error));
+  return root.Serialize();
+}
+
+/// Streams u-trace leaves onto the WebSocket as {"type":"leaf"}
+/// frames. Runs on the evaluating thread; unsubscribes (returns false)
+/// once the session closes so an abandoned stream stops paying the
+/// serialization cost.
+class StreamSink : public core::AnswerSink {
+ public:
+  explicit StreamSink(std::shared_ptr<WsSession> session)
+      : session_(std::move(session)) {}
+
+  bool OnAnswer(const std::vector<relational::Row>& rows,
+                double probability) override {
+    if (session_->closed()) return false;
+    json::Value frame = json::Value::Object();
+    frame.Set("type", json::Value::Str("leaf"));
+    frame.Set("seq", json::Value::Int(static_cast<int64_t>(seq_)));
+    frame.Set("probability", json::Value::Number(probability));
+    json::Value rows_json = json::Value::Array();
+    for (const relational::Row& row : rows) rows_json.Append(RowToJson(row));
+    frame.Set("rows", std::move(rows_json));
+    session_->SendText(frame.Serialize());
+    ++seq_;
+    return true;
+  }
+
+  size_t leaves() const { return seq_; }
+
+ private:
+  std::shared_ptr<WsSession> session_;
+  size_t seq_ = 0;
+};
+
+json::Value StatsJson(HttpServer* server, ServiceHub* hub) {
+  json::Value root = json::Value::Object();
+
+  ServerStats server_stats = server->stats();
+  json::Value srv = json::Value::Object();
+  srv.Set("open_connections",
+          json::Value::Int(static_cast<int64_t>(server_stats.open_connections)));
+  srv.Set("pending_requests",
+          json::Value::Int(static_cast<int64_t>(server_stats.pending_requests)));
+  srv.Set("requests_started",
+          json::Value::Int(static_cast<int64_t>(server_stats.requests_started)));
+  srv.Set("ws_messages_received",
+          json::Value::Int(
+              static_cast<int64_t>(server_stats.ws_messages_received)));
+  srv.Set("ws_frames_sent",
+          json::Value::Int(static_cast<int64_t>(server_stats.ws_frames_sent)));
+  srv.Set("bytes_read",
+          json::Value::Int(static_cast<int64_t>(server_stats.bytes_read)));
+  srv.Set("bytes_written",
+          json::Value::Int(static_cast<int64_t>(server_stats.bytes_written)));
+  root.Set("server", std::move(srv));
+
+  DosGuardStats guard = server->dosguard_stats();
+  json::Value guard_json = json::Value::Object();
+  guard_json.Set("connections_admitted",
+                 json::Value::Int(static_cast<int64_t>(guard.connections_admitted)));
+  guard_json.Set("connections_rejected",
+                 json::Value::Int(static_cast<int64_t>(guard.connections_rejected)));
+  guard_json.Set("requests_admitted",
+                 json::Value::Int(static_cast<int64_t>(guard.requests_admitted)));
+  guard_json.Set("requests_rejected",
+                 json::Value::Int(static_cast<int64_t>(guard.requests_rejected)));
+  guard_json.Set("tracked_clients",
+                 json::Value::Int(static_cast<int64_t>(guard.tracked_clients)));
+  root.Set("dosguard", std::move(guard_json));
+
+  json::Value schemas = json::Value::Array();
+  hub->VisitServices([&schemas](datagen::TargetSchemaId id,
+                                service::QueryService* svc) {
+    json::Value entry = json::Value::Object();
+    entry.Set("schema", json::Value::Str(datagen::TargetSchemaName(id)));
+    service::CacheStats cache = svc->cache_stats();
+    json::Value cache_json = json::Value::Object();
+    cache_json.Set("hits", json::Value::Int(static_cast<int64_t>(cache.hits)));
+    cache_json.Set("misses",
+                   json::Value::Int(static_cast<int64_t>(cache.misses)));
+    cache_json.Set("entries",
+                   json::Value::Int(static_cast<int64_t>(cache.entries)));
+    cache_json.Set("bytes", json::Value::Int(static_cast<int64_t>(cache.bytes)));
+    entry.Set("cache", std::move(cache_json));
+    PoolStats pool = svc->pool_stats();
+    json::Value pool_json = json::Value::Object();
+    pool_json.Set("threads",
+                  json::Value::Int(static_cast<int64_t>(pool.threads)));
+    pool_json.Set("queue_depth",
+                  json::Value::Int(static_cast<int64_t>(pool.queue_depth)));
+    pool_json.Set("tasks_executed",
+                  json::Value::Int(static_cast<int64_t>(pool.tasks_executed)));
+    entry.Set("pool", std::move(pool_json));
+    osharing::OperatorStoreStats store = svc->operator_store_stats();
+    json::Value store_json = json::Value::Object();
+    store_json.Set("hits", json::Value::Int(static_cast<int64_t>(store.hits)));
+    store_json.Set("misses",
+                   json::Value::Int(static_cast<int64_t>(store.misses)));
+    store_json.Set("bytes_reused",
+                   json::Value::Int(static_cast<int64_t>(store.bytes_reused)));
+    entry.Set("operator_store", std::move(store_json));
+    schemas.Append(std::move(entry));
+  });
+  root.Set("schemas", std::move(schemas));
+  return root;
+}
+
+}  // namespace
+
+json::Value RowToJson(const relational::Row& row) {
+  json::Value out = json::Value::Array();
+  for (const relational::Value& cell : row) out.Append(CellToJson(cell));
+  return out;
+}
+
+bool ParseQueryBody(const std::string& body, ParsedQuery* out,
+                    ApiError* error) {
+  Result<json::Value> parsed = json::Parse(body);
+  if (!parsed.ok()) {
+    return Fail(error, 400, "bad_json", parsed.status().message());
+  }
+  const json::Value& root = parsed.ValueOrDie();
+  if (!root.is_object()) {
+    return Fail(error, 400, "bad_json", "request body must be a JSON object");
+  }
+
+  const json::Value* version = root.Find("version");
+  if (version == nullptr) {
+    return Fail(error, 400, "missing_version",
+                "request must carry \"version\": 1");
+  }
+  if (!version->is_number() || version->AsInt64() != 1 ||
+      version->AsDouble() != 1.0) {
+    return Fail(error, 400, "unsupported_version",
+                "this server supports API version 1");
+  }
+
+  const std::string* query_id = FindString(root, "query");
+  if (query_id == nullptr) {
+    return Fail(error, 400, "missing_query",
+                "request must name a workload query, e.g. \"query\": \"Q4\"");
+  }
+  const core::WorkloadQuery* query = FindQuery(*query_id);
+  if (query == nullptr) {
+    return Fail(error, 404, "unknown_query",
+                "unknown query '" + *query_id + "' (known: Q1..Q10)");
+  }
+  out->query_id = query->id;
+  out->schema = query->schema;
+
+  std::string kind = "evaluate";
+  if (const std::string* k = FindString(root, "kind")) kind = *k;
+
+  if (kind == "evaluate") {
+    core::Method method = core::Method::kOSharing;
+    if (const std::string* name = FindString(root, "method")) {
+      if (!ParseMethod(*name, &method)) {
+        return Fail(error, 400, "bad_method",
+                    "unknown method '" + *name +
+                        "' (one of: basic, e-basic, e-MQO, q-sharing, "
+                        "o-sharing)");
+      }
+    } else if (root.Find("method") != nullptr) {
+      return Fail(error, 400, "bad_method", "\"method\" must be a string");
+    }
+    out->request = core::Request::MethodEval(query->query, method);
+  } else if (kind == "topk") {
+    const json::Value* k = root.Find("k");
+    if (k == nullptr || !k->is_number() || k->AsDouble() < 1.0 ||
+        k->AsDouble() != static_cast<double>(k->AsInt64())) {
+      return Fail(error, 400, "bad_k",
+                  "topk requires an integer \"k\" >= 1");
+    }
+    out->request =
+        core::Request::TopK(query->query, static_cast<size_t>(k->AsInt64()));
+  } else if (kind == "setop") {
+    const std::string* right_id = FindString(root, "right");
+    if (right_id == nullptr) {
+      return Fail(error, 400, "missing_right",
+                  "setop requires \"right\": a workload query id");
+    }
+    const core::WorkloadQuery* right = FindQuery(*right_id);
+    if (right == nullptr) {
+      return Fail(error, 404, "unknown_query",
+                  "unknown query '" + *right_id + "' (known: Q1..Q10)");
+    }
+    if (right->schema != query->schema) {
+      return Fail(error, 400, "cross_schema_set_op",
+                  "setop operands must target the same schema (" +
+                      std::string(datagen::TargetSchemaName(query->schema)) +
+                      " vs " +
+                      std::string(datagen::TargetSchemaName(right->schema)) +
+                      ")");
+    }
+    core::SetOpKind op = core::SetOpKind::kUnion;
+    if (const std::string* name = FindString(root, "set_op")) {
+      if (!ParseSetOp(*name, &op)) {
+        return Fail(error, 400, "bad_set_op",
+                    "unknown set_op '" + *name +
+                        "' (one of: union, intersect, except)");
+      }
+    }
+    out->request = core::Request::SetOp(query->query, right->query, op);
+  } else if (kind == "threshold") {
+    const json::Value* threshold = root.Find("threshold");
+    if (threshold == nullptr || !threshold->is_number() ||
+        threshold->AsDouble() <= 0.0 || threshold->AsDouble() > 1.0) {
+      return Fail(error, 400, "bad_threshold",
+                  "threshold requires \"threshold\" in (0, 1]");
+    }
+    out->request =
+        core::Request::Threshold(query->query, threshold->AsDouble());
+  } else {
+    return Fail(error, 400, "bad_kind",
+                "unknown kind '" + kind +
+                    "' (one of: evaluate, topk, setop, threshold)");
+  }
+
+  Status valid = core::ValidateRequest(out->request);
+  if (!valid.ok()) {
+    return Fail(error, 400, "invalid_request", valid.message());
+  }
+  return true;
+}
+
+void AppendResponseJson(const service::QueryResponse& response,
+                        json::Value* target, size_t max_rows) {
+  target->Set("kind", json::Value::Str(
+                          core::RequestKindName(response.response->kind)));
+  target->Set("cache_hit", json::Value::Bool(response.cache_hit));
+  target->Set("shared", json::Value::Bool(response.shared_in_batch));
+  switch (response.response->kind) {
+    case core::RequestKind::kEvaluate:
+    case core::RequestKind::kSetOp:
+      target->Set("result",
+                  EvaluateResultJson(response.response->evaluate, max_rows));
+      break;
+    case core::RequestKind::kTopK:
+      target->Set("result", TopKResultJson(response.response->top_k, max_rows));
+      break;
+    case core::RequestKind::kThreshold:
+      target->Set("result",
+                  ThresholdResultJson(response.response->threshold, max_rows));
+      break;
+  }
+}
+
+void RegisterRoutes(HttpServer* server, ServiceHub* hub, ApiOptions options) {
+  obs::Registry* registry = options.metrics_registry != nullptr
+                                ? options.metrics_registry
+                                : &obs::DefaultRegistry();
+  const size_t max_rows = options.max_rows;
+
+  server->Handle("GET", "/metrics",
+                 [registry](const http::Request&, const std::string&,
+                            RespondFn respond) {
+                   respond(http::Response::Text(200, registry->ExposeText()));
+                 });
+
+  server->Handle("GET", "/v1/stats",
+                 [server, hub](const http::Request&, const std::string&,
+                               RespondFn respond) {
+                   respond(http::Response::Json(
+                       200, StatsJson(server, hub).Serialize()));
+                 });
+
+  server->Handle(
+      "POST", "/v1/query",
+      [hub, max_rows](const http::Request& request, const std::string&,
+                      RespondFn respond) {
+        ParsedQuery parsed;
+        ApiError error;
+        if (!ParseQueryBody(request.body, &parsed, &error)) {
+          respond(http::Response::Json(
+              error.http_status, JsonErrorBody(error.code, error.message)));
+          return;
+        }
+        service::QueryService* service = hub->ForSchema(parsed.schema);
+        if (service == nullptr) {
+          respond(http::Response::Json(
+              500, JsonErrorBody("internal_error",
+                                 "no service for target schema")));
+          return;
+        }
+        std::string query_id = parsed.query_id;
+        // The completion callback runs on the evaluating thread (or
+        // inline for cache hits); respond marshals back to the loop.
+        service->SubmitAsync(
+            parsed.request, nullptr,
+            [respond, query_id, max_rows](
+                const service::QueryResponse& outcome) {
+              if (!outcome.status.ok()) {
+                respond(http::Response::Json(
+                    500, JsonErrorBody("evaluation_failed",
+                                       outcome.status.message())));
+                return;
+              }
+              json::Value root = json::Value::Object();
+              root.Set("query", json::Value::Str(query_id));
+              AppendResponseJson(outcome, &root, max_rows);
+              respond(http::Response::Json(200, root.Serialize()));
+            });
+      });
+
+  server->HandleWebSocket(
+      "/v1/stream",
+      [hub, max_rows](std::shared_ptr<WsSession> session, std::string message,
+                      std::function<void()> done) {
+        ParsedQuery parsed;
+        ApiError error;
+        if (!ParseQueryBody(message, &parsed, &error)) {
+          session->SendText(WsErrorFrame(error.code, error.message));
+          done();
+          return;
+        }
+        service::QueryService* service = hub->ForSchema(parsed.schema);
+        if (service == nullptr) {
+          session->SendText(
+              WsErrorFrame("internal_error", "no service for target schema"));
+          done();
+          return;
+        }
+        auto sink = std::make_shared<StreamSink>(session);
+        std::string query_id = parsed.query_id;
+        // sink is captured by the callback, keeping it alive for the
+        // whole evaluation (callbacks fire after the last OnAnswer).
+        service->SubmitAsync(
+            parsed.request, sink.get(),
+            [session, sink, done, query_id, max_rows](
+                const service::QueryResponse& outcome) {
+              if (!outcome.status.ok()) {
+                session->SendText(WsErrorFrame("evaluation_failed",
+                                               outcome.status.message()));
+                done();
+                return;
+              }
+              json::Value root = json::Value::Object();
+              root.Set("type", json::Value::Str("complete"));
+              root.Set("query", json::Value::Str(query_id));
+              root.Set("leaves",
+                       json::Value::Int(static_cast<int64_t>(sink->leaves())));
+              AppendResponseJson(outcome, &root, max_rows);
+              session->SendText(root.Serialize());
+              done();
+            });
+      });
+}
+
+}  // namespace api
+}  // namespace net
+}  // namespace urm

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "core/request.h"
+#include "datagen/target_schemas.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+/// \file api.h
+/// The versioned JSON API of the network tier, bound onto an
+/// HttpServer by RegisterRoutes:
+///
+///   POST /v1/query   — one request of any kind (evaluate / topk /
+///                      setop / threshold) against a paper workload
+///                      query; responds with the kind's result JSON.
+///   GET  /v1/stats   — serving-tier stats (server loop, DOS guard,
+///                      per-schema cache/pool/operator-store).
+///   GET  /metrics    — Prometheus text exposition of the registry.
+///   GET  /v1/stream  — WebSocket upgrade; each text message is a
+///                      /v1/query body, answered by streamed
+///                      {"type":"leaf"} frames while the evaluation
+///                      runs and one {"type":"complete"} frame (or
+///                      {"type":"error"}).
+///
+/// Wire shapes, error codes, and versioning rules are specified in
+/// docs/API.md; the parser and serializers live here so tests and the
+/// bench client can reuse them without a socket.
+
+namespace urm {
+namespace net {
+namespace api {
+
+/// \brief Resolves the QueryService serving a target schema. The API
+/// handlers run on the server loop thread and evaluation threads, so
+/// implementations must be thread-safe (urm_server's ServiceDirectory
+/// and the test fixtures implement this).
+class ServiceHub {
+ public:
+  virtual ~ServiceHub() = default;
+
+  /// The service for `schema` (instantiating it lazily if needed);
+  /// null only on resource exhaustion.
+  virtual service::QueryService* ForSchema(datagen::TargetSchemaId schema) = 0;
+
+  /// Visits every service instantiated so far (for /v1/stats).
+  virtual void VisitServices(
+      const std::function<void(datagen::TargetSchemaId,
+                               service::QueryService*)>& fn) = 0;
+};
+
+/// One structured API failure: the HTTP status (or WS error frame) plus
+/// the machine-readable code catalogued in docs/API.md#errors.
+struct ApiError {
+  int http_status = 400;
+  std::string code;
+  std::string message;
+};
+
+/// A validated /v1/query body resolved against the paper workload.
+struct ParsedQuery {
+  core::Request request;
+  std::string query_id;  ///< "Q1".."Q10"
+  datagen::TargetSchemaId schema = datagen::TargetSchemaId::kExcel;
+};
+
+/// Parses and validates one /v1/query (or WS stream message) JSON
+/// body. Returns false with `error` filled on any shape, version,
+/// lookup, or parameter problem — the caller turns it into a 4xx body
+/// or an error frame verbatim.
+bool ParseQueryBody(const std::string& body, ParsedQuery* out,
+                    ApiError* error);
+
+/// Serializes a completed QueryResponse: appends kind, cache_hit,
+/// shared, and the kind-specific "result" object onto `target`.
+/// `max_rows` caps emitted tuples ("truncated": true past it).
+void AppendResponseJson(const service::QueryResponse& response,
+                        json::Value* target, size_t max_rows = 1000);
+
+/// One answer row as a JSON array (null / int / double / string cells).
+json::Value RowToJson(const relational::Row& row);
+
+struct ApiOptions {
+  /// Registry served by /metrics; null = obs::DefaultRegistry().
+  obs::Registry* metrics_registry = nullptr;
+  /// Tuple cap per HTTP response / completion frame.
+  size_t max_rows = 1000;
+};
+
+/// Binds the /v1 routes and the /v1/stream WebSocket onto `server`
+/// (setup-time, before Start). `hub` must outlive the server.
+void RegisterRoutes(HttpServer* server, ServiceHub* hub,
+                    ApiOptions options = ApiOptions());
+
+}  // namespace api
+}  // namespace net
+}  // namespace urm

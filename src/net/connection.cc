@@ -1,0 +1,84 @@
+#include "net/connection.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace urm {
+namespace net {
+
+Connection::Connection(int fd, uint64_t id, std::string peer_address,
+                       std::string client_ip, ConnectionLimits limits)
+    : fd_(fd),
+      id_(id),
+      peer_address_(std::move(peer_address)),
+      client_ip_(std::move(client_ip)),
+      limits_(limits),
+      parser_(limits.parser) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::ReadSome(size_t* bytes_read) {
+  *bytes_read = 0;
+  char buffer[16 * 1024];
+  while (true) {
+    ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      inbuf_.append(buffer, static_cast<size_t>(n));
+      *bytes_read += static_cast<size_t>(n);
+      if (static_cast<size_t>(n) < sizeof(buffer)) return true;
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool Connection::WriteSome(size_t* bytes_written) {
+  *bytes_written = 0;
+  while (out_offset_ < outbuf_.size()) {
+    ssize_t n = ::send(fd_, outbuf_.data() + out_offset_,
+                       outbuf_.size() - out_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_offset_ += static_cast<size_t>(n);
+      *bytes_written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  // Compact once fully flushed (the common case) or when the flushed
+  // prefix dominates.
+  if (out_offset_ == outbuf_.size()) {
+    outbuf_.clear();
+    out_offset_ = 0;
+  } else if (out_offset_ > 64 * 1024 && out_offset_ > outbuf_.size() / 2) {
+    outbuf_.erase(0, out_offset_);
+    out_offset_ = 0;
+  }
+  return true;
+}
+
+bool Connection::EnqueueOutput(std::string_view bytes) {
+  if (outbuf_.size() - out_offset_ + bytes.size() >
+      limits_.max_outbuf_bytes) {
+    return false;
+  }
+  outbuf_.append(bytes.data(), bytes.size());
+  return true;
+}
+
+void Connection::UpgradeToWebSocket(ws::FrameDecoder::Options options) {
+  mode_ = Mode::kWebSocket;
+  ws_decoder_ = std::make_unique<ws::FrameDecoder>(options);
+}
+
+}  // namespace net
+}  // namespace urm

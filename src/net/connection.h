@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/http.h"
+#include "net/websocket.h"
+
+/// \file connection.h
+/// Per-connection state for the server's poll loop: the socket, read/
+/// write buffering, the incremental HTTP parser, and — after an
+/// upgrade — the WebSocket frame decoder. Connections are owned and
+/// driven exclusively by the loop thread; cross-thread completions
+/// reference them by id through the server's post queue, never by
+/// pointer.
+
+namespace urm {
+namespace net {
+
+class WsSession;
+
+struct ConnectionLimits {
+  http::ParserLimits parser;
+  /// Buffered-output cap: a peer that stops reading while we stream
+  /// (e.g. a stalled WebSocket consumer) is disconnected once this
+  /// many bytes are queued, rather than growing the buffer without
+  /// bound.
+  size_t max_outbuf_bytes = 8 * 1024 * 1024;
+  /// Buffered-unparsed-input cap (WebSocket mode; in HTTP mode the
+  /// parser's own head/body limits bound the buffer).
+  size_t max_inbuf_bytes = 2 * 1024 * 1024;
+};
+
+/// \brief One accepted client connection.
+class Connection {
+ public:
+  enum class Mode { kHttp, kWebSocket };
+
+  Connection(int fd, uint64_t id, std::string peer_address,
+             std::string client_ip, ConnectionLimits limits);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  const std::string& peer_address() const { return peer_address_; }
+  const std::string& client_ip() const { return client_ip_; }
+  Mode mode() const { return mode_; }
+
+  /// Reads everything the socket has into the input buffer.
+  /// Returns false on EOF or a fatal socket error (close the
+  /// connection); `*bytes_read` reports what arrived either way.
+  bool ReadSome(size_t* bytes_read);
+
+  /// Flushes as much buffered output as the socket accepts. Returns
+  /// false on a fatal socket error.
+  bool WriteSome(size_t* bytes_written);
+
+  /// Queues bytes to send. Returns false when the output cap is
+  /// exceeded — the caller should close the connection.
+  bool EnqueueOutput(std::string_view bytes);
+
+  bool want_write() const { return !outbuf_.empty(); }
+  bool output_flushed() const { return outbuf_.empty(); }
+  size_t buffered_output() const { return outbuf_.size(); }
+
+  /// Unconsumed input bytes (the loop feeds these to the parser or
+  /// frame decoder).
+  std::string& input() { return inbuf_; }
+  bool input_overflow() const {
+    return inbuf_.size() > limits_.max_inbuf_bytes;
+  }
+
+  http::RequestParser& parser() { return parser_; }
+  /// Re-arms the parser for the next request on this keep-alive
+  /// connection.
+  void ResetParser() { parser_.Reset(); }
+
+  /// Switches to WebSocket mode (after the 101 bytes are queued).
+  void UpgradeToWebSocket(ws::FrameDecoder::Options options);
+  ws::FrameDecoder& ws_decoder() { return *ws_decoder_; }
+
+  /// The streaming session attached after an upgrade (loop thread
+  /// only; the session itself is shared with evaluation threads).
+  std::shared_ptr<WsSession> ws_session;
+
+  /// One request may be outstanding per connection: while true the
+  /// loop neither reads nor parses further input for it (kernel-level
+  /// backpressure on pipelining clients).
+  bool request_pending = false;
+  /// WebSocket messages whose handler has not yet called its `done`
+  /// token (drain waits for these).
+  size_t active_ws_messages = 0;
+  /// Index into the server's WebSocket route table, set at upgrade
+  /// (SIZE_MAX = not upgraded through a registered route).
+  size_t ws_route_index = static_cast<size_t>(-1);
+  /// Close once the output buffer flushes (error responses, WS close
+  /// handshake, drain).
+  bool close_after_flush = false;
+  /// WebSocket close-handshake frame already sent.
+  bool ws_close_sent = false;
+
+ private:
+  int fd_;
+  uint64_t id_;
+  std::string peer_address_;
+  std::string client_ip_;
+  ConnectionLimits limits_;
+  Mode mode_ = Mode::kHttp;
+  std::string inbuf_;
+  std::string outbuf_;
+  size_t out_offset_ = 0;  ///< flushed prefix of outbuf_
+  http::RequestParser parser_;
+  std::unique_ptr<ws::FrameDecoder> ws_decoder_;
+};
+
+}  // namespace net
+}  // namespace urm

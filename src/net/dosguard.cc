@@ -1,0 +1,159 @@
+#include "net/dosguard.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace urm {
+namespace net {
+
+const char* AdmitResultName(AdmitResult result) {
+  switch (result) {
+    case AdmitResult::kOk: return "ok";
+    case AdmitResult::kTooManyConnections: return "too_many_connections";
+    case AdmitResult::kTooManyClientConnections:
+      return "too_many_client_connections";
+    case AdmitResult::kOverloaded: return "overloaded";
+    case AdmitResult::kTooManyClientRequests:
+      return "too_many_client_requests";
+    case AdmitResult::kRateLimited: return "rate_limited";
+    default: return "unknown";
+  }
+}
+
+void DosGuard::Refill(ClientEntry* entry, Clock::time_point now) const {
+  if (options_.requests_per_second <= 0.0) return;
+  double elapsed =
+      std::chrono::duration<double>(now - entry->last_refill).count();
+  if (elapsed <= 0.0) return;
+  entry->tokens = std::min(options_.burst,
+                           entry->tokens +
+                               elapsed * options_.requests_per_second);
+  entry->last_refill = now;
+}
+
+DosGuard::ClientEntry& DosGuard::Touch(const std::string& client,
+                                       Clock::time_point now) {
+  auto [it, inserted] = clients_.try_emplace(client);
+  if (inserted) {
+    // New buckets start full: a client's first burst is admitted.
+    it->second.tokens = options_.burst;
+    it->second.last_refill = now;
+  }
+  it->second.last_active = now;
+  return it->second;
+}
+
+void DosGuard::SweepIdle(Clock::time_point now) {
+  // At most once per idle period: the map stays small under churn
+  // without a periodic timer.
+  if (std::chrono::duration<double>(now - last_sweep_).count() <
+      options_.idle_entry_seconds) {
+    return;
+  }
+  last_sweep_ = now;
+  std::vector<std::string> dead;
+  for (auto& [client, entry] : clients_) {
+    if (entry.connections == 0 && entry.inflight == 0 &&
+        std::chrono::duration<double>(now - entry.last_active).count() >=
+            options_.idle_entry_seconds) {
+      dead.push_back(client);
+    }
+  }
+  for (const std::string& client : dead) clients_.erase(client);
+}
+
+void DosGuard::MaybeErase(const std::string& client) {
+  auto it = clients_.find(client);
+  if (it != clients_.end() && it->second.connections == 0 &&
+      it->second.inflight == 0 &&
+      (options_.requests_per_second <= 0.0 ||
+       it->second.tokens >= options_.burst)) {
+    clients_.erase(it);
+  }
+}
+
+AdmitResult DosGuard::AdmitConnection(const std::string& client,
+                                      Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepIdle(now);
+  AdmitResult result = AdmitResult::kOk;
+  if (options_.max_connections > 0 &&
+      open_connections_ >= options_.max_connections) {
+    result = AdmitResult::kTooManyConnections;
+  } else {
+    ClientEntry& entry = Touch(client, now);
+    if (options_.max_connections_per_client > 0 &&
+        entry.connections >= options_.max_connections_per_client) {
+      result = AdmitResult::kTooManyClientConnections;
+    } else {
+      ++entry.connections;
+      ++open_connections_;
+    }
+  }
+  if (result == AdmitResult::kOk) {
+    ++stats_.connections_admitted;
+  } else {
+    ++stats_.connections_rejected;
+  }
+  return result;
+}
+
+void DosGuard::OnConnectionClosed(const std::string& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end() || it->second.connections == 0) return;
+  --it->second.connections;
+  --open_connections_;
+  MaybeErase(client);
+}
+
+AdmitResult DosGuard::AdmitRequest(const std::string& client,
+                                   Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmitResult result = AdmitResult::kOk;
+  if (options_.max_inflight_requests > 0 &&
+      inflight_requests_ >= options_.max_inflight_requests) {
+    result = AdmitResult::kOverloaded;
+  } else {
+    ClientEntry& entry = Touch(client, now);
+    Refill(&entry, now);
+    if (options_.max_inflight_per_client > 0 &&
+        entry.inflight >= options_.max_inflight_per_client) {
+      result = AdmitResult::kTooManyClientRequests;
+    } else if (options_.requests_per_second > 0.0 && entry.tokens < 1.0) {
+      result = AdmitResult::kRateLimited;
+    } else {
+      if (options_.requests_per_second > 0.0) entry.tokens -= 1.0;
+      ++entry.inflight;
+      ++inflight_requests_;
+    }
+  }
+  if (result == AdmitResult::kOk) {
+    ++stats_.requests_admitted;
+  } else {
+    ++stats_.requests_rejected;
+  }
+  return result;
+}
+
+void DosGuard::OnRequestDone(const std::string& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end() || it->second.inflight == 0) return;
+  --it->second.inflight;
+  --inflight_requests_;
+  // No MaybeErase: keep the bucket so a drained client cannot reset
+  // its rate limit by reconnecting.
+}
+
+DosGuardStats DosGuard::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DosGuardStats out = stats_;
+  out.open_connections = open_connections_;
+  out.inflight_requests = inflight_requests_;
+  out.tracked_clients = clients_.size();
+  return out;
+}
+
+}  // namespace net
+}  // namespace urm

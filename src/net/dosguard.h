@@ -1,0 +1,111 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+/// \file dosguard.h
+/// Per-client admission control for the network tier: connection caps
+/// (global and per client), concurrent in-flight request caps, and a
+/// per-client token-bucket request rate limit. "Client" is the peer
+/// address string the listener reports; decisions are O(1) under one
+/// mutex (the loop thread is the only caller in the server, but the
+/// guard is safe to probe from anywhere, e.g. tests).
+///
+/// The clock is passed in explicitly (defaulting to steady_clock::now)
+/// so tests can drive refill deterministically.
+
+namespace urm {
+namespace net {
+
+struct DosGuardOptions {
+  /// Concurrent connections across all clients; 0 = unlimited.
+  size_t max_connections = 1024;
+  /// Concurrent connections per client address; 0 = unlimited.
+  size_t max_connections_per_client = 64;
+  /// Concurrent admitted (not yet completed) requests, global / per
+  /// client; 0 = unlimited.
+  size_t max_inflight_requests = 256;
+  size_t max_inflight_per_client = 32;
+  /// Token bucket: sustained requests/second per client and burst
+  /// capacity. requests_per_second <= 0 disables rate limiting.
+  double requests_per_second = 50.0;
+  double burst = 20.0;
+  /// Client entries idle (no connections, no in-flight, full bucket)
+  /// longer than this are swept on the next admission; 0 sweeps
+  /// immediately once idle.
+  double idle_entry_seconds = 120.0;
+};
+
+/// Why an admission was refused (kOk = admitted).
+enum class AdmitResult {
+  kOk,
+  kTooManyConnections,        ///< global connection cap
+  kTooManyClientConnections,  ///< per-client connection cap
+  kOverloaded,                ///< global in-flight request cap
+  kTooManyClientRequests,     ///< per-client in-flight request cap
+  kRateLimited,               ///< token bucket empty
+};
+
+const char* AdmitResultName(AdmitResult result);
+
+/// Monotonic counters for the metrics bridges.
+struct DosGuardStats {
+  size_t connections_admitted = 0;
+  size_t connections_rejected = 0;
+  size_t requests_admitted = 0;
+  size_t requests_rejected = 0;
+  size_t open_connections = 0;   ///< point-in-time
+  size_t inflight_requests = 0;  ///< point-in-time
+  size_t tracked_clients = 0;    ///< point-in-time
+};
+
+class DosGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit DosGuard(DosGuardOptions options) : options_(options) {}
+
+  /// A new connection from `client`; pair every kOk with exactly one
+  /// OnConnectionClosed.
+  AdmitResult AdmitConnection(const std::string& client,
+                              Clock::time_point now = Clock::now());
+  void OnConnectionClosed(const std::string& client);
+
+  /// A new request from `client` (rate limit + in-flight caps); pair
+  /// every kOk with exactly one OnRequestDone.
+  AdmitResult AdmitRequest(const std::string& client,
+                           Clock::time_point now = Clock::now());
+  void OnRequestDone(const std::string& client);
+
+  DosGuardStats stats() const;
+  const DosGuardOptions& options() const { return options_; }
+
+ private:
+  struct ClientEntry {
+    size_t connections = 0;
+    size_t inflight = 0;
+    double tokens = 0.0;
+    Clock::time_point last_refill;
+    Clock::time_point last_active;
+  };
+
+  /// Advances the bucket to `now` (caller holds mu_).
+  void Refill(ClientEntry* entry, Clock::time_point now) const;
+  ClientEntry& Touch(const std::string& client, Clock::time_point now);
+  void SweepIdle(Clock::time_point now);
+  void MaybeErase(const std::string& client);
+
+  const DosGuardOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ClientEntry> clients_;
+  size_t open_connections_ = 0;
+  size_t inflight_requests_ = 0;
+  DosGuardStats stats_;
+  Clock::time_point last_sweep_{};
+};
+
+}  // namespace net
+}  // namespace urm

@@ -1,0 +1,271 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace urm {
+namespace net {
+namespace http {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* Request::FindHeader(std::string_view name) const {
+  for (const Header& header : headers) {
+    if (EqualsIgnoreCase(header.name, name)) return &header.value;
+  }
+  return nullptr;
+}
+
+bool Request::HasHeaderToken(std::string_view name,
+                             std::string_view token) const {
+  const std::string* value = FindHeader(name);
+  if (value == nullptr) return false;
+  std::string_view rest = *value;
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view piece =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    if (EqualsIgnoreCase(Trim(piece), token)) return true;
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+bool Request::keep_alive() const {
+  if (HasHeaderToken("Connection", "close")) return false;
+  if (version == "HTTP/1.0") {
+    return HasHeaderToken("Connection", "keep-alive");
+  }
+  return true;
+}
+
+void RequestParser::Fail(int code, std::string reason) {
+  state_ = State::kError;
+  error_code_ = code;
+  error_ = std::move(reason);
+}
+
+size_t RequestParser::Feed(std::string_view data) {
+  size_t consumed = 0;
+  if (state_ == State::kHead) {
+    // Accumulate until the blank line; tolerate LF-only endings.
+    size_t scan_from = head_.size() >= 3 ? head_.size() - 3 : 0;
+    head_.append(data.data(), data.size());
+    consumed = data.size();
+    size_t end = head_.find("\r\n\r\n", scan_from);
+    size_t delim = 4;
+    size_t lf_end = head_.find("\n\n", scan_from);
+    if (lf_end != std::string::npos &&
+        (end == std::string::npos || lf_end < end)) {
+      end = lf_end;
+      delim = 2;
+    }
+    if (end == std::string::npos) {
+      if (head_.size() > limits_.max_head_bytes) {
+        Fail(431, "request head exceeds " +
+                      std::to_string(limits_.max_head_bytes) + " bytes");
+      }
+      return consumed;
+    }
+    // Everything past the blank line belongs to the body (or the next
+    // request); give it back by adjusting `consumed`.
+    size_t head_len = end + delim;
+    size_t overshoot = head_.size() - head_len;
+    consumed -= overshoot;
+    head_.resize(head_len);
+    if (head_len > limits_.max_head_bytes) {
+      Fail(431, "request head exceeds " +
+                    std::to_string(limits_.max_head_bytes) + " bytes");
+      return consumed;
+    }
+    ParseHead();
+    if (state_ != State::kBody) return consumed;
+    data.remove_prefix(consumed);
+  }
+  if (state_ == State::kBody) {
+    size_t want = body_expected_ - request_.body.size();
+    size_t take = std::min(want, data.size());
+    request_.body.append(data.data(), take);
+    consumed += take;
+    if (request_.body.size() == body_expected_) state_ = State::kComplete;
+  }
+  return consumed;
+}
+
+void RequestParser::ParseHead() {
+  // Split into lines on '\n', stripping a trailing '\r' from each.
+  std::vector<std::string_view> lines;
+  std::string_view rest = head_;
+  while (!rest.empty()) {
+    size_t nl = rest.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (nl == std::string_view::npos) break;
+    rest.remove_prefix(nl + 1);
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) {
+    Fail(400, "empty request");
+    return;
+  }
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  std::string_view line = lines[0];
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    Fail(400, "malformed request line");
+    return;
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    Fail(505, "unsupported HTTP version '" + request_.version + "'");
+    return;
+  }
+  request_.path =
+      request_.target.substr(0, request_.target.find_first_of("?#"));
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    size_t colon = lines[i].find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      Fail(400, "malformed header line");
+      return;
+    }
+    Header header;
+    header.name = std::string(Trim(lines[i].substr(0, colon)));
+    header.value = std::string(Trim(lines[i].substr(colon + 1)));
+    if (header.name.find(' ') != std::string::npos) {
+      Fail(400, "whitespace in header name");
+      return;
+    }
+    request_.headers.push_back(std::move(header));
+  }
+
+  if (request_.FindHeader("Transfer-Encoding") != nullptr) {
+    Fail(501, "Transfer-Encoding is not supported");
+    return;
+  }
+  body_expected_ = 0;
+  if (const std::string* length = request_.FindHeader("Content-Length")) {
+    if (length->empty() ||
+        length->find_first_not_of("0123456789") != std::string::npos ||
+        length->size() > 15) {
+      Fail(400, "malformed Content-Length");
+      return;
+    }
+    body_expected_ = static_cast<size_t>(std::stoll(*length));
+    if (body_expected_ > limits_.max_body_bytes) {
+      Fail(413, "body of " + *length + " bytes exceeds limit of " +
+                    std::to_string(limits_.max_body_bytes));
+      return;
+    }
+  }
+  request_.body.reserve(body_expected_);
+  state_ = body_expected_ > 0 ? State::kBody : State::kComplete;
+}
+
+void RequestParser::Reset() {
+  state_ = State::kHead;
+  head_.clear();
+  body_expected_ = 0;
+  error_code_ = 0;
+  error_.clear();
+  request_ = Request();
+}
+
+Response Response::Json(int code, std::string body) {
+  Response r;
+  r.code = code;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::Text(int code, std::string body) {
+  Response r;
+  r.code = code;
+  // The Prometheus text exposition content type (version 0.0.4).
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 101: return "Switching Protocols";
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 426: return "Upgrade Required";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const Response& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.code) + " " +
+                    ReasonPhrase(response.code) + "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const Header& header : response.extra_headers) {
+    out += header.name + ": " + header.value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace http
+}  // namespace net
+}  // namespace urm

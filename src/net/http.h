@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file http.h
+/// Dependency-free HTTP/1.1 message layer for the network tier: an
+/// incremental request parser (feed bytes as they arrive off the
+/// socket; the parser tells you when a full request is available or
+/// why the stream is unrecoverable) and a response serializer. Scope
+/// is deliberately the subset the /v1 API needs: GET/POST,
+/// Content-Length bodies (Transfer-Encoding is rejected with 501),
+/// keep-alive, and the WebSocket upgrade handshake headers. Both CRLF
+/// and bare-LF line endings are accepted on input (strictly CRLF on
+/// output).
+
+namespace urm {
+namespace net {
+namespace http {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// \brief One parsed request. Header lookups are case-insensitive on
+/// the header name (values keep their case).
+struct Request {
+  std::string method;   ///< e.g. "GET", "POST" (kept as sent)
+  std::string target;   ///< raw request target, e.g. "/v1/query?x=1"
+  std::string path;     ///< target up to the first '?' or '#'
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<Header> headers;
+  std::string body;
+
+  /// First header with this name (case-insensitive), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// True when the (comma-separated) header contains `token`,
+  /// case-insensitively — e.g. HasHeaderToken("Connection", "upgrade").
+  bool HasHeaderToken(std::string_view name, std::string_view token) const;
+
+  /// Keep-alive per HTTP/1.1 defaults: 1.1 unless "Connection: close",
+  /// 1.0 only with "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+struct ParserLimits {
+  /// Request line + headers byte cap (431 beyond it).
+  size_t max_head_bytes = 16 * 1024;
+  /// Body byte cap via Content-Length (413 beyond it). The connection
+  /// layer also bounds total buffered bytes independently.
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+/// \brief Incremental HTTP/1.1 request parser.
+///
+/// Feed() consumes bytes until the request is complete or an error is
+/// found; call Reset() to parse the next request of a keep-alive
+/// connection. On error, `error_code()` is the HTTP status the server
+/// should answer with before closing (400/413/431/501/505).
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = ParserLimits())
+      : limits_(limits) {}
+
+  enum class State { kHead, kBody, kComplete, kError };
+
+  /// Consumes as much of `data` as this request needs; returns the
+  /// number of bytes consumed (the rest belongs to the next request).
+  size_t Feed(std::string_view data);
+
+  State state() const { return state_; }
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+  int error_code() const { return error_code_; }
+  const std::string& error() const { return error_; }
+
+  /// The parsed request; meaningful once complete().
+  const Request& request() const { return request_; }
+  Request& request() { return request_; }
+
+  void Reset();
+
+ private:
+  void Fail(int code, std::string reason);
+  /// Parses head_ (request line + headers); transitions to
+  /// kBody/kComplete/kError.
+  void ParseHead();
+
+  ParserLimits limits_;
+  State state_ = State::kHead;
+  std::string head_;          ///< bytes up to the blank line
+  size_t body_expected_ = 0;  ///< Content-Length once parsed
+  int error_code_ = 0;
+  std::string error_;
+  Request request_;
+};
+
+/// \brief One response to serialize. `content_type` is skipped when
+/// empty (e.g. 204) — the serializer always emits Content-Length.
+struct Response {
+  int code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<Header> extra_headers;
+
+  static Response Json(int code, std::string body);
+  static Response Text(int code, std::string body);
+};
+
+const char* ReasonPhrase(int code);
+
+/// Renders status line + headers + body. `keep_alive` controls the
+/// Connection header the peer sees.
+std::string SerializeResponse(const Response& response, bool keep_alive);
+
+/// ASCII case-insensitive comparison (header names, tokens).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace http
+}  // namespace net
+}  // namespace urm

@@ -1,0 +1,133 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace urm {
+namespace net {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, static_cast<uint16_t>(0));
+  }
+  return *this;
+}
+
+Status Listener::Open(const ListenerOptions& options) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal(
+        "bind(" + options.bind_address + ":" +
+        std::to_string(options.port) + "): " + strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, options.backlog) != 0) {
+    Status status =
+        Status::Internal(std::string("listen(): ") + strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    return Status::Internal("cannot set listener non-blocking");
+  }
+
+  // Read back the bound port (meaningful when options.port was 0).
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("getsockname(): ") +
+                            strerror(errno));
+  }
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+bool Listener::Accept(Accepted* out) {
+  sockaddr_in peer;
+  socklen_t peer_len = sizeof(peer);
+  int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+  if (fd < 0) return false;  // EAGAIN / transient accept errors: retry later
+  SetNonBlocking(fd);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  char ip[INET_ADDRSTRLEN] = "?";
+  inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+  out->fd = fd;
+  out->client_ip = ip;
+  out->peer_address = out->client_ip + ":" + std::to_string(ntohs(peer.sin_port));
+  return true;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+WakePipe::WakePipe() {
+  if (pipe(fds_) != 0) {
+    fds_[0] = fds_[1] = -1;
+    return;
+  }
+  SetNonBlocking(fds_[0]);
+  SetNonBlocking(fds_[1]);
+}
+
+WakePipe::~WakePipe() {
+  if (fds_[0] >= 0) ::close(fds_[0]);
+  if (fds_[1] >= 0) ::close(fds_[1]);
+}
+
+void WakePipe::Wake() {
+  if (fds_[1] < 0) return;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  char byte = 'w';
+  [[maybe_unused]] ssize_t ignored = ::write(fds_[1], &byte, 1);
+}
+
+void WakePipe::Drain() {
+  if (fds_[0] < 0) return;
+  char buffer[256];
+  while (::read(fds_[0], buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+}  // namespace net
+}  // namespace urm

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+/// \file listener.h
+/// POSIX socket plumbing for the server's poll loop: a non-blocking
+/// TCP listen socket (IPv4; port 0 binds an ephemeral port and reports
+/// the real one) and a self-pipe for waking the loop from other
+/// threads and from signal handlers (the write end is
+/// async-signal-safe).
+
+namespace urm {
+namespace net {
+
+struct ListenerOptions {
+  /// Dotted-quad address to bind; "0.0.0.0" for all interfaces.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral (read the real port back from port()).
+  uint16_t port = 0;
+  int backlog = 128;
+};
+
+/// \brief Non-blocking TCP listen socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept { *this = std::move(other); }
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens; on success the listener polls readable on fd().
+  Status Open(const ListenerOptions& options);
+
+  /// One accepted connection: a non-blocking, TCP_NODELAY socket plus
+  /// the peer's address ("ip:port" — the DosGuard client key is the ip
+  /// part).
+  struct Accepted {
+    int fd = -1;
+    std::string peer_address;  ///< "127.0.0.1:54321"
+    std::string client_ip;     ///< "127.0.0.1"
+  };
+
+  /// Accepts one pending connection. Returns false when none is
+  /// pending (EAGAIN) — call again after the next POLLIN.
+  bool Accept(Accepted* out);
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+  bool open() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// \brief Self-pipe wakeup for a poll loop. Wake() may be called from
+/// any thread or from a signal handler; the loop polls read_fd() and
+/// Drain()s it on wakeup.
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  int read_fd() const { return fds_[0]; }
+  void Wake();
+  void Drain();
+  bool ok() const { return fds_[0] >= 0; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+/// Sets O_NONBLOCK (returns false on fcntl failure).
+bool SetNonBlocking(int fd);
+
+}  // namespace net
+}  // namespace urm

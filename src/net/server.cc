@@ -1,0 +1,874 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "net/websocket.h"
+
+namespace urm {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// WebSocket-level rejections use the stream's error frame shape so
+/// clients need a single error decoder (docs/API.md#streaming).
+std::string WsErrorFrameBody(std::string_view code, std::string_view message) {
+  json::Value error = json::Value::Object();
+  error.Set("code", json::Value::Str(std::string(code)));
+  error.Set("message", json::Value::Str(std::string(message)));
+  json::Value root = json::Value::Object();
+  root.Set("type", json::Value::Str("error"));
+  root.Set("error", std::move(error));
+  return root.Serialize();
+}
+
+}  // namespace
+
+std::string JsonErrorBody(std::string_view code, std::string_view message) {
+  json::Value error = json::Value::Object();
+  error.Set("code", json::Value::Str(std::string(code)));
+  error.Set("message", json::Value::Str(std::string(message)));
+  json::Value root = json::Value::Object();
+  root.Set("error", std::move(error));
+  return root.Serialize();
+}
+
+/// \brief The server core. Everything below runs on the loop thread
+/// unless noted; cross-thread entry points are Post/RequestDrainImpl/
+/// the stats getters, and completions always re-enter through Post.
+class ServerImpl : public std::enable_shared_from_this<ServerImpl> {
+ public:
+  explicit ServerImpl(ServerOptions options)
+      : options_(std::move(options)), dosguard_(options_.dosguard) {}
+
+  // ----- setup (before Start) -----
+
+  ServerOptions options_;
+  struct Route {
+    std::string method;
+    std::string path;
+    HttpHandler handler;
+  };
+  struct WsRoute {
+    std::string path;
+    WsMessageHandler on_message;
+  };
+  std::vector<Route> routes_;
+  std::vector<WsRoute> ws_routes_;
+
+  // ----- cross-thread state -----
+
+  Listener listener_;
+  WakePipe wake_;
+  DosGuard dosguard_;
+  std::thread loop_thread_;
+  std::mutex join_mu_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+  bool accepting_posts_ = true;
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint16_t> bound_port_{0};
+
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> requests_started_{0};
+  std::atomic<uint64_t> ws_messages_received_{0};
+  std::atomic<uint64_t> ws_frames_sent_{0};
+  std::atomic<size_t> open_connections_{0};
+  std::atomic<size_t> pending_{0};
+
+  // ----- loop-thread state -----
+
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+  bool draining_ = false;
+  Clock::time_point drain_deadline_{};
+
+  // ----- metrics -----
+
+  obs::Registry* registry_ = nullptr;
+  obs::CounterFamilyT* http_requests_family_ = nullptr;
+  obs::HistogramFamilyT* latency_family_ = nullptr;
+  obs::Counter* ws_frames_in_ = nullptr;
+  obs::Counter* ws_frames_out_ = nullptr;
+  std::vector<uint64_t> callback_ids_;
+
+  // ----- lifecycle -----
+
+  Status Start() {
+    if (!wake_.ok()) return Status::Internal("wake pipe unavailable");
+    Status status = listener_.Open(options_.listener);
+    if (!status.ok()) return status;
+    bound_port_.store(listener_.port(), std::memory_order_release);
+    if (options_.enable_metrics) RegisterMetrics();
+    started_.store(true, std::memory_order_release);
+    loop_thread_ = std::thread([self = shared_from_this()] { self->Loop(); });
+    return Status::OK();
+  }
+
+  // Any thread.
+  void RequestDrainImpl() {
+    drain_requested_.store(true, std::memory_order_release);
+    wake_.Wake();
+  }
+
+  // Any thread; serialized so concurrent Shutdown calls don't race the
+  // join.
+  void Join() {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    if (loop_thread_.joinable()) loop_thread_.join();
+  }
+
+  // Any thread. Tasks run on the loop thread in post order; dropped
+  // once the loop has exited (stragglers from evaluation threads).
+  void Post(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      if (!accepting_posts_) return;
+      posted_.push_back(std::move(fn));
+    }
+    wake_.Wake();
+  }
+
+  void RegisterMetrics() {
+    registry_ = options_.metrics_registry ? options_.metrics_registry
+                                          : &obs::DefaultRegistry();
+    http_requests_family_ = &registry_->CounterFamily(
+        "urm_net_http_requests_total",
+        "HTTP requests completed, by route and status code",
+        {"route", "code"});
+    latency_family_ = &registry_->HistogramFamily(
+        "urm_net_request_duration_seconds",
+        "Dispatch-to-response latency by route", obs::LatencyBuckets(),
+        {"route"});
+    auto& frames = registry_->CounterFamily(
+        "urm_net_ws_frames_total",
+        "WebSocket data frames, by direction (in = client messages, "
+        "out = server frames)",
+        {"direction"});
+    ws_frames_in_ = frames.WithLabels({"in"});
+    ws_frames_out_ = frames.WithLabels({"out"});
+
+    callback_ids_.push_back(registry_->AddCallback(
+        "urm_net_bytes_total", "Socket bytes moved, by direction",
+        obs::MetricType::kCounter, [this](std::vector<obs::Sample>* out) {
+          obs::Sample read;
+          read.labels = {{"direction", "read"}};
+          read.value = static_cast<double>(
+              bytes_read_.load(std::memory_order_relaxed));
+          out->push_back(std::move(read));
+          obs::Sample written;
+          written.labels = {{"direction", "written"}};
+          written.value = static_cast<double>(
+              bytes_written_.load(std::memory_order_relaxed));
+          out->push_back(std::move(written));
+        }));
+    callback_ids_.push_back(registry_->AddCallback(
+        "urm_net_connections_open", "Currently open client connections",
+        obs::MetricType::kGauge, [this](std::vector<obs::Sample>* out) {
+          obs::Sample s;
+          s.value = static_cast<double>(
+              open_connections_.load(std::memory_order_relaxed));
+          out->push_back(std::move(s));
+        }));
+    callback_ids_.push_back(registry_->AddCallback(
+        "urm_net_pending_requests",
+        "Admitted HTTP requests and WebSocket messages not yet completed",
+        obs::MetricType::kGauge, [this](std::vector<obs::Sample>* out) {
+          obs::Sample s;
+          s.value =
+              static_cast<double>(pending_.load(std::memory_order_relaxed));
+          out->push_back(std::move(s));
+        }));
+    callback_ids_.push_back(registry_->AddCallback(
+        "urm_net_connections_accepted_total",
+        "Connections admitted by the DOS guard", obs::MetricType::kCounter,
+        [this](std::vector<obs::Sample>* out) {
+          obs::Sample s;
+          s.value = static_cast<double>(dosguard_.stats().connections_admitted);
+          out->push_back(std::move(s));
+        }));
+    callback_ids_.push_back(registry_->AddCallback(
+        "urm_net_connections_rejected_total",
+        "Connections refused by the DOS guard", obs::MetricType::kCounter,
+        [this](std::vector<obs::Sample>* out) {
+          obs::Sample s;
+          s.value = static_cast<double>(dosguard_.stats().connections_rejected);
+          out->push_back(std::move(s));
+        }));
+    callback_ids_.push_back(registry_->AddCallback(
+        "urm_net_requests_rejected_total",
+        "Requests refused by admission control (rate limit or in-flight "
+        "caps)",
+        obs::MetricType::kCounter, [this](std::vector<obs::Sample>* out) {
+          obs::Sample s;
+          s.value = static_cast<double>(dosguard_.stats().requests_rejected);
+          out->push_back(std::move(s));
+        }));
+    callback_ids_.push_back(registry_->AddCallback(
+        "urm_net_dosguard_tracked_clients",
+        "Client addresses currently tracked by the DOS guard",
+        obs::MetricType::kGauge, [this](std::vector<obs::Sample>* out) {
+          obs::Sample s;
+          s.value = static_cast<double>(dosguard_.stats().tracked_clients);
+          out->push_back(std::move(s));
+        }));
+  }
+
+  // Called by ~HttpServer after Join(): the bridges capture `this`, so
+  // they must be gone before the facade releases its reference.
+  void UnregisterMetrics() {
+    if (registry_ == nullptr) return;
+    for (uint64_t id : callback_ids_) registry_->RemoveCallback(id);
+    callback_ids_.clear();
+  }
+
+  // ----- the loop -----
+
+  void Loop() {
+    std::vector<pollfd> fds;
+    std::vector<uint64_t> ids;
+    while (true) {
+      fds.clear();
+      ids.clear();
+      fds.push_back(pollfd{wake_.read_fd(), POLLIN, 0});
+      size_t listener_slot = SIZE_MAX;
+      if (listener_.open() && !draining_) {
+        listener_slot = fds.size();
+        fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+      }
+      const size_t conn_base = fds.size();
+      for (auto& entry : connections_) {
+        Connection* c = entry.second.get();
+        short events = 0;
+        // In HTTP mode reads pause while a request is pending — the
+        // kernel's receive buffer is the pipelining backpressure.
+        bool want_read = c->mode() == Connection::Mode::kWebSocket
+                             ? true
+                             : !c->request_pending;
+        if (want_read && !c->close_after_flush) events |= POLLIN;
+        if (c->want_write()) events |= POLLOUT;
+        fds.push_back(pollfd{c->fd(), events, 0});
+        ids.push_back(entry.first);
+      }
+
+      int timeout_ms = 500;
+      if (draining_) {
+        auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          drain_deadline_ - Clock::now())
+                          .count();
+        timeout_ms = remain < 0 ? 0 : static_cast<int>(std::min<long long>(
+                                          remain, 100));
+      }
+      ::poll(fds.data(), fds.size(), timeout_ms);
+
+      if (fds[0].revents != 0) wake_.Drain();
+      RunPosted();
+      if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+        BeginDrain();
+      }
+      if (listener_slot != SIZE_MAX && !draining_ &&
+          (fds[listener_slot].revents & POLLIN) != 0) {
+        AcceptNew();
+      }
+      for (size_t i = 0; i < ids.size(); ++i) {
+        short revents = fds[conn_base + i].revents;
+        if (revents != 0) HandleConnectionEvents(ids[i], revents);
+      }
+      if (draining_ && DrainStep()) break;
+    }
+    Teardown();
+  }
+
+  void RunPosted() {
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      tasks.swap(posted_);
+    }
+    for (auto& task : tasks) task();
+  }
+
+  void BeginDrain() {
+    draining_ = true;
+    drain_deadline_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options_.drain_deadline_seconds));
+    listener_.Close();
+  }
+
+  void AcceptNew() {
+    Listener::Accepted accepted;
+    while (listener_.open() && listener_.Accept(&accepted)) {
+      AdmitResult admit = dosguard_.AdmitConnection(accepted.client_ip);
+      if (admit != AdmitResult::kOk) {
+        // Best-effort 503 into the (empty) socket buffer, then close —
+        // rejected connections never get a Connection object.
+        std::string bytes = http::SerializeResponse(
+            http::Response::Json(
+                503, JsonErrorBody(AdmitResultName(admit),
+                                   "connection rejected")),
+            /*keep_alive=*/false);
+        ::send(accepted.fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+        ::close(accepted.fd);
+        continue;
+      }
+      uint64_t id = next_conn_id_++;
+      connections_.emplace(
+          id, std::make_unique<Connection>(
+                  accepted.fd, id, std::move(accepted.peer_address),
+                  std::move(accepted.client_ip), options_.connection));
+      open_connections_.store(connections_.size(), std::memory_order_relaxed);
+    }
+  }
+
+  void HandleConnectionEvents(uint64_t id, short revents) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;  // closed earlier this iteration
+    Connection* c = it->second.get();
+    if ((revents & (POLLERR | POLLNVAL)) != 0) {
+      CloseConnection(id);
+      return;
+    }
+    if ((revents & POLLOUT) != 0) {
+      size_t written = 0;
+      if (!c->WriteSome(&written)) {
+        CloseConnection(id);
+        return;
+      }
+      bytes_written_.fetch_add(written, std::memory_order_relaxed);
+    }
+    if ((revents & (POLLIN | POLLHUP)) != 0) {
+      size_t read = 0;
+      bool open = c->ReadSome(&read);
+      bytes_read_.fetch_add(read, std::memory_order_relaxed);
+      if (!ProcessInput(c)) {
+        CloseConnection(id);
+        return;
+      }
+      if (!open) {
+        // Peer EOF. Anything it sent was just processed; responses to
+        // work still in flight have nowhere to go.
+        CloseConnection(id);
+        return;
+      }
+    }
+    FlushAndMaybeClose(id);
+  }
+
+  bool ProcessInput(Connection* c) {
+    return c->mode() == Connection::Mode::kWebSocket ? ProcessWs(c)
+                                                     : ProcessHttp(c);
+  }
+
+  // Returns false when the connection must close immediately.
+  bool ProcessHttp(Connection* c) {
+    while (!c->request_pending && !c->close_after_flush) {
+      http::RequestParser& parser = c->parser();
+      if (!c->input().empty()) {
+        size_t used = parser.Feed(c->input());
+        c->input().erase(0, used);
+      }
+      if (parser.failed()) {
+        RespondNow(c, parser.error_code(), "bad_request", parser.error(),
+                   /*close=*/true, "parse_error", Clock::now());
+        break;
+      }
+      if (!parser.complete()) break;  // need more bytes
+      DispatchRequest(c);
+      if (c->mode() == Connection::Mode::kWebSocket) return ProcessWs(c);
+    }
+    return true;
+  }
+
+  bool ProcessWs(Connection* c) {
+    ws::FrameDecoder& decoder = c->ws_decoder();
+    if (!c->input().empty()) {
+      decoder.Feed(c->input());
+      c->input().clear();
+    }
+    ws::FrameDecoder::Message message;
+    while (!c->close_after_flush && decoder.Next(&message)) {
+      switch (message.opcode) {
+        case ws::kOpPing:
+          if (!c->EnqueueOutput(
+                  ws::EncodeFrame(ws::kOpPong, message.payload))) {
+            return false;
+          }
+          break;
+        case ws::kOpPong:
+          break;
+        case ws::kOpClose:
+          if (!c->ws_close_sent) {
+            c->EnqueueOutput(ws::EncodeFrame(ws::kOpClose, message.payload));
+            c->ws_close_sent = true;
+          }
+          MarkSessionClosed(c);
+          c->close_after_flush = true;
+          break;
+        default:  // text/binary data message
+          HandleWsMessage(c, std::move(message.payload));
+          break;
+      }
+    }
+    if (decoder.failed() && !c->close_after_flush) {
+      if (!c->ws_close_sent) {
+        c->EnqueueOutput(ws::EncodeFrame(
+            ws::kOpClose,
+            ws::EncodeClosePayload(decoder.close_code(), decoder.error())));
+        c->ws_close_sent = true;
+      }
+      MarkSessionClosed(c);
+      c->close_after_flush = true;
+    }
+    return true;
+  }
+
+  void HandleWsMessage(Connection* c, std::string payload) {
+    ws_messages_received_.fetch_add(1, std::memory_order_relaxed);
+    if (ws_frames_in_ != nullptr) ws_frames_in_->Increment();
+    if (c->ws_route_index >= ws_routes_.size()) return;
+    if (draining_) {
+      SendWsErrorFrame(c, "draining", "server is draining");
+      return;
+    }
+    AdmitResult admit = dosguard_.AdmitRequest(c->client_ip());
+    if (admit != AdmitResult::kOk) {
+      SendWsErrorFrame(c, AdmitResultName(admit),
+                       "message rejected by admission control");
+      return;
+    }
+    c->active_ws_messages++;
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    auto self = shared_from_this();
+    uint64_t id = c->id();
+    std::string ip = c->client_ip();
+    auto done_once = std::make_shared<std::atomic<bool>>(false);
+    std::function<void()> done = [self, id, ip, done_once]() {
+      if (done_once->exchange(true)) return;
+      self->Post([self, id, ip]() {
+        self->dosguard_.OnRequestDone(ip);
+        self->pending_.fetch_sub(1, std::memory_order_relaxed);
+        auto it = self->connections_.find(id);
+        if (it != self->connections_.end() &&
+            it->second->active_ws_messages > 0) {
+          it->second->active_ws_messages--;
+        }
+      });
+    };
+    ws_routes_[c->ws_route_index].on_message(c->ws_session, std::move(payload),
+                                             std::move(done));
+  }
+
+  void SendWsErrorFrame(Connection* c, std::string_view code,
+                        std::string_view message) {
+    if (!c->EnqueueOutput(
+            ws::EncodeFrame(ws::kOpText, WsErrorFrameBody(code, message)))) {
+      MarkSessionClosed(c);
+      c->close_after_flush = true;
+      return;
+    }
+    ws_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (ws_frames_out_ != nullptr) ws_frames_out_->Increment();
+  }
+
+  void DispatchRequest(Connection* c) {
+    const http::Request& request = c->parser().request();
+    requests_started_.fetch_add(1, std::memory_order_relaxed);
+    Clock::time_point start = Clock::now();
+
+    for (size_t i = 0; i < ws_routes_.size(); ++i) {
+      const WsRoute& ws_route = ws_routes_[i];
+      if (request.path != ws_route.path) continue;
+      if (request.method != "GET" || !ws::IsUpgradeRequest(request)) {
+        RespondNow(c, 426, "upgrade_required",
+                   "this endpoint requires a WebSocket upgrade",
+                   /*close=*/false, ws_route.path, start);
+        return;
+      }
+      if (draining_) {
+        RespondNow(c, 503, "draining", "server is draining", /*close=*/true,
+                   ws_route.path, start);
+        return;
+      }
+      Result<std::string> handshake = ws::AcceptHandshake(request);
+      if (!handshake.ok()) {
+        RespondNow(c, 400, "bad_handshake", handshake.status().message(),
+                   /*close=*/true, ws_route.path, start);
+        return;
+      }
+      if (!c->EnqueueOutput(handshake.ValueOrDie())) {
+        c->close_after_flush = true;
+        return;
+      }
+      ws::FrameDecoder::Options decoder_options;
+      decoder_options.max_message_bytes =
+          options_.connection.parser.max_body_bytes;
+      decoder_options.require_masked = true;
+      c->UpgradeToWebSocket(decoder_options);
+      c->ws_route_index = i;
+      auto session = std::make_shared<WsSession>();
+      session->impl_ = shared_from_this();
+      session->connection_id_ = c->id();
+      session->client_ip_ = c->client_ip();
+      c->ws_session = std::move(session);
+      ObserveRoute(ws_route.path, 101, start);
+      return;
+    }
+
+    bool path_exists = false;
+    const Route* route = FindRoute(request.method, request.path, &path_exists);
+    if (route == nullptr) {
+      if (path_exists) {
+        RespondNow(c, 405, "method_not_allowed",
+                   "method " + request.method + " not allowed on " +
+                       request.path,
+                   /*close=*/false, request.path, start);
+      } else {
+        RespondNow(c, 404, "not_found", "unknown path '" + request.path + "'",
+                   /*close=*/false, "unmatched", start);
+      }
+      return;
+    }
+    if (draining_) {
+      RespondNow(c, 503, "draining", "server is draining", /*close=*/true,
+                 route->path, start);
+      return;
+    }
+    bool admitted = false;
+    if (request.method == "POST") {
+      // Reads (/v1/stats, /metrics) bypass the token bucket so health
+      // scrapes cannot be starved by a chatty query client.
+      AdmitResult admit = dosguard_.AdmitRequest(c->client_ip());
+      if (admit != AdmitResult::kOk) {
+        int code = admit == AdmitResult::kOverloaded ? 503 : 429;
+        RespondNow(c, code, AdmitResultName(admit),
+                   "request rejected by admission control", /*close=*/false,
+                   route->path, start);
+        return;
+      }
+      admitted = true;
+    }
+    c->request_pending = true;
+    pending_.fetch_add(1, std::memory_order_relaxed);
+
+    auto self = shared_from_this();
+    uint64_t id = c->id();
+    std::string route_path = route->path;
+    std::string ip = c->client_ip();
+    auto responded_once = std::make_shared<std::atomic<bool>>(false);
+    RespondFn respond = [self, id, route_path, ip, admitted, start,
+                         responded_once](http::Response response) {
+      if (responded_once->exchange(true)) return;
+      auto boxed = std::make_shared<http::Response>(std::move(response));
+      self->Post([self, id, route_path, ip, admitted, start, boxed]() {
+        self->CompleteRequest(id, route_path, ip, admitted, start,
+                              std::move(*boxed));
+      });
+    };
+    route->handler(request, c->client_ip(), std::move(respond));
+  }
+
+  const Route* FindRoute(const std::string& method, const std::string& path,
+                         bool* path_exists) const {
+    *path_exists = false;
+    for (const Route& route : routes_) {
+      if (route.path != path) continue;
+      *path_exists = true;
+      if (route.method == method) return &route;
+    }
+    return nullptr;
+  }
+
+  /// Synchronous (error) response on the loop thread. Closes after
+  /// flush when `close` is set or keep-alive is off; otherwise re-arms
+  /// the parser for the next request.
+  void RespondNow(Connection* c, int code, std::string_view error_code,
+                  std::string_view message, bool close,
+                  const std::string& route, Clock::time_point start) {
+    bool keep = !close && !draining_ && c->parser().complete() &&
+                c->parser().request().keep_alive();
+    http::Response response =
+        http::Response::Json(code, JsonErrorBody(error_code, message));
+    if (!c->EnqueueOutput(http::SerializeResponse(response, keep))) {
+      keep = false;
+    }
+    ObserveRoute(route, code, start);
+    if (keep) {
+      c->ResetParser();
+    } else {
+      c->close_after_flush = true;
+    }
+  }
+
+  // Loop thread, via Post.
+  void CompleteRequest(uint64_t id, const std::string& route,
+                       const std::string& client_ip, bool admitted,
+                       Clock::time_point start, http::Response response) {
+    if (admitted) dosguard_.OnRequestDone(client_ip);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    ObserveRoute(route, response.code, start);
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;  // client went away
+    Connection* c = it->second.get();
+    if (!c->request_pending) return;
+    bool keep = !draining_ && c->parser().complete() &&
+                c->parser().request().keep_alive();
+    c->request_pending = false;
+    if (!c->EnqueueOutput(http::SerializeResponse(response, keep))) {
+      CloseConnection(id);
+      return;
+    }
+    if (keep) {
+      c->ResetParser();
+    } else {
+      c->close_after_flush = true;
+    }
+    FlushAndMaybeClose(id);
+    // A pipelined follow-up may already be buffered.
+    auto again = connections_.find(id);
+    if (again != connections_.end() && keep &&
+        !again->second->input().empty()) {
+      if (!ProcessHttp(again->second.get())) {
+        CloseConnection(id);
+        return;
+      }
+      FlushAndMaybeClose(id);
+    }
+  }
+
+  // Loop thread, via Post (WsSession::SendText).
+  void SendWsData(uint64_t id, std::string payload) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection* c = it->second.get();
+    if (c->mode() != Connection::Mode::kWebSocket || c->ws_close_sent ||
+        c->close_after_flush) {
+      return;
+    }
+    if (!c->EnqueueOutput(ws::EncodeFrame(ws::kOpText, payload))) {
+      // Slow consumer: the output cap is the backpressure signal —
+      // close and let the producer observe closed().
+      CloseConnection(id);
+      return;
+    }
+    ws_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (ws_frames_out_ != nullptr) ws_frames_out_->Increment();
+    FlushAndMaybeClose(id);
+  }
+
+  // Loop thread, via Post (WsSession::Close).
+  void CloseWsFromServer(uint64_t id, uint16_t code,
+                         const std::string& reason) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection* c = it->second.get();
+    if (c->mode() != Connection::Mode::kWebSocket) return;
+    if (!c->ws_close_sent) {
+      c->EnqueueOutput(ws::EncodeFrame(ws::kOpClose,
+                                       ws::EncodeClosePayload(code, reason)));
+      c->ws_close_sent = true;
+    }
+    MarkSessionClosed(c);
+    c->close_after_flush = true;
+    FlushAndMaybeClose(id);
+  }
+
+  void ObserveRoute(const std::string& route, int code,
+                    Clock::time_point start) {
+    if (http_requests_family_ == nullptr) return;
+    http_requests_family_->WithLabels({route, std::to_string(code)})
+        ->Increment();
+    latency_family_->WithLabels({route})->Observe(SecondsSince(start));
+  }
+
+  void MarkSessionClosed(Connection* c) {
+    if (c->ws_session) {
+      c->ws_session->closed_.store(true, std::memory_order_release);
+    }
+  }
+
+  void FlushAndMaybeClose(uint64_t id) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection* c = it->second.get();
+    size_t written = 0;
+    if (!c->WriteSome(&written)) {
+      CloseConnection(id);
+      return;
+    }
+    bytes_written_.fetch_add(written, std::memory_order_relaxed);
+    if (c->close_after_flush && c->output_flushed()) CloseConnection(id);
+  }
+
+  void CloseConnection(uint64_t id) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    MarkSessionClosed(it->second.get());
+    dosguard_.OnConnectionClosed(it->second->client_ip());
+    connections_.erase(it);
+    open_connections_.store(connections_.size(), std::memory_order_relaxed);
+  }
+
+  // One drain pass; true when the loop should exit.
+  bool DrainStep() {
+    std::vector<uint64_t> close_now;
+    for (auto& entry : connections_) {
+      Connection* c = entry.second.get();
+      if (c->mode() == Connection::Mode::kWebSocket) {
+        // Streams with work in flight finish first; idle sessions get
+        // the going-away close handshake.
+        if (c->active_ws_messages == 0 && !c->ws_close_sent) {
+          c->EnqueueOutput(ws::EncodeFrame(
+              ws::kOpClose, ws::EncodeClosePayload(ws::kCloseGoingAway,
+                                                   "server draining")));
+          c->ws_close_sent = true;
+          MarkSessionClosed(c);
+          c->close_after_flush = true;
+        }
+      } else if (!c->request_pending) {
+        c->close_after_flush = true;
+      }
+      if (!c->output_flushed()) {
+        size_t written = 0;
+        if (!c->WriteSome(&written)) {
+          close_now.push_back(entry.first);
+          continue;
+        }
+        bytes_written_.fetch_add(written, std::memory_order_relaxed);
+      }
+      if (c->close_after_flush && c->output_flushed()) {
+        close_now.push_back(entry.first);
+      }
+    }
+    for (uint64_t id : close_now) CloseConnection(id);
+    if (connections_.empty()) return true;
+    if (Clock::now() >= drain_deadline_) {
+      std::vector<uint64_t> all;
+      all.reserve(connections_.size());
+      for (auto& entry : connections_) all.push_back(entry.first);
+      for (uint64_t id : all) CloseConnection(id);
+      return true;
+    }
+    return false;
+  }
+
+  void Teardown() {
+    std::vector<uint64_t> all;
+    all.reserve(connections_.size());
+    for (auto& entry : connections_) all.push_back(entry.first);
+    for (uint64_t id : all) CloseConnection(id);
+    listener_.Close();
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      accepting_posts_ = false;
+      posted_.clear();
+    }
+    stopped_.store(true, std::memory_order_release);
+  }
+};
+
+// ----- WsSession -----
+
+void WsSession::SendText(std::string payload) {
+  if (!impl_ || closed()) return;
+  auto impl = impl_;
+  uint64_t id = connection_id_;
+  auto boxed = std::make_shared<std::string>(std::move(payload));
+  impl->Post([impl, id, boxed]() { impl->SendWsData(id, std::move(*boxed)); });
+}
+
+void WsSession::Close(uint16_t code, const std::string& reason) {
+  if (!impl_) return;
+  auto impl = impl_;
+  uint64_t id = connection_id_;
+  impl->Post([impl, id, code, reason]() {
+    impl->CloseWsFromServer(id, code, reason);
+  });
+}
+
+// ----- HttpServer facade -----
+
+HttpServer::HttpServer(ServerOptions options)
+    : impl_(std::make_shared<ServerImpl>(std::move(options))) {}
+
+HttpServer::~HttpServer() {
+  if (!impl_) return;
+  Shutdown();
+  impl_->UnregisterMetrics();
+}
+
+void HttpServer::Handle(std::string method, std::string path,
+                        HttpHandler handler) {
+  impl_->routes_.push_back(
+      {std::move(method), std::move(path), std::move(handler)});
+}
+
+void HttpServer::HandleWebSocket(std::string path, WsMessageHandler on_message) {
+  impl_->ws_routes_.push_back({std::move(path), std::move(on_message)});
+}
+
+Status HttpServer::Start() { return impl_->Start(); }
+
+uint16_t HttpServer::port() const {
+  return impl_->bound_port_.load(std::memory_order_acquire);
+}
+
+void HttpServer::RequestDrain() { impl_->RequestDrainImpl(); }
+
+void HttpServer::Shutdown() {
+  if (!impl_->started_.load(std::memory_order_acquire)) return;
+  impl_->RequestDrainImpl();
+  impl_->Join();
+}
+
+bool HttpServer::running() const {
+  return impl_->started_.load(std::memory_order_acquire) &&
+         !impl_->stopped_.load(std::memory_order_acquire);
+}
+
+void HttpServer::Post(std::function<void()> fn) { impl_->Post(std::move(fn)); }
+
+ServerStats HttpServer::stats() const {
+  ServerStats stats;
+  stats.bytes_read = impl_->bytes_read_.load(std::memory_order_relaxed);
+  stats.bytes_written = impl_->bytes_written_.load(std::memory_order_relaxed);
+  stats.requests_started =
+      impl_->requests_started_.load(std::memory_order_relaxed);
+  stats.ws_messages_received =
+      impl_->ws_messages_received_.load(std::memory_order_relaxed);
+  stats.ws_frames_sent =
+      impl_->ws_frames_sent_.load(std::memory_order_relaxed);
+  stats.open_connections =
+      impl_->open_connections_.load(std::memory_order_relaxed);
+  stats.pending_requests = impl_->pending_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+DosGuardStats HttpServer::dosguard_stats() const {
+  return impl_->dosguard_.stats();
+}
+
+}  // namespace net
+}  // namespace urm

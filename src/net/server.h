@@ -1,0 +1,155 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/connection.h"
+#include "net/dosguard.h"
+#include "net/http.h"
+#include "net/listener.h"
+#include "obs/metrics.h"
+
+/// \file server.h
+/// The HTTP/1.1 + WebSocket server of the network tier: one poll-loop
+/// thread owning the listener and every connection, with all blocking
+/// work (query evaluation) pushed onto the QueryService pool and
+/// completions marshalled back through a thread-safe post queue. The
+/// route table maps exact (method, path) pairs to handlers that
+/// respond either inline or later from any thread; a WebSocket route
+/// upgrades the connection and delivers client text messages to its
+/// handler together with a per-message completion token (the DOS
+/// guard holds an in-flight slot until it runs).
+///
+/// Shutdown is graceful by default: RequestDrain() stops accepting,
+/// answers new requests with 503, lets in-flight requests and streams
+/// finish and flush, then exits the loop (forcing connections closed
+/// only past the drain deadline). Shutdown() does that and joins.
+///
+/// Thread-safety: Handle*/Start are setup-time (before Start);
+/// RequestDrain/Shutdown/Post and every RespondFn / WsSession method
+/// may be called from any thread. The server registers its own metric
+/// families (connections, bytes, per-route request counts and
+/// latency, admission rejections) in the configured registry.
+
+namespace urm {
+namespace net {
+
+class WsSession;
+/// The server core (loop thread, connections, routes); defined in
+/// server.cc. Shared so WsSession producers can outlive the facade.
+class ServerImpl;
+
+/// Completes one HTTP exchange; call exactly once, from any thread.
+using RespondFn = std::function<void(http::Response)>;
+
+/// Handles one HTTP request on `client_ip`. Runs on the loop thread —
+/// do not block; hand heavy work to a pool and call `respond` when
+/// done.
+using HttpHandler = std::function<void(
+    const http::Request& request, const std::string& client_ip,
+    RespondFn respond)>;
+
+/// Handles one WebSocket text message. Call `done` exactly once when
+/// the message's work has fully completed (it releases the DOS-guard
+/// slot and, during drain, lets the server close the session).
+using WsMessageHandler = std::function<void(
+    std::shared_ptr<WsSession> session, std::string message,
+    std::function<void()> done)>;
+
+struct ServerOptions {
+  ListenerOptions listener;
+  DosGuardOptions dosguard;
+  ConnectionLimits connection;
+  /// Seconds RequestDrain waits for in-flight work before forcing
+  /// connections closed.
+  double drain_deadline_seconds = 10.0;
+  bool enable_metrics = true;
+  /// Null = obs::DefaultRegistry(). Must outlive the server.
+  obs::Registry* metrics_registry = nullptr;
+};
+
+/// Point-in-time counters of the serving loop.
+struct ServerStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t requests_started = 0;
+  uint64_t ws_messages_received = 0;
+  uint64_t ws_frames_sent = 0;
+  size_t open_connections = 0;
+  size_t pending_requests = 0;  ///< HTTP + WS work not yet completed
+};
+
+/// \brief A live WebSocket stream, shared between the loop thread and
+/// whoever produces frames for it (evaluation threads via AnswerSink).
+///
+/// Send/Close enqueue through the server's post queue; after the
+/// connection or server goes away they become no-ops, so producers
+/// may outlive the session safely. closed() is the producer-side
+/// backpressure/cancellation signal (set when the client disconnects,
+/// the connection's output cap trips, or the server drains).
+class WsSession {
+ public:
+  /// One text frame to the client. Thread-safe; silently dropped once
+  /// closed.
+  void SendText(std::string payload);
+  /// Initiates the server-side close handshake. Thread-safe.
+  void Close(uint16_t code, const std::string& reason);
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  const std::string& client_ip() const { return client_ip_; }
+
+ private:
+  friend class ServerImpl;
+
+  std::shared_ptr<ServerImpl> impl_;  ///< keeps the server core alive
+  uint64_t connection_id_ = 0;
+  std::string client_ip_;
+  std::atomic<bool> closed_{false};
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(ServerOptions options);
+  ~HttpServer();  ///< Shutdown() if still running
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-path route. Setup-time only (before Start).
+  void Handle(std::string method, std::string path, HttpHandler handler);
+  /// Registers a WebSocket route (GET + Upgrade on `path`; a plain GET
+  /// gets 426).
+  void HandleWebSocket(std::string path, WsMessageHandler on_message);
+
+  /// Opens the listener and spawns the loop thread.
+  Status Start();
+  /// The bound port (after Start; ephemeral when options.port == 0).
+  uint16_t port() const;
+
+  /// Asks the loop to drain (idempotent, non-blocking, any thread).
+  void RequestDrain();
+  /// RequestDrain + join the loop thread (blocks until drained or the
+  /// drain deadline forces connections closed).
+  void Shutdown();
+  bool running() const;
+
+  /// Runs `fn` on the loop thread (dropped after shutdown).
+  void Post(std::function<void()> fn);
+
+  ServerStats stats() const;
+  DosGuardStats dosguard_stats() const;
+
+ private:
+  std::shared_ptr<ServerImpl> impl_;
+};
+
+/// `{"error":{"code":<code>,"message":<message>}}` — the error body
+/// shape shared by the server's own rejections (parse errors, 429,
+/// 503) and the API handlers (docs/API.md#errors).
+std::string JsonErrorBody(std::string_view code, std::string_view message);
+
+}  // namespace net
+}  // namespace urm

@@ -1,0 +1,228 @@
+#include "net/websocket.h"
+
+#include <cstring>
+
+#include "common/base64.h"
+#include "common/sha1.h"
+
+namespace urm {
+namespace net {
+namespace ws {
+
+namespace {
+
+/// Fixed GUID every WebSocket handshake concatenates (RFC 6455 §1.3).
+constexpr char kGuid[] = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+
+}  // namespace
+
+bool IsUpgradeRequest(const http::Request& request) {
+  return request.HasHeaderToken("Upgrade", "websocket") &&
+         request.HasHeaderToken("Connection", "Upgrade");
+}
+
+std::string ComputeAcceptKey(std::string_view client_key) {
+  std::string material(client_key);
+  material += kGuid;
+  auto digest = Sha1(material);
+  return Base64Encode(std::string_view(
+      reinterpret_cast<const char*>(digest.data()), digest.size()));
+}
+
+Result<std::string> AcceptHandshake(const http::Request& request) {
+  if (request.method != "GET") {
+    return Status::InvalidArgument("WebSocket upgrade requires GET");
+  }
+  if (!IsUpgradeRequest(request)) {
+    return Status::InvalidArgument(
+        "missing Upgrade: websocket / Connection: Upgrade headers");
+  }
+  const std::string* version = request.FindHeader("Sec-WebSocket-Version");
+  if (version == nullptr || *version != "13") {
+    return Status::InvalidArgument("Sec-WebSocket-Version must be 13");
+  }
+  const std::string* key = request.FindHeader("Sec-WebSocket-Key");
+  std::string decoded;
+  if (key == nullptr || !Base64Decode(*key, &decoded) ||
+      decoded.size() != 16) {
+    return Status::InvalidArgument(
+        "Sec-WebSocket-Key must be 16 base64-encoded bytes");
+  }
+  std::string response =
+      "HTTP/1.1 101 Switching Protocols\r\n"
+      "Upgrade: websocket\r\n"
+      "Connection: Upgrade\r\n"
+      "Sec-WebSocket-Accept: " +
+      ComputeAcceptKey(*key) + "\r\n\r\n";
+  return response;
+}
+
+namespace {
+
+std::string EncodeHeader(uint8_t opcode, size_t length, bool fin,
+                         bool masked, uint32_t mask_key) {
+  std::string out;
+  out.push_back(static_cast<char>((fin ? 0x80 : 0x00) | (opcode & 0x0f)));
+  uint8_t mask_bit = masked ? 0x80 : 0x00;
+  if (length < 126) {
+    out.push_back(static_cast<char>(mask_bit | length));
+  } else if (length <= 0xffff) {
+    out.push_back(static_cast<char>(mask_bit | 126));
+    out.push_back(static_cast<char>((length >> 8) & 0xff));
+    out.push_back(static_cast<char>(length & 0xff));
+  } else {
+    out.push_back(static_cast<char>(mask_bit | 127));
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<char>((static_cast<uint64_t>(length) >>
+                                       (8 * i)) & 0xff));
+    }
+  }
+  if (masked) {
+    for (int i = 3; i >= 0; --i) {
+      out.push_back(static_cast<char>((mask_key >> (8 * i)) & 0xff));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeFrame(uint8_t opcode, std::string_view payload, bool fin) {
+  std::string out = EncodeHeader(opcode, payload.size(), fin, false, 0);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::string EncodeMaskedFrame(uint8_t opcode, std::string_view payload,
+                              uint32_t mask_key, bool fin) {
+  std::string out = EncodeHeader(opcode, payload.size(), fin, true, mask_key);
+  uint8_t key[4] = {static_cast<uint8_t>(mask_key >> 24),
+                    static_cast<uint8_t>(mask_key >> 16),
+                    static_cast<uint8_t>(mask_key >> 8),
+                    static_cast<uint8_t>(mask_key)};
+  for (size_t i = 0; i < payload.size(); ++i) {
+    out.push_back(static_cast<char>(
+        static_cast<uint8_t>(payload[i]) ^ key[i & 3]));
+  }
+  return out;
+}
+
+std::string EncodeClosePayload(uint16_t code, std::string_view reason) {
+  std::string out;
+  out.push_back(static_cast<char>(code >> 8));
+  out.push_back(static_cast<char>(code & 0xff));
+  out.append(reason.data(), reason.size());
+  return out;
+}
+
+void FrameDecoder::Fail(uint16_t code, std::string reason) {
+  failed_ = true;
+  close_code_ = code;
+  error_ = std::move(reason);
+}
+
+bool FrameDecoder::Next(Message* out) {
+  while (!failed_) {
+    if (buffer_.size() < 2) return false;
+    const uint8_t b0 = static_cast<uint8_t>(buffer_[0]);
+    const uint8_t b1 = static_cast<uint8_t>(buffer_[1]);
+    const bool fin = (b0 & 0x80) != 0;
+    const uint8_t opcode = b0 & 0x0f;
+    const bool masked = (b1 & 0x80) != 0;
+    if ((b0 & 0x70) != 0) {
+      Fail(kCloseProtocolError, "nonzero RSV bits (no extension negotiated)");
+      return false;
+    }
+    if (options_.require_masked && !masked) {
+      Fail(kCloseProtocolError, "client frames must be masked");
+      return false;
+    }
+    uint64_t length = b1 & 0x7f;
+    size_t header = 2;
+    if (length == 126) {
+      if (buffer_.size() < 4) return false;
+      length = (static_cast<uint64_t>(static_cast<uint8_t>(buffer_[2])) << 8) |
+               static_cast<uint8_t>(buffer_[3]);
+      header = 4;
+    } else if (length == 127) {
+      if (buffer_.size() < 10) return false;
+      length = 0;
+      for (int i = 0; i < 8; ++i) {
+        length = (length << 8) | static_cast<uint8_t>(buffer_[2 + i]);
+      }
+      header = 10;
+    }
+    const bool control = (opcode & 0x8) != 0;
+    if (control && (!fin || length > 125)) {
+      Fail(kCloseProtocolError, "fragmented or oversized control frame");
+      return false;
+    }
+    if (length > options_.max_message_bytes ||
+        fragments_.size() + length > options_.max_message_bytes) {
+      Fail(kCloseTooBig, "message exceeds " +
+                             std::to_string(options_.max_message_bytes) +
+                             " bytes");
+      return false;
+    }
+    size_t mask_bytes = masked ? 4 : 0;
+    if (buffer_.size() < header + mask_bytes + length) return false;
+
+    std::string payload =
+        buffer_.substr(header + mask_bytes, static_cast<size_t>(length));
+    if (masked) {
+      const char* key = buffer_.data() + header;
+      for (size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<char>(
+            static_cast<uint8_t>(payload[i]) ^
+            static_cast<uint8_t>(key[i & 3]));
+      }
+    }
+    buffer_.erase(0, header + mask_bytes + static_cast<size_t>(length));
+
+    if (control) {
+      if (opcode != kOpClose && opcode != kOpPing && opcode != kOpPong) {
+        Fail(kCloseProtocolError, "unknown control opcode");
+        return false;
+      }
+      out->opcode = opcode;
+      out->payload = std::move(payload);
+      return true;
+    }
+
+    // Data frames: text/binary open a message, continuations extend it.
+    if (opcode == kOpText || opcode == kOpBinary) {
+      if (fragmented_opcode_ != 0) {
+        Fail(kCloseProtocolError, "new data frame inside fragmented message");
+        return false;
+      }
+      if (fin) {
+        out->opcode = opcode;
+        out->payload = std::move(payload);
+        return true;
+      }
+      fragmented_opcode_ = opcode;
+      fragments_ = std::move(payload);
+      continue;
+    }
+    if (opcode == kOpContinuation) {
+      if (fragmented_opcode_ == 0) {
+        Fail(kCloseProtocolError, "continuation without a started message");
+        return false;
+      }
+      fragments_ += payload;
+      if (!fin) continue;
+      out->opcode = fragmented_opcode_;
+      out->payload = std::move(fragments_);
+      fragmented_opcode_ = 0;
+      fragments_.clear();
+      return true;
+    }
+    Fail(kCloseProtocolError, "unknown data opcode");
+    return false;
+  }
+  return false;
+}
+
+}  // namespace ws
+}  // namespace net
+}  // namespace urm

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/http.h"
+
+/// \file websocket.h
+/// RFC 6455 WebSocket framing for the streaming endpoint: the upgrade
+/// handshake (Sec-WebSocket-Accept via common/sha1 + common/base64),
+/// a frame encoder, and an incremental decoder with fragmentation
+/// reassembly. The server decodes masked client frames and sends
+/// unmasked server frames; the masked encoder exists for the in-repo
+/// client (tests + bench). Extensions and subprotocols are not
+/// negotiated (RSV bits must be zero).
+
+namespace urm {
+namespace net {
+namespace ws {
+
+constexpr uint8_t kOpContinuation = 0x0;
+constexpr uint8_t kOpText = 0x1;
+constexpr uint8_t kOpBinary = 0x2;
+constexpr uint8_t kOpClose = 0x8;
+constexpr uint8_t kOpPing = 0x9;
+constexpr uint8_t kOpPong = 0xa;
+
+/// Close status codes used by the server.
+constexpr uint16_t kCloseNormal = 1000;
+constexpr uint16_t kCloseGoingAway = 1001;
+constexpr uint16_t kCloseProtocolError = 1002;
+constexpr uint16_t kCloseTooBig = 1009;
+constexpr uint16_t kClosePolicyViolation = 1008;
+
+/// True when the request asks for a WebSocket upgrade (Upgrade +
+/// Connection tokens present).
+bool IsUpgradeRequest(const http::Request& request);
+
+/// base64(SHA1(key + RFC 6455 GUID)) — the Sec-WebSocket-Accept value.
+std::string ComputeAcceptKey(std::string_view client_key);
+
+/// Validates the upgrade request (method, version 13, key present) and
+/// renders the complete 101 response bytes; InvalidArgument with the
+/// reason otherwise.
+Result<std::string> AcceptHandshake(const http::Request& request);
+
+/// One server→client frame (unmasked).
+std::string EncodeFrame(uint8_t opcode, std::string_view payload,
+                        bool fin = true);
+
+/// One client→server frame (masked with `mask_key`, big-endian).
+std::string EncodeMaskedFrame(uint8_t opcode, std::string_view payload,
+                              uint32_t mask_key, bool fin = true);
+
+/// Close frame payload: 2-byte big-endian code + UTF-8 reason.
+std::string EncodeClosePayload(uint16_t code, std::string_view reason);
+
+/// \brief Incremental frame decoder + fragmentation reassembly.
+///
+/// Feed() bytes off the socket, then drain Next(): control frames
+/// (close/ping/pong) surface as their own messages the moment they
+/// complete — even interleaved inside a fragmented data message — and
+/// data messages surface once their FIN fragment lands. On a protocol
+/// violation the decoder latches failed() with the close code the
+/// server should send back.
+class FrameDecoder {
+ public:
+  struct Message {
+    uint8_t opcode = 0;  ///< kOpText/kOpBinary/kOpClose/kOpPing/kOpPong
+    std::string payload;
+  };
+
+  struct Options {
+    /// Reassembled message byte cap (close 1009 beyond it).
+    size_t max_message_bytes = 1024 * 1024;
+    /// Server side: client frames MUST be masked (RFC 6455 §5.1);
+    /// false for the in-repo client decoding server frames.
+    bool require_masked = true;
+  };
+
+  // Two constructors (not one defaulted argument): a default argument
+  // of Options() here would need the nested initializers before the
+  // enclosing class is complete, which GCC rejects.
+  FrameDecoder() : FrameDecoder(Options{1024 * 1024, true}) {}
+  explicit FrameDecoder(Options options) : options_(options) {}
+
+  void Feed(std::string_view data) { buffer_.append(data.data(), data.size()); }
+
+  /// Decodes the next complete message into `out`; false when more
+  /// bytes are needed (or the decoder has failed).
+  bool Next(Message* out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  /// Close code to send when failed() (1002 protocol error / 1009 too
+  /// big).
+  uint16_t close_code() const { return close_code_; }
+
+ private:
+  void Fail(uint16_t code, std::string reason);
+
+  Options options_;
+  std::string buffer_;
+  /// In-progress fragmented data message (empty opcode 0 = none).
+  uint8_t fragmented_opcode_ = 0;
+  std::string fragments_;
+  bool failed_ = false;
+  std::string error_;
+  uint16_t close_code_ = 0;
+};
+
+}  // namespace ws
+}  // namespace net
+}  // namespace urm

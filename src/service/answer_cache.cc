@@ -23,6 +23,14 @@ size_t ApproxResponseBytes(const core::Response& response) {
       }
       break;
   }
+  if (response.leaves != nullptr) {
+    for (const auto& leaf : *response.leaves) {
+      bytes += sizeof(core::RecordedLeaf) + sizeof(double);
+      for (const auto& row : leaf.rows) {
+        bytes += relational::ApproxRowBytes(row);
+      }
+    }
+  }
   return bytes;
 }
 

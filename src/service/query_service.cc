@@ -65,6 +65,38 @@ class FirstAnswerTimingSink : public core::AnswerSink {
   bool observed_ = false;
 };
 
+/// Forwards leaves to the caller's sink while recording the complete
+/// sequence for the cache, so a later sink-bearing hit can replay the
+/// stream. Recording outlives a caller unsubscribe (the wrapper keeps
+/// returning true and just stops forwarding): the cached trace must be
+/// the full one, not the prefix one impatient client happened to take.
+class RecordingSink : public core::AnswerSink {
+ public:
+  explicit RecordingSink(core::AnswerSink* inner) : inner_(inner) {}
+
+  bool OnAnswer(const std::vector<relational::Row>& rows,
+                double probability) override {
+    leaves_.push_back({rows, probability});
+    if (!unsubscribed_) unsubscribed_ = !inner_->OnAnswer(rows, probability);
+    return true;
+  }
+
+  void OnComplete(const Status& status) override {
+    inner_->OnComplete(status);
+  }
+
+  /// The recorded trace, surrendered once (for Response::leaves).
+  std::shared_ptr<const std::vector<core::RecordedLeaf>> TakeLeaves() {
+    return std::make_shared<const std::vector<core::RecordedLeaf>>(
+        std::move(leaves_));
+  }
+
+ private:
+  core::AnswerSink* inner_;
+  std::vector<core::RecordedLeaf> leaves_;
+  bool unsubscribed_ = false;
+};
+
 }  // namespace
 
 /// Every instrument the service updates on the request path, resolved
@@ -441,10 +473,40 @@ std::future<QueryResponse> QueryService::Dispatch(
     return future;
   }
 
-  // Streaming requests are private evaluations: no cache lookup, no
+  // Streaming requests: a cache hit that recorded its leaf trace is
+  // replayed through the sink — same frames, no evaluation. Entries
+  // without a trace (cached by a non-streaming submission) fall
+  // through to a fresh evaluation, which records the trace and
+  // republishes, upgrading the entry for the next streaming hit.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto cached = cache_.Get(fp);
+    lock.unlock();
+    if (cached != nullptr && cached->leaves != nullptr) {
+      QueryResponse response;
+      response.fingerprint = fp;
+      response.response = std::move(cached);
+      response.cache_hit = true;
+      AttachLegacyResult(&response);
+      if (metrics_ != nullptr) {
+        metrics_->requests[static_cast<size_t>(request.kind)][kCacheHit]
+            ->Increment();
+      }
+      bool subscribed = true;
+      for (const auto& leaf : *response.response->leaves) {
+        if (!subscribed) break;
+        subscribed = sink->OnAnswer(leaf.rows, leaf.probability);
+      }
+      sink->OnComplete(Status::OK());
+      if (callback) callback(response);
+      return ReadyFuture(response);
+    }
+  }
+
+  // Otherwise a streaming request is a private evaluation: no
   // in-flight sharing — the sink must observe every leaf of its own
-  // fresh u-trace. The finished response is still published to the
-  // cache for later non-streaming submissions.
+  // fresh u-trace. The finished response (with the recorded trace) is
+  // still published to the cache.
   auto work = std::make_shared<Work>();
   work->request = request;
   work->fingerprint = fp;
@@ -490,6 +552,15 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
         work->sink, metrics_->first_answer[kind_index], work->submitted);
     eval.sink = timing_sink.get();
   }
+  // Record the leaf trace alongside the response, so sink-bearing
+  // cache hits replay the stream instead of re-evaluating (an empty
+  // trace is meaningful too: non-streaming kinds replay as a bare
+  // OnComplete, exactly like their fresh evaluation).
+  std::unique_ptr<RecordingSink> recording_sink;
+  if (work->sink != nullptr) {
+    recording_sink = std::make_unique<RecordingSink>(eval.sink);
+    eval.sink = recording_sink.get();
+  }
   if (metrics_ != nullptr) eval.shard_metrics = &metrics_->shard;
   if (operator_store_ != nullptr) {
     // Drop shared materializations from before a UseTopMappings
@@ -507,8 +578,12 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
   try {
     auto result = engine_->Run(work->request, eval);
     if (result.ok()) {
-      base.response = std::make_shared<const core::Response>(
-          std::move(result).ValueOrDie());
+      core::Response evaluated = std::move(result).ValueOrDie();
+      if (recording_sink != nullptr) {
+        evaluated.leaves = recording_sink->TakeLeaves();
+      }
+      base.response =
+          std::make_shared<const core::Response>(std::move(evaluated));
       AttachLegacyResult(&base);
     } else {
       base.status = result.status();

@@ -175,12 +175,15 @@ class QueryService {
   /// immediately; otherwise the evaluation is scheduled on the pool,
   /// deduplicated against identical in-flight requests (joiners mark
   /// shared_in_batch). `sink` streams leaf answers as they are
-  /// produced (see core::AnswerSink); a streaming request always
-  /// evaluates — it bypasses cache lookup and in-flight sharing, since
-  /// a shared or cached evaluation has no leaf stream to replay — but
-  /// its finished response still lands in the cache (unless the
-  /// service is shard-configured: a streaming evaluation runs
-  /// whole-set, which must not alias the sharded cache keys). Streaming
+  /// produced (see core::AnswerSink); a streaming request records its
+  /// leaf sequence alongside the cached Response, so a later
+  /// sink-bearing hit replays the identical stream instead of
+  /// re-evaluating (a hit on a leafless entry — one produced without a
+  /// sink — still evaluates fresh and upgrades the entry). Streaming
+  /// requests bypass in-flight sharing, since a shared evaluation has
+  /// no leaf stream to tap, and their responses only land in the cache
+  /// when the service is not shard-configured (a streaming evaluation
+  /// runs whole-set, which must not alias sharded cache keys). Streaming
   /// evaluations also ignore intra_query_parallelism (the parallel
   /// path replays buffered leaves only at the end, which would defeat
   /// time-to-first-answer). `callback`, if set, fires once, just

@@ -1,0 +1,920 @@
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/base64.h"
+#include "common/json.h"
+#include "common/sha1.h"
+#include "core/workload.h"
+#include "net/api.h"
+#include "net/dosguard.h"
+#include "net/http.h"
+#include "net/server.h"
+#include "net/websocket.h"
+#include "service/query_service.h"
+
+namespace urm {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// common/sha1 + common/base64 (the handshake primitives)
+
+std::string HexDigest(const std::array<uint8_t, 20>& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+TEST(Sha1Test, Fips180Vectors) {
+  EXPECT_EQ(HexDigest(Sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(HexDigest(Sha1("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(HexDigest(Sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomn"
+                           "opnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MultiBlockMessage) {
+  // One million 'a's (FIPS 180-1 appendix vector) exercises many blocks.
+  std::string big(1000000, 'a');
+  EXPECT_EQ(HexDigest(Sha1(big)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeRoundTripsAndRejectsMalformed) {
+  std::string out;
+  ASSERT_TRUE(Base64Decode("Zm9vYmFy", &out));
+  EXPECT_EQ(out, "foobar");
+  ASSERT_TRUE(Base64Decode("Zg==", &out));
+  EXPECT_EQ(out, "f");
+  EXPECT_FALSE(Base64Decode("Zg", &out));     // missing padding
+  EXPECT_FALSE(Base64Decode("Z?==", &out));   // bad alphabet
+  EXPECT_FALSE(Base64Decode("Zg= =", &out));  // whitespace
+}
+
+// ---------------------------------------------------------------------------
+// HTTP parser
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  http::RequestParser parser;
+  std::string raw = "GET /v1/stats?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(parser.Feed(raw), raw.size());
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/v1/stats?verbose=1");
+  EXPECT_EQ(parser.request().path, "/v1/stats");
+  EXPECT_TRUE(parser.request().keep_alive());
+}
+
+TEST(HttpParserTest, ParsesPostBodyFedByteByByte) {
+  http::RequestParser parser;
+  std::string raw =
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 4\r\n\r\n{{}}";
+  for (char c : raw) {
+    ASSERT_FALSE(parser.failed());
+    parser.Feed(std::string_view(&c, 1));
+  }
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().body, "{{}}");
+}
+
+TEST(HttpParserTest, PipelinedRequestsLeaveTrailingBytes) {
+  http::RequestParser parser;
+  std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  size_t consumed = parser.Feed(two);
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().path, "/a");
+  EXPECT_LT(consumed, two.size());
+  parser.Reset();
+  parser.Feed(std::string_view(two).substr(consumed));
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().path, "/b");
+}
+
+TEST(HttpParserTest, RejectsUnsupportedVersionWith505) {
+  http::RequestParser parser;
+  parser.Feed("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 505);
+}
+
+TEST(HttpParserTest, RejectsOversizedHeadWith431) {
+  http::ParserLimits limits;
+  limits.max_head_bytes = 128;
+  http::RequestParser parser(limits);
+  std::string raw = "GET / HTTP/1.1\r\nX-Big: " + std::string(256, 'a');
+  parser.Feed(raw);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 431);
+}
+
+TEST(HttpParserTest, RejectsOversizedBodyWith413) {
+  http::ParserLimits limits;
+  limits.max_body_bytes = 16;
+  http::RequestParser parser(limits);
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 413);
+}
+
+TEST(HttpParserTest, RejectsTransferEncodingWith501) {
+  http::RequestParser parser;
+  parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 501);
+}
+
+TEST(HttpParserTest, MalformedRequestLineIs400) {
+  http::RequestParser parser;
+  parser.Feed("NOT-A-REQUEST\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 400);
+}
+
+TEST(HttpParserTest, KeepAliveDefaultsPerVersion) {
+  {
+    http::RequestParser p;
+    p.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    ASSERT_TRUE(p.complete());
+    EXPECT_FALSE(p.request().keep_alive());
+  }
+  {
+    http::RequestParser p;
+    p.Feed("GET / HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(p.complete());
+    EXPECT_FALSE(p.request().keep_alive());
+  }
+  {
+    http::RequestParser p;
+    p.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    ASSERT_TRUE(p.complete());
+    EXPECT_TRUE(p.request().keep_alive());
+  }
+}
+
+TEST(HttpSerializeTest, EmitsStatusLineAndContentLength) {
+  http::Response response = http::Response::Json(200, "{\"ok\":true}");
+  std::string raw = http::SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(raw.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+  raw = http::SerializeResponse(response, /*keep_alive=*/false);
+  EXPECT_NE(raw.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(JsonErrorBodyTest, ParsesBackToCodeAndMessage) {
+  auto parsed = json::Parse(JsonErrorBody("bad_json", "oops \"quoted\""));
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& error = *parsed.ValueOrDie().Find("error");
+  EXPECT_EQ(error.Find("code")->AsString(), "bad_json");
+  EXPECT_EQ(error.Find("message")->AsString(), "oops \"quoted\"");
+}
+
+// ---------------------------------------------------------------------------
+// WebSocket framing
+
+TEST(WebSocketTest, ComputeAcceptKeyMatchesRfcExample) {
+  EXPECT_EQ(ws::ComputeAcceptKey("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=");
+}
+
+http::Request UpgradeRequest() {
+  http::RequestParser parser;
+  parser.Feed(
+      "GET /v1/stream HTTP/1.1\r\n"
+      "Host: x\r\n"
+      "Upgrade: websocket\r\n"
+      "Connection: Upgrade\r\n"
+      "Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n"
+      "Sec-WebSocket-Version: 13\r\n\r\n");
+  EXPECT_TRUE(parser.complete());
+  return parser.request();
+}
+
+TEST(WebSocketTest, AcceptHandshakeRendersSwitchingProtocols) {
+  auto result = ws::AcceptHandshake(UpgradeRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string& raw = result.ValueOrDie();
+  EXPECT_NE(raw.find("HTTP/1.1 101 Switching Protocols\r\n"),
+            std::string::npos);
+  EXPECT_NE(raw.find("Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n"),
+            std::string::npos);
+}
+
+TEST(WebSocketTest, AcceptHandshakeRejectsBadVersionAndMissingKey) {
+  http::Request request = UpgradeRequest();
+  for (auto& header : request.headers) {
+    if (http::EqualsIgnoreCase(header.name, "Sec-WebSocket-Version")) {
+      header.value = "8";
+    }
+  }
+  EXPECT_FALSE(ws::AcceptHandshake(request).ok());
+  request = UpgradeRequest();
+  std::vector<http::Header> kept;
+  for (auto& header : request.headers) {
+    if (!http::EqualsIgnoreCase(header.name, "Sec-WebSocket-Key")) {
+      kept.push_back(header);
+    }
+  }
+  request.headers = kept;
+  EXPECT_FALSE(ws::AcceptHandshake(request).ok());
+}
+
+TEST(WebSocketTest, MaskedFrameRoundTripsThroughDecoder) {
+  std::string payload = "hello \x01\x02 world";
+  std::string frame = ws::EncodeMaskedFrame(ws::kOpText, payload, 0xa1b2c3d4);
+  ws::FrameDecoder decoder;  // server side: require_masked
+  decoder.Feed(frame);
+  ws::FrameDecoder::Message message;
+  ASSERT_TRUE(decoder.Next(&message));
+  EXPECT_EQ(message.opcode, ws::kOpText);
+  EXPECT_EQ(message.payload, payload);
+  EXPECT_FALSE(decoder.Next(&message));
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(WebSocketTest, LargePayloadUsesExtendedLengthAndRoundTrips) {
+  std::string payload(70000, 'x');  // forces the 64-bit length form
+  std::string frame = ws::EncodeMaskedFrame(ws::kOpBinary, payload, 7);
+  ws::FrameDecoder decoder(ws::FrameDecoder::Options{1 << 20, true});
+  // Split the frame across feeds to exercise incremental decoding.
+  decoder.Feed(std::string_view(frame).substr(0, 5));
+  ws::FrameDecoder::Message message;
+  EXPECT_FALSE(decoder.Next(&message));
+  decoder.Feed(std::string_view(frame).substr(5));
+  ASSERT_TRUE(decoder.Next(&message));
+  EXPECT_EQ(message.opcode, ws::kOpBinary);
+  EXPECT_EQ(message.payload.size(), payload.size());
+}
+
+TEST(WebSocketTest, FragmentedMessageReassemblesWithInterleavedPing) {
+  std::string frame1 =
+      ws::EncodeMaskedFrame(ws::kOpText, "first ", 1, /*fin=*/false);
+  std::string ping = ws::EncodeMaskedFrame(ws::kOpPing, "hb", 2);
+  std::string frame2 =
+      ws::EncodeMaskedFrame(ws::kOpContinuation, "second", 3, /*fin=*/true);
+  ws::FrameDecoder decoder;
+  decoder.Feed(frame1 + ping + frame2);
+  ws::FrameDecoder::Message message;
+  // The control frame surfaces first, mid-fragmentation (RFC 6455 §5.4).
+  ASSERT_TRUE(decoder.Next(&message));
+  EXPECT_EQ(message.opcode, ws::kOpPing);
+  EXPECT_EQ(message.payload, "hb");
+  ASSERT_TRUE(decoder.Next(&message));
+  EXPECT_EQ(message.opcode, ws::kOpText);
+  EXPECT_EQ(message.payload, "first second");
+}
+
+TEST(WebSocketTest, UnmaskedClientFrameIsProtocolError) {
+  std::string frame = ws::EncodeFrame(ws::kOpText, "nope");  // unmasked
+  ws::FrameDecoder decoder;  // require_masked = true
+  decoder.Feed(frame);
+  ws::FrameDecoder::Message message;
+  EXPECT_FALSE(decoder.Next(&message));
+  ASSERT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.close_code(), ws::kCloseProtocolError);
+}
+
+TEST(WebSocketTest, OversizedMessageCloses1009) {
+  ws::FrameDecoder decoder(ws::FrameDecoder::Options{16, true});
+  decoder.Feed(ws::EncodeMaskedFrame(ws::kOpText, std::string(17, 'a'), 9));
+  ws::FrameDecoder::Message message;
+  EXPECT_FALSE(decoder.Next(&message));
+  ASSERT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.close_code(), ws::kCloseTooBig);
+}
+
+TEST(WebSocketTest, ClosePayloadCarriesCodeAndReason) {
+  std::string payload = ws::EncodeClosePayload(ws::kCloseGoingAway, "drain");
+  ASSERT_GE(payload.size(), 2u);
+  uint16_t code = (static_cast<uint8_t>(payload[0]) << 8) |
+                  static_cast<uint8_t>(payload[1]);
+  EXPECT_EQ(code, ws::kCloseGoingAway);
+  EXPECT_EQ(payload.substr(2), "drain");
+}
+
+// ---------------------------------------------------------------------------
+// DOS guard (deterministic clock)
+
+using Clock = DosGuard::Clock;
+
+TEST(DosGuardTest, TokenBucketLimitsBurstThenRefills) {
+  DosGuardOptions options;
+  options.requests_per_second = 10.0;
+  options.burst = 3.0;
+  DosGuard guard(options);
+  Clock::time_point t0 = Clock::time_point(std::chrono::seconds(1000));
+  ASSERT_EQ(guard.AdmitConnection("1.2.3.4", t0), AdmitResult::kOk);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(guard.AdmitRequest("1.2.3.4", t0), AdmitResult::kOk) << i;
+    guard.OnRequestDone("1.2.3.4");
+  }
+  EXPECT_EQ(guard.AdmitRequest("1.2.3.4", t0), AdmitResult::kRateLimited);
+  // 100 ms refills one token at 10 rps.
+  Clock::time_point t1 = t0 + std::chrono::milliseconds(100);
+  EXPECT_EQ(guard.AdmitRequest("1.2.3.4", t1), AdmitResult::kOk);
+  EXPECT_EQ(guard.AdmitRequest("1.2.3.4", t1), AdmitResult::kRateLimited);
+  DosGuardStats stats = guard.stats();
+  EXPECT_EQ(stats.requests_admitted, 4u);
+  EXPECT_EQ(stats.requests_rejected, 2u);
+}
+
+TEST(DosGuardTest, PerClientAndGlobalConnectionCaps) {
+  DosGuardOptions options;
+  options.max_connections = 3;
+  options.max_connections_per_client = 2;
+  options.requests_per_second = 0.0;  // rate limit off
+  DosGuard guard(options);
+  Clock::time_point t0 = Clock::time_point(std::chrono::seconds(5));
+  EXPECT_EQ(guard.AdmitConnection("a", t0), AdmitResult::kOk);
+  EXPECT_EQ(guard.AdmitConnection("a", t0), AdmitResult::kOk);
+  EXPECT_EQ(guard.AdmitConnection("a", t0),
+            AdmitResult::kTooManyClientConnections);
+  EXPECT_EQ(guard.AdmitConnection("b", t0), AdmitResult::kOk);
+  EXPECT_EQ(guard.AdmitConnection("c", t0), AdmitResult::kTooManyConnections);
+  guard.OnConnectionClosed("a");
+  EXPECT_EQ(guard.AdmitConnection("c", t0), AdmitResult::kOk);
+}
+
+TEST(DosGuardTest, InflightCapsReleaseOnDone) {
+  DosGuardOptions options;
+  options.requests_per_second = 0.0;
+  options.max_inflight_requests = 2;
+  options.max_inflight_per_client = 1;
+  DosGuard guard(options);
+  Clock::time_point t0 = Clock::time_point(std::chrono::seconds(5));
+  EXPECT_EQ(guard.AdmitRequest("a", t0), AdmitResult::kOk);
+  EXPECT_EQ(guard.AdmitRequest("a", t0),
+            AdmitResult::kTooManyClientRequests);
+  EXPECT_EQ(guard.AdmitRequest("b", t0), AdmitResult::kOk);
+  EXPECT_EQ(guard.AdmitRequest("c", t0), AdmitResult::kOverloaded);
+  guard.OnRequestDone("a");
+  EXPECT_EQ(guard.AdmitRequest("c", t0), AdmitResult::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// /v1/query body validation (no socket needed)
+
+api::ApiError ExpectParseError(const std::string& body) {
+  api::ParsedQuery parsed;
+  api::ApiError error;
+  EXPECT_FALSE(api::ParseQueryBody(body, &parsed, &error)) << body;
+  return error;
+}
+
+TEST(ApiParseTest, ValidationErrorCatalog) {
+  EXPECT_EQ(ExpectParseError("{nope").code, "bad_json");
+  EXPECT_EQ(ExpectParseError("[1,2]").code, "bad_json");  // not an object
+  EXPECT_EQ(ExpectParseError("{\"query\":\"Q1\"}").code, "missing_version");
+  api::ApiError error =
+      ExpectParseError("{\"version\":2,\"query\":\"Q1\"}");
+  EXPECT_EQ(error.code, "unsupported_version");
+  EXPECT_EQ(error.http_status, 400);
+  EXPECT_EQ(ExpectParseError("{\"version\":1}").code, "missing_query");
+  error = ExpectParseError("{\"version\":1,\"query\":\"Q99\"}");
+  EXPECT_EQ(error.code, "unknown_query");
+  EXPECT_EQ(error.http_status, 404);
+  EXPECT_EQ(ExpectParseError(
+                "{\"version\":1,\"query\":\"Q1\",\"method\":\"magic\"}")
+                .code,
+            "bad_method");
+  EXPECT_EQ(ExpectParseError(
+                "{\"version\":1,\"query\":\"Q1\",\"kind\":\"topk\",\"k\":0}")
+                .code,
+            "bad_k");
+  EXPECT_EQ(ExpectParseError("{\"version\":1,\"query\":\"Q1\","
+                             "\"kind\":\"threshold\",\"threshold\":1.5}")
+                .code,
+            "bad_threshold");
+  EXPECT_EQ(ExpectParseError(
+                "{\"version\":1,\"query\":\"Q1\",\"kind\":\"setop\"}")
+                .code,
+            "missing_right");
+  EXPECT_EQ(ExpectParseError("{\"version\":1,\"query\":\"Q1\","
+                             "\"kind\":\"setop\",\"right\":\"Q1\","
+                             "\"set_op\":\"xor\"}")
+                .code,
+            "bad_set_op");
+  EXPECT_EQ(ExpectParseError(
+                "{\"version\":1,\"query\":\"Q1\",\"kind\":\"sideways\"}")
+                .code,
+            "bad_kind");
+}
+
+TEST(ApiParseTest, CrossSchemaSetOpRejected) {
+  // Find two workload queries on different target schemas.
+  const auto& workload = core::PaperWorkload();
+  const core::WorkloadQuery* left = &workload[0];
+  const core::WorkloadQuery* right = nullptr;
+  for (const auto& wq : workload) {
+    if (wq.schema != left->schema) {
+      right = &wq;
+      break;
+    }
+  }
+  ASSERT_NE(right, nullptr);
+  api::ApiError error = ExpectParseError(
+      "{\"version\":1,\"query\":\"" + left->id + "\",\"kind\":\"setop\","
+      "\"right\":\"" + right->id + "\"}");
+  EXPECT_EQ(error.code, "cross_schema_set_op");
+}
+
+TEST(ApiParseTest, AcceptsEveryKindAndAliases) {
+  api::ParsedQuery parsed;
+  api::ApiError error;
+  ASSERT_TRUE(api::ParseQueryBody(
+      "{\"version\":1,\"query\":\"Q1\",\"method\":\"O-Sharing\"}", &parsed,
+      &error))
+      << error.message;
+  EXPECT_EQ(parsed.request.kind, core::RequestKind::kEvaluate);
+  EXPECT_EQ(parsed.request.method, core::Method::kOSharing);
+  ASSERT_TRUE(api::ParseQueryBody(
+      "{\"version\":1,\"query\":\"Q2\",\"kind\":\"topk\",\"k\":5}", &parsed,
+      &error));
+  EXPECT_EQ(parsed.request.kind, core::RequestKind::kTopK);
+  EXPECT_EQ(parsed.request.k, 5u);
+  ASSERT_TRUE(api::ParseQueryBody("{\"version\":1,\"query\":\"Q1\","
+                                  "\"kind\":\"setop\",\"right\":\"Q1\","
+                                  "\"set_op\":\"INTERSECT\"}",
+                                  &parsed, &error));
+  EXPECT_EQ(parsed.request.set_op, core::SetOpKind::kIntersect);
+  ASSERT_TRUE(api::ParseQueryBody("{\"version\":1,\"query\":\"Q3\","
+                                  "\"kind\":\"threshold\","
+                                  "\"threshold\":0.25}",
+                                  &parsed, &error));
+  EXPECT_EQ(parsed.request.kind, core::RequestKind::kThreshold);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback end-to-end
+
+/// Blocking loopback client socket with just enough HTTP/WS to test
+/// the server (the real clients are tools/server_smoke.py and the
+/// bench; this one trades generality for determinism).
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+      if (n <= 0) return;
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Reads one full HTTP response (headers + Content-Length body);
+  /// empty body + code 0 on EOF/timeouts.
+  struct HttpResult {
+    int code = 0;
+    std::string body;
+    std::string raw;
+  };
+  HttpResult ReadResponse() {
+    HttpResult result;
+    while (buffer_.find("\r\n\r\n") == std::string::npos) {
+      if (!Fill()) return result;
+    }
+    size_t head_end = buffer_.find("\r\n\r\n") + 4;
+    std::string head = buffer_.substr(0, head_end);
+    result.code = std::atoi(head.c_str() + 9);  // "HTTP/1.1 ..."
+    size_t body_len = 0;
+    size_t cl = head.find("Content-Length:");
+    if (cl != std::string::npos) {
+      body_len = static_cast<size_t>(std::atoll(head.c_str() + cl + 15));
+    }
+    while (buffer_.size() < head_end + body_len) {
+      if (!Fill()) return result;
+    }
+    result.body = buffer_.substr(head_end, body_len);
+    result.raw = buffer_.substr(0, head_end + body_len);
+    buffer_.erase(0, head_end + body_len);
+    return result;
+  }
+
+  HttpResult Post(const std::string& path, const std::string& body) {
+    Send("POST " + path + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body);
+    return ReadResponse();
+  }
+
+  HttpResult Get(const std::string& path) {
+    Send("GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+    return ReadResponse();
+  }
+
+  /// Performs the WebSocket upgrade; true on 101.
+  bool UpgradeWebSocket(const std::string& path) {
+    Send("GET " + path + " HTTP/1.1\r\nHost: t\r\n"
+         "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+         "Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n"
+         "Sec-WebSocket-Version: 13\r\n\r\n");
+    while (buffer_.find("\r\n\r\n") == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    size_t head_end = buffer_.find("\r\n\r\n") + 4;
+    bool ok = buffer_.compare(0, 12, "HTTP/1.1 101") == 0;
+    buffer_.erase(0, head_end);
+    if (ok) {
+      // Client side decodes unmasked server frames.
+      decoder_ = std::make_unique<ws::FrameDecoder>(
+          ws::FrameDecoder::Options{4 * 1024 * 1024, false});
+      decoder_->Feed(buffer_);
+      buffer_.clear();
+    }
+    return ok;
+  }
+
+  void SendWsText(const std::string& payload) {
+    Send(ws::EncodeMaskedFrame(ws::kOpText, payload, 0xdeadbeef));
+  }
+
+  /// Next data/close frame (answers pings transparently); false on EOF.
+  bool NextWsMessage(ws::FrameDecoder::Message* out) {
+    while (true) {
+      if (decoder_->Next(out)) {
+        if (out->opcode == ws::kOpPing) {
+          Send(ws::EncodeMaskedFrame(ws::kOpPong, out->payload, 1));
+          continue;
+        }
+        return true;
+      }
+      if (decoder_->failed()) return false;
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      decoder_->Feed(std::string_view(chunk, static_cast<size_t>(n)));
+    }
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+  std::unique_ptr<ws::FrameDecoder> decoder_;
+};
+
+/// ServiceHub over one small shared engine per schema (engines are
+/// expensive; the loopback tests only need them to answer).
+class TestHub : public api::ServiceHub {
+ public:
+  service::QueryService* ForSchema(datagen::TargetSchemaId schema) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = services_.find(schema);
+    if (it != services_.end()) return it->second.get();
+    core::Engine::Options options;
+    options.target_mb = 0.2;
+    options.num_mappings = 16;
+    options.target_schema = schema;
+    auto engine = core::Engine::Create(options);
+    if (!engine.ok()) return nullptr;
+    engines_[schema] = std::move(engine).ValueOrDie();
+    service::ServiceOptions service_options;
+    service_options.num_threads = 2;
+    service_options.metrics_registry = &registry_;
+    auto service = std::make_unique<service::QueryService>(
+        engines_[schema].get(), service_options);
+    auto* result = service.get();
+    services_[schema] = std::move(service);
+    return result;
+  }
+
+  void VisitServices(
+      const std::function<void(datagen::TargetSchemaId,
+                               service::QueryService*)>& fn) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [schema, service] : services_) fn(schema, service.get());
+  }
+
+  obs::Registry* registry() { return &registry_; }
+
+ private:
+  obs::Registry registry_;
+  std::mutex mu_;
+  std::map<datagen::TargetSchemaId, std::unique_ptr<core::Engine>> engines_;
+  std::map<datagen::TargetSchemaId, std::unique_ptr<service::QueryService>>
+      services_;
+};
+
+/// One running server bound to an ephemeral loopback port.
+struct ServerFixture {
+  explicit ServerFixture(ServerOptions options = ServerOptions()) {
+    options.metrics_registry = hub.registry();
+    server = std::make_unique<HttpServer>(options);
+    api::ApiOptions api_options;
+    api_options.metrics_registry = hub.registry();
+    api::RegisterRoutes(server.get(), &hub, api_options);
+  }
+
+  Status Start() { return server->Start(); }
+
+  TestHub hub;
+  std::unique_ptr<HttpServer> server;
+};
+
+TEST(LoopbackTest, AllFourRequestKindsAnswerOverHttp) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+
+  struct Case {
+    const char* label;
+    std::string body;
+    const char* expect_kind;
+  };
+  const Case cases[] = {
+      {"evaluate",
+       "{\"version\":1,\"query\":\"Q1\",\"method\":\"o-sharing\"}",
+       "evaluate"},
+      {"topk", "{\"version\":1,\"query\":\"Q1\",\"kind\":\"topk\",\"k\":3}",
+       "top-k"},
+      {"setop",
+       "{\"version\":1,\"query\":\"Q1\",\"kind\":\"setop\","
+       "\"right\":\"Q1\",\"set_op\":\"union\"}",
+       "set-op"},
+      {"threshold",
+       "{\"version\":1,\"query\":\"Q1\",\"kind\":\"threshold\","
+       "\"threshold\":0.1}",
+       "threshold"},
+  };
+  for (const Case& c : cases) {
+    TestClient::HttpResult result = client.Post("/v1/query", c.body);
+    ASSERT_EQ(result.code, 200) << c.label << ": " << result.body;
+    auto parsed = json::Parse(result.body);
+    ASSERT_TRUE(parsed.ok()) << c.label;
+    const json::Value& value = parsed.ValueOrDie();
+    EXPECT_EQ(value.Find("kind")->AsString(), c.expect_kind) << c.label;
+    EXPECT_NE(value.Find("result"), nullptr) << c.label;
+  }
+  // The evaluate repeat is a cache hit (same keep-alive connection).
+  TestClient::HttpResult repeat = client.Post("/v1/query", cases[0].body);
+  ASSERT_EQ(repeat.code, 200);
+  EXPECT_TRUE(json::Parse(repeat.body).ValueOrDie().Find("cache_hit")
+                  ->AsBool());
+}
+
+TEST(LoopbackTest, StructuredErrorsForBadRequests) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+
+  TestClient::HttpResult result = client.Post("/v1/query", "{broken");
+  EXPECT_EQ(result.code, 400);
+  auto parsed = json::Parse(result.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().Find("error")->Find("code")->AsString(),
+            "bad_json");
+
+  result = client.Post("/v1/query",
+                       "{\"version\":7,\"query\":\"Q1\"}");
+  EXPECT_EQ(result.code, 400);
+  EXPECT_EQ(json::Parse(result.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "unsupported_version");
+
+  result = client.Post("/v1/query", "{\"version\":1,\"query\":\"Q99\"}");
+  EXPECT_EQ(result.code, 404);
+
+  result = client.Get("/nowhere");
+  EXPECT_EQ(result.code, 404);
+  result = client.Post("/v1/stats", "{}");
+  EXPECT_EQ(result.code, 405);
+  // Plain GET on the WebSocket route.
+  result = client.Get("/v1/stream");
+  EXPECT_EQ(result.code, 426);
+}
+
+TEST(LoopbackTest, OversizedBodyGets413AndCloses) {
+  ServerOptions options;
+  options.connection.parser.max_body_bytes = 1024;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  // 2 KB fits comfortably in the socket buffers, so the full request
+  // lands even though the server answers from the headers alone.
+  TestClient::HttpResult result =
+      client.Post("/v1/query", std::string(2048, 'x'));
+  EXPECT_EQ(result.code, 413);
+  EXPECT_NE(result.raw.find("Connection: close"), std::string::npos);
+}
+
+TEST(LoopbackTest, StatsAndMetricsEndpoints) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  // Warm one service so /v1/stats has a schema block.
+  ASSERT_EQ(client.Post("/v1/query",
+                        "{\"version\":1,\"query\":\"Q1\"}")
+                .code,
+            200);
+  TestClient::HttpResult stats = client.Get("/v1/stats");
+  ASSERT_EQ(stats.code, 200);
+  auto parsed = json::Parse(stats.body);
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& value = parsed.ValueOrDie();
+  ASSERT_NE(value.Find("server"), nullptr);
+  EXPECT_GE(value.Find("server")->Find("requests_started")->AsInt64(), 1);
+  ASSERT_NE(value.Find("schemas"), nullptr);
+  EXPECT_GE(value.Find("schemas")->AsArray().size(), 1u);
+
+  TestClient::HttpResult metrics = client.Get("/metrics");
+  ASSERT_EQ(metrics.code, 200);
+  EXPECT_NE(metrics.body.find("urm_net_http_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("urm_net_connections_open"),
+            std::string::npos);
+}
+
+TEST(LoopbackTest, DosGuardRateLimitAnswers429) {
+  ServerOptions options;
+  options.dosguard.requests_per_second = 0.001;  // effectively no refill
+  options.dosguard.burst = 2.0;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  const std::string body = "{\"version\":1,\"query\":\"Q1\"}";
+  ASSERT_EQ(client.Post("/v1/query", body).code, 200);
+  ASSERT_EQ(client.Post("/v1/query", body).code, 200);
+  TestClient::HttpResult limited = client.Post("/v1/query", body);
+  EXPECT_EQ(limited.code, 429);
+  EXPECT_EQ(json::Parse(limited.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "rate_limited");
+  // GETs bypass request admission: observability stays reachable.
+  EXPECT_EQ(client.Get("/v1/stats").code, 200);
+}
+
+TEST(LoopbackTest, WebSocketStreamDeliversLeavesBeforeComplete) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.UpgradeWebSocket("/v1/stream"));
+  client.SendWsText(
+      "{\"version\":1,\"query\":\"Q1\",\"method\":\"o-sharing\"}");
+  size_t leaves = 0;
+  bool complete = false;
+  ws::FrameDecoder::Message message;
+  while (client.NextWsMessage(&message)) {
+    if (message.opcode != ws::kOpText) break;
+    auto parsed = json::Parse(message.payload);
+    ASSERT_TRUE(parsed.ok());
+    const std::string& type =
+        parsed.ValueOrDie().Find("type")->AsString();
+    if (type == "leaf") {
+      EXPECT_FALSE(complete) << "leaf after complete";
+      ++leaves;
+    } else if (type == "complete") {
+      complete = true;
+      EXPECT_EQ(parsed.ValueOrDie().Find("leaves")->AsInt64(),
+                static_cast<int64_t>(leaves));
+      break;
+    } else {
+      FAIL() << "unexpected frame: " << message.payload;
+    }
+  }
+  EXPECT_TRUE(complete);
+  EXPECT_GE(leaves, 1u);
+}
+
+TEST(LoopbackTest, WebSocketBadMessageGetsErrorFrame) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.UpgradeWebSocket("/v1/stream"));
+  client.SendWsText("{\"version\":1,\"query\":\"Q99\"}");
+  ws::FrameDecoder::Message message;
+  ASSERT_TRUE(client.NextWsMessage(&message));
+  auto parsed = json::Parse(message.payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().Find("type")->AsString(), "error");
+  EXPECT_EQ(parsed.ValueOrDie().Find("error")->Find("code")->AsString(),
+            "unknown_query");
+}
+
+TEST(LoopbackTest, GracefulDrainFinishesInflightRequests) {
+  // A raw route (no query engine) keeps this deterministic: the
+  // handler parks the RespondFn, the test drains, then responds.
+  ServerOptions options;
+  HttpServer server(options);
+  std::mutex mu;
+  RespondFn parked;
+  server.Handle("GET", "/slow",
+                [&](const http::Request&, const std::string&,
+                    RespondFn respond) {
+                  std::lock_guard<std::mutex> lock(mu);
+                  parked = std::move(respond);
+                });
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("GET /slow HTTP/1.1\r\nHost: t\r\n\r\n");
+  // Wait until the handler has the RespondFn.
+  for (int i = 0; i < 200; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (parked) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.RequestDrain();
+  // New connections are refused while draining (503 or reset).
+  {
+    TestClient late(server.port());
+    TestClient::HttpResult refused =
+        late.connected() ? late.Get("/v1/stats") : TestClient::HttpResult{};
+    EXPECT_NE(refused.code, 200);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_TRUE(parked);
+    parked(http::Response::Json(200, "{\"late\":true}"));
+  }
+  TestClient::HttpResult result = client.ReadResponse();
+  EXPECT_EQ(result.code, 200);
+  EXPECT_EQ(result.body, "{\"late\":true}");
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(LoopbackTest, ShutdownClosesWebSocketsWithGoingAway) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.Start().ok());
+  auto client = std::make_unique<TestClient>(fixture.server->port());
+  ASSERT_TRUE(client->connected());
+  ASSERT_TRUE(client->UpgradeWebSocket("/v1/stream"));
+  std::thread shutdown([&] { fixture.server->Shutdown(); });
+  ws::FrameDecoder::Message message;
+  bool got_close = false;
+  while (client->NextWsMessage(&message)) {
+    if (message.opcode == ws::kOpClose) {
+      got_close = true;
+      ASSERT_GE(message.payload.size(), 2u);
+      uint16_t code = (static_cast<uint8_t>(message.payload[0]) << 8) |
+                      static_cast<uint8_t>(message.payload[1]);
+      EXPECT_EQ(code, ws::kCloseGoingAway);
+      break;
+    }
+  }
+  shutdown.join();
+  EXPECT_TRUE(got_close);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace urm

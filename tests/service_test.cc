@@ -372,6 +372,109 @@ TEST(QueryServiceTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(service.cache_stats().entries, 0u);
 }
 
+/// Records every leaf (row count + probability) for the replay tests.
+struct CollectingSink : core::AnswerSink {
+  std::vector<std::pair<size_t, double>> leaves;
+  bool complete = false;
+  bool OnAnswer(const std::vector<relational::Row>& rows,
+                double probability) override {
+    leaves.emplace_back(rows.size(), probability);
+    return true;
+  }
+  void OnComplete(const Status& status) override {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    complete = true;
+  }
+};
+
+TEST(QueryServiceTest, StreamingCacheHitReplaysLeafSequence) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(engine, options);
+  core::Request request = core::Request::MethodEval(
+      core::QueryById("Q1").query, Method::kOSharing);
+
+  CollectingSink first;
+  QueryResponse miss = service.SubmitAsync(request, &first).get();
+  ASSERT_TRUE(miss.status.ok()) << miss.status.ToString();
+  EXPECT_FALSE(miss.cache_hit);
+  ASSERT_TRUE(first.complete);
+  ASSERT_FALSE(first.leaves.empty());
+  ASSERT_NE(miss.response->leaves, nullptr);
+  EXPECT_EQ(miss.response->leaves->size(), first.leaves.size());
+
+  // Second sink-bearing submission: served from cache, but the sink
+  // still sees the identical leaf stream (replayed, not re-evaluated).
+  CollectingSink second;
+  QueryResponse hit = service.SubmitAsync(request, &second).get();
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(second.complete);
+  ASSERT_EQ(second.leaves.size(), first.leaves.size());
+  for (size_t i = 0; i < first.leaves.size(); ++i) {
+    EXPECT_EQ(second.leaves[i].first, first.leaves[i].first) << i;
+    EXPECT_DOUBLE_EQ(second.leaves[i].second, first.leaves[i].second) << i;
+  }
+  EXPECT_TRUE(miss.response->evaluate.answers.ApproxEquals(
+      hit.response->evaluate.answers, 1e-12));
+  EXPECT_GE(service.cache_stats().hits, 1u);
+}
+
+TEST(QueryServiceTest, ReplayHonorsSinkUnsubscribe) {
+  /// Unsubscribes after the first leaf; completion must still fire.
+  struct OneLeafSink : core::AnswerSink {
+    size_t seen = 0;
+    bool complete = false;
+    bool OnAnswer(const std::vector<relational::Row>&, double) override {
+      ++seen;
+      return false;
+    }
+    void OnComplete(const Status&) override { complete = true; }
+  };
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(engine, options);
+  core::Request request = core::Request::MethodEval(
+      core::QueryById("Q2").query, Method::kOSharing);
+  CollectingSink warm;
+  ASSERT_TRUE(service.SubmitAsync(request, &warm).get().status.ok());
+  ASSERT_GT(warm.leaves.size(), 1u) << "need a multi-leaf query";
+
+  OneLeafSink sink;
+  QueryResponse hit = service.SubmitAsync(request, &sink).get();
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(sink.seen, 1u);
+  EXPECT_TRUE(sink.complete);
+}
+
+TEST(QueryServiceTest, NonStreamingSubmissionsDoNotRecordLeaves) {
+  Engine* engine = SharedEngine(datagen::TargetSchemaId::kExcel);
+  ServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(engine, options);
+  core::Request request = core::Request::MethodEval(
+      core::QueryById("Q3").query, Method::kOSharing);
+  QueryResponse plain = service.SubmitAsync(request).get();
+  ASSERT_TRUE(plain.status.ok());
+  EXPECT_EQ(plain.response->leaves, nullptr);
+
+  // A later sink-bearing submission of the same request finds a
+  // leafless entry, evaluates fresh, and upgrades the cache entry.
+  CollectingSink sink;
+  QueryResponse streamed = service.SubmitAsync(request, &sink).get();
+  ASSERT_TRUE(streamed.status.ok());
+  EXPECT_FALSE(streamed.cache_hit);
+  EXPECT_TRUE(sink.complete);
+  CollectingSink replayed;
+  QueryResponse hit = service.SubmitAsync(request, &replayed).get();
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(replayed.leaves.size(), sink.leaves.size());
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace urm

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for `urm_server --http` (stdlib only).
+
+Boots the server on an ephemeral loopback port, drives one request of
+every kind over HTTP (evaluate / topk / setop / threshold), checks the
+structured 4xx error bodies, streams one query over the WebSocket
+endpoint (expecting at least one leaf frame before the completion
+frame), scrapes /metrics, then sends SIGTERM and verifies the process
+drains and exits cleanly.
+
+Usage:
+  server_smoke.py <path-to-urm_server> [--metrics-out FILE]
+
+Exit code 0 on success; every check prints one `ok: ...` line. The
+scraped exposition (when --metrics-out is given) is suitable input for
+tools/metrics_lint.py.
+"""
+
+import base64
+import http.client
+import json
+import os
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+HOST = "127.0.0.1"
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition, message):
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def start_server(binary):
+    process = subprocess.Popen(
+        [binary, "--mb", "0.1", "--h", "10", "--http", "0"],
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 60
+    port = None
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"http listening on 127\.0\.0\.1:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        process.kill()
+        fail("server did not report a listening port")
+    return process, port
+
+
+def post_query(port, body):
+    connection = http.client.HTTPConnection(HOST, port, timeout=60)
+    try:
+        connection.request(
+            "POST", "/v1/query", json.dumps(body) if isinstance(body, dict)
+            else body, {"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        connection.close()
+
+
+def get(port, path):
+    connection = http.client.HTTPConnection(HOST, port, timeout=60)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        connection.close()
+
+
+def drive_http(port):
+    kinds = [
+        ("evaluate", {"version": 1, "query": "Q1", "method": "o-sharing"},
+         "evaluate"),
+        ("topk", {"version": 1, "query": "Q1", "kind": "topk", "k": 3},
+         "top-k"),
+        ("setop", {"version": 1, "query": "Q3", "kind": "setop",
+                   "right": "Q4", "set_op": "union"}, "set-op"),
+        ("threshold", {"version": 1, "query": "Q1", "kind": "threshold",
+                       "threshold": 0.1}, "threshold"),
+    ]
+    for label, body, expect_kind in kinds:
+        status, payload = post_query(port, body)
+        check(status == 200 and payload.get("kind") == expect_kind
+              and "result" in payload,
+              f"{label} answered 200 with kind={expect_kind}")
+
+    status, payload = post_query(port, "{broken")
+    check(status == 400 and payload["error"]["code"] == "bad_json",
+          "malformed JSON gets 400 bad_json")
+    status, payload = post_query(port, {"version": 9, "query": "Q1"})
+    check(status == 400 and payload["error"]["code"] == "unsupported_version",
+          "wrong version gets 400 unsupported_version")
+    status, payload = post_query(port, {"version": 1, "query": "Q99"})
+    check(status == 404 and payload["error"]["code"] == "unknown_query",
+          "unknown query gets 404 unknown_query")
+
+    status, body = get(port, "/v1/stats")
+    stats = json.loads(body)
+    check(status == 200 and stats["server"]["requests_started"] >= 4,
+          "/v1/stats reports the serving counters")
+
+
+def ws_recv_frame(sock):
+    header = sock.recv(2)
+    if len(header) < 2:
+        return None, None
+    opcode = header[0] & 0x0F
+    length = header[1] & 0x7F
+    if length == 126:
+        length = struct.unpack(">H", sock.recv(2))[0]
+    elif length == 127:
+        length = struct.unpack(">Q", sock.recv(8))[0]
+    payload = b""
+    while len(payload) < length:
+        chunk = sock.recv(length - len(payload))
+        if not chunk:
+            return None, None
+        payload += chunk
+    return opcode, payload
+
+
+def ws_send_text(sock, text):
+    payload = text.encode()
+    mask = os.urandom(4)
+    length = len(payload)
+    if length < 126:
+        head = bytes([0x81, 0x80 | length])
+    elif length < 1 << 16:
+        head = bytes([0x81, 0x80 | 126]) + struct.pack(">H", length)
+    else:
+        head = bytes([0x81, 0x80 | 127]) + struct.pack(">Q", length)
+    masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    sock.sendall(head + mask + masked)
+
+
+def drive_websocket(port):
+    sock = socket.create_connection((HOST, port), timeout=60)
+    key = base64.b64encode(os.urandom(16)).decode()
+    sock.sendall((
+        "GET /v1/stream HTTP/1.1\r\n"
+        f"Host: {HOST}\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\n"
+        "Sec-WebSocket-Version: 13\r\n\r\n").encode())
+    head = b""
+    while b"\r\n\r\n" not in head:
+        chunk = sock.recv(4096)
+        if not chunk:
+            fail("websocket upgrade: connection closed")
+        head += chunk
+    check(head.startswith(b"HTTP/1.1 101"), "websocket upgrade accepted")
+
+    ws_send_text(sock, json.dumps(
+        {"version": 1, "query": "Q1", "method": "o-sharing"}))
+    leaves = 0
+    complete = None
+    while complete is None:
+        opcode, payload = ws_recv_frame(sock)
+        if opcode is None:
+            fail("websocket stream ended before completion")
+        if opcode != 0x1:
+            continue  # ignore control frames
+        message = json.loads(payload.decode())
+        if message["type"] == "leaf":
+            leaves += 1
+        elif message["type"] == "complete":
+            complete = message
+        else:
+            fail(f"unexpected stream frame: {message}")
+    check(leaves >= 1, "stream delivered a leaf frame before completion")
+    check(complete["leaves"] == leaves,
+          "completion frame counts the streamed leaves")
+    sock.close()
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    metrics_out = None
+    if "--metrics-out" in sys.argv[2:]:
+        metrics_out = sys.argv[sys.argv.index("--metrics-out") + 1]
+
+    process, port = start_server(binary)
+    try:
+        drive_http(port)
+        drive_websocket(port)
+        status, exposition = get(port, "/metrics")
+        check(status == 200 and "urm_net_http_requests_total" in exposition,
+              "/metrics exposes the net-tier families")
+        if metrics_out:
+            with open(metrics_out, "w") as f:
+                f.write(exposition)
+            print(f"ok: wrote {len(exposition)} exposition bytes "
+                  f"to {metrics_out}")
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=30)
+        check(code == 0, "SIGTERM drained the server to a clean exit")
+    except Exception:
+        process.kill()
+        raise
+    print("server smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
