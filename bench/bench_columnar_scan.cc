@@ -1,0 +1,176 @@
+/// \file bench_columnar_scan.cc
+/// Codec-aware selection vs the row-at-a-time filter (not a paper
+/// figure; the storage layer is infrastructure for the paper's
+/// experiments at the 100 MB scale).
+///
+/// One synthetic column per codec shape — sequential int64 keys
+/// (DELTA), a long-run flag column (RLE), a bounded-vocabulary string
+/// column (DICTIONARY), and incompressible random doubles (PLAIN) —
+/// each scanned with the same predicate two ways:
+///
+///   row       decode once to a Value vector, then filter row-at-a-time
+///             with CompareCells (what EvaluateSelect does on an
+///             unencoded relation; bytes scanned = row-format bytes);
+///   columnar  Column::EvalPredicate straight off the encoded form
+///             (bytes scanned = encoded bytes).
+///
+/// Both sides must select the identical row set (checked every run).
+/// The JSONL records encoded vs logical bytes-scanned and per-path
+/// throughput; on the compressed shapes encoded < logical is the
+/// point of the layer, and CI smoke-checks these lines exist.
+///
+///   URM_BENCH_ROWS  rows per column (default 200000)
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "columnar/column.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace {
+
+using namespace urm;  // NOLINT
+using columnar::Cmp;
+using columnar::CodecKind;
+using columnar::SelectionVector;
+using relational::Value;
+
+struct Shape {
+  const char* name;
+  CodecKind expected;
+  std::vector<Value> values;
+  Cmp op;
+  Value rhs;
+};
+
+std::vector<Shape> MakeShapes(size_t rows) {
+  Rng rng(20260809);
+  std::vector<Shape> shapes;
+
+  Shape seq;
+  seq.name = "sequential_int";
+  seq.expected = CodecKind::kDelta;
+  for (size_t i = 0; i < rows; ++i) {
+    seq.values.push_back(Value(static_cast<int64_t>(1700000000 + i * 3)));
+  }
+  seq.op = Cmp::kLt;
+  seq.rhs = Value(static_cast<int64_t>(1700000000 + rows * 3 / 2));
+  shapes.push_back(std::move(seq));
+
+  Shape flags;
+  flags.name = "low_card_runs";
+  flags.expected = CodecKind::kRle;
+  for (size_t i = 0; i < rows; ++i) {
+    flags.values.push_back(Value(i / 512 % 4 == 0 ? "hot" : "cold"));
+  }
+  flags.op = Cmp::kEq;
+  flags.rhs = Value("hot");
+  shapes.push_back(std::move(flags));
+
+  Shape cities;
+  cities.name = "dictionary_strings";
+  cities.expected = CodecKind::kDictionary;
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 64; ++i) vocab.push_back("city_" + std::to_string(i));
+  for (size_t i = 0; i < rows; ++i) {
+    cities.values.push_back(Value(rng.Choice(vocab)));
+  }
+  cities.op = Cmp::kEq;
+  cities.rhs = Value("city_7");
+  shapes.push_back(std::move(cities));
+
+  Shape noise;
+  noise.name = "random_double";
+  noise.expected = CodecKind::kPlain;
+  for (size_t i = 0; i < rows; ++i) {
+    noise.values.push_back(Value(rng.NextDouble()));
+  }
+  noise.op = Cmp::kLt;
+  noise.rhs = Value(0.5);
+  shapes.push_back(std::move(noise));
+
+  return shapes;
+}
+
+}  // namespace
+
+int main() {
+  const size_t rows =
+      static_cast<size_t>(bench::EnvInt("URM_BENCH_ROWS", 200000));
+  const int runs = bench::BenchRuns();
+  const int hw_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("# Columnar codec-aware scan vs row filter\n");
+  std::printf("# reproduces: docs/STORAGE.md (infrastructure; not a paper "
+              "figure)\n");
+  std::printf("# scale: rows=%zu, runs=%d\n\n", rows, runs);
+  std::printf("%-20s %-11s %10s %10s %7s %10s %10s %8s\n", "shape", "codec",
+              "enc(KB)", "log(KB)", "ratio", "row(ms)", "col(ms)",
+              "speedup");
+
+  for (Shape& shape : MakeShapes(rows)) {
+    auto column = columnar::EncodeColumn(shape.values);
+    URM_CHECK(column != nullptr);
+    URM_CHECK(column->codec() == shape.expected)
+        << shape.name << " encoded as " << CodecName(column->codec());
+
+    // The row arm scans what EvaluateSelect's fallback scans: fully
+    // materialized row-format cells.
+    std::vector<Value> decoded;
+    column->Decode(&decoded);
+
+    double row_ms = 0.0, col_ms = 0.0;
+    size_t row_hits = 0, col_hits = 0;
+    for (int run = 0; run < runs; ++run) {
+      Timer t;
+      SelectionVector by_row;
+      for (size_t i = 0; i < decoded.size(); ++i) {
+        if (columnar::CompareCells(decoded[i], shape.op, shape.rhs)) {
+          by_row.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      row_ms += t.Lap() * 1e3;
+      SelectionVector by_column;
+      column->EvalPredicate(shape.op, shape.rhs, &by_column);
+      col_ms += t.Lap() * 1e3;
+      URM_CHECK(by_row == by_column) << shape.name << ": selection mismatch";
+      row_hits = by_row.size();
+      col_hits = by_column.size();
+    }
+    row_ms /= runs;
+    col_ms /= runs;
+
+    const size_t encoded = column->EncodedBytes();
+    const size_t logical = column->LogicalBytes();
+    const double ratio =
+        encoded > 0 ? static_cast<double>(logical) / encoded : 1.0;
+    std::printf("%-20s %-11s %10.1f %10.1f %7.2f %10.3f %10.3f %8.2f\n",
+                shape.name, CodecName(column->codec()), encoded / 1024.0,
+                logical / 1024.0, ratio, row_ms, col_ms,
+                col_ms > 0 ? row_ms / col_ms : 0.0);
+
+    bench::JsonLine("columnar_scan")
+        .Field("shape", shape.name)
+        .Field("codec", CodecName(column->codec()))
+        .Field("op", CmpName(shape.op))
+        .Field("rows", rows)
+        .Field("selected", col_hits)
+        .Field("encoded_bytes", encoded)
+        .Field("logical_bytes", logical)
+        .Field("compression_ratio", ratio)
+        .Field("bytes_scanned_columnar", encoded)
+        .Field("bytes_scanned_row", logical)
+        .Field("row_scan_ms", row_ms)
+        .Field("columnar_scan_ms", col_ms)
+        .Field("mtuples_per_s_row",
+               row_ms > 0 ? rows / row_ms / 1e3 : 0.0)
+        .Field("mtuples_per_s_columnar",
+               col_ms > 0 ? rows / col_ms / 1e3 : 0.0)
+        .Field("runs", runs)
+        .Field("hw_threads", hw_threads)
+        .Emit();
+    URM_CHECK_EQ(row_hits, col_hits);
+  }
+  return 0;
+}

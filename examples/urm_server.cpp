@@ -290,6 +290,24 @@ class ServiceDirectory : public net::api::ServiceHub {
                   "running_tasks=%zu tasks_executed=%llu\n",
                   "", pool.threads, pool.queue_depth, pool.running_tasks,
                   static_cast<unsigned long long>(pool.tasks_executed));
+      // Compressed catalog footprint + scan-byte accounting (the
+      // columnar storage layer; field glossary in docs/TUNING.md).
+      relational::Catalog::StorageStats storage =
+          entry.service->engine().catalog().Storage();
+      service::QueryService::StorageScanStats scans =
+          entry.service->storage_scan_stats();
+      std::printf("%-8s storage:   encoded_bytes=%.1fKB logical_bytes="
+                  "%.1fKB compression_ratio=%.2f bytes_scanned=%.1fKB "
+                  "columnar_scans=%llu row_scans=%llu\n",
+                  "", storage.encoded_bytes / 1024.0,
+                  storage.logical_bytes / 1024.0,
+                  storage.encoded_bytes > 0
+                      ? static_cast<double>(storage.logical_bytes) /
+                            static_cast<double>(storage.encoded_bytes)
+                      : 1.0,
+                  scans.bytes_scanned / 1024.0,
+                  static_cast<unsigned long long>(scans.columnar_scans),
+                  static_cast<unsigned long long>(scans.row_scans));
     }
   }
 
@@ -334,11 +352,14 @@ void PrintResponse(const std::string& label,
         // Every field is labelled with its EvalStats name; the field
         // glossary lives in docs/TUNING.md.
         std::printf("  [ops: cache_hits=%zu cache_misses=%zu "
-                    "store_hits=%zu cache_bytes_saved=%.1fKB]",
+                    "store_hits=%zu cache_bytes_saved=%.1fKB "
+                    "bytes_scanned=%.1fKB columnar_scans=%zu]",
                     r.evaluate.stats.cache_hits,
                     r.evaluate.stats.cache_misses,
                     r.evaluate.stats.store_hits,
-                    r.evaluate.stats.cache_bytes_saved / 1024.0);
+                    r.evaluate.stats.cache_bytes_saved / 1024.0,
+                    r.evaluate.stats.bytes_scanned / 1024.0,
+                    r.evaluate.stats.columnar_scans);
       }
       std::printf("\n");
       break;

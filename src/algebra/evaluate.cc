@@ -1,6 +1,7 @@
 #include "algebra/evaluate.h"
 
 #include "algebra/optimize.h"
+#include "columnar/columnar_relation.h"
 #include "common/logging.h"
 
 namespace urm {
@@ -36,18 +37,68 @@ Result<RelationPtr> EvaluateScan(const PlanNode& node,
   return std::make_shared<const Relation>(std::move(view).ValueOrDie());
 }
 
+columnar::Cmp ToColumnarCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return columnar::Cmp::kEq;
+    case CmpOp::kNe:
+      return columnar::Cmp::kNe;
+    case CmpOp::kLt:
+      return columnar::Cmp::kLt;
+    case CmpOp::kLe:
+      return columnar::Cmp::kLe;
+    case CmpOp::kGt:
+      return columnar::Cmp::kGt;
+    case CmpOp::kGe:
+      return columnar::Cmp::kGe;
+  }
+  return columnar::Cmp::kEq;
+}
+
 Result<RelationPtr> EvaluateSelect(const PlanNode& node, RelationPtr input,
                                    const EvalContext& ctx) {
   auto bound = BoundPredicate::Bind(node.predicate, input->schema());
   if (!bound.ok()) return bound.status();
   const BoundPredicate& pred = bound.ValueOrDie();
+
+  // Codec-aware path: an attr-vs-const predicate over an input whose
+  // compressed encoding is live (catalog relations and their aliased
+  // views) evaluates on the encoded column and gathers the selection
+  // vector — no row-at-a-time loop, and only the predicate column's
+  // encoded bytes are read to decide membership.
+  if (!pred.rhs_index().has_value()) {
+    if (const columnar::ColumnarRelation* enc = input->ColumnarIfEncoded()) {
+      const columnar::Column& col = enc->column(pred.lhs_index());
+      columnar::SelectionVector sel;
+      col.EvalPredicate(ToColumnarCmp(pred.op()), pred.rhs_value(), &sel);
+      Relation out = input->Gather(sel);
+      if (ctx.stats != nullptr) {
+        ctx.stats->columnar_scans++;
+        ctx.stats->bytes_scanned += col.EncodedBytes();
+        ctx.stats->logical_bytes_scanned += col.LogicalBytes();
+        ctx.stats->tuples_produced += out.num_rows();
+      }
+      return std::make_shared<const Relation>(std::move(out));
+    }
+  }
+
   Relation out(input->schema());
+  size_t touched_bytes = 0;
   for (const Row& row : input->rows()) {
+    touched_bytes += relational::ApproxValueBytes(row[pred.lhs_index()]);
+    if (pred.rhs_index().has_value()) {
+      touched_bytes += relational::ApproxValueBytes(row[*pred.rhs_index()]);
+    }
     if (pred.Matches(row)) {
       URM_CHECK_OK(out.AddRow(row));
     }
   }
-  if (ctx.stats != nullptr) ctx.stats->tuples_produced += out.num_rows();
+  if (ctx.stats != nullptr) {
+    ctx.stats->row_scans++;
+    ctx.stats->bytes_scanned += touched_bytes;
+    ctx.stats->logical_bytes_scanned += touched_bytes;
+    ctx.stats->tuples_produced += out.num_rows();
+  }
   return std::make_shared<const Relation>(std::move(out));
 }
 

@@ -36,6 +36,20 @@ struct EvalStats {
   /// OperatorStore (another query or a sibling parallel branch
   /// materialized the operator), including single-flight waits.
   size_t store_hits = 0;
+  /// Selections answered by codec-aware columnar scans (selection
+  /// vectors evaluated on the encoded form, no row materialization).
+  size_t columnar_scans = 0;
+  /// Selections that fell back to the row-at-a-time loop (join
+  /// predicates, or inputs without a cached encoding).
+  size_t row_scans = 0;
+  /// Bytes selections actually read: encoded bytes of the scanned
+  /// column(s) on the columnar path, touched-cell bytes on the row
+  /// path.
+  size_t bytes_scanned = 0;
+  /// Row-format bytes of the same cells — what the scans *would* have
+  /// read without compression. bytes_scanned / logical_bytes_scanned
+  /// is the live compression ratio of the scan mix.
+  size_t logical_bytes_scanned = 0;
 
   EvalStats& operator+=(const EvalStats& other) {
     operators_executed += other.operators_executed;
@@ -45,6 +59,10 @@ struct EvalStats {
     cache_misses += other.cache_misses;
     cache_bytes_saved += other.cache_bytes_saved;
     store_hits += other.store_hits;
+    columnar_scans += other.columnar_scans;
+    row_scans += other.row_scans;
+    bytes_scanned += other.bytes_scanned;
+    logical_bytes_scanned += other.logical_bytes_scanned;
     return *this;
   }
 };

@@ -99,6 +99,13 @@ class BoundPredicate {
 
   bool Matches(const relational::Row& row) const;
 
+  /// Resolved shape, exposed so the evaluator can route attr-vs-const
+  /// predicates to the codec-aware columnar scan.
+  size_t lhs_index() const { return lhs_index_; }
+  CmpOp op() const { return op_; }
+  const std::optional<size_t>& rhs_index() const { return rhs_index_; }
+  const relational::Value& rhs_value() const { return rhs_value_; }
+
  private:
   BoundPredicate() = default;
 

@@ -1,0 +1,545 @@
+#include "columnar/column.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace urm {
+namespace columnar {
+
+const char* CodecName(CodecKind codec) {
+  switch (codec) {
+    case CodecKind::kPlain:
+      return "plain";
+    case CodecKind::kDelta:
+      return "delta";
+    case CodecKind::kRle:
+      return "rle";
+    case CodecKind::kDictionary:
+      return "dictionary";
+  }
+  return "?";
+}
+
+const char* CmpName(Cmp op) {
+  switch (op) {
+    case Cmp::kEq:
+      return "=";
+    case Cmp::kNe:
+      return "!=";
+    case Cmp::kLt:
+      return "<";
+    case Cmp::kLe:
+      return "<=";
+    case Cmp::kGt:
+      return ">";
+    case Cmp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool CompareCells(const Value& lhs, Cmp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  switch (op) {
+    case Cmp::kEq:
+      return lhs == rhs;
+    case Cmp::kNe:
+      return !(lhs == rhs);
+    case Cmp::kLt:
+      return lhs < rhs;
+    case Cmp::kLe:
+      return !(rhs < lhs);
+    case Cmp::kGt:
+      return rhs < lhs;
+    case Cmp::kGe:
+      return !(lhs < rhs);
+  }
+  return false;
+}
+
+namespace {
+
+/// Exact-representation equality: same cell type AND Value equality.
+/// Runs must not merge 2 with 2.0 (Value::== would) or decode stops
+/// being the identity.
+bool ExactEqual(const Value& a, const Value& b) {
+  return a.type() == b.type() && a == b;
+}
+
+/// Verdict of `lhs <op> rhs` when the two sides have different type
+/// ranks (numeric=1 < string=2) — constant for every cell of the rank,
+/// per Value::operator<. Both sides non-null.
+bool RankVerdict(int lhs_rank, int rhs_rank, Cmp op) {
+  switch (op) {
+    case Cmp::kEq:
+      return false;
+    case Cmp::kNe:
+      return true;
+    case Cmp::kLt:
+    case Cmp::kLe:
+      return lhs_rank < rhs_rank;
+    case Cmp::kGt:
+    case Cmp::kGe:
+      return lhs_rank > rhs_rank;
+  }
+  return false;
+}
+
+/// Numeric-domain compare matching Value semantics (== and < both go
+/// through NumericValue, i.e. the double domain).
+bool NumericVerdict(double lhs, Cmp op, double rhs) {
+  switch (op) {
+    case Cmp::kEq:
+      return lhs == rhs;
+    case Cmp::kNe:
+      return lhs != rhs;
+    case Cmp::kLt:
+      return lhs < rhs;
+    case Cmp::kLe:
+      return lhs <= rhs;
+    case Cmp::kGt:
+      return lhs > rhs;
+    case Cmp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// PLAIN
+
+class PlainColumn : public Column {
+ public:
+  explicit PlainColumn(std::vector<Value> values)
+      : values_(std::move(values)) {
+    for (const Value& v : values_) bytes_ += relational::ApproxValueBytes(v);
+  }
+
+  CodecKind codec() const override { return CodecKind::kPlain; }
+  size_t size() const override { return values_.size(); }
+
+  Value ValueAt(size_t row) const override {
+    URM_CHECK(row < values_.size());
+    return values_[row];
+  }
+
+  void Decode(std::vector<Value>* out) const override {
+    out->insert(out->end(), values_.begin(), values_.end());
+  }
+
+  size_t EncodedBytes() const override { return bytes_; }
+  size_t LogicalBytes() const override { return bytes_; }
+
+  void EvalPredicate(Cmp op, const Value& rhs,
+                     SelectionVector* out) const override {
+    if (rhs.is_null()) return;
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (CompareCells(values_[i], op, rhs)) {
+        out->push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+ private:
+  std::vector<Value> values_;
+  size_t bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// DELTA
+
+/// Restart-block interval: random access decodes at most this many
+/// varints past the nearest block anchor.
+constexpr size_t kDeltaBlock = 128;
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+void PutVarint(uint64_t u, std::vector<uint8_t>* out) {
+  while (u >= 0x80) {
+    out->push_back(static_cast<uint8_t>(u) | 0x80);
+    u >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(u));
+}
+
+uint64_t GetVarint(const std::vector<uint8_t>& bytes, size_t* pos) {
+  uint64_t u = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t b = bytes[*pos];
+    ++*pos;
+    u |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return u;
+}
+
+class DeltaColumn : public Column {
+ public:
+  /// `values` must be all-int64, no NULLs (caller verified).
+  explicit DeltaColumn(const std::vector<Value>& values)
+      : n_(values.size()) {
+    int64_t prev = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      int64_t v = values[i].AsInt64();
+      if (i % kDeltaBlock == 0) {
+        block_first_.push_back(v);
+        block_offset_.push_back(static_cast<uint32_t>(bytes_.size()));
+      } else {
+        PutVarint(ZigZag(v - prev), &bytes_);
+      }
+      prev = v;
+    }
+  }
+
+  CodecKind codec() const override { return CodecKind::kDelta; }
+  size_t size() const override { return n_; }
+
+  Value ValueAt(size_t row) const override {
+    URM_CHECK(row < n_);
+    size_t block = row / kDeltaBlock;
+    int64_t v = block_first_[block];
+    size_t pos = block_offset_[block];
+    for (size_t i = block * kDeltaBlock; i < row; ++i) {
+      v += UnZigZag(GetVarint(bytes_, &pos));
+    }
+    return Value(v);
+  }
+
+  void Decode(std::vector<Value>* out) const override {
+    ForEach([out](size_t, int64_t v) { out->push_back(Value(v)); });
+  }
+
+  size_t EncodedBytes() const override {
+    return bytes_.size() + block_first_.size() * sizeof(int64_t) +
+           block_offset_.size() * sizeof(uint32_t);
+  }
+
+  size_t LogicalBytes() const override { return n_ * 8; }
+
+  void EvalPredicate(Cmp op, const Value& rhs,
+                     SelectionVector* out) const override {
+    if (rhs.is_null()) return;
+    if (!rhs.is_numeric()) {
+      // int64 cells vs a string constant: rank verdict, same for all.
+      if (!RankVerdict(1, 2, op)) return;
+      for (uint32_t i = 0; i < n_; ++i) out->push_back(i);
+      return;
+    }
+    const double c = rhs.NumericValue();
+    ForEach([&](size_t i, int64_t v) {
+      if (NumericVerdict(static_cast<double>(v), op, c)) {
+        out->push_back(static_cast<uint32_t>(i));
+      }
+    });
+  }
+
+ private:
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    size_t pos = 0;
+    int64_t v = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      if (i % kDeltaBlock == 0) {
+        v = block_first_[i / kDeltaBlock];
+      } else {
+        v += UnZigZag(GetVarint(bytes_, &pos));
+      }
+      fn(i, v);
+    }
+  }
+
+  size_t n_;
+  std::vector<uint8_t> bytes_;        ///< zigzag varint deltas
+  std::vector<int64_t> block_first_;  ///< first value of each block
+  std::vector<uint32_t> block_offset_;  ///< byte offset of each block
+};
+
+// ---------------------------------------------------------------------------
+// RLE
+
+class RleColumn : public Column {
+ public:
+  explicit RleColumn(const std::vector<Value>& values) : n_(values.size()) {
+    for (size_t i = 0; i < n_; ++i) {
+      if (run_values_.empty() || !ExactEqual(run_values_.back(), values[i])) {
+        run_values_.push_back(values[i]);
+        run_starts_.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+  CodecKind codec() const override { return CodecKind::kRle; }
+  size_t size() const override { return n_; }
+  size_t num_runs() const { return run_values_.size(); }
+
+  Value ValueAt(size_t row) const override {
+    URM_CHECK(row < n_);
+    // Last run whose start <= row.
+    size_t run = static_cast<size_t>(
+        std::upper_bound(run_starts_.begin(), run_starts_.end(),
+                         static_cast<uint32_t>(row)) -
+        run_starts_.begin() - 1);
+    return run_values_[run];
+  }
+
+  void Decode(std::vector<Value>* out) const override {
+    for (size_t r = 0; r < run_values_.size(); ++r) {
+      size_t end = RunEnd(r);
+      for (size_t i = run_starts_[r]; i < end; ++i) {
+        out->push_back(run_values_[r]);
+      }
+    }
+  }
+
+  size_t EncodedBytes() const override {
+    size_t bytes = 0;
+    for (const Value& v : run_values_) {
+      bytes += relational::ApproxValueBytes(v) + sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
+  size_t LogicalBytes() const override {
+    size_t bytes = 0;
+    for (size_t r = 0; r < run_values_.size(); ++r) {
+      bytes += (RunEnd(r) - run_starts_[r]) *
+               relational::ApproxValueBytes(run_values_[r]);
+    }
+    return bytes;
+  }
+
+  void EvalPredicate(Cmp op, const Value& rhs,
+                     SelectionVector* out) const override {
+    if (rhs.is_null()) return;
+    for (size_t r = 0; r < run_values_.size(); ++r) {
+      if (!CompareCells(run_values_[r], op, rhs)) continue;
+      size_t end = RunEnd(r);
+      for (size_t i = run_starts_[r]; i < end; ++i) {
+        out->push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+ private:
+  size_t RunEnd(size_t run) const {
+    return run + 1 < run_starts_.size() ? run_starts_[run + 1] : n_;
+  }
+
+  size_t n_;
+  std::vector<Value> run_values_;
+  std::vector<uint32_t> run_starts_;
+};
+
+// ---------------------------------------------------------------------------
+// DICTIONARY
+
+constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+
+class DictionaryColumn : public Column {
+ public:
+  DictionaryColumn(std::vector<std::string> dict, std::vector<uint32_t> codes)
+      : dict_(std::move(dict)), codes_(std::move(codes)) {}
+
+  CodecKind codec() const override { return CodecKind::kDictionary; }
+  size_t size() const override { return codes_.size(); }
+  size_t dictionary_size() const { return dict_.size(); }
+
+  Value ValueAt(size_t row) const override {
+    URM_CHECK(row < codes_.size());
+    uint32_t c = codes_[row];
+    return c == kNullCode ? Value::Null() : Value(dict_[c]);
+  }
+
+  void Decode(std::vector<Value>* out) const override {
+    for (uint32_t c : codes_) {
+      out->push_back(c == kNullCode ? Value::Null() : Value(dict_[c]));
+    }
+  }
+
+  size_t EncodedBytes() const override {
+    size_t bytes = codes_.size() * sizeof(uint32_t);
+    for (const std::string& s : dict_) bytes += 8 + s.size();
+    return bytes;
+  }
+
+  size_t LogicalBytes() const override {
+    size_t bytes = 0;
+    for (uint32_t c : codes_) {
+      bytes += 8 + (c == kNullCode ? 0 : dict_[c].size());
+    }
+    return bytes;
+  }
+
+  void EvalPredicate(Cmp op, const Value& rhs,
+                     SelectionVector* out) const override {
+    if (rhs.is_null()) return;
+    // One comparison per distinct string, then a pure code scan.
+    std::vector<char> match(dict_.size());
+    for (size_t c = 0; c < dict_.size(); ++c) {
+      match[c] = CompareCells(Value(dict_[c]), op, rhs) ? 1 : 0;
+    }
+    for (size_t i = 0; i < codes_.size(); ++i) {
+      uint32_t c = codes_[i];
+      if (c != kNullCode && match[c]) {
+        out->push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+ private:
+  std::vector<std::string> dict_;   ///< distinct strings, first-seen order
+  std::vector<uint32_t> codes_;     ///< per row; kNullCode marks NULL
+};
+
+/// Builds the dictionary form, or null when the vocabulary exceeds
+/// `max_entries` (the PLAIN-fallback trigger). `values` must be
+/// string-or-NULL (caller verified).
+std::unique_ptr<Column> TryBuildDictionary(const std::vector<Value>& values,
+                                           size_t max_entries) {
+  std::vector<std::string> dict;
+  std::vector<uint32_t> codes;
+  codes.reserve(values.size());
+  std::unordered_map<std::string, uint32_t> index;
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      codes.push_back(kNullCode);
+      continue;
+    }
+    auto [it, inserted] =
+        index.emplace(v.AsString(), static_cast<uint32_t>(dict.size()));
+    if (inserted) {
+      if (dict.size() >= max_entries) return nullptr;
+      dict.push_back(v.AsString());
+    }
+    codes.push_back(it->second);
+  }
+  return std::make_unique<DictionaryColumn>(std::move(dict),
+                                            std::move(codes));
+}
+
+/// One full pass of column shape statistics for codec selection.
+struct ColumnShape {
+  size_t nulls = 0;
+  size_t ints = 0;
+  size_t strings = 0;
+  size_t runs = 0;
+  size_t sampled = 0;
+  size_t sampled_distinct = 0;
+};
+
+ColumnShape MeasureShape(const std::vector<Value>& values,
+                         const EncodingOptions& options) {
+  ColumnShape shape;
+  const size_t n = values.size();
+  const size_t stride =
+      options.sample_size == 0 ? 1
+                               : std::max<size_t>(1, n / options.sample_size);
+  std::unordered_set<size_t> sample_hashes;
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = values[i];
+    switch (v.type()) {
+      case ValueType::kNull:
+        ++shape.nulls;
+        break;
+      case ValueType::kInt64:
+        ++shape.ints;
+        break;
+      case ValueType::kString:
+        ++shape.strings;
+        break;
+      default:
+        break;
+    }
+    if (i == 0 || !ExactEqual(values[i - 1], v)) ++shape.runs;
+    if (i % stride == 0) {
+      ++shape.sampled;
+      sample_hashes.insert(v.Hash());
+    }
+  }
+  shape.sampled_distinct = sample_hashes.size();
+  return shape;
+}
+
+}  // namespace
+
+std::unique_ptr<Column> EncodeColumn(const std::vector<Value>& values,
+                                     const EncodingOptions& options) {
+  URM_CHECK(values.size() < 0xFFFFFFFFull)
+      << "columnar encoding is limited to 2^32-1 rows";
+  const size_t n = values.size();
+  if (n == 0) return std::make_unique<PlainColumn>(std::vector<Value>());
+
+  const ColumnShape shape = MeasureShape(values, options);
+  const size_t max_runs = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(n) *
+                             options.rle_max_run_fraction));
+
+  if (shape.runs <= max_runs) {
+    return std::make_unique<RleColumn>(values);
+  }
+  if (shape.ints == n) {
+    return std::make_unique<DeltaColumn>(values);
+  }
+  if (shape.strings > 0 && shape.strings + shape.nulls == n) {
+    // Dictionary only pays when the vocabulary is bounded; a sampled
+    // distinct ratio above 1/2 predicts near-unique strings.
+    if (shape.sampled == 0 || shape.sampled_distinct * 2 <= shape.sampled) {
+      auto dict = TryBuildDictionary(values, options.dictionary_max_entries);
+      if (dict != nullptr) return dict;
+    }
+  }
+  return std::make_unique<PlainColumn>(values);
+}
+
+Result<std::unique_ptr<Column>> EncodeColumnAs(
+    const std::vector<Value>& values, CodecKind codec,
+    const EncodingOptions& options) {
+  URM_CHECK(values.size() < 0xFFFFFFFFull)
+      << "columnar encoding is limited to 2^32-1 rows";
+  switch (codec) {
+    case CodecKind::kPlain:
+      return std::unique_ptr<Column>(std::make_unique<PlainColumn>(values));
+    case CodecKind::kRle:
+      return std::unique_ptr<Column>(std::make_unique<RleColumn>(values));
+    case CodecKind::kDelta:
+      for (const Value& v : values) {
+        if (v.type() != ValueType::kInt64) {
+          return Status::InvalidArgument(
+              "DELTA requires a null-free int64 column");
+        }
+      }
+      return std::unique_ptr<Column>(std::make_unique<DeltaColumn>(values));
+    case CodecKind::kDictionary: {
+      for (const Value& v : values) {
+        if (!v.is_null() && v.type() != ValueType::kString) {
+          return Status::InvalidArgument(
+              "DICTIONARY requires a string (or NULL) column");
+        }
+      }
+      auto dict = TryBuildDictionary(values, options.dictionary_max_entries);
+      if (dict == nullptr) {
+        return Status::InvalidArgument(
+            "dictionary overflow: more than " +
+            std::to_string(options.dictionary_max_entries) +
+            " distinct strings");
+      }
+      return std::unique_ptr<Column>(std::move(dict));
+    }
+  }
+  return Status::InvalidArgument("unknown codec");
+}
+
+}  // namespace columnar
+}  // namespace urm

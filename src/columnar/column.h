@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+/// \file column.h
+/// Compressed column storage: one `Column` holds every cell of one
+/// attribute of a relation under a lightweight codec. Four codecs cover
+/// the column shapes of the workloads (the TPC-H column→codec map is
+/// the reference spec):
+///
+///   PLAIN       materialized `Value` vector; the universal fallback.
+///   DELTA       zigzag-varint deltas with restart blocks, for
+///               monotone / near-monotone int64 keys and dates.
+///               Null-free int64 columns only.
+///   RLE         (value, run-length) pairs for low-cardinality flag
+///               columns of any type; run boundaries preserve the
+///               exact cell type so decode is the identity.
+///   DICTIONARY  distinct strings + per-row codes, for string columns
+///               with a bounded vocabulary; falls back to PLAIN when
+///               the vocabulary overflows `dictionary_max_entries`.
+///
+/// Every codec exposes typed iteration (`Decode`), random access
+/// (`ValueAt`) and codec-aware predicate evaluation (`EvalPredicate`):
+/// comparisons run directly on dictionary codes / RLE runs / the delta
+/// stream — without materializing rows — and return a selection vector
+/// of matching row indices in ascending order.
+///
+/// `EvalPredicate` reproduces `algebra::CompareValues` semantics
+/// bit-for-bit (any NULL operand fails the predicate, including `!=`;
+/// numerics compare in the double domain; mixed numeric/string
+/// operands order by type rank). columnar sits *below* algebra in the
+/// layer map, so the comparison semantics are restated here as
+/// `CompareCells`; a tier-1 test cross-checks the two stay identical.
+
+namespace urm {
+namespace columnar {
+
+using relational::Value;
+using relational::ValueType;
+
+/// The compression codec backing a column.
+enum class CodecKind {
+  kPlain = 0,
+  kDelta,
+  kRle,
+  kDictionary,
+};
+
+const char* CodecName(CodecKind codec);
+
+/// Comparison operators, mirroring algebra::CmpOp (columnar cannot
+/// include algebra without a dependency cycle).
+enum class Cmp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CmpName(Cmp op);
+
+/// Predicate-compare of two cells with algebra::CompareValues
+/// semantics: false whenever either side is NULL (even for kNe),
+/// otherwise Value::operator== / operator< (numerics numeric, mixed
+/// numeric-vs-string by type rank).
+bool CompareCells(const Value& lhs, Cmp op, const Value& rhs);
+
+/// Matching row indices, ascending. uint32 indices bound relations to
+/// 2^32-1 rows; encoding check-fails beyond that.
+using SelectionVector = std::vector<uint32_t>;
+
+/// Knobs for automatic codec selection (EncodeColumn).
+struct EncodingOptions {
+  /// DICTIONARY falls back to PLAIN past this many distinct strings.
+  size_t dictionary_max_entries = 1u << 16;
+  /// RLE wins when runs <= rle_max_run_fraction * rows.
+  double rle_max_run_fraction = 0.25;
+  /// Values sampled (evenly spaced) for the distinct-count estimate.
+  size_t sample_size = 1024;
+};
+
+/// \brief One encoded column: cells of a single attribute under one
+/// codec. Immutable after encoding; cheap shared reads.
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  virtual CodecKind codec() const = 0;
+  /// Number of cells.
+  virtual size_t size() const = 0;
+
+  /// Random access to one cell (decoded copy).
+  virtual Value ValueAt(size_t row) const = 0;
+
+  /// Appends every cell to `out`, in row order (the decode side of the
+  /// round-trip identity: Decode(Encode(v)) == v, exact types).
+  virtual void Decode(std::vector<Value>* out) const = 0;
+
+  /// Bytes of the encoded representation actually held in memory.
+  virtual size_t EncodedBytes() const = 0;
+
+  /// Bytes the same cells occupy in row format
+  /// (sum of relational::ApproxValueBytes).
+  virtual size_t LogicalBytes() const = 0;
+
+  /// Appends the indices of all rows whose cell satisfies
+  /// `cell <op> rhs` (CompareCells semantics) to `out`, ascending.
+  /// Runs on the encoded form: DICTIONARY compares each distinct
+  /// string once and scans codes, RLE compares once per run, DELTA
+  /// streams the varint deltas.
+  virtual void EvalPredicate(Cmp op, const Value& rhs,
+                             SelectionVector* out) const = 0;
+};
+
+/// Encodes a column with automatic codec selection from one stats pass
+/// (exact type/null/run counts, sampled distinct estimate). Total:
+/// always succeeds, PLAIN is the catch-all.
+std::unique_ptr<Column> EncodeColumn(const std::vector<Value>& values,
+                                     const EncodingOptions& options = {});
+
+/// Encodes with a forced codec. Fails (InvalidArgument) when the codec
+/// cannot represent the data: DELTA needs null-free int64, DICTIONARY
+/// needs strings/NULLs within dictionary_max_entries.
+Result<std::unique_ptr<Column>> EncodeColumnAs(
+    const std::vector<Value>& values, CodecKind codec,
+    const EncodingOptions& options = {});
+
+}  // namespace columnar
+}  // namespace urm

@@ -1,0 +1,99 @@
+#include "columnar/columnar_relation.h"
+
+#include "common/logging.h"
+
+namespace urm {
+namespace columnar {
+
+ColumnarRelationPtr ColumnarRelation::Encode(
+    const relational::RelationSchema& schema,
+    const std::vector<relational::Row>& rows,
+    const EncodingOptions& options) {
+  const size_t ncols = schema.num_columns();
+  std::vector<std::vector<relational::Value>> columns(ncols);
+  for (auto& col : columns) col.reserve(rows.size());
+  for (const relational::Row& row : rows) {
+    URM_CHECK(row.size() == ncols) << "row arity != schema arity";
+    for (size_t c = 0; c < ncols; ++c) columns[c].push_back(row[c]);
+  }
+  return FromColumns(schema, std::move(columns), options);
+}
+
+ColumnarRelationPtr ColumnarRelation::FromColumns(
+    relational::RelationSchema schema,
+    std::vector<std::vector<relational::Value>> columns,
+    const EncodingOptions& options) {
+  URM_CHECK(columns.size() == schema.num_columns())
+      << "column count != schema arity";
+  size_t num_rows = columns.empty() ? 0 : columns[0].size();
+  std::vector<std::unique_ptr<Column>> encoded;
+  encoded.reserve(columns.size());
+  for (auto& col : columns) {
+    URM_CHECK(col.size() == num_rows) << "ragged column lengths";
+    encoded.push_back(EncodeColumn(col, options));
+    col.clear();
+    col.shrink_to_fit();
+  }
+  return ColumnarRelationPtr(new ColumnarRelation(
+      std::move(schema), num_rows, std::move(encoded)));
+}
+
+size_t ColumnarRelation::EncodedBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->EncodedBytes();
+  return bytes;
+}
+
+size_t ColumnarRelation::LogicalBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->LogicalBytes();
+  return bytes;
+}
+
+std::vector<ColumnStats> ColumnarRelation::Stats() const {
+  std::vector<ColumnStats> stats;
+  stats.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnStats s;
+    s.name = schema_.column(c).name;
+    s.codec = columns_[c]->codec();
+    s.rows = num_rows_;
+    s.encoded_bytes = columns_[c]->EncodedBytes();
+    s.logical_bytes = columns_[c]->LogicalBytes();
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+size_t ColumnarRelation::CodecCount(CodecKind codec) const {
+  size_t count = 0;
+  for (const auto& col : columns_) {
+    if (col->codec() == codec) ++count;
+  }
+  return count;
+}
+
+relational::Row ColumnarRelation::MaterializeRow(size_t row) const {
+  URM_CHECK(row < num_rows_);
+  relational::Row out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col->ValueAt(row));
+  return out;
+}
+
+void ColumnarRelation::MaterializeRows(
+    std::vector<relational::Row>* out) const {
+  const size_t base = out->size();
+  out->resize(base + num_rows_, relational::Row(columns_.size()));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::vector<relational::Value> decoded;
+    decoded.reserve(num_rows_);
+    columns_[c]->Decode(&decoded);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      (*out)[base + i][c] = std::move(decoded[i]);
+    }
+  }
+}
+
+}  // namespace columnar
+}  // namespace urm

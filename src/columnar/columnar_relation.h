@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/column.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+/// \file columnar_relation.h
+/// A relation in column-major encoded form: one compressed `Column`
+/// per schema attribute, each under the codec its value distribution
+/// selects (see EncodeColumn). Immutable once built — mutation goes
+/// through `relational::Relation`, which drops its cached encoding on
+/// the first write (copy-on-write invalidation) and re-encodes lazily.
+///
+/// Sits below `relational::Relation` in the layer map: Relation holds
+/// an optional shared ColumnarRelation as its compressed backing and
+/// materializes rows from it on demand; the algebra evaluator consumes
+/// `Column::EvalPredicate` selection vectors directly on the encoded
+/// form. See docs/STORAGE.md.
+
+namespace urm {
+namespace columnar {
+
+/// Per-column encoding report (catalog storage stats, CSV load stats).
+struct ColumnStats {
+  std::string name;
+  CodecKind codec = CodecKind::kPlain;
+  size_t rows = 0;
+  size_t encoded_bytes = 0;
+  size_t logical_bytes = 0;
+};
+
+class ColumnarRelation;
+using ColumnarRelationPtr = std::shared_ptr<const ColumnarRelation>;
+
+/// \brief One relation, column-major and per-column compressed.
+class ColumnarRelation {
+ public:
+  /// Encodes row storage (transposes, then EncodeColumn per column).
+  /// `schema` arity must match every row.
+  static ColumnarRelationPtr Encode(const relational::RelationSchema& schema,
+                                    const std::vector<relational::Row>& rows,
+                                    const EncodingOptions& options = {});
+
+  /// Encodes column-major input directly — the no-row-materialization
+  /// path the CSV loader uses. All columns must share one length, and
+  /// match the schema's arity.
+  static ColumnarRelationPtr FromColumns(
+      relational::RelationSchema schema,
+      std::vector<std::vector<relational::Value>> columns,
+      const EncodingOptions& options = {});
+
+  const relational::RelationSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return *columns_[i]; }
+
+  /// Sum of Column::EncodedBytes over all columns.
+  size_t EncodedBytes() const;
+  /// Sum of Column::LogicalBytes (the row-format footprint).
+  size_t LogicalBytes() const;
+  /// Per-column codec / size report, in schema order.
+  std::vector<ColumnStats> Stats() const;
+  /// Number of columns encoded with `codec`.
+  size_t CodecCount(CodecKind codec) const;
+
+  /// Decodes one row (random access across all columns).
+  relational::Row MaterializeRow(size_t row) const;
+  /// Appends every row to `out` in order (full decode, column-at-a-time).
+  void MaterializeRows(std::vector<relational::Row>* out) const;
+
+ private:
+  ColumnarRelation(relational::RelationSchema schema, size_t num_rows,
+                   std::vector<std::unique_ptr<Column>> columns)
+      : schema_(std::move(schema)),
+        num_rows_(num_rows),
+        columns_(std::move(columns)) {}
+
+  relational::RelationSchema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace columnar
+}  // namespace urm

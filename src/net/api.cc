@@ -276,6 +276,40 @@ json::Value StatsJson(HttpServer* server, ServiceHub* hub) {
     store_json.Set("bytes_reused",
                    json::Value::Int(static_cast<int64_t>(store.bytes_reused)));
     entry.Set("operator_store", std::move(store_json));
+    // Compressed-storage footprint of the schema's catalog plus the
+    // service's scan-byte accounting (see docs/STORAGE.md and the
+    // docs/TUNING.md glossary).
+    relational::Catalog::StorageStats storage =
+        svc->engine().catalog().Storage();
+    service::QueryService::StorageScanStats scans =
+        svc->storage_scan_stats();
+    json::Value storage_json = json::Value::Object();
+    storage_json.Set(
+        "encoded_bytes",
+        json::Value::Int(static_cast<int64_t>(storage.encoded_bytes)));
+    storage_json.Set(
+        "logical_bytes",
+        json::Value::Int(static_cast<int64_t>(storage.logical_bytes)));
+    storage_json.Set(
+        "compression_ratio",
+        json::Value::Number(
+            storage.encoded_bytes > 0
+                ? static_cast<double>(storage.logical_bytes) /
+                      static_cast<double>(storage.encoded_bytes)
+                : 1.0));
+    storage_json.Set(
+        "bytes_scanned",
+        json::Value::Int(static_cast<int64_t>(scans.bytes_scanned)));
+    storage_json.Set("logical_bytes_scanned",
+                     json::Value::Int(static_cast<int64_t>(
+                         scans.logical_bytes_scanned)));
+    storage_json.Set(
+        "columnar_scans",
+        json::Value::Int(static_cast<int64_t>(scans.columnar_scans)));
+    storage_json.Set(
+        "row_scans",
+        json::Value::Int(static_cast<int64_t>(scans.row_scans)));
+    entry.Set("storage", std::move(storage_json));
     schemas.Append(std::move(entry));
   });
   root.Set("schemas", std::move(schemas));

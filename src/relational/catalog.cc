@@ -7,12 +7,31 @@ Status Catalog::Register(const std::string& name, RelationPtr relation) {
   if (relations_.count(name) > 0) {
     return Status::AlreadyExists("relation already registered: " + name);
   }
+  if (auto_encode_ && relation != nullptr) relation->Columnar();
   relations_.emplace(name, std::move(relation));
   return Status::OK();
 }
 
 void Catalog::Put(const std::string& name, RelationPtr relation) {
+  if (auto_encode_ && relation != nullptr) relation->Columnar();
   relations_[name] = std::move(relation);
+}
+
+Catalog::StorageStats Catalog::Storage() const {
+  StorageStats stats;
+  for (const auto& [name, rel] : relations_) {
+    const columnar::ColumnarRelation* enc = rel->ColumnarIfEncoded();
+    if (enc == nullptr) continue;
+    stats.encoded_relations++;
+    stats.encoded_bytes += enc->EncodedBytes();
+    stats.logical_bytes += enc->LogicalBytes();
+    stats.columns_plain += enc->CodecCount(columnar::CodecKind::kPlain);
+    stats.columns_delta += enc->CodecCount(columnar::CodecKind::kDelta);
+    stats.columns_rle += enc->CodecCount(columnar::CodecKind::kRle);
+    stats.columns_dictionary +=
+        enc->CodecCount(columnar::CodecKind::kDictionary);
+  }
+  return stats;
 }
 
 Result<RelationPtr> Catalog::Get(const std::string& name) const {

@@ -21,11 +21,34 @@ namespace relational {
 /// handled above this layer by renaming columns, not here.
 class Catalog {
  public:
-  /// Registers a relation. Fails if the name is taken.
+  /// Aggregate compressed-storage footprint of the catalog (see
+  /// docs/STORAGE.md). Only relations with a live encoding contribute;
+  /// `columns_*` count encoded columns per codec.
+  struct StorageStats {
+    size_t encoded_relations = 0;
+    size_t encoded_bytes = 0;
+    size_t logical_bytes = 0;
+    size_t columns_plain = 0;
+    size_t columns_delta = 0;
+    size_t columns_rle = 0;
+    size_t columns_dictionary = 0;
+  };
+
+  /// Registers a relation. Fails if the name is taken. Encodes the
+  /// relation's columnar backing eagerly unless auto-encode is off.
   Status Register(const std::string& name, RelationPtr relation);
 
-  /// Replaces or inserts a relation.
+  /// Replaces or inserts a relation (same auto-encode behavior).
   void Put(const std::string& name, RelationPtr relation);
+
+  /// Controls eager columnar encoding on Register/Put (default on).
+  /// Turning it off yields a pure row-backend catalog — the control
+  /// arm of the columnar-vs-row bit-identity tests.
+  void set_auto_encode(bool on) { auto_encode_ = on; }
+  bool auto_encode() const { return auto_encode_; }
+
+  /// Storage footprint over all currently-encoded relations.
+  StorageStats Storage() const;
 
   /// Looks up a relation by name.
   Result<RelationPtr> Get(const std::string& name) const;
@@ -45,6 +68,7 @@ class Catalog {
 
  private:
   std::map<std::string, RelationPtr> relations_;
+  bool auto_encode_ = true;
 };
 
 }  // namespace relational

@@ -89,8 +89,13 @@ std::string FormatCsvLine(const Row& row, char separator) {
 }
 
 Result<Relation> ReadCsv(std::istream& in, const RelationSchema& schema,
-                         const CsvOptions& options) {
-  Relation out(schema);
+                         const CsvOptions& options,
+                         CsvLoadStats* load_stats) {
+  // Column-major accumulation: fields convert straight into per-column
+  // vectors, which compress directly into the relation's columnar
+  // backing — no row vector is ever built here.
+  std::vector<std::vector<Value>> columns(schema.num_columns());
+  size_t rows = 0;
   std::string line;
   bool first = true;
   size_t line_no = 0;
@@ -111,25 +116,40 @@ Result<Relation> ReadCsv(std::istream& in, const RelationSchema& schema,
           std::to_string(fields.ValueOrDie().size()) + " fields, schema "
           "expects " + std::to_string(schema.num_columns()));
     }
-    Row row;
-    row.reserve(schema.num_columns());
     for (size_t i = 0; i < schema.num_columns(); ++i) {
-      row.push_back(
+      columns[i].push_back(
           ConvertField(fields.ValueOrDie()[i], schema.column(i).type));
     }
-    URM_RETURN_NOT_OK(out.AddRow(std::move(row)));
+    ++rows;
   }
-  return out;
+  if (schema.num_columns() == 0) {
+    // Zero-column schemas cannot carry a columnar encoding; only the
+    // degenerate empty relation is representable.
+    if (rows > 0) {
+      return Status::InvalidArgument("CSV rows with a zero-column schema");
+    }
+    return Relation(schema);
+  }
+  columnar::ColumnarRelationPtr encoded =
+      columnar::ColumnarRelation::FromColumns(schema, std::move(columns));
+  if (load_stats != nullptr) {
+    load_stats->columns = encoded->Stats();
+    load_stats->rows = encoded->num_rows();
+    load_stats->encoded_bytes = encoded->EncodedBytes();
+    load_stats->logical_bytes = encoded->LogicalBytes();
+  }
+  return Relation::FromColumnar(schema, std::move(encoded));
 }
 
 Result<Relation> ReadCsvFile(const std::string& path,
                              const RelationSchema& schema,
-                             const CsvOptions& options) {
+                             const CsvOptions& options,
+                             CsvLoadStats* load_stats) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("cannot open file: " + path);
   }
-  return ReadCsv(in, schema, options);
+  return ReadCsv(in, schema, options, load_stats);
 }
 
 Status WriteCsv(const Relation& relation, std::ostream& out,

@@ -31,16 +31,32 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
 /// containing the separator or quotes are quoted).
 std::string FormatCsvLine(const Row& row, char separator);
 
+/// Per-column encoding report from a CSV load (codec chosen by the
+/// column's value distribution, encoded vs row-format bytes).
+struct CsvLoadStats {
+  std::vector<columnar::ColumnStats> columns;
+  size_t rows = 0;
+  size_t encoded_bytes = 0;  ///< sum over columns
+  size_t logical_bytes = 0;  ///< row-format footprint of the same data
+};
+
 /// Reads a relation from a stream. Fields are converted per the schema
 /// column types (kInt64/kDouble parsed; unparseable or empty fields
 /// become NULL; kString taken verbatim). Fails on arity mismatches.
+///
+/// Values are accumulated column-major and compressed directly into
+/// the relation's columnar backing — no intermediate row
+/// materialization; rows decode lazily on first row-wise access. Pass
+/// `load_stats` to receive the per-column codec/size report.
 Result<Relation> ReadCsv(std::istream& in, const RelationSchema& schema,
-                         const CsvOptions& options = CsvOptions());
+                         const CsvOptions& options = CsvOptions(),
+                         CsvLoadStats* load_stats = nullptr);
 
 /// Reads a relation from a file.
 Result<Relation> ReadCsvFile(const std::string& path,
                              const RelationSchema& schema,
-                             const CsvOptions& options = CsvOptions());
+                             const CsvOptions& options = CsvOptions(),
+                             CsvLoadStats* load_stats = nullptr);
 
 /// Writes a relation to a stream.
 Status WriteCsv(const Relation& relation, std::ostream& out,

@@ -33,11 +33,85 @@ bool RowLess(const Row& a, const Row& b) {
   return a.size() < b.size();
 }
 
-std::vector<Row>* Relation::MutableRows() {
-  if (rows_.use_count() > 1) {
-    rows_ = std::make_shared<std::vector<Row>>(*rows_);
+std::shared_ptr<Relation::Backing> Relation::Backing::FromRows(
+    std::vector<Row> r) {
+  auto backing = std::make_shared<Backing>();
+  backing->rows = std::make_shared<std::vector<Row>>(std::move(r));
+  backing->rows_view.store(backing->rows.get(), std::memory_order_release);
+  return backing;
+}
+
+std::shared_ptr<Relation::Backing> Relation::Backing::FromColumnar(
+    columnar::ColumnarRelationPtr c) {
+  auto backing = std::make_shared<Backing>();
+  backing->columnar_view.store(c.get(), std::memory_order_release);
+  backing->columnar = std::move(c);
+  return backing;
+}
+
+Relation Relation::FromColumnar(RelationSchema schema,
+                                columnar::ColumnarRelationPtr encoded) {
+  URM_CHECK(encoded != nullptr);
+  URM_CHECK(schema.num_columns() == encoded->num_columns())
+      << "FromColumnar schema arity mismatch";
+  Relation out;
+  out.schema_ = std::move(schema);
+  out.backing_ = Backing::FromColumnar(std::move(encoded));
+  return out;
+}
+
+const std::vector<Row>& Relation::MaterializeRowsSlow() const {
+  Backing& b = *backing_;
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.rows == nullptr) {
+    auto rows = std::make_shared<std::vector<Row>>();
+    b.columnar->MaterializeRows(rows.get());
+    b.rows = std::move(rows);
+    b.rows_view.store(b.rows.get(), std::memory_order_release);
   }
-  return rows_.get();
+  return *b.rows;
+}
+
+columnar::ColumnarRelationPtr Relation::Columnar() const {
+  if (backing_->columnar_view.load(std::memory_order_acquire) != nullptr) {
+    return backing_->columnar;
+  }
+  // The encoding carries no row count of its own for 0-column shapes.
+  if (schema_.num_columns() == 0) return nullptr;
+  const std::vector<Row>& r = rows();  // materialize outside the lock
+  Backing& b = *backing_;
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.columnar == nullptr) {
+    columnar::ColumnarRelationPtr encoded =
+        columnar::ColumnarRelation::Encode(schema_, r);
+    b.columnar_view.store(encoded.get(), std::memory_order_release);
+    b.columnar = std::move(encoded);
+  }
+  return b.columnar;
+}
+
+std::vector<Row>* Relation::MutableRows() {
+  if (backing_.use_count() > 1) {
+    // Shared with other relations (or caches): copy-on-write into a
+    // fresh row-only backing. The cached encoding stays with the old
+    // backing's other holders; it does not describe the rows about to
+    // change.
+    const std::vector<Row>& current = rows();
+    backing_ = Backing::FromRows(current);
+  } else {
+    if (backing_->rows_view.load(std::memory_order_acquire) == nullptr) {
+      rows();  // sole owner, but rows not yet materialized
+    }
+    if (backing_->columnar_view.load(std::memory_order_acquire) != nullptr) {
+      // Invalidate the encoding before mutating: steal the row vector
+      // into a fresh backing.
+      auto fresh = std::make_shared<Backing>();
+      fresh->rows = std::move(backing_->rows);
+      fresh->rows_view.store(fresh->rows.get(), std::memory_order_release);
+      backing_ = std::move(fresh);
+    }
+  }
+  return backing_->rows.get();
 }
 
 Status Relation::AddRow(Row row) {
@@ -48,6 +122,27 @@ Status Relation::AddRow(Row row) {
   }
   MutableRows()->push_back(std::move(row));
   return Status::OK();
+}
+
+Relation Relation::Gather(const columnar::SelectionVector& sel) const {
+  Relation out(schema_);
+  std::vector<Row>* dst = out.MutableRows();
+  dst->reserve(sel.size());
+  const std::vector<Row>* src =
+      backing_->rows_view.load(std::memory_order_acquire);
+  if (src != nullptr) {
+    for (uint32_t i : sel) {
+      URM_CHECK(i < src->size());
+      dst->push_back((*src)[i]);
+    }
+    return out;
+  }
+  const columnar::ColumnarRelation* enc =
+      backing_->columnar_view.load(std::memory_order_acquire);
+  for (uint32_t i : sel) {
+    dst->push_back(enc->MaterializeRow(i));
+  }
+  return out;
 }
 
 Result<Relation> Relation::WithSchema(RelationSchema schema) const {
@@ -125,16 +220,19 @@ Result<Relation> Relation::Product(const Relation& other) const {
 
 size_t ApproxRowBytes(const Row& row) {
   size_t bytes = 0;
-  for (const Value& v : row) {
-    bytes += 8;
-    if (v.type() == ValueType::kString) bytes += v.AsString().size();
-  }
+  for (const Value& v : row) bytes += ApproxValueBytes(v);
   return bytes;
 }
 
 size_t Relation::ApproxBytes() const {
+  const std::vector<Row>* p =
+      backing_->rows_view.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    return backing_->columnar_view.load(std::memory_order_acquire)
+        ->LogicalBytes();
+  }
   size_t bytes = 0;
-  for (const Row& r : rows()) bytes += ApproxRowBytes(r);
+  for (const Row& r : *p) bytes += ApproxRowBytes(r);
   return bytes;
 }
 

@@ -91,6 +91,12 @@ size_t Value::Hash() const {
   return 0;
 }
 
+size_t ApproxValueBytes(const Value& v) {
+  size_t bytes = 8;
+  if (v.type() == ValueType::kString) bytes += v.AsString().size();
+  return bytes;
+}
+
 std::string Value::ToString() const {
   switch (type()) {
     case ValueType::kNull:

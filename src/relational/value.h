@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 /// \file value.h
 /// Dynamically-typed cell values for the in-memory relational engine.
@@ -73,6 +74,15 @@ class Value {
  private:
   std::variant<std::monostate, int64_t, double, std::string> repr_;
 };
+
+/// One tuple, row-major. Lives here (not relation.h) so the columnar
+/// layer can speak rows without depending on Relation.
+using Row = std::vector<Value>;
+
+/// Approximate in-memory footprint of one cell: 8 bytes plus the
+/// string payload. The per-cell unit behind ApproxRowBytes and the
+/// columnar logical-bytes accounting.
+size_t ApproxValueBytes(const Value& v);
 
 }  // namespace relational
 }  // namespace urm

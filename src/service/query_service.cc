@@ -348,6 +348,86 @@ void QueryService::InitMetrics() {
                   [store] { return static_cast<double>(store->stats().bytes); });
   }
 
+  // Storage families: the compressed-catalog footprint (collect-time
+  // reads of the engine catalog's encodings) plus the scan-byte
+  // counters RunWork accumulates from every evaluation. Registered
+  // unconditionally so the urm_storage_* families appear in every
+  // scrape (tools/metrics_lint.py --require-storage enforces this).
+  auto with_label = [&base](const char* key, const char* value) {
+    obs::Labels out = base;
+    out.emplace_back(key, value);
+    return out;
+  };
+  const core::Engine* engine = engine_;
+  AddStatBridge(&m, "urm_storage_encoded_bytes",
+                "Compressed (encoded) bytes of all columnar-encoded "
+                "catalog relations.",
+                obs::MetricType::kGauge, base, [engine] {
+                  return static_cast<double>(
+                      engine->catalog().Storage().encoded_bytes);
+                });
+  AddStatBridge(&m, "urm_storage_logical_bytes",
+                "Row-format bytes the same encoded relations would "
+                "occupy (encoded/logical = compression ratio).",
+                obs::MetricType::kGauge, base, [engine] {
+                  return static_cast<double>(
+                      engine->catalog().Storage().logical_bytes);
+                });
+  AddStatBridge(&m, "urm_storage_encoded_relations",
+                "Catalog relations holding a live columnar encoding.",
+                obs::MetricType::kGauge, base, [engine] {
+                  return static_cast<double>(
+                      engine->catalog().Storage().encoded_relations);
+                });
+  struct CodecGauge {
+    const char* label;
+    size_t relational::Catalog::StorageStats::* field;
+  };
+  static constexpr CodecGauge kCodecGauges[] = {
+      {"plain", &relational::Catalog::StorageStats::columns_plain},
+      {"delta", &relational::Catalog::StorageStats::columns_delta},
+      {"rle", &relational::Catalog::StorageStats::columns_rle},
+      {"dictionary", &relational::Catalog::StorageStats::columns_dictionary},
+  };
+  for (const CodecGauge& gauge : kCodecGauges) {
+    AddStatBridge(&m, "urm_storage_columns",
+                  "Encoded catalog columns, by codec.",
+                  obs::MetricType::kGauge, with_label("codec", gauge.label),
+                  [engine, field = gauge.field] {
+                    return static_cast<double>(
+                        engine->catalog().Storage().*field);
+                  });
+  }
+  AddStatBridge(&m, "urm_storage_bytes_scanned_total",
+                "Bytes selections actually read: encoded bytes on the "
+                "columnar path, touched-cell bytes on the row path.",
+                obs::MetricType::kCounter, base, [this] {
+                  return static_cast<double>(
+                      bytes_scanned_.load(std::memory_order_relaxed));
+                });
+  AddStatBridge(&m, "urm_storage_logical_bytes_scanned_total",
+                "Row-format bytes of the same scanned cells (the "
+                "uncompressed cost of the scan mix).",
+                obs::MetricType::kCounter, base, [this] {
+                  return static_cast<double>(logical_bytes_scanned_.load(
+                      std::memory_order_relaxed));
+                });
+  AddStatBridge(&m, "urm_storage_selection_scans_total",
+                "Selections answered via codec-aware selection vectors "
+                "on the encoded form.",
+                obs::MetricType::kCounter, with_label("path", "columnar"),
+                [this] {
+                  return static_cast<double>(
+                      columnar_scans_.load(std::memory_order_relaxed));
+                });
+  AddStatBridge(&m, "urm_storage_selection_scans_total",
+                "Selections that fell back to the row-at-a-time loop.",
+                obs::MetricType::kCounter, with_label("path", "row"),
+                [this] {
+                  return static_cast<double>(
+                      row_scans_.load(std::memory_order_relaxed));
+                });
+
   AddStatBridge(&m, "urm_pool_threads", "Worker threads in the pool.",
                 obs::MetricType::kGauge, base,
                 [this] { return static_cast<double>(pool_.stats().threads); });
@@ -582,6 +662,21 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
       if (recording_sink != nullptr) {
         evaluated.leaves = recording_sink->TakeLeaves();
       }
+      // Fold the evaluation's storage scan accounting into the
+      // service-lifetime counters (every kind carries EvalStats).
+      const algebra::EvalStats& stats =
+          evaluated.kind == core::RequestKind::kTopK
+              ? evaluated.top_k.stats
+              : (evaluated.kind == core::RequestKind::kThreshold
+                     ? evaluated.threshold.stats
+                     : evaluated.evaluate.stats);
+      bytes_scanned_.fetch_add(stats.bytes_scanned,
+                               std::memory_order_relaxed);
+      logical_bytes_scanned_.fetch_add(stats.logical_bytes_scanned,
+                                       std::memory_order_relaxed);
+      columnar_scans_.fetch_add(stats.columnar_scans,
+                                std::memory_order_relaxed);
+      row_scans_.fetch_add(stats.row_scans, std::memory_order_relaxed);
       base.response =
           std::make_shared<const core::Response>(std::move(evaluated));
       AttachLegacyResult(&base);

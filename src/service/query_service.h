@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <future>
@@ -220,6 +221,27 @@ class QueryService {
   /// \deprecated Legacy overload; converts to core::Request::MethodEval.
   algebra::PlanFingerprint Fingerprint(const QueryRequest& request) const;
 
+  /// Scan-byte accounting aggregated from every completed evaluation
+  /// (the EvalStats storage counters of all four request kinds):
+  /// columnar vs row selection counts and encoded vs logical bytes
+  /// read. Monotonic over the service lifetime.
+  struct StorageScanStats {
+    uint64_t bytes_scanned = 0;
+    uint64_t logical_bytes_scanned = 0;
+    uint64_t columnar_scans = 0;
+    uint64_t row_scans = 0;
+  };
+
+  StorageScanStats storage_scan_stats() const {
+    StorageScanStats out;
+    out.bytes_scanned = bytes_scanned_.load(std::memory_order_relaxed);
+    out.logical_bytes_scanned =
+        logical_bytes_scanned_.load(std::memory_order_relaxed);
+    out.columnar_scans = columnar_scans_.load(std::memory_order_relaxed);
+    out.row_scans = row_scans_.load(std::memory_order_relaxed);
+    return out;
+  }
+
   CacheStats cache_stats() const { return cache_.stats(); }
   void ClearCache() { cache_.Clear(); }
 
@@ -289,6 +311,13 @@ class QueryService {
   /// enable_metrics is off. Declared before pool_ so in-flight
   /// evaluations can still report while the pool drains in ~pool_.
   std::unique_ptr<ServiceMetrics> metrics_;
+  /// Storage scan accounting, accumulated lock-free by RunWork from
+  /// each evaluation's EvalStats (read by storage_scan_stats and the
+  /// urm_storage_* metric bridges).
+  std::atomic<uint64_t> bytes_scanned_{0};
+  std::atomic<uint64_t> logical_bytes_scanned_{0};
+  std::atomic<uint64_t> columnar_scans_{0};
+  std::atomic<uint64_t> row_scans_{0};
   mutable std::mutex mu_;  ///< guards in_flight_ + Work::subscribers
   std::unordered_map<algebra::PlanFingerprint, std::shared_ptr<Work>,
                      algebra::PlanFingerprintHash>

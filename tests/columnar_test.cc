@@ -1,0 +1,683 @@
+/// \file columnar_test.cc
+/// The compressed columnar storage layer (src/columnar/) and its wiring
+/// through Relation / Catalog / the selection hot path.
+///
+/// Three contracts under test:
+///  * **codec identity** — Decode(Encode(v)) == v with exact cell
+///    types, for automatic codec selection and for every forced codec,
+///    over randomized columns of each shape (round-trip property
+///    tests), plus the codec-boundary edges (empty column, single run,
+///    dictionary overflow falling back to PLAIN);
+///  * **comparison identity** — columnar::CompareCells and every
+///    Column::EvalPredicate reproduce algebra::CompareValues
+///    bit-for-bit, so the codec-aware selection path returns exactly
+///    the rows the row-at-a-time filter would;
+///  * **engine identity** — all four request kinds return bit-identical
+///    results (rows, probabilities, bounds) on a columnar-encoded
+///    catalog vs a pure row-backend catalog, at S ∈ {1, 4} mapping
+///    shards.
+///
+/// The concurrent lazy-materialization cases run under TSan in CI
+/// alongside the service suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "columnar/column.h"
+#include "columnar/columnar_relation.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "relational/catalog.h"
+#include "relational/csv.h"
+#include "relational/relation.h"
+#include "tests/paper_fixture.h"
+
+namespace urm {
+namespace columnar {
+namespace {
+
+using algebra::CmpOp;
+using algebra::MakeProject;
+using algebra::MakeScan;
+using algebra::MakeSelect;
+using algebra::PlanPtr;
+using algebra::Predicate;
+using reformulation::AnswerSet;
+using relational::ColumnDef;
+using relational::Relation;
+using relational::RelationSchema;
+using relational::Row;
+using relational::RowsEqual;
+using relational::ValueType;
+
+/// The (algebra op, columnar op) pairs — the mirror the evaluator's
+/// ToColumnarCmp mapping relies on.
+struct OpPair {
+  CmpOp algebra_op;
+  Cmp columnar_op;
+};
+constexpr OpPair kOps[] = {
+    {CmpOp::kEq, Cmp::kEq}, {CmpOp::kNe, Cmp::kNe},
+    {CmpOp::kLt, Cmp::kLt}, {CmpOp::kLe, Cmp::kLe},
+    {CmpOp::kGt, Cmp::kGt}, {CmpOp::kGe, Cmp::kGe},
+};
+
+/// Cells covering every type pair and the numeric int/double overlap.
+std::vector<Value> ComparisonPool() {
+  return {Value::Null(),  Value(int64_t{0}),  Value(int64_t{-1}),
+          Value(int64_t{42}), Value(0.0),     Value(42.0),
+          Value(-3.5),    Value(std::string("")), Value("a"),
+          Value("zz"),    Value("42")};
+}
+
+/// Exact (type-preserving) equality — stricter than Value::operator==,
+/// which treats 2 and 2.0 as equal.
+void ExpectExactCells(const std::vector<Value>& a,
+                      const std::vector<Value>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type(), b[i].type()) << "cell " << i;
+    EXPECT_TRUE(a[i] == b[i]) << "cell " << i << ": " << a[i].ToString()
+                              << " vs " << b[i].ToString();
+  }
+}
+
+/// Round-trips `values` through a codec and checks Decode + ValueAt +
+/// byte accounting.
+void ExpectRoundTrip(const Column& column, const std::vector<Value>& values) {
+  ASSERT_EQ(column.size(), values.size());
+  std::vector<Value> decoded;
+  column.Decode(&decoded);
+  ExpectExactCells(values, decoded);
+  // Random access agrees with sequential decode (spot-check a spread of
+  // rows including block boundaries for DELTA).
+  for (size_t row = 0; row < values.size();
+       row += values.size() < 16 ? 1 : values.size() / 16 + 1) {
+    Value v = column.ValueAt(row);
+    EXPECT_EQ(v.type(), values[row].type()) << "row " << row;
+    EXPECT_TRUE(v == values[row]) << "row " << row;
+  }
+  size_t logical = 0;
+  for (const Value& v : values) logical += relational::ApproxValueBytes(v);
+  EXPECT_EQ(column.LogicalBytes(), logical);
+}
+
+/// Brute-force reference: the rows algebra::CompareValues keeps.
+SelectionVector RowFilter(const std::vector<Value>& values, CmpOp op,
+                          const Value& rhs) {
+  SelectionVector out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (algebra::CompareValues(values[i], op, rhs)) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+/// EvalPredicate == row filter for every op in `kOps` and every rhs in
+/// `rhs_pool`.
+void ExpectPredicateIdentity(const Column& column,
+                             const std::vector<Value>& values,
+                             const std::vector<Value>& rhs_pool) {
+  for (const OpPair& op : kOps) {
+    for (const Value& rhs : rhs_pool) {
+      SelectionVector got;
+      column.EvalPredicate(op.columnar_op, rhs, &got);
+      SelectionVector expected = RowFilter(values, op.algebra_op, rhs);
+      EXPECT_EQ(got, expected)
+          << CodecName(column.codec()) << " " << CmpName(op.columnar_op)
+          << " rhs=" << rhs.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison semantics.
+
+TEST(CompareCellsTest, MatchesAlgebraCompareValuesOnAllTypePairs) {
+  const auto pool = ComparisonPool();
+  for (const Value& lhs : pool) {
+    for (const Value& rhs : pool) {
+      for (const OpPair& op : kOps) {
+        EXPECT_EQ(CompareCells(lhs, op.columnar_op, rhs),
+                  algebra::CompareValues(lhs, op.algebra_op, rhs))
+            << lhs.ToString() << " " << CmpName(op.columnar_op) << " "
+            << rhs.ToString();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec round-trips and selection.
+
+TEST(CodecTest, AutoSelectionPicksTheShapedCodec) {
+  // Monotone null-free int64 -> DELTA.
+  std::vector<Value> seq;
+  for (int64_t i = 0; i < 1000; ++i) seq.push_back(Value(i * 3 + 7));
+  EXPECT_EQ(EncodeColumn(seq)->codec(), CodecKind::kDelta);
+
+  // Long runs of a low-cardinality flag -> RLE.
+  std::vector<Value> flags;
+  for (int i = 0; i < 1000; ++i) flags.push_back(Value(i / 100 % 2 ? "y" : "n"));
+  EXPECT_EQ(EncodeColumn(flags)->codec(), CodecKind::kRle);
+
+  // Bounded vocabulary, no runs -> DICTIONARY.
+  std::vector<Value> cities;
+  const char* names[] = {"tokyo", "paris", "lima", "oslo", "cairo"};
+  for (int i = 0; i < 1000; ++i) cities.push_back(Value(names[i % 5]));
+  EXPECT_EQ(EncodeColumn(cities)->codec(), CodecKind::kDictionary);
+
+  // Random doubles: no codec applies -> PLAIN.
+  Rng rng(1);
+  std::vector<Value> noise;
+  for (int i = 0; i < 1000; ++i) noise.push_back(Value(rng.NextDouble()));
+  EXPECT_EQ(EncodeColumn(noise)->codec(), CodecKind::kPlain);
+}
+
+TEST(CodecTest, RoundTripPropertyOverRandomShapedColumns) {
+  Rng rng(20260809);
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    const size_t n = static_cast<size_t>(rng.Uniform(1, 700));
+    // Four generators, one per codec shape; the codec under test is
+    // whatever EncodeColumn picks — round-trip must hold regardless.
+    std::vector<Value> values;
+    switch (iteration % 4) {
+      case 0: {  // near-monotone ints (delta shape)
+        int64_t v = rng.Uniform(-1000, 1000);
+        for (size_t i = 0; i < n; ++i) {
+          v += rng.Uniform(-2, 50);
+          values.push_back(Value(v));
+        }
+        break;
+      }
+      case 1: {  // runs of mixed-type cells (rle shape)
+        while (values.size() < n) {
+          Value run_value =
+              rng.Bernoulli(0.3)
+                  ? Value::Null()
+                  : (rng.Bernoulli(0.5) ? Value(rng.Uniform(0, 3))
+                                        : Value(rng.String(2)));
+          int64_t run = rng.Uniform(5, 40);
+          for (int64_t j = 0; j < run && values.size() < n; ++j) {
+            values.push_back(run_value);
+          }
+        }
+        break;
+      }
+      case 2: {  // bounded vocabulary with NULLs (dictionary shape)
+        std::vector<std::string> vocab;
+        for (int j = 0; j < 8; ++j) vocab.push_back(rng.String(5));
+        for (size_t i = 0; i < n; ++i) {
+          values.push_back(rng.Bernoulli(0.1) ? Value::Null()
+                                              : Value(rng.Choice(vocab)));
+        }
+        break;
+      }
+      default: {  // arbitrary mixed cells (plain shape)
+        for (size_t i = 0; i < n; ++i) {
+          switch (rng.Uniform(0, 3)) {
+            case 0: values.push_back(Value::Null()); break;
+            case 1: values.push_back(Value(rng.Uniform(-50, 50))); break;
+            case 2: values.push_back(Value(rng.NextDouble())); break;
+            default: values.push_back(Value(rng.String(6))); break;
+          }
+        }
+        break;
+      }
+    }
+    auto column = EncodeColumn(values);
+    ASSERT_NE(column, nullptr);
+    ExpectRoundTrip(*column, values);
+    // Selection identity on a handful of rhs probes: two cells that
+    // occur, plus constants of each type and NULL.
+    std::vector<Value> rhs_pool = {values[0], values[values.size() / 2],
+                                   Value(int64_t{7}), Value(0.5),
+                                   Value("m"), Value::Null()};
+    ExpectPredicateIdentity(*column, values, rhs_pool);
+  }
+}
+
+TEST(CodecTest, ForcedCodecsRoundTripAndMatchRowFilter) {
+  std::vector<Value> ints;
+  for (int64_t i = 0; i < 300; ++i) ints.emplace_back(i * i - 40 * i);
+  std::vector<Value> tags;
+  for (int i = 0; i < 300; ++i) {
+    tags.push_back(i % 7 == 0 ? Value::Null() : Value(i % 3 ? "hot" : "cold"));
+  }
+  struct Case {
+    CodecKind codec;
+    const std::vector<Value>* values;
+  };
+  const Case cases[] = {{CodecKind::kPlain, &ints},
+                        {CodecKind::kPlain, &tags},
+                        {CodecKind::kDelta, &ints},
+                        {CodecKind::kRle, &tags},
+                        {CodecKind::kDictionary, &tags}};
+  for (const Case& c : cases) {
+    auto column = EncodeColumnAs(*c.values, c.codec);
+    ASSERT_TRUE(column.ok()) << CodecName(c.codec);
+    EXPECT_EQ(column.ValueOrDie()->codec(), c.codec);
+    ExpectRoundTrip(*column.ValueOrDie(), *c.values);
+    std::vector<Value> rhs_pool;
+    rhs_pool.push_back(Value("hot"));
+    rhs_pool.push_back(Value(int64_t{0}));
+    rhs_pool.push_back(Value(150.0));
+    rhs_pool.push_back(Value::Null());
+    ExpectPredicateIdentity(*column.ValueOrDie(), *c.values, rhs_pool);
+  }
+}
+
+TEST(CodecTest, EmptyColumnIsPlainAndInert) {
+  auto column = EncodeColumn({});
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(column->codec(), CodecKind::kPlain);
+  EXPECT_EQ(column->size(), 0u);
+  EXPECT_EQ(column->LogicalBytes(), 0u);
+  std::vector<Value> decoded;
+  column->Decode(&decoded);
+  EXPECT_TRUE(decoded.empty());
+  SelectionVector sel;
+  column->EvalPredicate(Cmp::kNe, Value(int64_t{1}), &sel);
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST(CodecTest, SingleRunColumnCompressesToOneRun) {
+  std::vector<Value> values(5000, Value("constant"));
+  auto column = EncodeColumn(values);
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(column->codec(), CodecKind::kRle);
+  EXPECT_LT(column->EncodedBytes(), column->LogicalBytes());
+  ExpectRoundTrip(*column, values);
+  ExpectPredicateIdentity(*column, values,
+                          {Value("constant"), Value("other"), Value(1.0)});
+}
+
+TEST(CodecTest, RleRunsPreserveExactTypesAcrossNumericEquality) {
+  // 2 and 2.0 are Value::== equal but must not merge into one run, or
+  // decode would change cell types.
+  std::vector<Value> values = {Value(int64_t{2}), Value(int64_t{2}),
+                               Value(2.0),        Value(2.0),
+                               Value(int64_t{2})};
+  auto column = EncodeColumnAs(values, CodecKind::kRle);
+  ASSERT_TRUE(column.ok());
+  ExpectRoundTrip(*column.ValueOrDie(), values);
+}
+
+TEST(CodecTest, DictionaryOverflowFallsBackToPlain) {
+  std::vector<Value> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(Value("city_" + std::to_string(i / 2)));
+  }
+  EncodingOptions small;
+  small.dictionary_max_entries = 16;
+  // Automatic selection degrades gracefully...
+  auto column = EncodeColumn(values, small);
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(column->codec(), CodecKind::kPlain);
+  ExpectRoundTrip(*column, values);
+  // ...while the forced encode reports the overflow.
+  auto forced = EncodeColumnAs(values, CodecKind::kDictionary, small);
+  EXPECT_FALSE(forced.ok());
+  // With room for the vocabulary, DICTIONARY applies.
+  auto fits = EncodeColumnAs(values, CodecKind::kDictionary);
+  ASSERT_TRUE(fits.ok());
+  EXPECT_EQ(fits.ValueOrDie()->codec(), CodecKind::kDictionary);
+  ExpectRoundTrip(*fits.ValueOrDie(), values);
+}
+
+TEST(CodecTest, ForcedCodecRejectsUnrepresentableData) {
+  // DELTA needs null-free int64.
+  EXPECT_FALSE(EncodeColumnAs({Value(int64_t{1}), Value::Null()},
+                              CodecKind::kDelta)
+                   .ok());
+  EXPECT_FALSE(
+      EncodeColumnAs({Value(int64_t{1}), Value(2.0)}, CodecKind::kDelta).ok());
+  // DICTIONARY needs strings/NULLs only.
+  EXPECT_FALSE(
+      EncodeColumnAs({Value("a"), Value(int64_t{3})}, CodecKind::kDictionary)
+          .ok());
+}
+
+TEST(CodecTest, CompressedShapesBeatRowFormatFootprint) {
+  std::vector<Value> seq, flags, cities;
+  const char* names[] = {"tokyo", "paris", "lima", "oslo"};
+  for (int i = 0; i < 4000; ++i) {
+    seq.push_back(Value(int64_t{1700000000} + i));
+    flags.push_back(Value(i / 500 % 2 ? "y" : "n"));
+    cities.push_back(Value(names[(i * 7) % 4]));
+  }
+  for (const auto* values : {&seq, &flags, &cities}) {
+    auto column = EncodeColumn(*values);
+    ASSERT_NE(column, nullptr);
+    EXPECT_NE(column->codec(), CodecKind::kPlain);
+    EXPECT_LT(column->EncodedBytes(), column->LogicalBytes())
+        << CodecName(column->codec());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Relation dual backing.
+
+RelationSchema TwoColumnSchema() {
+  return RelationSchema({{"t.id", ValueType::kInt64},
+                         {"t.tag", ValueType::kString}});
+}
+
+std::vector<Row> TwoColumnRows(size_t n) {
+  std::vector<Row> rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({Value(static_cast<int64_t>(i)),
+                    Value(i % 2 ? "odd" : "even")});
+  }
+  return rows;
+}
+
+TEST(RelationBackingTest, EncodesLazilyAndSharesAcrossCopiesAndRenames) {
+  Relation r(TwoColumnSchema(), TwoColumnRows(500));
+  EXPECT_EQ(r.ColumnarIfEncoded(), nullptr);
+  auto encoded = r.Columnar();
+  ASSERT_NE(encoded, nullptr);
+  EXPECT_EQ(encoded->num_rows(), 500u);
+  EXPECT_NE(r.ColumnarIfEncoded(), nullptr);
+  // A rename shares the backing, encoding included — the aliased-scan
+  // fast path.
+  auto renamed = r.WithSchema(RelationSchema(
+      {{"u.id", ValueType::kInt64}, {"u.tag", ValueType::kString}}));
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed.ValueOrDie().ColumnarIfEncoded(), r.ColumnarIfEncoded());
+}
+
+TEST(RelationBackingTest, AddRowInvalidatesCachedEncoding) {
+  Relation r(TwoColumnSchema(), TwoColumnRows(100));
+  ASSERT_NE(r.Columnar(), nullptr);
+  Relation copy = r;  // shares the encoded backing
+
+  ASSERT_TRUE(r.AddRow({Value(int64_t{100}), Value("even")}).ok());
+  // The writer's cached encoding is gone; re-encoding sees the new row.
+  EXPECT_EQ(r.ColumnarIfEncoded(), nullptr);
+  auto reencoded = r.Columnar();
+  ASSERT_NE(reencoded, nullptr);
+  EXPECT_EQ(reencoded->num_rows(), 101u);
+  EXPECT_TRUE(r.rows().back()[0] == Value(int64_t{100}));
+  // The copy kept the pre-write backing (copy-on-write).
+  ASSERT_NE(copy.ColumnarIfEncoded(), nullptr);
+  EXPECT_EQ(copy.num_rows(), 100u);
+}
+
+TEST(RelationBackingTest, ColumnarOnlyRelationMaterializesAndGathers) {
+  auto rows = TwoColumnRows(300);
+  auto encoded = ColumnarRelation::Encode(TwoColumnSchema(), rows);
+  ASSERT_NE(encoded, nullptr);
+  Relation r = Relation::FromColumnar(TwoColumnSchema(), encoded);
+  EXPECT_EQ(r.num_rows(), 300u);
+
+  // Gather straight off the encoding (rows not yet materialized).
+  SelectionVector sel = {0, 7, 150, 299};
+  Relation picked = r.Gather(sel);
+  ASSERT_EQ(picked.num_rows(), sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(picked.rows()[i], rows[sel[i]]));
+  }
+
+  // Full lazy materialization decodes the identical rows.
+  ASSERT_EQ(r.rows().size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(r.rows()[i], rows[i]));
+  }
+}
+
+TEST(RelationBackingTest, ConcurrentLazyMaterializeAndEncodeAreSafe) {
+  // TSan case: many readers race the one-shot lazy steps in both
+  // directions (columnar -> rows and rows -> columnar).
+  auto rows = TwoColumnRows(2000);
+  Relation from_columnar = Relation::FromColumnar(
+      TwoColumnSchema(), ColumnarRelation::Encode(TwoColumnSchema(), rows));
+  Relation from_rows(TwoColumnSchema(), rows);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(from_columnar.rows().size(), 2000u);
+        EXPECT_EQ(from_columnar.num_rows(), 2000u);
+        auto enc = from_rows.Columnar();
+        EXPECT_EQ(enc->num_rows(), 2000u);
+        EXPECT_GT(from_columnar.ApproxBytes(), 0u);
+        EXPECT_GT(from_rows.ApproxBytes(), 0u);
+        EXPECT_TRUE(
+            RowsEqual(from_columnar.rows()[(t * 251 + i) % 2000],
+                      rows[(t * 251 + i) % 2000]));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(from_columnar.rows().size(), from_rows.rows().size());
+}
+
+// ---------------------------------------------------------------------------
+// Catalog + CSV integration.
+
+TEST(CatalogStorageTest, AutoEncodeAndStorageStats) {
+  relational::Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register("t", std::make_shared<const Relation>(
+                                     TwoColumnSchema(), TwoColumnRows(400)))
+                  .ok());
+  auto rel = catalog.Get("t").ValueOrDie();
+  EXPECT_NE(rel->ColumnarIfEncoded(), nullptr);
+  auto storage = catalog.Storage();
+  EXPECT_EQ(storage.encoded_relations, 1u);
+  EXPECT_GT(storage.encoded_bytes, 0u);
+  EXPECT_GT(storage.logical_bytes, storage.encoded_bytes);
+  EXPECT_EQ(storage.columns_delta + storage.columns_rle +
+                storage.columns_dictionary + storage.columns_plain,
+            2u);
+
+  relational::Catalog rows_only;
+  rows_only.set_auto_encode(false);
+  rows_only.Put("t", std::make_shared<const Relation>(TwoColumnSchema(),
+                                                      TwoColumnRows(400)));
+  EXPECT_EQ(rows_only.Get("t").ValueOrDie()->ColumnarIfEncoded(), nullptr);
+  EXPECT_EQ(rows_only.Storage().encoded_relations, 0u);
+}
+
+TEST(CsvTest, LoadsColumnMajorWithEncodingStats) {
+  std::istringstream in(
+      "id,city\n"
+      "1,tokyo\n"
+      "2,tokyo\n"
+      "3,oslo\n"
+      "4,oslo\n");
+  RelationSchema schema(
+      {{"t.id", ValueType::kInt64}, {"t.city", ValueType::kString}});
+  relational::CsvLoadStats stats;
+  auto loaded = relational::ReadCsv(in, schema, {}, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Relation& r = loaded.ValueOrDie();
+  // The loader builds the columnar form directly — encoded before any
+  // row access.
+  ASSERT_NE(r.ColumnarIfEncoded(), nullptr);
+  EXPECT_EQ(stats.rows, 4u);
+  ASSERT_EQ(stats.columns.size(), 2u);
+  EXPECT_EQ(stats.columns[0].name, "t.id");
+  EXPECT_GT(stats.encoded_bytes, 0u);
+  EXPECT_EQ(stats.logical_bytes, r.ApproxBytes());
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_TRUE(RowsEqual(r.rows()[2], {Value(int64_t{3}), Value("oslo")}));
+}
+
+// ---------------------------------------------------------------------------
+// Engine bit-identity: columnar vs row backend.
+
+/// π_phone σ_addr=c Person over the paper fixture's target schema.
+PlanPtr PhoneByAddr(const std::string& c) {
+  return MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.addr", CmpOp::kEq, c)),
+      {"person.phone"});
+}
+
+/// π_addr σ_phone='123' Person (the paper's q0).
+PlanPtr AddrByPhone() {
+  return MakeProject(
+      MakeSelect(MakeScan("Person", "person"),
+                 Predicate::AttrCmpValue("person.phone", CmpOp::kEq, "123")),
+      {"person.addr"});
+}
+
+/// Exact (bitwise) AnswerSet equality: same tuples in the same sorted
+/// order with == probabilities — no epsilon.
+void ExpectBitIdentical(const AnswerSet& a, const AnswerSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.null_probability(), b.null_probability());
+  auto sa = a.Sorted();
+  auto sb = b.Sorted();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(sa[i].values, sb[i].values)) << "row " << i;
+    EXPECT_EQ(sa[i].probability, sb[i].probability) << "row " << i;
+  }
+}
+
+class ColumnarBitIdentityTest : public ::testing::Test {
+ protected:
+  ColumnarBitIdentityTest() : ex_(urm::testing::MakePaperExample()) {}
+
+  /// 8 mappings at exactly-representable probability 2^-3 so shard
+  /// renormalization is exact and sharded == unsharded bitwise (the
+  /// sharded_mapping_test determinism contract); here the dyadic masses
+  /// make the columnar-vs-row comparison exact at every shard count.
+  std::vector<mapping::Mapping> DyadicMappings() const {
+    std::vector<mapping::Mapping> out;
+    for (size_t i = 0; i < 8; ++i) {
+      mapping::Mapping m = ex_.mappings[i % ex_.mappings.size()];
+      m.set_probability(0.125);
+      m.set_score(0.125);
+      out.push_back(std::move(m));
+    }
+    return out;
+  }
+
+  /// The fixture catalog as-is: Register auto-encoded every relation,
+  /// so selections take the codec-aware path.
+  std::unique_ptr<core::Engine> ColumnarEngine() const {
+    return MakeEngine(ex_.catalog);
+  }
+
+  /// Control arm: the same instance rebuilt row-only (fresh Relation
+  /// from materialized rows — sharing the fixture's RelationPtr would
+  /// share its encoding) in a catalog with auto-encode off.
+  std::unique_ptr<core::Engine> RowEngine() const {
+    relational::Catalog rows_only;
+    rows_only.set_auto_encode(false);
+    for (const auto& name : ex_.catalog.Names()) {
+      auto rel = ex_.catalog.Get(name).ValueOrDie();
+      rows_only.Put(name, std::make_shared<const Relation>(rel->schema(),
+                                                           rel->rows()));
+      EXPECT_EQ(
+          rows_only.Get(name).ValueOrDie()->ColumnarIfEncoded(), nullptr);
+    }
+    return MakeEngine(std::move(rows_only));
+  }
+
+  std::unique_ptr<core::Engine> MakeEngine(relational::Catalog catalog) const {
+    core::Engine::Options options;
+    options.strategy = osharing::StrategyKind::kSEF;
+    return core::Engine::FromParts(std::move(catalog), ex_.source_schema,
+                                   ex_.target_schema, DyadicMappings(),
+                                   options);
+  }
+
+  urm::testing::PaperExample ex_;
+};
+
+TEST_F(ColumnarBitIdentityTest, FourKindsBitIdenticalAtOneAndFourShards) {
+  auto columnar_engine = ColumnarEngine();
+  auto row_engine = RowEngine();
+  ThreadPool pool(3);
+
+  std::vector<core::Request> requests;
+  for (core::Method method :
+       {core::Method::kBasic, core::Method::kEBasic, core::Method::kEMqo,
+        core::Method::kQSharing, core::Method::kOSharing}) {
+    requests.push_back(core::Request::MethodEval(PhoneByAddr("aaa"), method));
+  }
+  requests.push_back(core::Request::TopK(PhoneByAddr("aaa"), 10));
+  requests.push_back(core::Request::SetOp(PhoneByAddr("aaa"), AddrByPhone(),
+                                          core::SetOpKind::kUnion));
+  requests.push_back(
+      core::Request::Threshold(PhoneByAddr("aaa"), std::ldexp(1.0, -40)));
+
+  for (const core::Request& request : requests) {
+    for (int shards : {1, 4}) {
+      core::Engine::EvalOptions eval;
+      eval.mapping_shards = shards;
+      eval.pool = &pool;
+      auto by_column = columnar_engine->Run(request, eval);
+      auto by_row = row_engine->Run(request, eval);
+      ASSERT_TRUE(by_column.ok()) << by_column.status().ToString();
+      ASSERT_TRUE(by_row.ok()) << by_row.status().ToString();
+      const auto& rc = by_column.ValueOrDie();
+      const auto& rr = by_row.ValueOrDie();
+      switch (request.kind) {
+        case core::RequestKind::kTopK: {
+          const auto& a = rc.top_k.tuples;
+          const auto& b = rr.top_k.tuples;
+          ASSERT_EQ(a.size(), b.size());
+          for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_TRUE(RowsEqual(a[i].values, b[i].values)) << "row " << i;
+            EXPECT_EQ(a[i].lower_bound, b[i].lower_bound) << "row " << i;
+            EXPECT_EQ(a[i].upper_bound, b[i].upper_bound) << "row " << i;
+          }
+          break;
+        }
+        case core::RequestKind::kThreshold: {
+          const auto& a = rc.threshold.tuples;
+          const auto& b = rr.threshold.tuples;
+          ASSERT_EQ(a.size(), b.size());
+          for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_TRUE(RowsEqual(a[i].values, b[i].values)) << "row " << i;
+            EXPECT_EQ(a[i].lower_bound, b[i].lower_bound) << "row " << i;
+            EXPECT_EQ(a[i].upper_bound, b[i].upper_bound) << "row " << i;
+          }
+          break;
+        }
+        default:
+          ExpectBitIdentical(rc.evaluate.answers, rr.evaluate.answers);
+          break;
+      }
+    }
+  }
+}
+
+TEST_F(ColumnarBitIdentityTest, ScanStatsReportTheBackingActuallyUsed) {
+  auto columnar_engine = ColumnarEngine();
+  auto row_engine = RowEngine();
+  auto request =
+      core::Request::MethodEval(PhoneByAddr("aaa"), core::Method::kBasic);
+
+  auto by_column = columnar_engine->Run(request);
+  ASSERT_TRUE(by_column.ok());
+  const auto& cs = by_column.ValueOrDie().evaluate.stats;
+  EXPECT_GT(cs.columnar_scans, 0u);
+  EXPECT_GT(cs.bytes_scanned, 0u);
+  EXPECT_GT(cs.logical_bytes_scanned, 0u);
+
+  auto by_row = row_engine->Run(request);
+  ASSERT_TRUE(by_row.ok());
+  const auto& rs = by_row.ValueOrDie().evaluate.stats;
+  EXPECT_EQ(rs.columnar_scans, 0u);
+  EXPECT_GT(rs.row_scans, 0u);
+  // On the row path encoded == logical: every touched cell is read at
+  // its row-format footprint.
+  EXPECT_EQ(rs.bytes_scanned, rs.logical_bytes_scanned);
+}
+
+}  // namespace
+}  // namespace columnar
+}  // namespace urm

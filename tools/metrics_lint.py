@@ -20,8 +20,14 @@ every request kind (evaluate, top-k, set-op, threshold) — the CI smoke
 run drives one request of each kind and then checks the dump covers
 them.
 
+With --require-storage, additionally requires every urm_storage_*
+family of the columnar storage layer (docs/STORAGE.md) to expose at
+least one series — catalog encoding footprint, per-codec column
+counts, and the bytes-scanned / selection-scan counters.
+
 Usage:
   metrics_lint.py <exposition-file> [--require-request-kinds]
+                  [--require-storage]
   ... | metrics_lint.py -          # read stdin
 
 Exit code 0 = clean, 1 = at least one violation (each printed as
@@ -39,6 +45,15 @@ LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 REQUEST_KINDS = ("evaluate", "top-k", "set-op", "threshold")
 LATENCY_FAMILY = "urm_request_latency_seconds"
+STORAGE_FAMILIES = (
+    "urm_storage_encoded_bytes",
+    "urm_storage_logical_bytes",
+    "urm_storage_encoded_relations",
+    "urm_storage_columns",
+    "urm_storage_bytes_scanned_total",
+    "urm_storage_logical_bytes_scanned_total",
+    "urm_storage_selection_scans_total",
+)
 
 
 def parse_value(text):
@@ -79,11 +94,12 @@ def base_family(name, families):
     return name
 
 
-def lint(lines, require_request_kinds=False):
+def lint(lines, require_request_kinds=False, require_storage=False):
     errors = []
     families = {}  # name -> type
     helped = set()
     seen_series = set()
+    sampled_families = set()  # families with at least one series
     # histogram family -> label-set-key -> list of (le, cumulative)
     hist_buckets = {}
     hist_sum = {}
@@ -151,6 +167,7 @@ def lint(lines, require_request_kinds=False):
                           "TYPE header")
             continue
         mtype = families[family]
+        sampled_families.add(family)
         series_key = (name, tuple(sorted(labels.items())))
         if series_key in seen_series:
             errors.append(f"line {lineno}: duplicate series '{line}'")
@@ -218,13 +235,19 @@ def lint(lines, require_request_kinds=False):
             errors.append(f"{LATENCY_FAMILY} is missing request "
                           f"kind(s): {', '.join(missing)}")
 
+    if require_storage:
+        missing = [f for f in STORAGE_FAMILIES if f not in sampled_families]
+        if missing:
+            errors.append("storage families missing from the scrape: "
+                          f"{', '.join(missing)}")
+
     return errors
 
 
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     flags = set(argv[1:]) - set(args)
-    unknown = flags - {"--require-request-kinds"}
+    unknown = flags - {"--require-request-kinds", "--require-storage"}
     if unknown or len(args) != 1:
         print(__doc__)
         return 2
@@ -233,7 +256,8 @@ def main(argv):
     else:
         with open(args[0], encoding="utf-8") as f:
             lines = f.readlines()
-    errors = lint(lines, "--require-request-kinds" in flags)
+    errors = lint(lines, "--require-request-kinds" in flags,
+                  "--require-storage" in flags)
     for error in errors:
         print(error)
     print(f"metrics-lint: {len(lines)} lines checked, "
