@@ -51,11 +51,15 @@ bool CompareCells(const Value& lhs, Cmp op, const Value& rhs) {
     case Cmp::kLt:
       return lhs < rhs;
     case Cmp::kLe:
-      return !(rhs < lhs);
+      // Spelled exactly as algebra::CompareValues — NOT !(rhs < lhs):
+      // Value's numeric order is IEEE (not total), so for a NaN
+      // operand the negated form would return true where the row path
+      // returns false.
+      return lhs < rhs || lhs == rhs;
     case Cmp::kGt:
       return rhs < lhs;
     case Cmp::kGe:
-      return !(lhs < rhs);
+      return rhs < lhs || lhs == rhs;
   }
   return false;
 }

@@ -4,21 +4,26 @@ namespace urm {
 namespace relational {
 
 Status Catalog::Register(const std::string& name, RelationPtr relation) {
+  // Encode outside the lock: Columnar() is the expensive part and is
+  // itself thread-safe.
+  if (auto_encode_ && relation != nullptr) relation->Columnar();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (relations_.count(name) > 0) {
     return Status::AlreadyExists("relation already registered: " + name);
   }
-  if (auto_encode_ && relation != nullptr) relation->Columnar();
   relations_.emplace(name, std::move(relation));
   return Status::OK();
 }
 
 void Catalog::Put(const std::string& name, RelationPtr relation) {
   if (auto_encode_ && relation != nullptr) relation->Columnar();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   relations_[name] = std::move(relation);
 }
 
 Catalog::StorageStats Catalog::Storage() const {
   StorageStats stats;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [name, rel] : relations_) {
     const columnar::ColumnarRelation* enc = rel->ColumnarIfEncoded();
     if (enc == nullptr) continue;
@@ -35,6 +40,7 @@ Catalog::StorageStats Catalog::Storage() const {
 }
 
 Result<RelationPtr> Catalog::Get(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound("relation not found: " + name);
@@ -43,6 +49,7 @@ Result<RelationPtr> Catalog::Get(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) {
@@ -52,6 +59,7 @@ std::vector<std::string> Catalog::Names() const {
 }
 
 size_t Catalog::ApproxBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t bytes = 0;
   for (const auto& [name, rel] : relations_) {
     bytes += rel->ApproxBytes();
@@ -60,6 +68,7 @@ size_t Catalog::ApproxBytes() const {
 }
 
 size_t Catalog::TotalRows() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t rows = 0;
   for (const auto& [name, rel] : relations_) {
     rows += rel->num_rows();

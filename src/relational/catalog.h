@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,8 +20,47 @@ namespace relational {
 /// Relation names are the *source relation* names ("customer", "orders",
 /// ...). Instanced/aliased access (e.g. two copies for a self-join) is
 /// handled above this layer by renaming columns, not here.
+///
+/// Thread safety: the name->relation map is guarded by a shared mutex,
+/// so runtime Register/Put are safe against concurrent readers
+/// (Get/Storage/stats run from request, metric-scrape, and /v1/stats
+/// threads). Relation contents themselves follow Relation's own
+/// copy-on-write / lazy-encoding rules.
 class Catalog {
  public:
+  Catalog() = default;
+
+  // Copyable (shallow: the map holds shared_ptrs to immutable
+  // relations) and movable — the mutex stays put; only the contents
+  // transfer. Copies/moves happen at engine assembly time, but lock
+  // the source anyway so the guarantees hold everywhere.
+  Catalog(const Catalog& other) {
+    std::shared_lock<std::shared_mutex> lock(other.mu_);
+    relations_ = other.relations_;
+    auto_encode_ = other.auto_encode_;
+  }
+  Catalog& operator=(const Catalog& other) {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      relations_ = other.relations_;
+      auto_encode_ = other.auto_encode_;
+    }
+    return *this;
+  }
+  Catalog(Catalog&& other) noexcept {
+    std::unique_lock<std::shared_mutex> lock(other.mu_);
+    relations_ = std::move(other.relations_);
+    auto_encode_ = other.auto_encode_;
+  }
+  Catalog& operator=(Catalog&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      relations_ = std::move(other.relations_);
+      auto_encode_ = other.auto_encode_;
+    }
+    return *this;
+  }
+
   /// Aggregate compressed-storage footprint of the catalog (see
   /// docs/STORAGE.md). Only relations with a live encoding contribute;
   /// `columns_*` count encoded columns per codec.
@@ -54,6 +94,7 @@ class Catalog {
   Result<RelationPtr> Get(const std::string& name) const;
 
   bool Contains(const std::string& name) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return relations_.count(name) > 0;
   }
 
@@ -67,6 +108,7 @@ class Catalog {
   size_t TotalRows() const;
 
  private:
+  mutable std::shared_mutex mu_;  ///< guards relations_
   std::map<std::string, RelationPtr> relations_;
   bool auto_encode_ = true;
 };

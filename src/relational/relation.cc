@@ -44,8 +44,9 @@ std::shared_ptr<Relation::Backing> Relation::Backing::FromRows(
 std::shared_ptr<Relation::Backing> Relation::Backing::FromColumnar(
     columnar::ColumnarRelationPtr c) {
   auto backing = std::make_shared<Backing>();
-  backing->columnar_view.store(c.get(), std::memory_order_release);
   backing->columnar = std::move(c);
+  backing->columnar_view.store(backing->columnar.get(),
+                               std::memory_order_release);
   return backing;
 }
 
@@ -82,10 +83,12 @@ columnar::ColumnarRelationPtr Relation::Columnar() const {
   Backing& b = *backing_;
   std::lock_guard<std::mutex> lock(b.mu);
   if (b.columnar == nullptr) {
-    columnar::ColumnarRelationPtr encoded =
-        columnar::ColumnarRelation::Encode(schema_, r);
-    b.columnar_view.store(encoded.get(), std::memory_order_release);
-    b.columnar = std::move(encoded);
+    // Assign the shared_ptr BEFORE publishing the view: the unlocked
+    // fast path above acquire-loads the view and then copies
+    // b.columnar without the mutex, so the copy must happen-after the
+    // assignment (mirrors MaterializeRowsSlow).
+    b.columnar = columnar::ColumnarRelation::Encode(schema_, r);
+    b.columnar_view.store(b.columnar.get(), std::memory_order_release);
   }
   return b.columnar;
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -131,6 +132,37 @@ void AddStatBridge(ServiceMetrics* metrics, const std::string& name,
         out->push_back(std::move(sample));
       }));
 }
+
+/// One catalog walk shared by every urm_storage_* bridge. Collect
+/// invokes each metric family's callback separately, so without this
+/// a single scrape would walk all catalog relations (with four
+/// per-column CodecCount passes each) seven times over. The walk is
+/// cached for a short beat: the bridges of one scrape read the same
+/// snapshot, and a later scrape past the TTL recomputes it.
+class StorageStatsCache {
+ public:
+  explicit StorageStatsCache(const core::Engine* engine) : engine_(engine) {}
+
+  relational::Catalog::StorageStats Get() {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!valid_ || now - computed_at_ > kTtl) {
+      stats_ = engine_->catalog().Storage();
+      computed_at_ = now;
+      valid_ = true;
+    }
+    return stats_;
+  }
+
+ private:
+  static constexpr std::chrono::milliseconds kTtl{250};
+
+  const core::Engine* engine_;
+  std::mutex mu_;
+  bool valid_ = false;
+  std::chrono::steady_clock::time_point computed_at_{};
+  relational::Catalog::StorageStats stats_;
+};
 
 }  // namespace
 
@@ -358,26 +390,24 @@ void QueryService::InitMetrics() {
     out.emplace_back(key, value);
     return out;
   };
-  const core::Engine* engine = engine_;
+  auto storage = std::make_shared<StorageStatsCache>(engine_);
   AddStatBridge(&m, "urm_storage_encoded_bytes",
                 "Compressed (encoded) bytes of all columnar-encoded "
                 "catalog relations.",
-                obs::MetricType::kGauge, base, [engine] {
-                  return static_cast<double>(
-                      engine->catalog().Storage().encoded_bytes);
+                obs::MetricType::kGauge, base, [storage] {
+                  return static_cast<double>(storage->Get().encoded_bytes);
                 });
   AddStatBridge(&m, "urm_storage_logical_bytes",
                 "Row-format bytes the same encoded relations would "
                 "occupy (encoded/logical = compression ratio).",
-                obs::MetricType::kGauge, base, [engine] {
-                  return static_cast<double>(
-                      engine->catalog().Storage().logical_bytes);
+                obs::MetricType::kGauge, base, [storage] {
+                  return static_cast<double>(storage->Get().logical_bytes);
                 });
   AddStatBridge(&m, "urm_storage_encoded_relations",
                 "Catalog relations holding a live columnar encoding.",
-                obs::MetricType::kGauge, base, [engine] {
+                obs::MetricType::kGauge, base, [storage] {
                   return static_cast<double>(
-                      engine->catalog().Storage().encoded_relations);
+                      storage->Get().encoded_relations);
                 });
   struct CodecGauge {
     const char* label;
@@ -393,9 +423,8 @@ void QueryService::InitMetrics() {
     AddStatBridge(&m, "urm_storage_columns",
                   "Encoded catalog columns, by codec.",
                   obs::MetricType::kGauge, with_label("codec", gauge.label),
-                  [engine, field = gauge.field] {
-                    return static_cast<double>(
-                        engine->catalog().Storage().*field);
+                  [storage, field = gauge.field] {
+                    return static_cast<double>(storage->Get().*field);
                   });
   }
   AddStatBridge(&m, "urm_storage_bytes_scanned_total",

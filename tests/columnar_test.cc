@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -68,12 +69,15 @@ constexpr OpPair kOps[] = {
     {CmpOp::kGt, Cmp::kGt}, {CmpOp::kGe, Cmp::kGe},
 };
 
-/// Cells covering every type pair and the numeric int/double overlap.
+/// Cells covering every type pair, the numeric int/double overlap, and
+/// NaN (the numeric order is IEEE, not total — NaN must fail <=/>= on
+/// both paths identically; 'nan' is reachable from CSV kDouble fields).
 std::vector<Value> ComparisonPool() {
   return {Value::Null(),  Value(int64_t{0}),  Value(int64_t{-1}),
           Value(int64_t{42}), Value(0.0),     Value(42.0),
           Value(-3.5),    Value(std::string("")), Value("a"),
-          Value("zz"),    Value("42")};
+          Value("zz"),    Value("42"),
+          Value(std::numeric_limits<double>::quiet_NaN())};
 }
 
 /// Exact (type-preserving) equality — stricter than Value::operator==,
@@ -151,6 +155,42 @@ TEST(CompareCellsTest, MatchesAlgebraCompareValuesOnAllTypePairs) {
             << rhs.ToString();
       }
     }
+  }
+}
+
+/// NaN predicate identity on every codec's EvalPredicate: NaN cells in
+/// PLAIN/RLE columns and a NaN constant against all four codecs must
+/// match the row path (where NaN fails every ordered compare and ==,
+/// and passes !=).
+TEST(CompareCellsTest, NanMatchesRowPathOnEveryCodec) {
+  const Value nan(std::numeric_limits<double>::quiet_NaN());
+
+  std::vector<Value> doubles;  // PLAIN (near-unique, non-int)
+  for (int i = 0; i < 64; ++i) {
+    doubles.push_back(i % 7 == 0 ? nan : Value(i + 0.5));
+  }
+  std::vector<Value> runs;  // RLE: runs of NaN and ordinary doubles
+  for (int i = 0; i < 64; ++i) runs.push_back(i < 32 ? nan : Value(1.0));
+  std::vector<Value> ints;  // DELTA
+  for (int i = 0; i < 64; ++i) ints.push_back(Value(int64_t{i}));
+  std::vector<Value> strings;  // DICTIONARY
+  for (int i = 0; i < 64; ++i) strings.push_back(Value(i % 2 ? "a" : "b"));
+
+  struct Case {
+    CodecKind codec;
+    const std::vector<Value>* values;
+  };
+  const Case cases[] = {{CodecKind::kPlain, &doubles},
+                        {CodecKind::kRle, &runs},
+                        {CodecKind::kDelta, &ints},
+                        {CodecKind::kDictionary, &strings}};
+  const std::vector<Value> rhs_pool = {nan, Value(7.5), Value(int64_t{7}),
+                                       Value("a")};
+  for (const Case& c : cases) {
+    auto column = EncodeColumnAs(*c.values, c.codec);
+    ASSERT_TRUE(column.ok()) << CodecName(c.codec);
+    ASSERT_EQ(column.ValueOrDie()->codec(), c.codec);
+    ExpectPredicateIdentity(*column.ValueOrDie(), *c.values, rhs_pool);
   }
 }
 
