@@ -81,6 +81,7 @@
 
 #include "common/timer.h"
 #include "core/workload.h"
+#include "live/ingest.h"
 #include "net/api.h"
 #include "net/server.h"
 #include "obs/log.h"
@@ -250,6 +251,10 @@ class ServiceDirectory : public net::api::ServiceHub {
         {"schema", datagen::TargetSchemaName(schema)}};
     entry.service = std::make_unique<service::QueryService>(
         entry.engine.get(), service_options);
+    live::IngestOptions ingest_options;
+    ingest_options.metric_labels = service_options.metric_labels;
+    entry.ingest = std::make_unique<live::IngestController>(
+        entry.engine.get(), entry.service.get(), ingest_options);
     auto* result = entry.service.get();
     services_.emplace(schema, std::move(entry));
     return result;
@@ -260,6 +265,15 @@ class ServiceDirectory : public net::api::ServiceHub {
                                service::QueryService*)>& fn) override {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [schema, entry] : services_) fn(schema, entry.service.get());
+  }
+
+  live::IngestController* IngestFor(datagen::TargetSchemaId schema) override {
+    // Instantiate the whole stack on first use, exactly like ForSchema
+    // (an ingest against a cold schema builds its engine + service).
+    if (ForSchema(schema) == nullptr) return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = services_.find(schema);
+    return it != services_.end() ? it->second.ingest.get() : nullptr;
   }
 
   void PrintStats() const {
@@ -321,6 +335,9 @@ class ServiceDirectory : public net::api::ServiceHub {
   struct Entry {
     std::unique_ptr<core::Engine> engine;
     std::unique_ptr<service::QueryService> service;
+    /// Live-update controller over the two above (delta ingest +
+    /// mapping hot-reconfiguration; serves POST /v1/ingest).
+    std::unique_ptr<live::IngestController> ingest;
   };
   ServerArgs args_;
   mutable std::mutex mu_;

@@ -1,14 +1,25 @@
 #include "columnar/columnar_relation.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 
 namespace urm {
 namespace columnar {
 
+namespace {
+std::atomic<uint64_t> encode_calls{0};
+}  // namespace
+
+uint64_t ColumnarRelation::EncodeCallsForTest() {
+  return encode_calls.load(std::memory_order_relaxed);
+}
+
 ColumnarRelationPtr ColumnarRelation::Encode(
     const relational::RelationSchema& schema,
     const std::vector<relational::Row>& rows,
     const EncodingOptions& options) {
+  encode_calls.fetch_add(1, std::memory_order_relaxed);
   const size_t ncols = schema.num_columns();
   std::vector<std::vector<relational::Value>> columns(ncols);
   for (auto& col : columns) col.reserve(rows.size());

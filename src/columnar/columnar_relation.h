@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,11 @@ class ColumnarRelation {
   static ColumnarRelationPtr Encode(const relational::RelationSchema& schema,
                                     const std::vector<relational::Row>& rows,
                                     const EncodingOptions& options = {});
+
+  /// Process-wide count of Encode() calls (row-major re-encodes; the
+  /// column-major FromColumns path is not counted). Lets tests assert
+  /// bulk mutation re-encodes once per batch rather than once per row.
+  static uint64_t EncodeCallsForTest();
 
   /// Encodes column-major input directly — the no-row-materialization
   /// path the CSV loader uses. All columns must share one length, and

@@ -48,6 +48,11 @@ class Value {
   bool is_string() const { return type_ == Type::kString; }
   bool is_array() const { return type_ == Type::kArray; }
   bool is_object() const { return type_ == Type::kObject; }
+  /// Whether a number value holds an exactly-representable integer
+  /// (parsed from an integer literal, built with Int, or a whole
+  /// double within 2^53) — callers mapping JSON cells onto typed
+  /// relational values use this to pick Int64 over Double.
+  bool is_integral() const { return type_ == Type::kNumber && integral_; }
 
   /// Typed accessors; check-fail on type mismatch.
   bool AsBool() const;

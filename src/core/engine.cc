@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 
+#include "common/hash_util.h"
 #include "common/timer.h"
 #include "mapping/sharded.h"
 #include "obs/log.h"
@@ -64,8 +66,7 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
       mapping::GenerateMappings(engine->correspondences_, gen);
   if (!mappings.ok()) return mappings.status();
   engine->all_mappings_ = std::move(mappings).ValueOrDie();
-  engine->mappings_ = engine->all_mappings_;
-  engine->RefreshMappingSetHash();
+  engine->PublishMappings(engine->all_mappings_, /*advance_epoch=*/false);
   return engine;
 }
 
@@ -78,25 +79,90 @@ std::unique_ptr<Engine> Engine::FromParts(
   engine->source_schema_ = std::move(source_schema);
   engine->target_schema_ = std::move(target_schema);
   engine->all_mappings_ = std::move(mappings);
-  engine->mappings_ = engine->all_mappings_;
   engine->options_ = options;
-  engine->RefreshMappingSetHash();
+  engine->PublishMappings(engine->all_mappings_, /*advance_epoch=*/false);
   return engine;
 }
 
-void Engine::UseTopMappings(size_t h) {
-  mappings_ = mapping::TakeTopMappings(all_mappings_, h);
-  mapping_epoch_++;
-  RefreshMappingSetHash();
+std::shared_ptr<const Engine::MappingState> Engine::CurrentMappingState()
+    const {
+  std::lock_guard<std::mutex> lock(mapping_mu_);
+  return mapping_state_;
 }
 
-void Engine::RefreshMappingSetHash() {
-  mapping_set_hash_ = mapping::MappingSetHash(mappings_);
+void Engine::PublishMappings(std::vector<mapping::Mapping> mappings,
+                             bool advance_epoch) {
+  auto state = std::make_shared<MappingState>();
+  state->mappings = std::move(mappings);
+  state->hash = mapping::MappingSetHash(state->mappings);
+  std::lock_guard<std::mutex> lock(mapping_mu_);
+  state->epoch = advance_epoch && mapping_state_ != nullptr
+                     ? mapping_state_->epoch + 1
+                     : 0;
+  mapping_epoch_.store(state->epoch, std::memory_order_release);
+  mapping_set_hash_.store(state->hash, std::memory_order_release);
+  mapping_state_ = std::move(state);
+}
+
+void Engine::UseTopMappings(size_t h) {
+  PublishMappings(mapping::TakeTopMappings(all_mappings_, h),
+                  /*advance_epoch=*/true);
+}
+
+Status Engine::SetActiveMappings(std::vector<mapping::Mapping> mappings) {
+  if (mappings.empty()) {
+    return Status::InvalidArgument("mapping set must not be empty");
+  }
+  double total = 0.0;
+  for (const mapping::Mapping& m : mappings) total += m.probability();
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument(
+        "mapping set has non-positive total probability");
+  }
+  for (mapping::Mapping& m : mappings) {
+    m.set_probability(m.probability() / total);
+  }
+  PublishMappings(std::move(mappings), /*advance_epoch=*/true);
+  return Status::OK();
 }
 
 Result<reformulation::TargetQueryInfo> Engine::Analyze(
     const algebra::PlanPtr& query) const {
   return reformulation::AnalyzeTargetQuery(query, target_schema_);
+}
+
+std::vector<uint64_t> Engine::SourceFootprint(const Request& request) const {
+  const std::shared_ptr<const MappingState> state = CurrentMappingState();
+  std::set<uint64_t> tables;
+  // Union over the active mappings of the source tables backing every
+  // needed target attribute of every instance — a superset of what any
+  // reformulation of this request can scan. An analysis failure yields
+  // the empty set, which callers treat as depends-on-everything.
+  auto absorb = [&](const algebra::PlanPtr& plan) -> bool {
+    auto info = Analyze(plan);
+    if (!info.ok()) return false;
+    for (const reformulation::InstanceInfo& inst :
+         info.ValueOrDie().instances) {
+      for (const std::string& attr : inst.needed) {
+        const std::string target_attr = inst.table + "." + attr;
+        for (const mapping::Mapping& m : state->mappings) {
+          const std::optional<std::string> source = m.SourceFor(target_attr);
+          if (!source.has_value()) continue;
+          const size_t dot = source->find('.');
+          tables.insert(Fnv1a(dot == std::string::npos
+                                  ? *source
+                                  : source->substr(0, dot)));
+        }
+      }
+    }
+    return true;
+  };
+  if (request.query == nullptr || !absorb(request.query)) return {};
+  if (request.kind == RequestKind::kSetOp &&
+      (request.right == nullptr || !absorb(request.right))) {
+    return {};
+  }
+  return std::vector<uint64_t>(tables.begin(), tables.end());
 }
 
 Result<Response> Engine::Run(const Request& request) const {
@@ -115,6 +181,7 @@ Result<Response> Engine::Run(const Request& request,
 Result<baselines::MethodResult> Engine::EvaluateMethodOverMappings(
     const reformulation::TargetQueryInfo& info, const Request& request,
     const EvalOptions& eval, const std::vector<mapping::Mapping>& mappings,
+    const relational::Catalog& catalog, uint64_t store_epoch,
     uint64_t store_shard_epoch, osharing::LeafVisitor* tee) const {
   reformulation::Reformulator reformulator(source_schema_);
   baselines::ExecOptions exec;
@@ -123,15 +190,15 @@ Result<baselines::MethodResult> Engine::EvaluateMethodOverMappings(
   switch (request.method) {
     case Method::kBasic:
       return baselines::RunBasic(info, baselines::AsWeighted(mappings),
-                                 catalog_, reformulator, exec);
+                                 catalog, reformulator, exec);
     case Method::kEBasic:
       return baselines::RunEBasic(info, baselines::AsWeighted(mappings),
-                                  catalog_, reformulator, exec);
+                                  catalog, reformulator, exec);
     case Method::kEMqo:
       return baselines::RunEMqo(info, baselines::AsWeighted(mappings),
-                                catalog_, reformulator, exec);
+                                catalog, reformulator, exec);
     case Method::kQSharing:
-      return qsharing::RunQSharing(info, mappings, catalog_, reformulator,
+      return qsharing::RunQSharing(info, mappings, catalog, reformulator,
                                    exec);
     case Method::kOSharing: {
       osharing::OSharingOptions options;
@@ -141,9 +208,9 @@ Result<baselines::MethodResult> Engine::EvaluateMethodOverMappings(
       options.pool = eval.pool;
       options.tee = tee;
       options.store = eval.operator_store;
-      options.store_epoch = mapping_epoch_;
+      options.store_epoch = store_epoch;
       options.store_shard_epoch = store_shard_epoch;
-      return osharing::RunOSharing(info, mappings, catalog_, options);
+      return osharing::RunOSharing(info, mappings, catalog, options);
     }
   }
   return Status::Internal("unreachable");
@@ -152,12 +219,26 @@ Result<baselines::MethodResult> Engine::EvaluateMethodOverMappings(
 Result<Response> Engine::RunInternal(const Request& request,
                                      const EvalOptions& eval) const {
   URM_RETURN_NOT_OK(ValidateRequest(request));
+  // Pin the world once per dispatch: an immutable mapping-set snapshot
+  // and a point-in-time catalog copy (cheap — shared_ptrs to immutable
+  // relations). Everything below reads only these, so a concurrent
+  // ApplyDelta / reconfiguration cannot tear an evaluation: it
+  // completes entirely against the pinned state.
+  const std::shared_ptr<const MappingState> state = CurrentMappingState();
+  const relational::Catalog catalog = catalog_;
+  return RunPinned(request, eval, *state, catalog);
+}
+
+Result<Response> Engine::RunPinned(const Request& request,
+                                   const EvalOptions& eval,
+                                   const MappingState& state,
+                                   const relational::Catalog& catalog) const {
   // Sharded dispatch: streaming requests stay on the single-pass path
   // (a per-shard merge has no global leaf order to stream), and a set
   // that cannot be split (h < 2) falls through below.
   if (eval.mapping_shards > 1 && eval.sink == nullptr &&
-      mappings_.size() > 1) {
-    return RunSharded(request, eval);
+      state.mappings.size() > 1) {
+    return RunSharded(request, eval, state, catalog);
   }
   SinkLeafAdapter adapter(eval.sink);
   osharing::LeafVisitor* tee = eval.sink != nullptr ? &adapter : nullptr;
@@ -169,7 +250,8 @@ Result<Response> Engine::RunInternal(const Request& request,
       auto info = Analyze(request.query);
       if (!info.ok()) return info.status();
       auto result = EvaluateMethodOverMappings(info.ValueOrDie(), request,
-                                               eval, mappings_,
+                                               eval, state.mappings, catalog,
+                                               /*store_epoch=*/state.epoch,
                                                /*store_shard_epoch=*/0, tee);
       if (!result.ok()) return result.status();
       response.evaluate = std::move(result).ValueOrDie();
@@ -184,8 +266,8 @@ Result<Response> Engine::RunInternal(const Request& request,
       options.osharing.random_seed = options_.seed;
       options.osharing.tee = tee;
       options.osharing.store = eval.operator_store;
-      options.osharing.store_epoch = mapping_epoch_;
-      auto result = topk::RunTopK(info.ValueOrDie(), mappings_, catalog_,
+      options.osharing.store_epoch = state.epoch;
+      auto result = topk::RunTopK(info.ValueOrDie(), state.mappings, catalog,
                                   request.k, options);
       if (!result.ok()) return result.status();
       response.top_k = std::move(result).ValueOrDie();
@@ -200,8 +282,8 @@ Result<Response> Engine::RunInternal(const Request& request,
       reformulation::Reformulator reformulator(source_schema_);
       auto result = core::EvaluateSetOp(left_info.ValueOrDie(),
                                         right_info.ValueOrDie(),
-                                        request.set_op, mappings_, catalog_,
-                                        reformulator);
+                                        request.set_op, state.mappings,
+                                        catalog, reformulator);
       if (!result.ok()) return result.status();
       response.evaluate = std::move(result).ValueOrDie();
       return response;
@@ -215,9 +297,9 @@ Result<Response> Engine::RunInternal(const Request& request,
       options.random_seed = options_.seed;
       options.tee = tee;
       options.store = eval.operator_store;
-      options.store_epoch = mapping_epoch_;
-      auto result = topk::RunThreshold(info.ValueOrDie(), mappings_,
-                                       catalog_, request.threshold, options);
+      options.store_epoch = state.epoch;
+      auto result = topk::RunThreshold(info.ValueOrDie(), state.mappings,
+                                       catalog, request.threshold, options);
       if (!result.ok()) return result.status();
       response.threshold = std::move(result).ValueOrDie();
       return response;
@@ -247,28 +329,30 @@ constexpr double kShardMergeEps = 1e-12;  ///< mirrors the u-trace sinks
 }  // namespace
 
 std::shared_ptr<const mapping::ShardedMappingSet> Engine::ShardedView(
-    size_t num_shards) const {
+    const MappingState& state, size_t num_shards) const {
   std::lock_guard<std::mutex> lock(shard_memo_mu_);
-  if (shard_memo_ == nullptr || shard_memo_epoch_ != mapping_epoch_ ||
+  if (shard_memo_ == nullptr || shard_memo_epoch_ != state.epoch ||
       shard_memo_count_ != num_shards) {
     shard_memo_ = std::make_shared<const mapping::ShardedMappingSet>(
-        mapping::ShardedMappingSet::Build(mappings_, num_shards));
-    shard_memo_epoch_ = mapping_epoch_;
+        mapping::ShardedMappingSet::Build(state.mappings, num_shards));
+    shard_memo_epoch_ = state.epoch;
     shard_memo_count_ = num_shards;
   }
   return shard_memo_;
 }
 
 Result<Response> Engine::RunSharded(const Request& request,
-                                    const EvalOptions& eval) const {
+                                    const EvalOptions& eval,
+                                    const MappingState& state,
+                                    const relational::Catalog& catalog) const {
   Timer timer;
-  const std::shared_ptr<const mapping::ShardedMappingSet> view =
-      ShardedView(static_cast<size_t>(std::max(eval.mapping_shards, 1)));
+  const std::shared_ptr<const mapping::ShardedMappingSet> view = ShardedView(
+      state, static_cast<size_t>(std::max(eval.mapping_shards, 1)));
   const mapping::ShardedMappingSet& sharded = *view;
   if (sharded.num_shards() <= 1) {
     EvalOptions whole = eval;
     whole.mapping_shards = 1;
-    return RunInternal(request, whole);
+    return RunPinned(request, whole, state, catalog);
   }
 
   auto info = Analyze(request.query);
@@ -299,15 +383,15 @@ Result<Response> Engine::RunSharded(const Request& request,
     const mapping::MappingShard& shard = sharded.shard(s);
     switch (request.kind) {
       case RequestKind::kEvaluate:
-        parts[s] = EvaluateMethodOverMappings(info.ValueOrDie(), request,
-                                              shard_eval, shard.mappings,
-                                              shard.hash, nullptr);
+        parts[s] = EvaluateMethodOverMappings(
+            info.ValueOrDie(), request, shard_eval, shard.mappings, catalog,
+            /*store_epoch=*/state.epoch, shard.hash, nullptr);
         return;
       case RequestKind::kSetOp: {
         reformulation::Reformulator reformulator(source_schema_);
         parts[s] = core::EvaluateSetOp(info.ValueOrDie(), *right_info,
                                        request.set_op, shard.mappings,
-                                       catalog_, reformulator);
+                                       catalog, reformulator);
         return;
       }
       case RequestKind::kTopK:
@@ -325,10 +409,10 @@ Result<Response> Engine::RunSharded(const Request& request,
         options.parallelism = shard_eval.parallelism;
         options.pool = shard_eval.pool;
         options.store = shard_eval.operator_store;
-        options.store_epoch = mapping_epoch_;
+        options.store_epoch = state.epoch;
         options.store_shard_epoch = shard.hash;
         parts[s] = osharing::RunOSharing(info.ValueOrDie(), shard.mappings,
-                                         catalog_, options);
+                                         catalog, options);
         return;
       }
     }

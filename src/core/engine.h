@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,10 +58,13 @@ namespace core {
 ///
 /// Thread-safety: all const members (Run, Analyze, the legacy Evaluate*
 /// wrappers, the accessors) are safe to call concurrently — every
-/// evaluation builds its own mutable state and only reads the
-/// catalog/mapping set. UseTopMappings mutates the active mapping set
-/// and must not race with evaluations; the service layer treats it as
-/// a stop-the-world reconfiguration.
+/// evaluation pins an immutable snapshot of the active mapping set and
+/// of the catalog once at dispatch and never rereads either, so
+/// UseTopMappings / SetActiveMappings (mapping hot-reconfiguration)
+/// and ApplyDelta (row-level ingest) may run under traffic: in-flight
+/// evaluations complete against their pinned epoch, later dispatches
+/// see the new state. `mappings()` returns a reference into the
+/// current snapshot — do not hold it across a reconfiguration.
 class Engine {
  public:
   struct Options {
@@ -91,13 +95,15 @@ class Engine {
 
   /// Configuration accessors. Safe to call concurrently with
   /// evaluations; the references stay valid for the engine's lifetime,
-  /// but `mappings()` contents change under UseTopMappings (a
-  /// stop-the-world reconfiguration — do not hold the reference across
-  /// one).
+  /// but `mappings()` returns a view into the current mapping-set
+  /// snapshot, which a reconfiguration replaces — do not hold the
+  /// reference across one.
   const relational::Catalog& catalog() const { return catalog_; }
   const matching::SchemaDef& source_schema() const { return source_schema_; }
   const matching::SchemaDef& target_schema() const { return target_schema_; }
-  const std::vector<mapping::Mapping>& mappings() const { return mappings_; }
+  const std::vector<mapping::Mapping>& mappings() const {
+    return CurrentMappingState()->mappings;
+  }
   const std::vector<matching::Correspondence>& correspondences() const {
     return correspondences_;
   }
@@ -105,16 +111,50 @@ class Engine {
 
   /// Restricts the mapping set to the top h (renormalized); used by the
   /// |M| sweeps. Bumps the reconfiguration epoch and refreshes the
-  /// memoized mapping-set hash.
+  /// memoized mapping-set hash. Safe under traffic: in-flight
+  /// evaluations complete against their pinned snapshot.
   void UseTopMappings(size_t h);
+
+  /// Replaces the active mapping set wholesale (hot reconfiguration:
+  /// swap or reweight under traffic). Probabilities are renormalized
+  /// to sum to 1; fails on an empty set or non-positive total mass.
+  /// Bumps the reconfiguration epoch like UseTopMappings. The full
+  /// enumerated set (`all_mappings_`, the UseTopMappings source) is
+  /// left untouched.
+  Status SetActiveMappings(std::vector<mapping::Mapping> mappings);
+
+  /// Applies a row-level delta batch to the catalog (see
+  /// relational/delta.h). In-flight evaluations complete against their
+  /// pinned catalog snapshot; later dispatches see the new state. The
+  /// receipt carries what the serving tier needs to fence its caches.
+  Result<relational::ApplyResult> ApplyDelta(
+      const relational::DeltaBatch& batch) {
+    return catalog_.ApplyDelta(batch);
+  }
 
   /// Structural hash of the active mapping set, memoized per
   /// reconfiguration epoch — the serving tier folds it into every
   /// request fingerprint without rehashing h mappings per submission.
-  uint64_t mapping_set_hash() const { return mapping_set_hash_; }
+  uint64_t mapping_set_hash() const {
+    return mapping_set_hash_.load(std::memory_order_acquire);
+  }
 
-  /// Monotonic counter incremented by each UseTopMappings call.
-  uint64_t mapping_epoch() const { return mapping_epoch_; }
+  /// Monotonic counter incremented by each mapping reconfiguration
+  /// (UseTopMappings / SetActiveMappings).
+  uint64_t mapping_epoch() const {
+    return mapping_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The catalog's data epoch (bumped per applied delta batch).
+  uint64_t data_epoch() const { return catalog_.data_epoch(); }
+
+  /// The set of source relations `request` can read under the current
+  /// mapping set, as FNV-1a hashes of the relation names (sorted,
+  /// deduplicated) — the AnswerCache's delta-aware invalidation keys.
+  /// Returns an empty vector when the footprint cannot be determined
+  /// (analysis failure), which callers must treat as
+  /// "depends on every relation".
+  std::vector<uint64_t> SourceFootprint(const Request& request) const;
 
   /// Analyzes a target query against the target schema.
   Result<reformulation::TargetQueryInfo> Analyze(
@@ -206,16 +246,45 @@ class Engine {
 
   /// Average pairwise overlap of the current mapping set (Fig. 9).
   double MappingOverlapRatio() const {
-    return mapping::MappingSetOverlapRatio(mappings_);
+    return mapping::MappingSetOverlapRatio(CurrentMappingState()->mappings);
   }
 
  private:
   Engine() = default;
 
+  /// One immutable published generation of the active mapping set.
+  /// Evaluations pin the current state once at dispatch;
+  /// reconfigurations build a new state and swap the pointer, so
+  /// mappings / epoch / hash can never tear apart mid-evaluation.
+  struct MappingState {
+    std::vector<mapping::Mapping> mappings;
+    uint64_t epoch = 0;
+    uint64_t hash = 0;
+  };
+
+  std::shared_ptr<const MappingState> CurrentMappingState() const;
+
+  /// Swaps in a new active mapping set and refreshes the atomic
+  /// epoch/hash mirrors. `advance_epoch` is false only at construction
+  /// (the initial publish keeps epoch 0); reconfigurations pass true
+  /// and the next epoch is taken under the lock, so concurrent
+  /// reconfigurations cannot mint the same epoch twice.
+  void PublishMappings(std::vector<mapping::Mapping> mappings,
+                       bool advance_epoch);
+
   /// Run minus the sink OnComplete notification (Run wraps it so the
-  /// completion hook fires exactly once on every path).
+  /// completion hook fires exactly once on every path). Pins the
+  /// mapping-set snapshot and a catalog snapshot, then delegates.
   Result<Response> RunInternal(const Request& request,
                                const EvalOptions& eval) const;
+
+  /// The dispatch body, everything below the snapshot pin: `state` and
+  /// `catalog` are the request's frozen view of the world for its
+  /// whole (synchronous) evaluation, shards included.
+  Result<Response> RunPinned(const Request& request,
+                             const EvalOptions& eval,
+                             const MappingState& state,
+                             const relational::Catalog& catalog) const;
 
   /// Sharded evaluation (EvalOptions::mapping_shards > 1): builds the
   /// ShardedMappingSet, evaluates every shard (concurrently when
@@ -223,9 +292,11 @@ class Engine {
   /// order. Falls back to the single-pass path when the set cannot be
   /// split (h < 2).
   Result<Response> RunSharded(const Request& request,
-                              const EvalOptions& eval) const;
+                              const EvalOptions& eval,
+                              const MappingState& state,
+                              const relational::Catalog& catalog) const;
 
-  /// The memoized sharded view of the active mapping set for
+  /// The memoized sharded view of `state`'s mapping set for
   /// `num_shards`, rebuilt only when the reconfiguration epoch or the
   /// requested shard count changes — serving a sharded request is
   /// O(plan), not O(h), after the first build (mirrors the
@@ -233,31 +304,34 @@ class Engine {
   /// engine thrash the memo but stay correct (each gets its own
   /// shared_ptr).
   std::shared_ptr<const mapping::ShardedMappingSet> ShardedView(
-      size_t num_shards) const;
+      const MappingState& state, size_t num_shards) const;
 
   /// The kEvaluate method dispatch over an explicit mapping set — one
   /// code path shared by the whole-set evaluation and every shard
   /// evaluation, so the merged sharded result cannot drift from the
   /// unsharded one. `store_shard_epoch` is 0 for whole-set runs, the
-  /// shard's identity hash otherwise (see OperatorKey::shard_epoch).
+  /// shard's identity hash otherwise (see OperatorKey::shard_epoch);
+  /// `store_epoch` is the pinned mapping epoch.
   Result<baselines::MethodResult> EvaluateMethodOverMappings(
       const reformulation::TargetQueryInfo& info, const Request& request,
       const EvalOptions& eval,
       const std::vector<mapping::Mapping>& mappings,
+      const relational::Catalog& catalog, uint64_t store_epoch,
       uint64_t store_shard_epoch, osharing::LeafVisitor* tee) const;
-
-  /// Refreshes the memoized mapping-set hash (construction and each
-  /// reconfiguration).
-  void RefreshMappingSetHash();
 
   relational::Catalog catalog_;
   matching::SchemaDef source_schema_;
   matching::SchemaDef target_schema_;
   std::vector<matching::Correspondence> correspondences_;
   std::vector<mapping::Mapping> all_mappings_;  ///< full enumerated set
-  std::vector<mapping::Mapping> mappings_;      ///< active (top-h) set
-  uint64_t mapping_set_hash_ = 0;
-  uint64_t mapping_epoch_ = 0;
+  /// Active mapping set: published generations swapped under
+  /// mapping_mu_, read via CurrentMappingState().
+  mutable std::mutex mapping_mu_;
+  std::shared_ptr<const MappingState> mapping_state_;
+  /// Lock-free mirrors of mapping_state_->{hash, epoch} for the
+  /// hot-path accessors (fingerprinting, per-dispatch fences).
+  std::atomic<uint64_t> mapping_set_hash_{0};
+  std::atomic<uint64_t> mapping_epoch_{0};
   /// ShardedView memo (guarded by shard_memo_mu_): the sharded set for
   /// the last (epoch, shard count) pair requested.
   mutable std::mutex shard_memo_mu_;

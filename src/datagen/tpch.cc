@@ -172,10 +172,12 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
                                        {"r_comment", ValueType::kString}}));
     const char* names[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
                            "MIDDLE EAST"};
+    std::vector<Row> rows;
+    rows.reserve(counts.region);
     for (size_t i = 0; i < counts.region; ++i) {
-      URM_CHECK_OK(rel.AddRow(
-          {Key(i + 1, 2), names[i % 5], rng.String(12)}));
+      rows.push_back({Key(i + 1, 2), names[i % 5], rng.String(12)});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "region", std::make_shared<const Relation>(std::move(rel))));
   }
@@ -184,11 +186,14 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
     Relation rel(MakeSchema("nation", {{"n_nationkey", ValueType::kString},
                                        {"n_name", ValueType::kString},
                                        {"n_regionkey", ValueType::kString}}));
+    std::vector<Row> rows;
+    rows.reserve(counts.nation);
     for (size_t i = 0; i < counts.nation; ++i) {
-      URM_CHECK_OK(rel.AddRow(
+      rows.push_back(
           {Key(i + 1, 2), NationPool()[i % NationPool().size()],
-           Key(rng.Uniform(1, static_cast<int64_t>(counts.region)), 2)}));
+           Key(rng.Uniform(1, static_cast<int64_t>(counts.region)), 2)});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "nation", std::make_shared<const Relation>(std::move(rel))));
   }
@@ -199,14 +204,15 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
                                          {"s_address", ValueType::kString},
                                          {"s_phone", ValueType::kString},
                                          {"s_acctbal", ValueType::kDouble}}));
-    rel.Reserve(counts.supplier);
+    std::vector<Row> rows;
+    rows.reserve(counts.supplier);
     for (size_t i = 0; i < counts.supplier; ++i) {
-      URM_CHECK_OK(rel.AddRow(
-          {Key(i + 1), rng.Choice(CompanyPool()),
-           rng.Choice(AddressPool()),
-           PhonePool()[rng.SkewedIndex(PhonePool().size())],
-           rng.NextDouble() * 10000.0}));
+      rows.push_back({Key(i + 1), rng.Choice(CompanyPool()),
+                      rng.Choice(AddressPool()),
+                      PhonePool()[rng.SkewedIndex(PhonePool().size())],
+                      rng.NextDouble() * 10000.0});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "supplier", std::make_shared<const Relation>(std::move(rel))));
   }
@@ -220,16 +226,18 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
                              {"c_acctbal", ValueType::kDouble},
                              {"c_nationkey", ValueType::kString},
                              {"c_mktsegment", ValueType::kString}}));
-    rel.Reserve(counts.customer);
+    std::vector<Row> rows;
+    rows.reserve(counts.customer);
     for (size_t i = 0; i < counts.customer; ++i) {
-      URM_CHECK_OK(rel.AddRow(
+      rows.push_back(
           {Key(i + 1), NamePool()[rng.SkewedIndex(NamePool().size())],
            AddressPool()[rng.SkewedIndex(AddressPool().size())],
            PhonePool()[rng.SkewedIndex(PhonePool().size())],
            rng.NextDouble() * 10000.0,
            Key(rng.Uniform(1, static_cast<int64_t>(counts.nation)), 2),
-           rng.Choice(SegmentPool())}));
+           rng.Choice(SegmentPool())});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "customer", std::make_shared<const Relation>(std::move(rel))));
   }
@@ -241,17 +249,18 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
                                      {"p_type", ValueType::kString},
                                      {"p_size", ValueType::kInt64},
                                      {"p_retailprice", ValueType::kDouble}}));
-    rel.Reserve(counts.part);
     const std::vector<std::string> types = {"STANDARD", "SMALL", "MEDIUM",
                                             "LARGE", "ECONOMY", "PROMO"};
+    std::vector<Row> rows;
+    rows.reserve(counts.part);
     for (size_t i = 0; i < counts.part; ++i) {
-      URM_CHECK_OK(rel.AddRow(
-          {Key(i + 1), rng.String(10),
-           "Brand#" + std::to_string(rng.Uniform(1, 5)) +
-               std::to_string(rng.Uniform(1, 5)),
-           rng.Choice(types), rng.Uniform(1, 50),
-           900.0 + rng.NextDouble() * 1100.0}));
+      rows.push_back({Key(i + 1), rng.String(10),
+                      "Brand#" + std::to_string(rng.Uniform(1, 5)) +
+                          std::to_string(rng.Uniform(1, 5)),
+                      rng.Choice(types), rng.Uniform(1, 50),
+                      900.0 + rng.NextDouble() * 1100.0});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "part", std::make_shared<const Relation>(std::move(rel))));
   }
@@ -262,13 +271,15 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
                              {"ps_suppkey", ValueType::kString},
                              {"ps_availqty", ValueType::kInt64},
                              {"ps_supplycost", ValueType::kDouble}}));
-    rel.Reserve(counts.partsupp);
+    std::vector<Row> rows;
+    rows.reserve(counts.partsupp);
     for (size_t i = 0; i < counts.partsupp; ++i) {
-      URM_CHECK_OK(rel.AddRow(
+      rows.push_back(
           {Key(rng.Uniform(1, static_cast<int64_t>(counts.part))),
            Key(rng.Uniform(1, static_cast<int64_t>(counts.supplier))),
-           rng.Uniform(1, 9999), rng.NextDouble() * 1000.0}));
+           rng.Uniform(1, 9999), rng.NextDouble() * 1000.0});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "partsupp", std::make_shared<const Relation>(std::move(rel))));
   }
@@ -282,16 +293,18 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
                              {"o_orderdate", ValueType::kString},
                              {"o_orderpriority", ValueType::kInt64},
                              {"o_clerk", ValueType::kString}}));
-    rel.Reserve(counts.orders);
     const std::vector<std::string> statuses = {"O", "F", "P"};
+    std::vector<Row> rows;
+    rows.reserve(counts.orders);
     for (size_t i = 0; i < counts.orders; ++i) {
-      URM_CHECK_OK(rel.AddRow(
+      rows.push_back(
           {Key(i + 1),
            Key(rng.Uniform(1, static_cast<int64_t>(counts.customer))),
            rng.Choice(statuses), rng.NextDouble() * 500000.0, Date(rng),
            rng.Uniform(1, 5),
-           NamePool()[rng.SkewedIndex(NamePool().size())]}));
+           NamePool()[rng.SkewedIndex(NamePool().size())]});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "orders", std::make_shared<const Relation>(std::move(rel))));
   }
@@ -309,18 +322,20 @@ Result<Catalog> GenerateTpch(const TpchOptions& options) {
                              {"l_returnflag", ValueType::kString},
                              {"l_linestatus", ValueType::kString},
                              {"l_shipdate", ValueType::kString}}));
-    rel.Reserve(counts.lineitem);
     const std::vector<std::string> flags = {"A", "N", "R"};
+    std::vector<Row> rows;
+    rows.reserve(counts.lineitem);
     for (size_t i = 0; i < counts.lineitem; ++i) {
-      URM_CHECK_OK(rel.AddRow(
+      rows.push_back(
           {Key(rng.Uniform(1, static_cast<int64_t>(counts.orders))),
            Key(rng.Uniform(1, static_cast<int64_t>(counts.part))),
            Key(rng.Uniform(1, static_cast<int64_t>(counts.supplier))),
            rng.Uniform(1, 7), rng.Uniform(1, 50),
            rng.NextDouble() * 100000.0, rng.NextDouble() * 0.1,
            rng.NextDouble() * 0.08, rng.Choice(flags),
-           rng.Choice(flags), Date(rng)}));
+           rng.Choice(flags), Date(rng)});
     }
+    URM_CHECK_OK(rel.AddRows(std::move(rows)));
     URM_RETURN_NOT_OK(catalog.Register(
         "lineitem", std::make_shared<const Relation>(std::move(rel))));
   }

@@ -1,0 +1,143 @@
+#include "live/ingest.h"
+
+#include <string>
+#include <utility>
+
+namespace urm {
+namespace live {
+
+IngestController::IngestController(core::Engine* engine,
+                                   service::QueryService* service,
+                                   IngestOptions options)
+    : engine_(engine), service_(service), options_(std::move(options)) {
+  if (options_.enable_metrics) InitMetrics();
+}
+
+void IngestController::InitMetrics() {
+  obs::Registry* registry = options_.metrics_registry != nullptr
+                                ? options_.metrics_registry
+                                : &obs::DefaultRegistry();
+  std::vector<std::string> base_names;
+  std::vector<std::string> base_values;
+  for (const obs::Label& label : options_.metric_labels) {
+    base_names.push_back(label.first);
+    base_values.push_back(label.second);
+  }
+  auto names = [&](std::initializer_list<const char*> extra) {
+    std::vector<std::string> out = base_names;
+    for (const char* name : extra) out.emplace_back(name);
+    return out;
+  };
+  auto values = [&](std::initializer_list<const char*> extra) {
+    std::vector<std::string> out = base_values;
+    for (const char* value : extra) out.emplace_back(value);
+    return out;
+  };
+  metric_batches_ =
+      registry
+          ->CounterFamily("urm_ingest_batches_total",
+                          "Delta batches applied to the catalog.",
+                          base_names)
+          .WithLabels(base_values);
+  auto& rows = registry->CounterFamily(
+      "urm_ingest_rows_total",
+      "Rows affected by applied delta batches, by operation.",
+      names({"op"}));
+  metric_rows_insert_ = rows.WithLabels(values({"insert"}));
+  metric_rows_update_ = rows.WithLabels(values({"update"}));
+  metric_rows_delete_ = rows.WithLabels(values({"delete"}));
+  metric_reencode_ =
+      registry
+          ->HistogramFamily(
+              "urm_ingest_reencode_seconds",
+              "Columnar re-encode wall time per applied batch (one "
+              "re-encode per touched relation per batch, never per "
+              "row).",
+              obs::LatencyBuckets(), base_names)
+          .WithLabels(base_values);
+  auto& fenced = registry->CounterFamily(
+      "urm_ingest_fenced_entries_total",
+      "Cached entries invalidated by delta batches, by store.",
+      names({"store"}));
+  metric_fenced_answers_ = fenced.WithLabels(values({"answers"}));
+  metric_fenced_operators_ = fenced.WithLabels(values({"operators"}));
+}
+
+Result<IngestReport> IngestController::Apply(
+    const relational::DeltaBatch& batch) {
+  if (options_.max_batch_ops > 0 && batch.ops.size() > options_.max_batch_ops) {
+    rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(batch.ops.size()) +
+        " ops exceeds max_batch_ops = " +
+        std::to_string(options_.max_batch_ops));
+  }
+  auto applied = engine_->ApplyDelta(batch);
+  if (!applied.ok()) {
+    rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+    return applied.status();
+  }
+  const relational::ApplyResult& delta = applied.ValueOrDie();
+
+  IngestReport report;
+  report.data_epoch = delta.data_epoch;
+  report.relations = delta.relations;
+  report.rows_inserted = delta.rows_inserted;
+  report.rows_updated = delta.rows_updated;
+  report.rows_deleted = delta.rows_deleted;
+  report.encode_seconds = delta.encode_seconds;
+  if (service_ != nullptr) {
+    service::FenceOutcome fenced = service_->FenceCatalogDelta(delta);
+    report.fenced_answers = fenced.answers;
+    report.fenced_operators = fenced.operators;
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_inserted_.fetch_add(report.rows_inserted, std::memory_order_relaxed);
+  rows_updated_.fetch_add(report.rows_updated, std::memory_order_relaxed);
+  rows_deleted_.fetch_add(report.rows_deleted, std::memory_order_relaxed);
+  fenced_answers_.fetch_add(report.fenced_answers, std::memory_order_relaxed);
+  fenced_operators_.fetch_add(report.fenced_operators,
+                              std::memory_order_relaxed);
+  if (metric_batches_ != nullptr) {
+    metric_batches_->Increment();
+    metric_rows_insert_->Increment(report.rows_inserted);
+    metric_rows_update_->Increment(report.rows_updated);
+    metric_rows_delete_->Increment(report.rows_deleted);
+    metric_reencode_->Observe(report.encode_seconds);
+    metric_fenced_answers_->Increment(report.fenced_answers);
+    metric_fenced_operators_->Increment(report.fenced_operators);
+  }
+  return report;
+}
+
+Status IngestController::ReconfigureMappings(
+    std::vector<mapping::Mapping> mappings) {
+  Status status = engine_->SetActiveMappings(std::move(mappings));
+  if (status.ok()) {
+    reconfigurations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void IngestController::UseTopMappings(size_t h) {
+  engine_->UseTopMappings(h);
+  reconfigurations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+IngestStats IngestController::stats() const {
+  IngestStats out;
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.rejected_batches = rejected_batches_.load(std::memory_order_relaxed);
+  out.rows_inserted = rows_inserted_.load(std::memory_order_relaxed);
+  out.rows_updated = rows_updated_.load(std::memory_order_relaxed);
+  out.rows_deleted = rows_deleted_.load(std::memory_order_relaxed);
+  out.fenced_answers = fenced_answers_.load(std::memory_order_relaxed);
+  out.fenced_operators = fenced_operators_.load(std::memory_order_relaxed);
+  out.reconfigurations = reconfigurations_.load(std::memory_order_relaxed);
+  out.data_epoch = engine_->data_epoch();
+  return out;
+}
+
+}  // namespace live
+}  // namespace urm

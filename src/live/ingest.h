@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "mapping/mapping.h"
+#include "obs/metrics.h"
+#include "relational/delta.h"
+#include "service/query_service.h"
+
+/// \file ingest.h
+/// The live-update subsystem: keeps a serving stack (core::Engine +
+/// service::QueryService) consistent while its catalog and mapping set
+/// change under traffic.
+///
+/// An IngestController owns the two-step protocol a catalog delta
+/// needs —
+///   1. Engine::ApplyDelta swaps the touched relations for re-encoded
+///      copies (one columnar re-encode per relation per batch, never
+///      per row) and bumps the catalog data epoch;
+///   2. QueryService::FenceCatalogDelta drops exactly the cached
+///      answers and materialized operators the delta made stale
+///      (delta-aware by default: entries over untouched relations
+///      survive, so an update trickle against one relation does not
+///      zero the hit rate for queries over the others)
+/// — and reports it through the urm_ingest_* metric families. Mapping
+/// hot-reconfiguration (swap / reweight / top-h restriction) rides the
+/// same controller: the engine's mapping-epoch fence already
+/// invalidates both stores, so reconfigure is a single engine call
+/// plus bookkeeping.
+///
+/// Thread-safety: Apply / ReconfigureMappings / UseTopMappings may be
+/// called concurrently with each other and with query traffic;
+/// in-flight evaluations complete against their pinned snapshots.
+
+namespace urm {
+namespace live {
+
+struct IngestOptions {
+  /// Upper bound on ops per batch; larger batches are rejected with
+  /// InvalidArgument (the HTTP tier maps it to 413). 0 = unbounded.
+  size_t max_batch_ops = 4096;
+  /// Report urm_ingest_* metrics into `metrics_registry`.
+  bool enable_metrics = true;
+  /// Registry to report into; null uses obs::DefaultRegistry(). Must
+  /// outlive the controller.
+  obs::Registry* metrics_registry = nullptr;
+  /// Labels attached to every series (urm_server uses
+  /// {{"schema", <target schema>}}).
+  obs::Labels metric_labels;
+};
+
+/// Receipt for one applied batch: the catalog receipt plus what the
+/// serving tier fenced.
+struct IngestReport {
+  uint64_t data_epoch = 0;             ///< catalog epoch after the batch
+  std::vector<std::string> relations;  ///< distinct relations touched
+  size_t rows_inserted = 0;
+  size_t rows_updated = 0;
+  size_t rows_deleted = 0;
+  double encode_seconds = 0.0;         ///< columnar re-encode wall time
+  size_t fenced_answers = 0;           ///< AnswerCache entries dropped
+  size_t fenced_operators = 0;         ///< OperatorStore entries dropped
+};
+
+/// Monotonic controller-lifetime counters (for /v1/stats).
+struct IngestStats {
+  size_t batches = 0;
+  size_t rejected_batches = 0;  ///< validation failures (no state change)
+  size_t rows_inserted = 0;
+  size_t rows_updated = 0;
+  size_t rows_deleted = 0;
+  size_t fenced_answers = 0;
+  size_t fenced_operators = 0;
+  size_t reconfigurations = 0;  ///< mapping swaps/reweights/top-h calls
+  uint64_t data_epoch = 0;      ///< current catalog data epoch
+};
+
+/// \brief Applies delta batches and mapping reconfigurations to one
+/// serving stack, fencing its caches and reporting metrics.
+class IngestController {
+ public:
+  /// `engine` and `service` (a service over the same engine) must
+  /// outlive the controller; `service` may be null for engine-only
+  /// stacks (nothing to fence).
+  IngestController(core::Engine* engine, service::QueryService* service,
+                   IngestOptions options = IngestOptions());
+
+  IngestController(const IngestController&) = delete;
+  IngestController& operator=(const IngestController&) = delete;
+
+  /// Validates and applies one batch, fences the service's caches, and
+  /// returns the receipt. All-or-nothing: a validation failure
+  /// (unknown relation, arity mismatch, oversized batch) leaves the
+  /// catalog untouched.
+  Result<IngestReport> Apply(const relational::DeltaBatch& batch);
+
+  /// Hot-swaps / reweights the active mapping set under traffic (see
+  /// core::Engine::SetActiveMappings). The mapping-epoch fence
+  /// invalidates cached answers and operators on the next dispatch.
+  Status ReconfigureMappings(std::vector<mapping::Mapping> mappings);
+
+  /// Restricts the active set to the top h mappings under traffic (see
+  /// core::Engine::UseTopMappings).
+  void UseTopMappings(size_t h);
+
+  IngestStats stats() const;
+
+  const IngestOptions& options() const { return options_; }
+
+ private:
+  void InitMetrics();
+
+  core::Engine* engine_;
+  service::QueryService* service_;
+  const IngestOptions options_;
+
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> rejected_batches_{0};
+  std::atomic<size_t> rows_inserted_{0};
+  std::atomic<size_t> rows_updated_{0};
+  std::atomic<size_t> rows_deleted_{0};
+  std::atomic<size_t> fenced_answers_{0};
+  std::atomic<size_t> fenced_operators_{0};
+  std::atomic<size_t> reconfigurations_{0};
+
+  /// Pre-resolved urm_ingest_* instruments (null when enable_metrics
+  /// is off); families are shared across controllers on the same
+  /// registry, kept apart by metric_labels.
+  obs::Counter* metric_batches_ = nullptr;
+  obs::Counter* metric_rows_insert_ = nullptr;
+  obs::Counter* metric_rows_update_ = nullptr;
+  obs::Counter* metric_rows_delete_ = nullptr;
+  obs::Counter* metric_fenced_answers_ = nullptr;
+  obs::Counter* metric_fenced_operators_ = nullptr;
+  obs::Histogram* metric_reencode_ = nullptr;
+};
+
+}  // namespace live
+}  // namespace urm

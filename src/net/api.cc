@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "live/ingest.h"
 #include "net/http.h"
 #include "reformulation/answer.h"
 
@@ -70,6 +71,48 @@ const std::string* FindString(const json::Value& object,
   const json::Value* v = object.Find(key);
   if (v == nullptr || !v->is_string()) return nullptr;
   return &v->AsString();
+}
+
+bool ParseTargetSchema(const std::string& name,
+                       datagen::TargetSchemaId* out) {
+  for (datagen::TargetSchemaId id : datagen::AllTargetSchemas()) {
+    if (http::EqualsIgnoreCase(name, datagen::TargetSchemaName(id))) {
+      *out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One JSON row cell onto a relational value. Numbers map to Int64
+/// when integral, Double otherwise; booleans have no relational type.
+bool ParseCell(const json::Value& cell, relational::Value* out) {
+  if (cell.is_null()) {
+    *out = relational::Value::Null();
+    return true;
+  }
+  if (cell.is_string()) {
+    *out = relational::Value(cell.AsString());
+    return true;
+  }
+  if (cell.is_number()) {
+    *out = cell.is_integral() ? relational::Value(cell.AsInt64())
+                              : relational::Value(cell.AsDouble());
+    return true;
+  }
+  return false;
+}
+
+bool ParseDeltaRow(const json::Value& row_json, relational::Row* out) {
+  if (!row_json.is_array()) return false;
+  out->clear();
+  out->reserve(row_json.AsArray().size());
+  for (const json::Value& cell : row_json.AsArray()) {
+    relational::Value value;
+    if (!ParseCell(cell, &value)) return false;
+    out->push_back(std::move(value));
+  }
+  return true;
 }
 
 json::Value CellToJson(const relational::Value& cell) {
@@ -245,8 +288,13 @@ json::Value StatsJson(HttpServer* server, ServiceHub* hub) {
                  json::Value::Int(static_cast<int64_t>(guard.tracked_clients)));
   root.Set("dosguard", std::move(guard_json));
 
-  json::Value schemas = json::Value::Array();
-  hub->VisitServices([&schemas](datagen::TargetSchemaId id,
+  // Two phases: per-service blocks are built under VisitServices (hubs
+  // hold their registry lock across the visit), then the ingest blocks
+  // are attached via IngestFor AFTER the visit returns — IngestFor
+  // takes the same hub lock, so calling it from inside the visit
+  // callback would self-deadlock.
+  std::vector<std::pair<datagen::TargetSchemaId, json::Value>> entries;
+  hub->VisitServices([&entries](datagen::TargetSchemaId id,
                                 service::QueryService* svc) {
     json::Value entry = json::Value::Object();
     entry.Set("schema", json::Value::Str(datagen::TargetSchemaName(id)));
@@ -310,8 +358,44 @@ json::Value StatsJson(HttpServer* server, ServiceHub* hub) {
         "row_scans",
         json::Value::Int(static_cast<int64_t>(scans.row_scans)));
     entry.Set("storage", std::move(storage_json));
-    schemas.Append(std::move(entry));
+    entries.emplace_back(id, std::move(entry));
   });
+  json::Value schemas = json::Value::Array();
+  for (auto& [id, entry] : entries) {
+    // Live-update accounting, when this hub serves ingest (see
+    // docs/LIVE.md).
+    if (live::IngestController* ingest = hub->IngestFor(id)) {
+      live::IngestStats in = ingest->stats();
+      json::Value ingest_json = json::Value::Object();
+      ingest_json.Set("batches",
+                      json::Value::Int(static_cast<int64_t>(in.batches)));
+      ingest_json.Set(
+          "rejected_batches",
+          json::Value::Int(static_cast<int64_t>(in.rejected_batches)));
+      ingest_json.Set(
+          "rows_inserted",
+          json::Value::Int(static_cast<int64_t>(in.rows_inserted)));
+      ingest_json.Set(
+          "rows_updated",
+          json::Value::Int(static_cast<int64_t>(in.rows_updated)));
+      ingest_json.Set(
+          "rows_deleted",
+          json::Value::Int(static_cast<int64_t>(in.rows_deleted)));
+      ingest_json.Set(
+          "fenced_answers",
+          json::Value::Int(static_cast<int64_t>(in.fenced_answers)));
+      ingest_json.Set(
+          "fenced_operators",
+          json::Value::Int(static_cast<int64_t>(in.fenced_operators)));
+      ingest_json.Set(
+          "reconfigurations",
+          json::Value::Int(static_cast<int64_t>(in.reconfigurations)));
+      ingest_json.Set("data_epoch",
+                      json::Value::Int(static_cast<int64_t>(in.data_epoch)));
+      entry.Set("ingest", std::move(ingest_json));
+    }
+    schemas.Append(std::move(entry));
+  }
   root.Set("schemas", std::move(schemas));
   return root;
 }
@@ -434,6 +518,101 @@ bool ParseQueryBody(const std::string& body, ParsedQuery* out,
   return true;
 }
 
+bool ParseIngestBody(const std::string& body, size_t max_ops,
+                     ParsedIngest* out, ApiError* error) {
+  Result<json::Value> parsed = json::Parse(body);
+  if (!parsed.ok()) {
+    return Fail(error, 400, "bad_json", parsed.status().message());
+  }
+  const json::Value& root = parsed.ValueOrDie();
+  if (!root.is_object()) {
+    return Fail(error, 400, "bad_json", "request body must be a JSON object");
+  }
+
+  const json::Value* version = root.Find("version");
+  if (version == nullptr) {
+    return Fail(error, 400, "missing_version",
+                "request must carry \"version\": 1");
+  }
+  if (!version->is_number() || version->AsInt64() != 1 ||
+      version->AsDouble() != 1.0) {
+    return Fail(error, 400, "unsupported_version",
+                "this server supports API version 1");
+  }
+
+  out->schema = datagen::TargetSchemaId::kExcel;
+  if (const std::string* schema = FindString(root, "schema")) {
+    if (!ParseTargetSchema(*schema, &out->schema)) {
+      return Fail(error, 404, "unknown_schema",
+                  "unknown target schema '" + *schema +
+                      "' (one of: Excel, Noris, Paragon)");
+    }
+  } else if (root.Find("schema") != nullptr) {
+    return Fail(error, 400, "bad_schema", "\"schema\" must be a string");
+  }
+
+  const json::Value* ops = root.Find("ops");
+  if (ops == nullptr || !ops->is_array() || ops->AsArray().empty()) {
+    return Fail(error, 400, "missing_ops",
+                "request must carry a non-empty \"ops\" array");
+  }
+  if (max_ops > 0 && ops->AsArray().size() > max_ops) {
+    return Fail(error, 413, "batch_too_large",
+                "batch of " + std::to_string(ops->AsArray().size()) +
+                    " ops exceeds the limit of " + std::to_string(max_ops));
+  }
+
+  out->batch.ops.clear();
+  out->batch.ops.reserve(ops->AsArray().size());
+  for (const json::Value& op_json : ops->AsArray()) {
+    if (!op_json.is_object()) {
+      return Fail(error, 400, "bad_op", "each op must be a JSON object");
+    }
+    relational::DeltaOp op;
+    const std::string* kind = FindString(op_json, "op");
+    if (kind == nullptr) {
+      return Fail(error, 400, "bad_op",
+                  "each op must carry \"op\": insert | update | delete");
+    }
+    if (*kind == "insert") {
+      op.kind = relational::DeltaOpKind::kInsert;
+    } else if (*kind == "update") {
+      op.kind = relational::DeltaOpKind::kUpdate;
+    } else if (*kind == "delete") {
+      op.kind = relational::DeltaOpKind::kDelete;
+    } else {
+      return Fail(error, 400, "bad_op",
+                  "unknown op '" + *kind +
+                      "' (one of: insert, update, delete)");
+    }
+    const std::string* relation = FindString(op_json, "relation");
+    if (relation == nullptr) {
+      return Fail(error, 400, "bad_op",
+                  "each op must name its \"relation\"");
+    }
+    op.relation = *relation;
+    const json::Value* row = op_json.Find("row");
+    if (row == nullptr || !ParseDeltaRow(*row, &op.row)) {
+      return Fail(error, 400, "bad_op",
+                  "each op must carry \"row\": an array of null / number "
+                  "/ string cells");
+    }
+    if (op.kind == relational::DeltaOpKind::kUpdate) {
+      const json::Value* new_row = op_json.Find("new_row");
+      if (new_row == nullptr || !ParseDeltaRow(*new_row, &op.new_row)) {
+        return Fail(error, 400, "bad_op",
+                    "update ops must carry \"new_row\": an array of null "
+                    "/ number / string cells");
+      }
+    } else if (op_json.Find("new_row") != nullptr) {
+      return Fail(error, 400, "bad_op",
+                  "\"new_row\" is only valid on update ops");
+    }
+    out->batch.ops.push_back(std::move(op));
+  }
+  return true;
+}
+
 void AppendResponseJson(const service::QueryResponse& response,
                         json::Value* target, size_t max_rows) {
   target->Set("kind", json::Value::Str(
@@ -511,6 +690,77 @@ void RegisterRoutes(HttpServer* server, ServiceHub* hub, ApiOptions options) {
               AppendResponseJson(outcome, &root, max_rows);
               respond(http::Response::Json(200, root.Serialize()));
             });
+      });
+
+  const size_t max_ingest_ops = options.max_ingest_ops;
+  server->Handle(
+      "POST", "/v1/ingest",
+      [hub, max_ingest_ops](const http::Request& request, const std::string&,
+                            RespondFn respond) {
+        ParsedIngest parsed;
+        ApiError error;
+        if (!ParseIngestBody(request.body, max_ingest_ops, &parsed, &error)) {
+          respond(http::Response::Json(
+              error.http_status, JsonErrorBody(error.code, error.message)));
+          return;
+        }
+        live::IngestController* ingest = hub->IngestFor(parsed.schema);
+        if (ingest == nullptr) {
+          respond(http::Response::Json(
+              501, JsonErrorBody("ingest_unavailable",
+                                 "this server does not serve live updates")));
+          return;
+        }
+        service::QueryService* service = hub->ForSchema(parsed.schema);
+        if (service == nullptr) {
+          respond(http::Response::Json(
+              500, JsonErrorBody("internal_error",
+                                 "no service for target schema")));
+          return;
+        }
+        // Applying a batch re-encodes columnar backings — never on the
+        // loop thread; respond marshals back to the loop.
+        auto batch = std::make_shared<relational::DeltaBatch>(
+            std::move(parsed.batch));
+        service->pool().Submit([ingest, batch, respond] {
+          auto applied = ingest->Apply(*batch);
+          if (!applied.ok()) {
+            const Status& status = applied.status();
+            const char* code =
+                status.code() == StatusCode::kNotFound ? "unknown_relation"
+                                                       : "schema_mismatch";
+            respond(http::Response::Json(
+                status.code() == StatusCode::kNotFound ? 404 : 400,
+                JsonErrorBody(code, status.message())));
+            return;
+          }
+          const live::IngestReport& report = applied.ValueOrDie();
+          json::Value root = json::Value::Object();
+          root.Set("data_epoch", json::Value::Int(static_cast<int64_t>(
+                                     report.data_epoch)));
+          json::Value relations = json::Value::Array();
+          for (const std::string& name : report.relations) {
+            relations.Append(json::Value::Str(name));
+          }
+          root.Set("relations", std::move(relations));
+          json::Value rows = json::Value::Object();
+          rows.Set("inserted", json::Value::Int(static_cast<int64_t>(
+                                   report.rows_inserted)));
+          rows.Set("updated", json::Value::Int(static_cast<int64_t>(
+                                  report.rows_updated)));
+          rows.Set("deleted", json::Value::Int(static_cast<int64_t>(
+                                  report.rows_deleted)));
+          root.Set("rows", std::move(rows));
+          json::Value fenced = json::Value::Object();
+          fenced.Set("answers", json::Value::Int(static_cast<int64_t>(
+                                    report.fenced_answers)));
+          fenced.Set("operators", json::Value::Int(static_cast<int64_t>(
+                                      report.fenced_operators)));
+          root.Set("fenced", std::move(fenced));
+          root.Set("encode_seconds",
+                   json::Value::Number(report.encode_seconds));
+          respond(http::Response::Json(200, root.Serialize()));
+        });
       });
 
   server->HandleWebSocket(

@@ -8,7 +8,14 @@
 #include "core/request.h"
 #include "datagen/target_schemas.h"
 #include "net/server.h"
+#include "relational/delta.h"
 #include "service/query_service.h"
+
+namespace urm {
+namespace live {
+class IngestController;
+}  // namespace live
+}  // namespace urm
 
 /// \file api.h
 /// The versioned JSON API of the network tier, bound onto an
@@ -17,8 +24,12 @@
 ///   POST /v1/query   — one request of any kind (evaluate / topk /
 ///                      setop / threshold) against a paper workload
 ///                      query; responds with the kind's result JSON.
+///   POST /v1/ingest  — one row-level delta batch (insert / update /
+///                      delete ops) against a target schema's catalog,
+///                      applied atomically with delta-aware cache
+///                      invalidation; responds with the ingest receipt.
 ///   GET  /v1/stats   — serving-tier stats (server loop, DOS guard,
-///                      per-schema cache/pool/operator-store).
+///                      per-schema cache/pool/operator-store/ingest).
 ///   GET  /metrics    — Prometheus text exposition of the registry.
 ///   GET  /v1/stream  — WebSocket upgrade; each text message is a
 ///                      /v1/query body, answered by streamed
@@ -50,6 +61,14 @@ class ServiceHub {
   virtual void VisitServices(
       const std::function<void(datagen::TargetSchemaId,
                                service::QueryService*)>& fn) = 0;
+
+  /// The ingest controller for `schema`, or null when this hub does
+  /// not serve live updates (POST /v1/ingest then responds 501).
+  /// Same thread-safety contract as ForSchema.
+  virtual live::IngestController* IngestFor(
+      datagen::TargetSchemaId /*schema*/) {
+    return nullptr;
+  }
 };
 
 /// One structured API failure: the HTTP status (or WS error frame) plus
@@ -74,6 +93,20 @@ struct ParsedQuery {
 bool ParseQueryBody(const std::string& body, ParsedQuery* out,
                     ApiError* error);
 
+/// A validated /v1/ingest body: the delta batch plus the target
+/// schema whose catalog it mutates.
+struct ParsedIngest {
+  relational::DeltaBatch batch;
+  datagen::TargetSchemaId schema = datagen::TargetSchemaId::kExcel;
+};
+
+/// Parses and validates one /v1/ingest JSON body (shape and version
+/// only — relation names and row arities are validated against the
+/// live catalog by IngestController::Apply). `max_ops` bounds the
+/// batch (0 = unbounded; past it the error is 413 batch_too_large).
+bool ParseIngestBody(const std::string& body, size_t max_ops,
+                     ParsedIngest* out, ApiError* error);
+
 /// Serializes a completed QueryResponse: appends kind, cache_hit,
 /// shared, and the kind-specific "result" object onto `target`.
 /// `max_rows` caps emitted tuples ("truncated": true past it).
@@ -88,6 +121,9 @@ struct ApiOptions {
   obs::Registry* metrics_registry = nullptr;
   /// Tuple cap per HTTP response / completion frame.
   size_t max_rows = 1000;
+  /// Op cap per /v1/ingest batch (0 = unbounded); past it the request
+  /// is rejected with 413 batch_too_large before touching the catalog.
+  size_t max_ingest_ops = 4096;
 };
 
 /// Binds the /v1 routes and the /v1/stream WebSocket onto `server`

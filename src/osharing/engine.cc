@@ -327,7 +327,13 @@ Result<relational::RelationPtr> OSharingEngine::RunSelection(
     // reuse them — suppressing the insert would regress cross-branch
     // sharing, and cold entries age out through the LRU anyway.
     OperatorKey store_key;
-    store_key.catalog = &catalog_;
+    // Keyed purely by input identity (the pinned input pointer cannot
+    // recycle while its entry lives) — never by catalog address: the
+    // engine's catalog is a per-evaluation snapshot whose stack/heap
+    // address means nothing across queries. A delta replacing a
+    // relation changes the downstream input pointers, so stale entries
+    // are unreachable by construction.
+    store_key.catalog = nullptr;
     store_key.epoch = options_.store_epoch;
     store_key.shard_epoch = options_.store_shard_epoch;
     store_key.input = input.get();
@@ -383,16 +389,26 @@ Result<RelationPtr> OSharingEngine::MaterializeScan(
     // store hit returns the *same* RelationPtr every query saw, the
     // downstream selection keys (input pointer + predicate hash) also
     // match across queries, compounding the sharing.
+    //
+    // The key carries the *base catalog relation's* identity (pointer,
+    // pinned by the entry), not the catalog's address: catalogs are
+    // per-evaluation snapshots sharing RelationPtrs, so an unchanged
+    // relation hits across snapshots while a delta-replaced one
+    // misses — and FenceRelations reclaims the replaced entries.
+    auto base = catalog_.Get(relation);
+    if (!base.ok()) return base.status();
     std::string render = "scan|" + relation + "|" + scan_alias;
     OperatorKey store_key;
-    store_key.catalog = &catalog_;
+    store_key.catalog = nullptr;
     store_key.epoch = options_.store_epoch;
     store_key.shard_epoch = options_.store_shard_epoch;
+    store_key.input = base.ValueOrDie().get();
     store_key.op_hash = HashOperatorRender(render);
     bool shared = false;
     size_t bytes = 0;
-    auto rel = options_.store->GetOrCompute(store_key, render, nullptr,
-                                            compute, &shared, &bytes);
+    auto rel = options_.store->GetOrCompute(store_key, render,
+                                            base.ValueOrDie(), compute,
+                                            &shared, &bytes);
     if (!rel.ok()) return rel;
     RecordStoreOutcome(shared, bytes);
     scan_cache_.emplace(scan_alias, CachedScan{rel.ValueOrDie(), bytes});

@@ -31,6 +31,42 @@ void OperatorStore::FenceEpoch(uint64_t epoch) {
   }
 }
 
+size_t OperatorStore::FenceRelations(
+    const std::vector<const relational::Relation*>& replaced) {
+  if (replaced.empty()) return 0;
+  size_t fenced = 0;
+  shards_.ForEachShard([&](Shards::Map& map, ShardState& state) {
+    for (auto it = map.begin(); it != map.end();) {
+      const void* input = it->first.input;
+      bool match = false;
+      for (const relational::Relation* rel : replaced) {
+        if (input == rel) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) {
+        ++it;
+        continue;
+      }
+      Entry& entry = *it->second;
+      if (entry.ready) {
+        state.bytes -= entry.bytes;
+        state.lru.erase(entry.lru_it);
+      }
+      // A not-yet-ready entry is safe to drop too: its owner's
+      // completion re-checks map membership and skips insertion, and
+      // waiters already hold the shared future.
+      it = map.erase(it);
+      ++fenced;
+    }
+  });
+  if (fenced > 0) {
+    relation_fenced_.fetch_add(fenced, std::memory_order_relaxed);
+  }
+  return fenced;
+}
+
 Result<RelationPtr> OperatorStore::GetOrCompute(
     const OperatorKey& key, const std::string& op_render,
     RelationPtr pinned_input, const Compute& compute, bool* shared,
@@ -185,6 +221,7 @@ OperatorStoreStats OperatorStore::stats() const {
       single_flight_waits_.load(std::memory_order_relaxed);
   stats.bytes_reused = bytes_reused_.load(std::memory_order_relaxed);
   stats.epoch_fences = epoch_fences_.load(std::memory_order_relaxed);
+  stats.relation_fenced = relation_fenced_.load(std::memory_order_relaxed);
   shards_.ForEachShard(
       [&](const Shards::Map& map, const ShardState& state) {
         stats.entries += map.size();

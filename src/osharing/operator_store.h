@@ -7,6 +7,7 @@
 #include <list>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/hash_util.h"
 #include "common/sharded_map.h"
@@ -67,6 +68,8 @@ struct OperatorStoreStats {
   /// FenceEpoch calls that actually advanced the epoch and cleared the
   /// store (mapping-set reconfigurations observed by this store).
   size_t epoch_fences = 0;
+  /// Entries dropped by FenceRelations (delta-aware invalidation).
+  size_t relation_fenced = 0;
   size_t entries = 0;             ///< current entries (snapshot)
   /// Current budget-weighted bytes (results + pinned inputs; snapshot).
   size_t bytes = 0;
@@ -130,6 +133,17 @@ class OperatorStore {
   /// with Engine::mapping_epoch before each evaluation; between
   /// reconfigurations it is a single atomic load.
   void FenceEpoch(uint64_t epoch);
+
+  /// Delta-aware invalidation: drops every entry whose key.input is
+  /// one of `replaced` (the relation pointers a Catalog::ApplyDelta
+  /// swapped out — see relational::ApplyResult::replaced) and returns
+  /// how many were dropped. Entries over other relations survive, so a
+  /// single-relation update trickle does not zero the store. Scan
+  /// entries key on their base catalog relation; downstream selection
+  /// entries chain off the scan's result pointer and simply become
+  /// unreachable (new scans produce new pointers), aging out by LRU.
+  size_t FenceRelations(
+      const std::vector<const relational::Relation*>& replaced);
 
   /// Returns the memoized result for `key`, or runs `compute` exactly
   /// once across all concurrent callers of the same key and memoizes
@@ -195,6 +209,7 @@ class OperatorStore {
   std::atomic<size_t> single_flight_waits_{0};
   std::atomic<size_t> bytes_reused_{0};
   std::atomic<size_t> epoch_fences_{0};
+  std::atomic<size_t> relation_fenced_{0};
 };
 
 /// Stable hash of a rendered operator description (hash_util's FNV-1a);

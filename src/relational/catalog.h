@@ -1,12 +1,16 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "relational/delta.h"
 #include "relational/relation.h"
 
 /// \file catalog.h
@@ -38,12 +42,16 @@ class Catalog {
     std::shared_lock<std::shared_mutex> lock(other.mu_);
     relations_ = other.relations_;
     auto_encode_ = other.auto_encode_;
+    data_epoch_.store(other.data_epoch_.load(std::memory_order_acquire),
+                      std::memory_order_release);
   }
   Catalog& operator=(const Catalog& other) {
     if (this != &other) {
       std::scoped_lock lock(mu_, other.mu_);
       relations_ = other.relations_;
       auto_encode_ = other.auto_encode_;
+      data_epoch_.store(other.data_epoch_.load(std::memory_order_acquire),
+                        std::memory_order_release);
     }
     return *this;
   }
@@ -51,12 +59,16 @@ class Catalog {
     std::unique_lock<std::shared_mutex> lock(other.mu_);
     relations_ = std::move(other.relations_);
     auto_encode_ = other.auto_encode_;
+    data_epoch_.store(other.data_epoch_.load(std::memory_order_acquire),
+                      std::memory_order_release);
   }
   Catalog& operator=(Catalog&& other) noexcept {
     if (this != &other) {
       std::scoped_lock lock(mu_, other.mu_);
       relations_ = std::move(other.relations_);
       auto_encode_ = other.auto_encode_;
+      data_epoch_.store(other.data_epoch_.load(std::memory_order_acquire),
+                        std::memory_order_release);
     }
     return *this;
   }
@@ -87,6 +99,26 @@ class Catalog {
   void set_auto_encode(bool on) { auto_encode_ = on; }
   bool auto_encode() const { return auto_encode_; }
 
+  /// Applies one delta batch atomically (see delta.h). Three phases:
+  /// validate every op against the current snapshot (unknown relation
+  /// -> NotFound, arity mismatch -> InvalidArgument; nothing applied
+  /// on any failure), rebuild the touched relations outside the
+  /// catalog locks — re-encoding the columnar backing ONCE per
+  /// relation per batch when auto-encode is on — then swap all
+  /// replaced pointers under one exclusive lock and advance the data
+  /// epoch. Concurrent ApplyDelta calls serialize on `delta_mu_`;
+  /// readers (Get / copies) see either the full old or full new state.
+  ///
+  /// Update/delete ops affect EVERY row equal to `op.row` (relations
+  /// have no key constraint); ops apply in batch order per relation.
+  Result<ApplyResult> ApplyDelta(const DeltaBatch& batch);
+
+  /// Monotonic counter bumped after each applied delta batch; a
+  /// catalog copy inherits the source's epoch.
+  uint64_t data_epoch() const {
+    return data_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Storage footprint over all currently-encoded relations.
   StorageStats Storage() const;
 
@@ -109,8 +141,13 @@ class Catalog {
 
  private:
   mutable std::shared_mutex mu_;  ///< guards relations_
+  /// Serializes ApplyDelta callers (rebuilds run outside mu_, so two
+  /// concurrent batches would otherwise both rebuild from the same
+  /// snapshot and lose one batch's ops on swap).
+  std::mutex delta_mu_;
   std::map<std::string, RelationPtr> relations_;
   bool auto_encode_ = true;
+  std::atomic<uint64_t> data_epoch_{0};
 };
 
 }  // namespace relational

@@ -1,0 +1,122 @@
+#include "relational/delta.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/timer.h"
+#include "relational/catalog.h"
+
+namespace urm {
+namespace relational {
+
+const char* DeltaOpKindName(DeltaOpKind kind) {
+  switch (kind) {
+    case DeltaOpKind::kInsert:
+      return "insert";
+    case DeltaOpKind::kUpdate:
+      return "update";
+    case DeltaOpKind::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+Result<ApplyResult> Catalog::ApplyDelta(const DeltaBatch& batch) {
+  std::lock_guard<std::mutex> delta_lock(delta_mu_);
+  ApplyResult result;
+  if (batch.ops.empty()) {
+    result.data_epoch = data_epoch();
+    return result;
+  }
+
+  // Phase 1: snapshot the touched relations and validate every op
+  // against them. Any failure returns before anything is applied.
+  std::map<std::string, RelationPtr> touched;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const DeltaOp& op : batch.ops) {
+      auto it = touched.find(op.relation);
+      if (it == touched.end()) {
+        auto found = relations_.find(op.relation);
+        if (found == relations_.end()) {
+          return Status::NotFound("relation not found: " + op.relation);
+        }
+        it = touched.emplace(op.relation, found->second).first;
+      }
+      const size_t arity = it->second->schema().num_columns();
+      if (op.row.size() != arity) {
+        return Status::InvalidArgument(
+            DeltaOpKindName(op.kind) + std::string(" row arity ") +
+            std::to_string(op.row.size()) + " != schema arity " +
+            std::to_string(arity) + " for relation " + op.relation);
+      }
+      if (op.kind == DeltaOpKind::kUpdate && op.new_row.size() != arity) {
+        return Status::InvalidArgument(
+            "update new_row arity " + std::to_string(op.new_row.size()) +
+            " != schema arity " + std::to_string(arity) + " for relation " +
+            op.relation);
+      }
+    }
+  }
+
+  // Phase 2: rebuild each touched relation outside the catalog locks.
+  // Readers keep serving the old snapshot while rows are copied and
+  // the columnar backing is re-encoded (once per relation per batch).
+  std::map<std::string, RelationPtr> rebuilt;
+  for (const auto& [name, old] : touched) {
+    std::vector<Row> rows = old->rows();
+    for (const DeltaOp& op : batch.ops) {
+      if (op.relation != name) continue;
+      switch (op.kind) {
+        case DeltaOpKind::kInsert:
+          rows.push_back(op.row);
+          result.rows_inserted++;
+          break;
+        case DeltaOpKind::kUpdate:
+          for (Row& r : rows) {
+            if (RowsEqual(r, op.row)) {
+              r = op.new_row;
+              result.rows_updated++;
+            }
+          }
+          break;
+        case DeltaOpKind::kDelete: {
+          const size_t before = rows.size();
+          rows.erase(std::remove_if(
+                         rows.begin(), rows.end(),
+                         [&](const Row& r) { return RowsEqual(r, op.row); }),
+                     rows.end());
+          result.rows_deleted += before - rows.size();
+          break;
+        }
+      }
+    }
+    auto fresh = std::make_shared<Relation>(old->schema(), std::move(rows));
+    if (auto_encode_) {
+      Timer timer;
+      fresh->Columnar();
+      result.encode_seconds += timer.Seconds();
+    }
+    rebuilt.emplace(name, std::move(fresh));
+    result.relations.push_back(name);
+    result.replaced.push_back(old);
+  }
+
+  // Phase 3: swap every replaced pointer under one exclusive lock, so
+  // readers see the whole batch or none of it, then advance the data
+  // epoch (after the swap: a reader that observes the new epoch can
+  // only snapshot the new state).
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (auto& [name, fresh] : rebuilt) {
+      relations_[name] = std::move(fresh);
+    }
+    result.data_epoch =
+        data_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  return result;
+}
+
+}  // namespace relational
+}  // namespace urm

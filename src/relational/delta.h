@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+/// \file delta.h
+/// Row-level deltas against catalog relations: the batch descriptor
+/// (DeltaBatch) consumed by Catalog::ApplyDelta and the receipt
+/// (ApplyResult) the serving tier uses to fence caches.
+///
+/// A batch is the atomicity unit: either every op validates and the
+/// touched relations are swapped together under one catalog lock, or
+/// nothing is applied. Rebuild + re-encode happen outside the catalog
+/// locks, so readers keep serving the old snapshot for the whole
+/// (potentially expensive) encode; the swap itself is pointer-sized.
+
+namespace urm {
+namespace relational {
+
+enum class DeltaOpKind { kInsert, kUpdate, kDelete };
+
+const char* DeltaOpKindName(DeltaOpKind kind);
+
+/// One row-level operation. `row` is the full row to insert, or the
+/// match image for update/delete (all rows equal to it are affected —
+/// relations carry no key constraint, so value equality is identity).
+/// `new_row` is the replacement image, update only.
+struct DeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kInsert;
+  std::string relation;
+  Row row;
+  Row new_row;
+};
+
+/// An ordered batch of operations, possibly spanning relations. Ops
+/// apply in batch order within each relation.
+struct DeltaBatch {
+  std::vector<DeltaOp> ops;
+};
+
+/// Receipt of one applied batch: the catalog data epoch after the
+/// swap, which relations changed (names + the *replaced* relation
+/// pointers, for pointer-keyed operator-store fencing), per-kind row
+/// counts, and the time spent re-encoding columnar backings.
+struct ApplyResult {
+  uint64_t data_epoch = 0;
+  std::vector<std::string> relations;
+  std::vector<RelationPtr> replaced;
+  size_t rows_inserted = 0;
+  size_t rows_updated = 0;
+  size_t rows_deleted = 0;
+  double encode_seconds = 0.0;
+};
+
+}  // namespace relational
+}  // namespace urm

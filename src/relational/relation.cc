@@ -127,6 +127,23 @@ Status Relation::AddRow(Row row) {
   return Status::OK();
 }
 
+Status Relation::AddRows(std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    if (row.size() != schema_.num_columns()) {
+      return Status::InvalidArgument(
+          "row arity " + std::to_string(row.size()) + " != schema arity " +
+          std::to_string(schema_.num_columns()));
+    }
+  }
+  if (rows.empty()) return Status::OK();
+  std::vector<Row>* dst = MutableRows();
+  dst->reserve(dst->size() + rows.size());
+  for (Row& row : rows) {
+    dst->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
 Relation Relation::Gather(const columnar::SelectionVector& sel) const {
   Relation out(schema_);
   std::vector<Row>* dst = out.MutableRows();

@@ -88,6 +88,12 @@ class Relation {
   /// any cached columnar encoding (it no longer describes the rows).
   Status AddRow(Row row);
 
+  /// Appends a batch of rows after validating every arity, paying the
+  /// copy-on-write / encoding-invalidation cost of MutableRows() once
+  /// for the whole batch instead of once per row. Nothing is appended
+  /// if any row fails validation.
+  Status AddRows(std::vector<Row> rows);
+
   /// Reserves row storage.
   void Reserve(size_t n) { MutableRows()->reserve(n); }
 

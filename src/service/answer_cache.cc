@@ -1,5 +1,7 @@
 #include "service/answer_cache.h"
 
+#include <algorithm>
+
 #include "relational/relation.h"
 
 namespace urm {
@@ -71,31 +73,61 @@ void AnswerCache::Put(const algebra::PlanFingerprint& key, Value value) {
   if (options_.capacity_entries == 0 || value == nullptr) return;
   size_t bytes = ApproxResponseBytes(*value);
   std::lock_guard<std::mutex> lock(mu_);
-  PutLocked(key, std::move(value), bytes);
+  PutLocked(key, std::move(value), bytes, {}, UINT64_MAX);
 }
 
 void AnswerCache::Put(const algebra::PlanFingerprint& key, Value value,
                       uint64_t epoch) {
+  // Legacy callers carry no data provenance: UINT64_MAX marks the
+  // entry "never stale", so relation fences leave it alone.
+  Put(key, std::move(value), epoch, {}, UINT64_MAX);
+}
+
+void AnswerCache::Put(const algebra::PlanFingerprint& key, Value value,
+                      uint64_t epoch, std::vector<uint64_t> sources,
+                      uint64_t data_epoch) {
   if (options_.capacity_entries == 0 || value == nullptr) return;
   size_t bytes = ApproxResponseBytes(*value);
   std::lock_guard<std::mutex> lock(mu_);
   if (epoch != fenced_epoch_.load(std::memory_order_relaxed)) {
     return;  // computed under a fenced-past epoch
   }
-  PutLocked(key, std::move(value), bytes);
+  if (StaleUnderChanges(sources, data_epoch)) {
+    return;  // a source relation changed after this was computed
+  }
+  PutLocked(key, std::move(value), bytes, std::move(sources), data_epoch);
+}
+
+bool AnswerCache::StaleUnderChanges(const std::vector<uint64_t>& sources,
+                                    uint64_t data_epoch) const {
+  if (data_epoch == UINT64_MAX) return false;  // outside the delta protocol
+  if (wildcard_change_epoch_ > data_epoch) return true;
+  if (sources.empty()) {
+    // Depends-on-everything: stale if ANY relation changed since.
+    return max_change_epoch_ > data_epoch;
+  }
+  for (uint64_t source : sources) {
+    auto it = changed_.find(source);
+    if (it != changed_.end() && it->second > data_epoch) return true;
+  }
+  return false;
 }
 
 void AnswerCache::PutLocked(const algebra::PlanFingerprint& key, Value value,
-                            size_t bytes) {
+                            size_t bytes, std::vector<uint64_t> sources,
+                            uint64_t data_epoch) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ += bytes - it->second->bytes;
     it->second->value = std::move(value);
     it->second->bytes = bytes;
     it->second->inserted = Clock::now();
+    it->second->sources = std::move(sources);
+    it->second->data_epoch = data_epoch;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(value), bytes, Clock::now()});
+    lru_.push_front(Entry{key, std::move(value), bytes, Clock::now(),
+                          std::move(sources), data_epoch});
     index_.emplace(key, lru_.begin());
     bytes_ += bytes;
   }
@@ -123,6 +155,55 @@ void AnswerCache::FenceEpoch(uint64_t epoch) {
   index_.clear();
   bytes_ = 0;
   stats_.epoch_fences++;
+}
+
+size_t AnswerCache::FenceRelations(const std::vector<uint64_t>& changed,
+                                   uint64_t data_epoch) {
+  if (changed.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Record the changes first, so a Put racing with this fence (its
+  // response computed before the delta, its Put arriving after) is
+  // rejected by StaleUnderChanges rather than resurrecting stale data.
+  for (uint64_t source : changed) {
+    uint64_t& epoch = changed_[source];
+    epoch = std::max(epoch, data_epoch);
+  }
+  max_change_epoch_ = std::max(max_change_epoch_, data_epoch);
+  size_t fenced = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (!StaleUnderChanges(it->sources, it->data_epoch)) {
+      ++it;
+      continue;
+    }
+    bytes_ -= it->bytes;
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++fenced;
+  }
+  stats_.relation_fenced += fenced;
+  return fenced;
+}
+
+size_t AnswerCache::FenceAllRelations(uint64_t data_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wildcard_change_epoch_ = std::max(wildcard_change_epoch_, data_epoch);
+  max_change_epoch_ = std::max(max_change_epoch_, data_epoch);
+  size_t fenced = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    // Entries at data_epoch or newer were computed against the
+    // post-delta catalog (ApplyDelta bumps the epoch after the swap);
+    // UINT64_MAX entries are outside the delta protocol entirely.
+    if (it->data_epoch >= data_epoch) {
+      ++it;
+      continue;
+    }
+    bytes_ -= it->bytes;
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++fenced;
+  }
+  stats_.relation_fenced += fenced;
+  return fenced;
 }
 
 void AnswerCache::Clear() {

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "algebra/fingerprint.h"
 #include "core/request.h"
@@ -40,6 +41,9 @@ struct CacheStats {
   /// FenceEpoch calls that actually advanced the epoch and dropped
   /// entries (mapping-set reconfigurations observed by this cache).
   size_t epoch_fences = 0;
+  /// Entries dropped by FenceRelations / FenceAllRelations (catalog
+  /// delta invalidation).
+  size_t relation_fenced = 0;
   size_t entries = 0;
   size_t bytes = 0;        ///< current answer bytes held
 };
@@ -85,12 +89,39 @@ class AnswerCache {
   /// the same epoch would ever drop it.
   void Put(const algebra::PlanFingerprint& key, Value value, uint64_t epoch);
 
+  /// Delta-aware Put: additionally records which source relations the
+  /// response read (`sources`, sorted FNV-1a name hashes from
+  /// Engine::SourceFootprint; empty = depends on every relation) and
+  /// the catalog data epoch it was computed under. The value is
+  /// dropped when any of its sources — or, with empty sources, any
+  /// relation at all — changed after `data_epoch` (the response may
+  /// already be stale), mirroring the mapping-epoch check.
+  void Put(const algebra::PlanFingerprint& key, Value value, uint64_t epoch,
+           std::vector<uint64_t> sources, uint64_t data_epoch);
+
   /// Explicit invalidation hook for mapping-set reconfigurations:
   /// drops every entry when `epoch` advances past the last fenced
   /// epoch (Engine::mapping_epoch; forward only, so a worker holding a
   /// stale epoch cannot clear entries valid under a newer one). Cheap
   /// no-op between reconfigurations.
   void FenceEpoch(uint64_t epoch);
+
+  /// Delta-aware invalidation for a catalog delta that produced
+  /// `data_epoch` and touched the relations in `changed` (FNV-1a name
+  /// hashes): drops every entry computed before `data_epoch` whose
+  /// source set intersects `changed` (or is empty = depends-on-all),
+  /// records the change epochs so racing Puts of pre-delta responses
+  /// are rejected, and returns the number of entries dropped. Entries
+  /// over untouched relations survive — the point of delta-aware
+  /// invalidation.
+  size_t FenceRelations(const std::vector<uint64_t>& changed,
+                        uint64_t data_epoch);
+
+  /// Full-fence fallback: every entry computed before `data_epoch` is
+  /// dropped regardless of its sources (and racing pre-delta Puts are
+  /// rejected via the recorded wildcard change). The control arm of
+  /// the delta-aware-vs-full-fence comparison.
+  size_t FenceAllRelations(uint64_t data_epoch);
 
   void Clear();
 
@@ -106,6 +137,12 @@ class AnswerCache {
     Value value;
     size_t bytes = 0;
     Clock::time_point inserted;
+    /// Source-relation name hashes (sorted) + catalog data epoch at
+    /// computation — the delta-aware invalidation keys. Entries from
+    /// the legacy Put carry {} / UINT64_MAX ("never stale"), keeping
+    /// standalone cache users outside the delta protocol untouched.
+    std::vector<uint64_t> sources;
+    uint64_t data_epoch = UINT64_MAX;
   };
 
   bool Expired(const Entry& entry, Clock::time_point now) const;
@@ -113,7 +150,12 @@ class AnswerCache {
   void DropOldest();
   /// Insert/refresh + budget enforcement (caller holds mu_).
   void PutLocked(const algebra::PlanFingerprint& key, Value value,
-                 size_t bytes);
+                 size_t bytes, std::vector<uint64_t> sources,
+                 uint64_t data_epoch);
+  /// Whether a response with these provenance marks is already stale
+  /// under the recorded relation changes (caller holds mu_).
+  bool StaleUnderChanges(const std::vector<uint64_t>& sources,
+                         uint64_t data_epoch) const;
 
   const AnswerCacheOptions options_;
   mutable std::mutex mu_;
@@ -126,6 +168,13 @@ class AnswerCache {
   /// between reconfigurations) is one load that never contends with
   /// concurrent Get/Put on mu_.
   std::atomic<uint64_t> fenced_epoch_{0};
+  /// Relation change log (guarded by mu_): relation name hash -> data
+  /// epoch of its last observed change, plus the max over all of them
+  /// (for empty-source entries) and the wildcard epoch recorded by
+  /// full fences. Bounded by the catalog's relation count.
+  std::unordered_map<uint64_t, uint64_t> changed_;
+  uint64_t max_change_epoch_ = 0;
+  uint64_t wildcard_change_epoch_ = 0;
   CacheStats stats_;
 };
 

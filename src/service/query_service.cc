@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash_util.h"
 #include "mapping/sharded.h"
 #include "obs/log.h"
 
@@ -635,6 +636,13 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
   // Put is epoch-checked so a response computed before a concurrent
   // reconfiguration's fence cannot repopulate the fenced cache.
   const uint64_t epoch = engine_->mapping_epoch();
+  // Data provenance for delta-aware invalidation, captured BEFORE the
+  // evaluation pins its catalog snapshot: the entry's recorded
+  // data_epoch is then <= the epoch it actually read, so any delta
+  // that could affect the response fences (or rejects the Put of) the
+  // entry — conservative, never stale.
+  const uint64_t data_epoch = engine_->data_epoch();
+  std::vector<uint64_t> sources = engine_->SourceFootprint(work->request);
   core::Engine::EvalOptions eval;
   // Streaming evaluations stay sequential: the parallel o-sharing path
   // buffers leaves per partition and replays them only after the
@@ -729,10 +737,16 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
   // published under the shard-folded fingerprint — sharded and
   // unsharded answers agree only to ~1e-12 and their cache entries
   // must never alias.
+  // A mapping reconfiguration mid-evaluation means this response was
+  // computed under a mapping-set snapshot other than the one its
+  // fingerprint names — never cache it (the check can only drop valid
+  // entries, it never admits an invalid one).
+  const bool epoch_stable = engine_->mapping_epoch() == epoch;
   const bool cacheable =
-      work->sink == nullptr || options_.mapping_shards <= 1;
+      (work->sink == nullptr || options_.mapping_shards <= 1) && epoch_stable;
   if (base.status.ok() && cacheable) {
-    cache_.Put(work->fingerprint, base.response, epoch);
+    cache_.Put(work->fingerprint, base.response, epoch, std::move(sources),
+               data_epoch);
   }
   std::vector<Work::Subscriber> subscribers;
   {
@@ -763,6 +777,35 @@ void QueryService::RunWork(const std::shared_ptr<Work>& work) {
     if (subscriber.callback) subscriber.callback(response);
     subscriber.promise.set_value(response);
   }
+}
+
+FenceOutcome QueryService::FenceCatalogDelta(
+    const relational::ApplyResult& delta) {
+  FenceOutcome outcome;
+  if (delta.relations.empty()) return outcome;
+  if (options_.delta_aware_invalidation) {
+    std::vector<uint64_t> changed;
+    changed.reserve(delta.relations.size());
+    for (const std::string& name : delta.relations) {
+      changed.push_back(Fnv1a(name));
+    }
+    outcome.answers = cache_.FenceRelations(changed, delta.data_epoch);
+    if (operator_store_ != nullptr) {
+      std::vector<const relational::Relation*> replaced;
+      replaced.reserve(delta.replaced.size());
+      for (const auto& rel : delta.replaced) replaced.push_back(rel.get());
+      outcome.operators = operator_store_->FenceRelations(replaced);
+    }
+    return outcome;
+  }
+  // Full fence: everything computed before this delta goes, touched or
+  // not — the conservative control arm.
+  outcome.answers = cache_.FenceAllRelations(delta.data_epoch);
+  if (operator_store_ != nullptr) {
+    outcome.operators = operator_store_->stats().entries;
+    operator_store_->Clear();
+  }
+  return outcome;
 }
 
 QueryResponse QueryService::Wait(std::future<QueryResponse> future) {

@@ -106,6 +106,14 @@ struct ServiceOptions {
   size_t operator_store_bytes = 256ull << 20;
   /// Operator-store concurrency shards (rounded up to a power of two).
   size_t operator_store_shards = 16;
+  /// How FenceCatalogDelta invalidates after a Catalog::ApplyDelta:
+  /// true (default) fences only the answer-cache / operator-store
+  /// entries whose source relations the delta touched, so an update
+  /// trickle against one relation does not zero the hit rate for
+  /// queries over the others; false falls back to fencing everything
+  /// (the conservative control arm bench_live_traffic compares
+  /// against).
+  bool delta_aware_invalidation = true;
   /// Report serving-tier metrics — per-kind latency histograms,
   /// request outcomes, in-flight gauge, dedup joins, shard timing, and
   /// collect-time bridges for the cache / operator-store / pool stats
@@ -150,14 +158,24 @@ struct QueryResponse {
 /// effects are visible to whoever unblocks from future.get().
 using CompletionCallback = std::function<void(const QueryResponse&)>;
 
+/// Invalidation outcome of FenceCatalogDelta: entries dropped per
+/// store.
+struct FenceOutcome {
+  size_t answers = 0;    ///< AnswerCache entries fenced
+  size_t operators = 0;  ///< OperatorStore entries fenced
+};
+
 /// \brief Concurrent query service owning a pool, a cache, and the
 /// in-flight dedup table.
 ///
 /// Thread-safety: Submit / SubmitAsync may be called from multiple
-/// threads; the engine must not be reconfigured (UseTopMappings) while
-/// submissions are in flight. Reconfigurations between submissions are
-/// safe — the mapping-set hash in the fingerprint keys the cache, so
-/// stale entries can never be returned (they age out via LRU).
+/// threads, concurrently with engine reconfigurations (UseTopMappings /
+/// SetActiveMappings — in-flight evaluations pin their mapping-set
+/// snapshot and their responses are only cached if the epoch is still
+/// current at completion) and with catalog deltas (Catalog::ApplyDelta
+/// followed by FenceCatalogDelta here; see live::IngestController for
+/// the assembled path). The mapping-set hash in every fingerprint keys
+/// the cache, so stale entries can never be returned.
 /// Destroying the service completes all outstanding futures first.
 class QueryService {
  public:
@@ -241,6 +259,16 @@ class QueryService {
     out.row_scans = row_scans_.load(std::memory_order_relaxed);
     return out;
   }
+
+  /// Invalidates cached state made stale by a catalog delta the
+  /// caller just applied (engine()->ApplyDelta). With
+  /// delta_aware_invalidation on, only answer-cache entries whose
+  /// source footprint intersects the delta's relations and
+  /// operator-store entries keyed on the replaced relation pointers
+  /// are dropped; otherwise both stores are fully fenced. Racing Puts
+  /// of pre-delta responses are rejected either way (the cache records
+  /// the change epochs). Returns how many entries each store dropped.
+  FenceOutcome FenceCatalogDelta(const relational::ApplyResult& delta);
 
   CacheStats cache_stats() const { return cache_.stats(); }
   void ClearCache() { cache_.Clear(); }

@@ -18,6 +18,7 @@
 #include "common/json.h"
 #include "common/sha1.h"
 #include "core/workload.h"
+#include "live/ingest.h"
 #include "net/api.h"
 #include "net/dosguard.h"
 #include "net/http.h"
@@ -473,6 +474,97 @@ TEST(ApiParseTest, AcceptsEveryKindAndAliases) {
 }
 
 // ---------------------------------------------------------------------------
+// /v1/ingest body validation (no socket needed)
+
+api::ApiError ExpectIngestParseError(const std::string& body,
+                                     size_t max_ops = 16) {
+  api::ParsedIngest parsed;
+  api::ApiError error;
+  EXPECT_FALSE(api::ParseIngestBody(body, max_ops, &parsed, &error)) << body;
+  return error;
+}
+
+TEST(ApiParseTest, IngestValidationErrorCatalog) {
+  EXPECT_EQ(ExpectIngestParseError("{nope").code, "bad_json");
+  EXPECT_EQ(ExpectIngestParseError("{\"ops\":[]}").code, "missing_version");
+  EXPECT_EQ(ExpectIngestParseError("{\"version\":9,\"ops\":[]}").code,
+            "unsupported_version");
+  api::ApiError error = ExpectIngestParseError(
+      "{\"version\":1,\"schema\":\"Nebula\",\"ops\":[]}");
+  EXPECT_EQ(error.code, "unknown_schema");
+  EXPECT_EQ(error.http_status, 404);
+  EXPECT_EQ(ExpectIngestParseError("{\"version\":1,\"schema\":7,\"ops\":[]}")
+                .code,
+            "bad_schema");
+  EXPECT_EQ(ExpectIngestParseError("{\"version\":1}").code, "missing_ops");
+  EXPECT_EQ(ExpectIngestParseError("{\"version\":1,\"ops\":[]}").code,
+            "missing_ops");
+  error = ExpectIngestParseError(
+      "{\"version\":1,\"ops\":[{\"op\":\"insert\",\"relation\":\"region\","
+      "\"row\":[\"a\"]},{\"op\":\"insert\",\"relation\":\"region\","
+      "\"row\":[\"b\"]}]}",
+      /*max_ops=*/1);
+  EXPECT_EQ(error.code, "batch_too_large");
+  EXPECT_EQ(error.http_status, 413);
+  // Malformed ops: unknown verb, missing relation, non-array row, bad
+  // cell type, update without new_row, insert with a stray new_row.
+  EXPECT_EQ(ExpectIngestParseError(
+                "{\"version\":1,\"ops\":[{\"op\":\"upsert\","
+                "\"relation\":\"region\",\"row\":[]}]}")
+                .code,
+            "bad_op");
+  EXPECT_EQ(ExpectIngestParseError(
+                "{\"version\":1,\"ops\":[{\"op\":\"insert\","
+                "\"row\":[\"a\"]}]}")
+                .code,
+            "bad_op");
+  EXPECT_EQ(ExpectIngestParseError(
+                "{\"version\":1,\"ops\":[{\"op\":\"insert\","
+                "\"relation\":\"region\",\"row\":\"a\"}]}")
+                .code,
+            "bad_op");
+  EXPECT_EQ(ExpectIngestParseError(
+                "{\"version\":1,\"ops\":[{\"op\":\"insert\","
+                "\"relation\":\"region\",\"row\":[true]}]}")
+                .code,
+            "bad_op");
+  EXPECT_EQ(ExpectIngestParseError(
+                "{\"version\":1,\"ops\":[{\"op\":\"update\","
+                "\"relation\":\"region\",\"row\":[\"a\"]}]}")
+                .code,
+            "bad_op");
+  EXPECT_EQ(ExpectIngestParseError(
+                "{\"version\":1,\"ops\":[{\"op\":\"delete\","
+                "\"relation\":\"region\",\"row\":[\"a\"],"
+                "\"new_row\":[\"b\"]}]}")
+                .code,
+            "bad_op");
+}
+
+TEST(ApiParseTest, IngestAcceptsAllThreeOpKinds) {
+  api::ParsedIngest parsed;
+  api::ApiError error;
+  ASSERT_TRUE(api::ParseIngestBody(
+      "{\"version\":1,\"schema\":\"excel\",\"ops\":["
+      "{\"op\":\"insert\",\"relation\":\"region\","
+      "\"row\":[\"r9\",\"Atlantis\",null]},"
+      "{\"op\":\"update\",\"relation\":\"region\","
+      "\"row\":[\"r9\",\"Atlantis\",null],"
+      "\"new_row\":[\"r9\",\"Lemuria\",null]},"
+      "{\"op\":\"delete\",\"relation\":\"nation\","
+      "\"row\":[\"n1\",\"x\",\"r9\"]}]}",
+      /*max_ops=*/16, &parsed, &error))
+      << error.message;
+  EXPECT_EQ(parsed.schema, datagen::TargetSchemaId::kExcel);
+  ASSERT_EQ(parsed.batch.ops.size(), 3u);
+  EXPECT_EQ(parsed.batch.ops[0].kind, relational::DeltaOpKind::kInsert);
+  EXPECT_EQ(parsed.batch.ops[1].kind, relational::DeltaOpKind::kUpdate);
+  ASSERT_EQ(parsed.batch.ops[1].new_row.size(), 3u);
+  EXPECT_EQ(parsed.batch.ops[2].kind, relational::DeltaOpKind::kDelete);
+  EXPECT_EQ(parsed.batch.ops[2].relation, "nation");
+}
+
+// ---------------------------------------------------------------------------
 // Loopback end-to-end
 
 /// Blocking loopback client socket with just enough HTTP/WS to test
@@ -635,22 +727,43 @@ class TestHub : public api::ServiceHub {
     for (auto& [schema, service] : services_) fn(schema, service.get());
   }
 
+  live::IngestController* IngestFor(
+      datagen::TargetSchemaId schema) override {
+    if (!ingest_enabled_ || ForSchema(schema) == nullptr) return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ingest_.find(schema);
+    if (it != ingest_.end()) return it->second.get();
+    live::IngestOptions options;
+    options.metrics_registry = &registry_;
+    auto controller = std::make_unique<live::IngestController>(
+        engines_[schema].get(), services_[schema].get(), options);
+    auto* result = controller.get();
+    ingest_[schema] = std::move(controller);
+    return result;
+  }
+
+  /// Simulates a deployment without live updates (501 path).
+  void set_ingest_enabled(bool on) { ingest_enabled_ = on; }
+
   obs::Registry* registry() { return &registry_; }
 
  private:
   obs::Registry registry_;
   std::mutex mu_;
+  bool ingest_enabled_ = true;
   std::map<datagen::TargetSchemaId, std::unique_ptr<core::Engine>> engines_;
   std::map<datagen::TargetSchemaId, std::unique_ptr<service::QueryService>>
       services_;
+  std::map<datagen::TargetSchemaId, std::unique_ptr<live::IngestController>>
+      ingest_;
 };
 
 /// One running server bound to an ephemeral loopback port.
 struct ServerFixture {
-  explicit ServerFixture(ServerOptions options = ServerOptions()) {
+  explicit ServerFixture(ServerOptions options = ServerOptions(),
+                         api::ApiOptions api_options = api::ApiOptions()) {
     options.metrics_registry = hub.registry();
     server = std::make_unique<HttpServer>(options);
-    api::ApiOptions api_options;
     api_options.metrics_registry = hub.registry();
     api::RegisterRoutes(server.get(), &hub, api_options);
   }
@@ -796,6 +909,154 @@ TEST(LoopbackTest, DosGuardRateLimitAnswers429) {
             "rate_limited");
   // GETs bypass request admission: observability stays reachable.
   EXPECT_EQ(client.Get("/v1/stats").code, 200);
+}
+
+TEST(LoopbackTest, IngestAppliesBatchEndToEnd) {
+  ServerFixture fixture;
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+
+  // Prime the cache so the receipt's fence counters have work to do.
+  const std::string query = "{\"version\":1,\"query\":\"Q1\"}";
+  ASSERT_EQ(client.Post("/v1/query", query).code, 200);
+  ASSERT_EQ(client.Post("/v1/query", query).code, 200);
+
+  TestClient::HttpResult result = client.Post(
+      "/v1/ingest",
+      "{\"version\":1,\"ops\":[{\"op\":\"insert\",\"relation\":\"region\","
+      "\"row\":[\"r9\",\"ATLANTIS\",\"live ingest smoke\"]}]}");
+  ASSERT_EQ(result.code, 200) << result.body;
+  auto parsed = json::Parse(result.body);
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& receipt = parsed.ValueOrDie();
+  EXPECT_EQ(receipt.Find("data_epoch")->AsInt64(), 1);
+  ASSERT_NE(receipt.Find("relations"), nullptr);
+  ASSERT_EQ(receipt.Find("relations")->AsArray().size(), 1u);
+  EXPECT_EQ(receipt.Find("relations")->AsArray()[0].AsString(), "region");
+  EXPECT_EQ(receipt.Find("rows")->Find("inserted")->AsInt64(), 1);
+  EXPECT_EQ(receipt.Find("rows")->Find("updated")->AsInt64(), 0);
+  ASSERT_NE(receipt.Find("fenced"), nullptr);
+  EXPECT_GE(receipt.Find("fenced")->Find("answers")->AsInt64(), 0);
+
+  // The service keeps answering after the swap, and /v1/stats now
+  // carries the per-schema ingest block.
+  EXPECT_EQ(client.Post("/v1/query", query).code, 200);
+  TestClient::HttpResult stats = client.Get("/v1/stats");
+  ASSERT_EQ(stats.code, 200);
+  auto stats_parsed = json::Parse(stats.body);
+  ASSERT_TRUE(stats_parsed.ok());
+  const json::Value& schemas = *stats_parsed.ValueOrDie().Find("schemas");
+  ASSERT_GE(schemas.AsArray().size(), 1u);
+  const json::Value* ingest = schemas.AsArray()[0].Find("ingest");
+  ASSERT_NE(ingest, nullptr) << stats.body;
+  EXPECT_EQ(ingest->Find("batches")->AsInt64(), 1);
+  EXPECT_EQ(ingest->Find("rows_inserted")->AsInt64(), 1);
+  EXPECT_EQ(ingest->Find("data_epoch")->AsInt64(), 1);
+
+  // The ingest metric families are exposed on the shared registry.
+  TestClient::HttpResult metrics = client.Get("/metrics");
+  ASSERT_EQ(metrics.code, 200);
+  EXPECT_NE(metrics.body.find("urm_ingest_batches_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("urm_ingest_reencode_seconds"),
+            std::string::npos);
+}
+
+TEST(LoopbackTest, IngestStructuredErrors) {
+  api::ApiOptions api_options;
+  api_options.max_ingest_ops = 2;
+  ServerFixture fixture(ServerOptions(), api_options);
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+
+  TestClient::HttpResult result = client.Post("/v1/ingest", "{broken");
+  EXPECT_EQ(result.code, 400);
+  EXPECT_EQ(json::Parse(result.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "bad_json");
+
+  result = client.Post(
+      "/v1/ingest",
+      "{\"version\":1,\"ops\":[{\"op\":\"insert\","
+      "\"relation\":\"warp_cores\",\"row\":[\"x\"]}]}");
+  EXPECT_EQ(result.code, 404);
+  EXPECT_EQ(json::Parse(result.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "unknown_relation");
+
+  // Arity mismatch against the live schema (region has 3 columns).
+  result = client.Post(
+      "/v1/ingest",
+      "{\"version\":1,\"ops\":[{\"op\":\"insert\","
+      "\"relation\":\"region\",\"row\":[\"only-one-cell\"]}]}");
+  EXPECT_EQ(result.code, 400);
+  EXPECT_EQ(json::Parse(result.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "schema_mismatch");
+
+  // Rejected batches must not advance the epoch or touch the catalog.
+  TestClient::HttpResult stats = client.Get("/v1/stats");
+  ASSERT_EQ(stats.code, 200);
+  auto stats_parsed = json::Parse(stats.body);
+  ASSERT_TRUE(stats_parsed.ok());
+  const json::Value& schemas = *stats_parsed.ValueOrDie().Find("schemas");
+  ASSERT_GE(schemas.AsArray().size(), 1u);
+  const json::Value* ingest = schemas.AsArray()[0].Find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_EQ(ingest->Find("data_epoch")->AsInt64(), 0);
+  EXPECT_EQ(ingest->Find("rejected_batches")->AsInt64(), 2);
+
+  result = client.Post(
+      "/v1/ingest",
+      "{\"version\":1,\"ops\":["
+      "{\"op\":\"insert\",\"relation\":\"region\",\"row\":[\"a\",\"b\","
+      "\"c\"]},"
+      "{\"op\":\"insert\",\"relation\":\"region\",\"row\":[\"d\",\"e\","
+      "\"f\"]},"
+      "{\"op\":\"insert\",\"relation\":\"region\",\"row\":[\"g\",\"h\","
+      "\"i\"]}]}");
+  EXPECT_EQ(result.code, 413);
+  EXPECT_EQ(json::Parse(result.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "batch_too_large");
+}
+
+TEST(LoopbackTest, IngestUnavailableAnswers501) {
+  ServerFixture fixture;
+  fixture.hub.set_ingest_enabled(false);
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  TestClient::HttpResult result = client.Post(
+      "/v1/ingest",
+      "{\"version\":1,\"ops\":[{\"op\":\"insert\",\"relation\":\"region\","
+      "\"row\":[\"r9\",\"x\",\"y\"]}]}");
+  EXPECT_EQ(result.code, 501);
+  EXPECT_EQ(json::Parse(result.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "ingest_unavailable");
+}
+
+TEST(LoopbackTest, IngestAdmissionControlAnswers429) {
+  ServerOptions options;
+  options.dosguard.requests_per_second = 0.001;  // effectively no refill
+  options.dosguard.burst = 2.0;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.Start().ok());
+  TestClient client(fixture.server->port());
+  ASSERT_TRUE(client.connected());
+  const std::string batch =
+      "{\"version\":1,\"ops\":[{\"op\":\"insert\",\"relation\":\"region\","
+      "\"row\":[\"r9\",\"x\",\"y\"]}]}";
+  ASSERT_EQ(client.Post("/v1/ingest", batch).code, 200);
+  ASSERT_EQ(client.Post("/v1/ingest", batch).code, 200);
+  TestClient::HttpResult limited = client.Post("/v1/ingest", batch);
+  EXPECT_EQ(limited.code, 429);
+  EXPECT_EQ(json::Parse(limited.body).ValueOrDie().Find("error")
+                ->Find("code")->AsString(),
+            "rate_limited");
 }
 
 TEST(LoopbackTest, WebSocketStreamDeliversLeavesBeforeComplete) {

@@ -31,24 +31,20 @@ PaperExample MakePaperExample() {
   // Source instance (Figure 2).
   Relation customer(Schema("customer", {"cid", "cname", "ophone", "hphone",
                                         "mobile", "oaddr", "haddr", "nid"}));
-  URM_CHECK_OK(customer.AddRow(
-      {"t1", "Alice", "123", "789", "555", "aaa", "hk", "n1"}));
-  URM_CHECK_OK(customer.AddRow(
-      {"t2", "Bob", "456", "123", "556", "bbb", "hk", "n1"}));
-  URM_CHECK_OK(customer.AddRow(
-      {"t3", "Cindy", "456", "789", "557", "aaa", "aaa", "n2"}));
+  URM_CHECK_OK(customer.AddRows(
+      {{"t1", "Alice", "123", "789", "555", "aaa", "hk", "n1"},
+       {"t2", "Bob", "456", "123", "556", "bbb", "hk", "n1"},
+       {"t3", "Cindy", "456", "789", "557", "aaa", "aaa", "n2"}}));
   URM_CHECK_OK(ex.catalog.Register(
       "customer", std::make_shared<const Relation>(std::move(customer))));
 
   Relation c_order(Schema("c_order", {"oid", "ocid", "amount"}));
-  URM_CHECK_OK(c_order.AddRow({"o1", "t1", "100"}));
-  URM_CHECK_OK(c_order.AddRow({"o2", "t3", "250"}));
+  URM_CHECK_OK(c_order.AddRows({{"o1", "t1", "100"}, {"o2", "t3", "250"}}));
   URM_CHECK_OK(ex.catalog.Register(
       "c_order", std::make_shared<const Relation>(std::move(c_order))));
 
   Relation nation(Schema("nation", {"nid", "nname"}));
-  URM_CHECK_OK(nation.AddRow({"n1", "HongKong"}));
-  URM_CHECK_OK(nation.AddRow({"n2", "China"}));
+  URM_CHECK_OK(nation.AddRows({{"n1", "HongKong"}, {"n2", "China"}}));
   URM_CHECK_OK(ex.catalog.Register(
       "nation", std::make_shared<const Relation>(std::move(nation))));
 

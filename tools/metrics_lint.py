@@ -25,9 +25,15 @@ family of the columnar storage layer (docs/STORAGE.md) to expose at
 least one series — catalog encoding footprint, per-codec column
 counts, and the bytes-scanned / selection-scan counters.
 
+With --require-ingest, additionally requires every urm_ingest_*
+family of the live-update subsystem (docs/LIVE.md) to expose at least
+one series — batch/row counters, the re-encode latency histogram, and
+the fenced-entry counters. The CI smoke runs drive one ingest batch
+before scraping.
+
 Usage:
   metrics_lint.py <exposition-file> [--require-request-kinds]
-                  [--require-storage]
+                  [--require-storage] [--require-ingest]
   ... | metrics_lint.py -          # read stdin
 
 Exit code 0 = clean, 1 = at least one violation (each printed as
@@ -53,6 +59,12 @@ STORAGE_FAMILIES = (
     "urm_storage_bytes_scanned_total",
     "urm_storage_logical_bytes_scanned_total",
     "urm_storage_selection_scans_total",
+)
+INGEST_FAMILIES = (
+    "urm_ingest_batches_total",
+    "urm_ingest_rows_total",
+    "urm_ingest_reencode_seconds",
+    "urm_ingest_fenced_entries_total",
 )
 
 
@@ -94,7 +106,8 @@ def base_family(name, families):
     return name
 
 
-def lint(lines, require_request_kinds=False, require_storage=False):
+def lint(lines, require_request_kinds=False, require_storage=False,
+         require_ingest=False):
     errors = []
     families = {}  # name -> type
     helped = set()
@@ -241,13 +254,20 @@ def lint(lines, require_request_kinds=False, require_storage=False):
             errors.append("storage families missing from the scrape: "
                           f"{', '.join(missing)}")
 
+    if require_ingest:
+        missing = [f for f in INGEST_FAMILIES if f not in sampled_families]
+        if missing:
+            errors.append("ingest families missing from the scrape: "
+                          f"{', '.join(missing)}")
+
     return errors
 
 
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     flags = set(argv[1:]) - set(args)
-    unknown = flags - {"--require-request-kinds", "--require-storage"}
+    unknown = flags - {"--require-request-kinds", "--require-storage",
+                       "--require-ingest"}
     if unknown or len(args) != 1:
         print(__doc__)
         return 2
@@ -257,7 +277,8 @@ def main(argv):
         with open(args[0], encoding="utf-8") as f:
             lines = f.readlines()
     errors = lint(lines, "--require-request-kinds" in flags,
-                  "--require-storage" in flags)
+                  "--require-storage" in flags,
+                  "--require-ingest" in flags)
     for error in errors:
         print(error)
     print(f"metrics-lint: {len(lines)} lines checked, "

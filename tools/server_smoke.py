@@ -3,10 +3,11 @@
 
 Boots the server on an ephemeral loopback port, drives one request of
 every kind over HTTP (evaluate / topk / setop / threshold), checks the
-structured 4xx error bodies, streams one query over the WebSocket
-endpoint (expecting at least one leaf frame before the completion
-frame), scrapes /metrics, then sends SIGTERM and verifies the process
-drains and exits cleanly.
+structured 4xx error bodies, applies one ingest delta batch (plus an
+unknown-relation rejection) and checks its receipt and stats block,
+streams one query over the WebSocket endpoint (expecting at least one
+leaf frame before the completion frame), scrapes /metrics, then sends
+SIGTERM and verifies the process drains and exits cleanly.
 
 Usage:
   server_smoke.py <path-to-urm_server> [--metrics-out FILE]
@@ -66,16 +67,20 @@ def start_server(binary):
     return process, port
 
 
-def post_query(port, body):
+def post(port, path, body):
     connection = http.client.HTTPConnection(HOST, port, timeout=60)
     try:
         connection.request(
-            "POST", "/v1/query", json.dumps(body) if isinstance(body, dict)
+            "POST", path, json.dumps(body) if isinstance(body, dict)
             else body, {"Content-Type": "application/json"})
         response = connection.getresponse()
         return response.status, json.loads(response.read().decode())
     finally:
         connection.close()
+
+
+def post_query(port, body):
+    return post(port, "/v1/query", body)
 
 
 def get(port, path):
@@ -119,6 +124,39 @@ def drive_http(port):
     stats = json.loads(body)
     check(status == 200 and stats["server"]["requests_started"] >= 4,
           "/v1/stats reports the serving counters")
+
+
+def drive_ingest(port):
+    status, payload = post(port, "/v1/ingest", {
+        "version": 1,
+        "ops": [{"op": "insert", "relation": "region",
+                 "row": ["r-smoke", "SMOKE", "server_smoke.py row"]}],
+    })
+    check(status == 200 and payload.get("data_epoch") == 1
+          and payload.get("relations") == ["region"]
+          and payload.get("rows", {}).get("inserted") == 1,
+          "ingest applied a one-insert batch and returned its receipt")
+
+    status, payload = post(port, "/v1/ingest", {
+        "version": 1,
+        "ops": [{"op": "insert", "relation": "warp_cores",
+                 "row": ["x"]}],
+    })
+    check(status == 404 and payload["error"]["code"] == "unknown_relation",
+          "ingest against an unknown relation gets 404 unknown_relation")
+
+    status, payload = post_query(
+        port, {"version": 1, "query": "Q1", "method": "o-sharing"})
+    check(status == 200 and "result" in payload,
+          "queries still answer after the ingest")
+
+    status, body = get(port, "/v1/stats")
+    stats = json.loads(body)
+    ingest = stats["schemas"][0].get("ingest")
+    check(status == 200 and ingest is not None
+          and ingest["batches"] == 1 and ingest["data_epoch"] == 1
+          and ingest["rejected_batches"] >= 1,
+          "/v1/stats reports the ingest counters")
 
 
 def ws_recv_frame(sock):
@@ -207,6 +245,7 @@ def main():
     process, port = start_server(binary)
     try:
         drive_http(port)
+        drive_ingest(port)
         drive_websocket(port)
         status, exposition = get(port, "/metrics")
         check(status == 200 and "urm_net_http_requests_total" in exposition,
